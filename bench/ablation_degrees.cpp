@@ -1,0 +1,57 @@
+// Ablation — does the §IV degree *ordering* matter, and how close is the
+// workflow's schedule to the best factorization?
+//
+// The paper argues degrees should decrease down the network (abstract).
+// This bench runs every way to order a fixed factor multiset plus several
+// other factorizations of 64, and reports modeled allreduce time for each,
+// alongside what the autotuner picked.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kylix;
+
+void report(const bench::Dataset& data, const std::vector<std::uint32_t>& d,
+            const char* note) {
+  const auto times = bench::run_allreduce(data, Topology(d), 16);
+  std::printf("%-16s %-12.4f %-12.4f %-12.4f %s\n",
+              Topology(d).to_string().c_str(), times.config, times.reduce(),
+              times.total(), note);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: butterfly degree schedules for m = 64 "
+              "(twitter-like)\n");
+  const bench::Dataset data = bench::make_dataset("twitter");
+
+  const DesignResult tuned = bench::tune(
+      data.spec.num_vertices, data.spec.alpha_in, data.measured_density, 64);
+  std::printf("autotuned schedule: %s\n\n",
+              Topology(tuned.degrees).to_string().c_str());
+
+  std::printf("%-16s %-12s %-12s %-12s %s\n", "degrees", "config_s",
+              "reduce_s", "total_s", "note");
+  // Orderings of the paper's {8,4,2} multiset.
+  std::vector<std::uint32_t> degrees = {8, 4, 2};
+  std::sort(degrees.begin(), degrees.end());
+  do {
+    report(data, degrees,
+           std::is_sorted(degrees.rbegin(), degrees.rend())
+               ? "<- decreasing (paper's rule)"
+               : "");
+  } while (std::next_permutation(degrees.begin(), degrees.end()));
+
+  // Other factorizations of 64.
+  report(data, {64}, "direct");
+  report(data, {16, 4}, "");
+  report(data, {4, 16}, "");
+  report(data, {4, 4, 4}, "homogeneous");
+  report(data, {2, 2, 2, 2, 2, 2}, "binary");
+  report(data, tuned.degrees, "<- autotuned");
+  return 0;
+}

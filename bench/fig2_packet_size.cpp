@@ -1,0 +1,57 @@
+// Figure 2 — network throughput vs. packet size on the (modeled) 64-node
+// EC2 cluster with 10 Gb/s interconnect.
+//
+// Paper reading: ~5 MB is the smallest efficient packet; a 0.4 MB packet
+// (the Twitter direct-allreduce operating point) reaches only ~30% of the
+// rated bandwidth. Both the closed-form utilization curve and a replayed
+// 64-node round-robin exchange are reported; they agree by construction of
+// the model, and the replay demonstrates the TimingAccumulator path end to
+// end.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kylix;
+
+double replayed_throughput(double packet_bytes, std::uint32_t threads) {
+  // One round of a 64-node circular exchange: every node sends one packet
+  // of the given size to its successor and receives one from its
+  // predecessor (Fig. 1b's schedule, one step).
+  constexpr rank_t m = 64;
+  TimingAccumulator timing(m, NetworkModel::ec2_like(), ComputeModel{},
+                           threads);
+  for (rank_t src = 0; src < m; ++src) {
+    timing.on_message({Phase::kReduceDown, 1, src,
+                       static_cast<rank_t>((src + 1) % m),
+                       static_cast<std::uint64_t>(packet_bytes)});
+  }
+  return packet_bytes / timing.times().reduce_down;
+}
+
+}  // namespace
+
+int main() {
+  const NetworkModel net = NetworkModel::ec2_like();
+  std::printf("# Figure 2: throughput vs packet size (64-node EC2 model)\n");
+  std::printf("# rated bandwidth: %s/s, min efficient packet (84%%): %s\n",
+              format_bytes(net.bandwidth_bytes_per_s).c_str(),
+              format_bytes(net.min_efficient_packet(0.84)).c_str());
+  std::printf("%-14s %-16s %-14s %-18s\n", "packet", "util_model",
+              "gbps_model", "gbps_replayed_1t");
+  for (double packet = 64e3; packet <= 64e6; packet *= 2) {
+    const double util = net.utilization(packet);
+    const double gbps = util * net.bandwidth_bytes_per_s * 8 / 1e9;
+    const double replay_gbps = replayed_throughput(packet, 1) * 8 / 1e9;
+    std::printf("%-14s %-16.3f %-14.2f %-18.2f\n",
+                format_bytes(packet).c_str(), util, gbps, replay_gbps);
+  }
+  std::printf("\n# paper checkpoints\n");
+  std::printf("0.4 MB packet utilization: %.2f (paper: ~0.30)\n",
+              net.utilization(0.4e6));
+  std::printf("5 MB packet utilization:   %.2f (paper: 'smallest "
+              "efficient')\n",
+              net.utilization(5e6));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4 — partition density as a function of the normalized Poisson
+// scaling factor λ/λ_0.9, for power-law exponents α ∈ {0.5, 1.0, 1.5, 2.0}.
+//
+// This is the lookup chart driving the §IV design workflow ("measure the
+// density … read off the λ value … multiply by the layer degree … read off
+// the new density"). The paper notes the curve shape depends only modestly
+// on α; the series below show exactly that.
+#include <cstdio>
+#include <vector>
+
+#include "powerlaw/model.hpp"
+
+int main() {
+  using kylix::PowerLawModel;
+  constexpr std::uint64_t kFeatures = 1 << 18;
+  const std::vector<double> alphas = {0.5, 1.0, 1.5, 2.0};
+  std::vector<PowerLawModel> models;
+  std::vector<double> lambda09;
+  for (double alpha : alphas) {
+    models.emplace_back(kFeatures, alpha);
+    lambda09.push_back(models.back().lambda_for_density(0.9));
+  }
+
+  std::printf("# Figure 4: density f(lambda) vs normalized lambda "
+              "(n = 2^18)\n");
+  std::printf("%-14s", "lambda/l0.9");
+  for (double alpha : alphas) std::printf(" alpha=%-8.1f", alpha);
+  std::printf("\n");
+  for (double norm = 1.0 / (1 << 20); norm <= 1.0 + 1e-9; norm *= 2) {
+    std::printf("%-14.3g", norm);
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      std::printf(" %-14.6f", models[i].density(norm * lambda09[i]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# zoomed low-density region (the regime of sparse "
+              "partitions)\n");
+  std::printf("%-14s", "lambda/l0.9");
+  for (double alpha : alphas) std::printf(" alpha=%-8.1f", alpha);
+  std::printf("\n");
+  for (double norm = 1e-6; norm <= 1e-3 + 1e-12; norm *= 4) {
+    std::printf("%-14.3g", norm);
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      std::printf(" %-14.8f", models[i].density(norm * lambda09[i]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

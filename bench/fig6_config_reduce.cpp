@@ -1,0 +1,56 @@
+// Figure 6 — average configuration and reduction time per iteration for
+// direct all-to-all, the optimal (heterogeneous) butterfly, and the binary
+// butterfly, on both datasets at 64 machines.
+//
+// Paper result: the optimal butterfly is 3-5x faster than the other two —
+// direct all-to-all drowns in sub-minimum packets (0.4 MB at paper scale,
+// ~30% utilization), and the binary butterfly pays for extra layers of
+// latency and routed replicas. Times come from the calibrated cost model
+// replaying the real message trace of a real run (16 message threads).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kylix;
+
+void run(const bench::Dataset& data) {
+  std::printf("\n== %s (m = 64) ==\n", data.name.c_str());
+  std::printf("%-22s %-12s %-12s %-12s\n", "topology", "config_s",
+              "reduce_s", "total_s");
+
+  struct Row {
+    const char* label;
+    Topology topo;
+  };
+  const Row rows[] = {
+      {"direct all-to-all", Topology::direct(64)},
+      {"optimal butterfly", data.paper_topology},
+      {"binary butterfly", Topology::binary(64)},
+  };
+  double best = 0;
+  double direct_total = 0;
+  for (const Row& row : rows) {
+    const auto times = bench::run_allreduce(data, row.topo, 16);
+    std::printf("%-22s %-12.4f %-12.4f %-12.4f\n", row.label, times.config,
+                times.reduce(), times.total());
+    if (row.topo.num_layers() > 1 &&
+        row.topo.degrees()[0] != 2) {  // the optimal row
+      best = times.total();
+    }
+    if (row.topo.num_layers() == 1) direct_total = times.total();
+  }
+  std::printf("speedup of optimal over direct: %.2fx (paper: 3-5x)\n",
+              direct_total / best);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 6: config/reduce time by topology "
+              "(modeled 10Gb/s-class network, scaled dataset)\n");
+  run(bench::make_dataset("twitter"));
+  run(bench::make_dataset("yahoo"));
+  return 0;
+}

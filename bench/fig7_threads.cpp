@@ -1,0 +1,34 @@
+// Figure 7 — allreduce runtime vs. message-thread count, 8x4x2 topology on
+// the twitter-like dataset (the paper's configuration).
+//
+// Paper result: significant improvement from 1 to ~4 threads, marginal
+// beyond 16 (the node's hardware thread count). In the model, threads
+// overlap per-message handshake latencies and local compute up to the core
+// count, but cannot compress NIC serialization (stack cost + bytes) — so
+// the curve drops, then flattens.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kylix;
+  std::printf("# Figure 7: allreduce runtime vs thread count "
+              "(twitter-like, 8 x 4 x 2)\n");
+  const bench::Dataset data = bench::make_dataset("twitter");
+  std::printf("%-10s %-12s %-12s %-12s\n", "threads", "config_s",
+              "reduce_s", "total_s");
+  double t1 = 0;
+  double t16 = 0;
+  for (std::uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto times =
+        bench::run_allreduce(data, data.paper_topology, threads);
+    std::printf("%-10u %-12.4f %-12.4f %-12.4f\n", threads, times.config,
+                times.reduce(), times.total());
+    if (threads == 1) t1 = times.total();
+    if (threads == 16) t16 = times.total();
+  }
+  std::printf("1 -> 16 thread speedup: %.2fx; gains beyond 16 threads are "
+              "marginal (paper: same shape)\n",
+              t1 / t16);
+  return 0;
+}

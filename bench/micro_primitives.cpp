@@ -1,0 +1,88 @@
+// Microbenchmarks for the hot data-plane primitives: hashing, Zipf
+// sampling, map-driven scatter/gather, and key-range splitting.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "powerlaw/zipf.hpp"
+#include "sparse/key_set.hpp"
+#include "sparse/ops.hpp"
+
+namespace {
+
+using namespace kylix;
+
+void BM_HashIndexRoundTrip(benchmark::State& state) {
+  std::uint64_t x = 0x1234;
+  for (auto _ : state) {
+    x = unhash_index(hash_index(x)) + 1;
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf(1 << 20, 1.1);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ScatterAdd(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<float> acc(size, 0.0f);
+  std::vector<float> values(size);
+  PosMap map(size);
+  for (std::size_t p = 0; p < size; ++p) {
+    values[p] = static_cast<float>(rng.uniform());
+    map[p] = static_cast<pos_t>(rng.below(size));
+  }
+  for (auto _ : state) {
+    scatter_combine<float, OpSum>(std::span<float>(acc),
+                                  std::span<const float>(values), map);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(size) *
+                          state.iterations());
+}
+
+void BM_Gather(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<float> values(size);
+  PosMap map(size);
+  for (std::size_t p = 0; p < size; ++p) {
+    values[p] = static_cast<float>(rng.uniform());
+    map[p] = static_cast<pos_t>(rng.below(size));
+  }
+  for (auto _ : state) {
+    auto out = gather(std::span<const float>(values), map);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(size) *
+                          state.iterations());
+}
+
+void BM_SplitPoints(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<kylix::key_t> keys(size);
+  for (auto& k : keys) k = rng();
+  const KeySet set = KeySet::from_keys(std::move(keys));
+  for (auto _ : state) {
+    auto bounds = set.split_points(KeyRange::full(), 16);
+    benchmark::DoNotOptimize(bounds.data());
+  }
+}
+
+BENCHMARK(BM_HashIndexRoundTrip);
+BENCHMARK(BM_ZipfSample);
+BENCHMARK(BM_ScatterAdd)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_Gather)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_SplitPoints)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Table I — cost of fault tolerance.
+//
+// Columns mirror the paper:
+//   * 8x4x2, replication 1, 64 nodes (the unreplicated optimum)
+//   * 8x4,   replication 1, 32 nodes (reference for the replicated runs)
+//   * 8x4,   replication 2, 64 physical nodes, with 0..3 dead nodes
+//
+// Paper findings to reproduce in shape: replication adds ~25% to config and
+// ~60% to reduce; the runtime is independent of the number of failures (the
+// packet race absorbs them); results remain exact until a whole replica
+// group dies (≈ √m failures at s = 2).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kylix;
+
+struct Row {
+  const char* label;
+  double config_s;
+  double reduce_s;
+};
+
+Row run_unreplicated(const bench::Dataset& data, const Topology& topo,
+                     const char* label) {
+  const auto times = bench::run_allreduce(data, topo, 16);
+  return Row{label, times.config, times.reduce()};
+}
+
+Row run_replicated(const bench::Dataset& data, const Topology& topo,
+                   rank_t failures, const char* label) {
+  const NetworkModel net = bench::scaled_network();
+  const ComputeModel compute;
+  const rank_t logical = topo.num_machines();
+  FailureModel failure_model(logical * 2);
+  // Distinct replica groups, alternating replica halves (worst case short
+  // of killing a whole group).
+  for (rank_t f = 0; f < failures; ++f) {
+    failure_model.kill(f * 5 + (f % 2) * logical);
+  }
+  TimingAccumulator timing(logical * 2, net, compute, 16);
+  ReplicatedBsp<real_t> engine(logical, 2, &failure_model, nullptr,
+                               &timing);
+  KYLIX_CHECK(!engine.has_failed());
+  SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
+      &engine, topo, &compute);
+  allreduce.configure(data.in_sets, data.out_sets);
+  (void)allreduce.reduce(data.out_values);
+  const auto times = timing.times();
+  return Row{label, times.config, times.reduce()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Table I: cost of fault tolerance (twitter-like "
+              "workload)\n\n");
+
+  // 64-way partition for the unreplicated optimum; 32-way for the
+  // replicated network (its data is partitioned into 32 logical parts).
+  const bench::Dataset data64 = bench::make_dataset("twitter", 64);
+  const bench::Dataset data32 = bench::make_dataset("twitter", 32);
+
+  std::vector<Row> rows;
+  rows.push_back(
+      run_unreplicated(data64, Topology({8, 4, 2}), "8x4x2 rep=1 (64n)"));
+  rows.push_back(
+      run_unreplicated(data32, Topology({8, 4}), "8x4   rep=1 (32n)"));
+  rows.push_back(run_replicated(data32, Topology({8, 4}), 0,
+                                "8x4   rep=2 (64n) 0 dead"));
+  rows.push_back(run_replicated(data32, Topology({8, 4}), 1,
+                                "8x4   rep=2 (64n) 1 dead"));
+  rows.push_back(run_replicated(data32, Topology({8, 4}), 2,
+                                "8x4   rep=2 (64n) 2 dead"));
+  rows.push_back(run_replicated(data32, Topology({8, 4}), 3,
+                                "8x4   rep=2 (64n) 3 dead"));
+
+  std::printf("%-28s %-12s %-12s\n", "configuration", "config_s",
+              "reduce_s");
+  for (const Row& row : rows) {
+    std::printf("%-28s %-12.4f %-12.4f\n", row.label, row.config_s,
+                row.reduce_s);
+  }
+
+  const double config_overhead = rows[2].config_s / rows[1].config_s - 1.0;
+  const double reduce_overhead = rows[2].reduce_s / rows[1].reduce_s - 1.0;
+  std::printf("\nreplication overhead vs unreplicated 32-node network: "
+              "config +%.0f%%, reduce +%.0f%% (paper: +25%%, +60%%)\n",
+              config_overhead * 100, reduce_overhead * 100);
+  std::printf("runtime across 0-3 failures: %.4f / %.4f / %.4f / %.4f s "
+              "(paper: independent of failures)\n",
+              rows[2].config_s + rows[2].reduce_s,
+              rows[3].config_s + rows[3].reduce_s,
+              rows[4].config_s + rows[4].reduce_s,
+              rows[5].config_s + rows[5].reduce_s);
+  return 0;
+}

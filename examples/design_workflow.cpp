@@ -1,0 +1,67 @@
+// The §IV design workflow, end to end, narrated.
+//
+// Walks through exactly what the paper prescribes: measure the partition
+// density of the workload, fit the Poisson–power-law scaling factor λ0,
+// walk down the network reading densities off the f(λ) curve (Fig. 4 /
+// Proposition 4.1), and pick each layer's degree as the largest divisor
+// keeping packets above the minimum efficient size (Fig. 2).
+#include <cstdio>
+
+#include "kylix.hpp"
+
+int main() {
+  using namespace kylix;
+
+  constexpr rank_t kMachines = 64;
+  const GraphSpec spec = twitter_like(1u << 18);
+  std::printf("workload: %s, n = %llu, %llu edges, m = %u\n", spec.name,
+              static_cast<unsigned long long>(spec.num_vertices),
+              static_cast<unsigned long long>(spec.num_edges), kMachines);
+
+  const auto edges = generate_zipf_graph(spec);
+  const auto parts = random_edge_partition(edges, kMachines, 11);
+
+  // Step 1: measure the density of one machine's partition.
+  const double density = measure_partition_density(parts, spec.num_vertices);
+  std::printf("step 1 — measured partition density: %.4f\n", density);
+
+  // Step 2: the network's minimum efficient packet (Fig. 2).
+  NetworkModel net = NetworkModel::ec2_like();
+  net.stack_overhead_s = 3.2e-5;  // scaled testbed (bench_common.hpp)
+  net.handshake_latency_s = 0.8e-5;
+  const double floor_bytes = net.min_efficient_packet(0.5);
+  std::printf("step 2 — minimum efficient packet: %s\n",
+              format_bytes(floor_bytes).c_str());
+
+  // Step 3: fit λ0 and walk the f(λ) curve down the layers.
+  const PowerLawModel model(spec.num_vertices, spec.alpha_in);
+  const double lambda0 = model.lambda_for_density(density);
+  std::printf("step 3 — fitted lambda0 = %.1f (alpha = %.2f)\n", lambda0,
+              spec.alpha_in);
+
+  AutotuneInput input;
+  input.num_features = spec.num_vertices;
+  input.num_machines = kMachines;
+  input.alpha = spec.alpha_in;
+  input.partition_density = density;
+  input.network = net;
+  input.target_utilization = 0.5;
+  const DesignResult design = autotune(input);
+  std::printf("step 4 — greedy degree selection:\n%s",
+              design.to_string().c_str());
+
+  // Show the Proposition 4.1 walk the selection was based on.
+  const auto stats = model.layer_stats(lambda0, design.degrees);
+  std::printf("\nProposition 4.1 walk (per machine):\n");
+  std::printf("%-8s %-10s %-12s %-16s\n", "layer", "fan-in", "density",
+              "data per node");
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    std::printf("%-8zu %-10llu %-12.4f %-16s\n", i,
+                static_cast<unsigned long long>(stats[i].fan_in),
+                stats[i].density,
+                format_bytes(stats[i].elements_per_node * 12).c_str());
+  }
+  std::printf("\npaper's schedule at full scale: 8 x 4 x 2 — ours: %s\n",
+              Topology(design.degrees).to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Distributed connected components — label propagation over a min-allreduce
+// (§I-A.2's "connected components … can be computed from such matrix-vector
+// products", using the min ⊕ semiring instead of +).
+//
+// Edges are symmetrized, every vertex starts with its own id as label, and
+// each iteration propagates the minimum label across local edges and then
+// across machines through a min sparse allreduce with in = out = the local
+// vertex set. Fixed point = component labeling (minimum vertex id per
+// component).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/allreduce.hpp"
+#include "sparse/csr.hpp"
+
+namespace kylix {
+
+template <typename Engine>
+class DistributedComponents {
+ public:
+  struct Result {
+    std::uint32_t iterations = 0;  ///< rounds until the labels fixed
+    /// Per machine: (vertex key set, final labels), key-order aligned.
+    std::vector<KeySet> vertex_sets;
+    std::vector<std::vector<std::uint64_t>> labels;
+  };
+
+  DistributedComponents(Engine* engine, Topology topology,
+                        std::span<const std::vector<Edge>> partitions,
+                        const ComputeModel* compute = nullptr)
+      : engine_(engine), topology_(std::move(topology)), compute_(compute) {
+    KYLIX_CHECK(partitions.size() == topology_.num_machines());
+    graphs_.reserve(partitions.size());
+    for (const auto& part : partitions) {
+      // Symmetrize so labels flow both ways along each edge.
+      std::vector<Edge> sym;
+      sym.reserve(part.size() * 2);
+      for (const Edge& e : part) {
+        sym.push_back(e);
+        sym.push_back(Edge{e.dst, e.src});
+      }
+      graphs_.emplace_back(std::span<const Edge>(sym));
+      KYLIX_CHECK(graphs_.back().sources() == graphs_.back().destinations());
+    }
+  }
+
+  [[nodiscard]] Result run(std::uint32_t max_iterations = 64) {
+    const rank_t m = topology_.num_machines();
+    SparseAllreduce<std::uint64_t, OpMin, Engine> allreduce(
+        engine_, topology_, compute_);
+    {
+      std::vector<KeySet> in_sets;
+      std::vector<KeySet> out_sets;
+      for (const LocalGraph& g : graphs_) {
+        in_sets.push_back(g.sources());
+        out_sets.push_back(g.sources());
+      }
+      allreduce.configure(std::move(in_sets), std::move(out_sets));
+    }
+
+    Result result;
+    // Labels start as the vertex's own id.
+    std::vector<std::vector<std::uint64_t>> labels(m);
+    for (rank_t r = 0; r < m; ++r) {
+      labels[r] = graphs_[r].sources().to_indices();
+    }
+
+    for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+      std::vector<std::vector<std::uint64_t>> proposed(m);
+      for (rank_t r = 0; r < m; ++r) {
+        proposed[r] = labels[r];
+        graphs_[r].min_propagate_into<std::uint64_t>(labels[r], proposed[r]);
+      }
+      auto reduced = allreduce.reduce(std::move(proposed));
+      bool changed = false;
+      for (rank_t r = 0; r < m; ++r) {
+        for (std::size_t p = 0; p < labels[r].size(); ++p) {
+          if (reduced[r][p] != labels[r][p]) changed = true;
+        }
+        labels[r] = std::move(reduced[r]);
+      }
+      ++result.iterations;
+      // In a deployment this flag would ride a one-key sum allreduce; the
+      // simulation inspects it directly (no extra traffic recorded).
+      if (!changed) break;
+    }
+
+    for (rank_t r = 0; r < m; ++r) {
+      result.vertex_sets.push_back(graphs_[r].sources());
+    }
+    result.labels = std::move(labels);
+    return result;
+  }
+
+ private:
+  Engine* engine_;
+  Topology topology_;
+  const ComputeModel* compute_;
+  std::vector<LocalGraph> graphs_;
+};
+
+}  // namespace kylix

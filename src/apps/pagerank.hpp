@@ -1,0 +1,219 @@
+// Distributed PageRank on top of SparseAllreduce — the paper's flagship
+// application (§I-A.2, benchmarked in Fig. 8/9).
+//
+// Edges are randomly partitioned across machines. Each machine:
+//   * requests (in set) the current rank of the *sources* appearing in its
+//     partition,
+//   * locally multiplies its edge block: w[d] += v[s] / outdeg(s),
+//   * contributes (out set) w over its local *destinations*.
+// One sum-allreduce per iteration fuses every machine's partial products
+// into the global X·v, exactly the wiring described in §I-A.2. Vertex sets
+// are fixed across iterations, so configuration runs once and only
+// reduction repeats (§III: "for pagerank, step 1 is done just once").
+//
+// Global out-degrees are themselves computed by a setup allreduce (local
+// edge counts, summed). So that every requested vertex is contributed
+// somewhere (∪in ⊆ ∪out), each machine's out set is sources ∪ destinations,
+// with zero contribution at source-only positions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "cluster/timing.hpp"
+#include "core/allreduce.hpp"
+#include "powerlaw/graphgen.hpp"
+#include "sparse/csr.hpp"
+
+namespace kylix {
+
+template <typename Engine>
+class DistributedPageRank {
+ public:
+  struct Options {
+    double damping = 0.85;
+    std::uint32_t iterations = 10;
+  };
+
+  struct IterationStats {
+    double comm_s = 0;     ///< modeled allreduce time (config excluded)
+    double compute_s = 0;  ///< modeled local SpMV time (slowest machine)
+    double residual = 0;   ///< Σ over machines of l1 change on local sources
+  };
+
+  struct Result {
+    TimingAccumulator::PhaseTimes setup_times;  ///< degree + config passes
+    std::vector<IterationStats> iterations;
+
+    [[nodiscard]] double mean_comm_s() const {
+      double total = 0;
+      for (const auto& it : iterations) total += it.comm_s;
+      return iterations.empty() ? 0 : total / iterations.size();
+    }
+    [[nodiscard]] double mean_compute_s() const {
+      double total = 0;
+      for (const auto& it : iterations) total += it.compute_s;
+      return iterations.empty() ? 0 : total / iterations.size();
+    }
+    [[nodiscard]] double mean_iteration_s() const {
+      return mean_comm_s() + mean_compute_s();
+    }
+  };
+
+  /// `timing` may be the accumulator attached to `engine` (it is cleared and
+  /// snapshotted around setup and each iteration) or null.
+  DistributedPageRank(Engine* engine, Topology topology,
+                      std::span<const std::vector<Edge>> partitions,
+                      std::uint64_t num_vertices,
+                      const ComputeModel* compute = nullptr,
+                      TimingAccumulator* timing = nullptr)
+      : engine_(engine),
+        allreduce_(engine, topology, compute),
+        num_vertices_(num_vertices),
+        compute_(compute),
+        timing_(timing) {
+    KYLIX_CHECK(partitions.size() == topology.num_machines());
+    const rank_t m = topology.num_machines();
+    graphs_.reserve(m);
+    max_local_edges_ = 0;
+    for (const auto& part : partitions) {
+      graphs_.emplace_back(std::span<const Edge>(part));
+      max_local_edges_ = std::max(max_local_edges_, part.size());
+    }
+
+    if (timing_ != nullptr) timing_->clear();
+
+    // Setup allreduce #1: global out-degrees of each machine's sources.
+    {
+      SparseAllreduce<real_t, OpSum, Engine> degree_ar(engine_, topology,
+                                                       compute_);
+      std::vector<KeySet> in_sets;
+      std::vector<KeySet> out_sets;
+      std::vector<std::vector<real_t>> counts;
+      for (const LocalGraph& g : graphs_) {
+        in_sets.push_back(g.sources());
+        out_sets.push_back(g.sources());
+        counts.push_back(g.local_out_degrees());
+      }
+      degree_ar.configure(std::move(in_sets), std::move(out_sets));
+      auto degrees = degree_ar.reduce(std::move(counts));
+      inv_out_degree_.resize(m);
+      for (rank_t r = 0; r < m; ++r) {
+        inv_out_degree_[r].resize(degrees[r].size());
+        for (std::size_t p = 0; p < degrees[r].size(); ++p) {
+          KYLIX_DCHECK(degrees[r][p] > 0);
+          inv_out_degree_[r][p] = 1.0f / degrees[r][p];
+        }
+      }
+    }
+
+    // Setup allreduce #2: configure the per-iteration network. The out set
+    // is sources ∪ destinations; remember where each lives in the union.
+    {
+      std::vector<KeySet> in_sets;
+      std::vector<KeySet> out_sets;
+      src_in_union_.resize(m);
+      dst_in_union_.resize(m);
+      for (rank_t r = 0; r < m; ++r) {
+        const LocalGraph& g = graphs_[r];
+        UnionResult u =
+            merge_union(g.sources().keys(), g.destinations().keys());
+        src_in_union_[r] = std::move(u.maps[0]);
+        dst_in_union_[r] = std::move(u.maps[1]);
+        out_union_size_.push_back(u.keys.size());
+        in_sets.push_back(g.sources());
+        out_sets.push_back(KeySet::from_sorted_keys(std::move(u.keys)));
+      }
+      allreduce_.configure(std::move(in_sets), std::move(out_sets));
+    }
+
+    if (timing_ != nullptr) {
+      setup_times_ = timing_->times();
+      timing_->clear();
+    }
+
+    // Initial rank vector: uniform.
+    const real_t uniform =
+        static_cast<real_t>(1.0 / static_cast<double>(num_vertices_));
+    values_.resize(m);
+    for (rank_t r = 0; r < m; ++r) {
+      values_[r].assign(graphs_[r].sources().size(), uniform);
+    }
+  }
+
+  [[nodiscard]] Result run(const Options& options) {
+    Result result;
+    result.setup_times = setup_times_;
+    const rank_t m = static_cast<rank_t>(graphs_.size());
+    const double n = static_cast<double>(num_vertices_);
+    const auto teleport =
+        static_cast<real_t>((1.0 - options.damping) / n);
+    const auto beta = static_cast<real_t>(options.damping);
+
+    for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+      if (timing_ != nullptr) timing_->clear();
+      // Local SpMV on every machine, scattered into the out-union layout.
+      std::vector<std::vector<real_t>> contributions(m);
+      for (rank_t r = 0; r < m; ++r) {
+        const LocalGraph& g = graphs_[r];
+        std::vector<real_t> w(g.destinations().size(), 0.0f);
+        g.multiply_into<real_t>(values_[r], inv_out_degree_[r], w);
+        std::vector<real_t>& out = contributions[r];
+        out.assign(out_union_size_[r], 0.0f);
+        for (std::size_t p = 0; p < w.size(); ++p) {
+          out[dst_in_union_[r][p]] = w[p];
+        }
+      }
+
+      auto reduced = allreduce_.reduce(std::move(contributions));
+
+      IterationStats stats;
+      for (rank_t r = 0; r < m; ++r) {
+        std::vector<real_t>& v = values_[r];
+        for (std::size_t p = 0; p < v.size(); ++p) {
+          const real_t updated = teleport + beta * reduced[r][p];
+          stats.residual += std::abs(static_cast<double>(updated - v[p]));
+          v[p] = updated;
+        }
+      }
+      if (timing_ != nullptr) stats.comm_s = timing_->times().total();
+      if (compute_ != nullptr) {
+        const std::uint32_t ways = std::min(
+            timing_ != nullptr ? timing_->threads() : 1u, compute_->cores);
+        stats.compute_s =
+            compute_->spmv_time(static_cast<double>(max_local_edges_)) / ways;
+      }
+      result.iterations.push_back(stats);
+    }
+    return result;
+  }
+
+  /// Verification access: machine r's requested vertices and their current
+  /// rank values (aligned, key order).
+  [[nodiscard]] const KeySet& machine_sources(rank_t r) const {
+    return graphs_[r].sources();
+  }
+  [[nodiscard]] std::span<const real_t> machine_values(rank_t r) const {
+    return values_[r];
+  }
+
+ private:
+  Engine* engine_;
+  SparseAllreduce<real_t, OpSum, Engine> allreduce_;
+  std::uint64_t num_vertices_;
+  const ComputeModel* compute_;
+  TimingAccumulator* timing_;
+
+  std::vector<LocalGraph> graphs_;
+  std::vector<std::vector<real_t>> inv_out_degree_;
+  std::vector<PosMap> src_in_union_;
+  std::vector<PosMap> dst_in_union_;
+  std::vector<std::size_t> out_union_size_;
+  std::vector<std::vector<real_t>> values_;
+  std::size_t max_local_edges_ = 0;
+  TimingAccumulator::PhaseTimes setup_times_;
+};
+
+}  // namespace kylix

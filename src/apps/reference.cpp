@@ -1,0 +1,56 @@
+#include "apps/reference.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+std::vector<double> reference_pagerank(std::span<const Edge> edges,
+                                       std::uint64_t num_vertices,
+                                       std::uint32_t iterations,
+                                       double damping) {
+  KYLIX_CHECK(num_vertices >= 1);
+  std::vector<double> out_degree(num_vertices, 0.0);
+  for (const Edge& e : edges) {
+    KYLIX_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    out_degree[e.src] += 1.0;
+  }
+  const double n = static_cast<double>(num_vertices);
+  std::vector<double> v(num_vertices, 1.0 / n);
+  std::vector<double> next(num_vertices);
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (const Edge& e : edges) {
+      next[e.dst] += damping * v[e.src] / out_degree[e.src];
+    }
+    v.swap(next);
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> reference_components(std::span<const Edge> edges,
+                                                std::uint64_t num_vertices) {
+  // Union-find with path halving.
+  std::vector<std::uint64_t> parent(num_vertices);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::uint64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    KYLIX_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    const std::uint64_t a = find(e.src);
+    const std::uint64_t b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<std::uint64_t> labels(num_vertices);
+  for (std::uint64_t v = 0; v < num_vertices; ++v) labels[v] = find(v);
+  return labels;
+}
+
+}  // namespace kylix

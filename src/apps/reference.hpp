@@ -1,0 +1,28 @@
+// Single-node reference implementations of the distributed apps.
+//
+// These compute the same quantities as the distributed versions directly on
+// the full edge list, and serve as the correctness oracle in tests and the
+// sanity baseline in examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace kylix {
+
+/// Power iteration v' = (1-damping)/n + damping * X v where X is the
+/// column-(out-degree)-normalized adjacency matrix; identical formula to
+/// apps/pagerank.hpp. Returns the rank vector after `iterations`.
+[[nodiscard]] std::vector<double> reference_pagerank(
+    std::span<const Edge> edges, std::uint64_t num_vertices,
+    std::uint32_t iterations, double damping = 0.85);
+
+/// Connected-component labels (min vertex id per component), treating edges
+/// as undirected. labels[v] == v for isolated/absent vertices.
+[[nodiscard]] std::vector<std::uint64_t> reference_components(
+    std::span<const Edge> edges, std::uint64_t num_vertices);
+
+}  // namespace kylix

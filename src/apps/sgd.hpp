@@ -1,0 +1,258 @@
+// Distributed minibatch SGD (logistic regression) — the §I-A.1 workload.
+//
+// The model lives *in the allreduce*: every feature has a home machine
+// (hash-based), which keeps the authoritative weight. Each step one combined
+// configure+reduce call does all of the work, exercising the mode the paper
+// recommends when in/out sets change every minibatch ("it is more efficient
+// to do configuration and reduction concurrently with combined network
+// messages", §III):
+//
+//   out set  = my home features (contributing their stored weights)
+//            ∪ my previous minibatch's features (contributing -lr·gradient)
+//   in set   = my home features ∪ my next minibatch's features
+//
+// The sum allreduce then delivers weight + Σ updates = the new weight for
+// every requested feature: home machines refresh their store from it, and
+// the minibatch features arrive ready for the next gradient computation.
+// (Each machine trains on the batch whose weights it fetched in the
+// previous step — the usual one-step staleness of distributed SGD.)
+//
+// Training data is synthetic: power-law distributed feature sets with labels
+// from a planted logistic model, so convergence is measurable.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/timing.hpp"
+#include "core/allreduce.hpp"
+#include "powerlaw/zipf.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+template <typename Engine>
+class DistributedSgd {
+ public:
+  struct Options {
+    std::uint64_t num_features = 1 << 16;
+    std::uint32_t samples_per_batch = 256;
+    std::uint32_t features_per_sample = 16;
+    double alpha = 1.1;           ///< feature popularity exponent
+    double learning_rate = 0.25;
+    std::uint32_t steps = 20;
+    std::uint64_t seed = 7;
+  };
+
+  struct StepStats {
+    double loss = 0;    ///< mean logistic loss over the machines' batches
+    double comm_s = 0;  ///< modeled combined configure+reduce time
+  };
+
+  DistributedSgd(Engine* engine, Topology topology,
+                 const Options& options,
+                 const ComputeModel* compute = nullptr,
+                 TimingAccumulator* timing = nullptr)
+      : engine_(engine),
+        topology_(std::move(topology)),
+        options_(options),
+        compute_(compute),
+        timing_(timing),
+        sampler_(options.num_features, options.alpha),
+        rng_(options.seed) {
+    const rank_t m = topology_.num_machines();
+    // Planted ground-truth model: head features carry most of the signal.
+    Rng truth_rng = rng_.fork(0xdead);
+    truth_.resize(options_.num_features);
+    for (auto& w : truth_) {
+      w = static_cast<real_t>(2.0 * truth_rng.uniform() - 1.0);
+    }
+    // Home feature sets and stores: feature f lives on hash(f) % m.
+    home_sets_.resize(m);
+    home_store_.resize(m);
+    {
+      std::vector<std::vector<key_t>> home_keys(m);
+      for (index_t f = 0; f < options_.num_features; ++f) {
+        const key_t k = hash_index(f);
+        home_keys[k % m].push_back(k);
+      }
+      for (rank_t r = 0; r < m; ++r) {
+        home_sets_[r] = KeySet::from_keys(std::move(home_keys[r]));
+        home_store_[r].assign(home_sets_[r].size(), 0.0f);
+      }
+    }
+    machine_rngs_.reserve(m);
+    for (rank_t r = 0; r < m; ++r) {
+      machine_rngs_.push_back(rng_.fork(r + 1));
+    }
+    // Bootstrap: every machine fetches weights for its first batch.
+    batches_.resize(m);
+    batch_weights_.resize(m);
+    for (rank_t r = 0; r < m; ++r) {
+      batches_[r] = draw_batch(r);
+      batch_weights_[r].assign(batches_[r].features.size(), 0.0f);
+    }
+  }
+
+  /// Run options.steps SGD steps; one combined allreduce per step.
+  [[nodiscard]] std::vector<StepStats> run() {
+    std::vector<StepStats> stats;
+    const rank_t m = topology_.num_machines();
+    for (std::uint32_t step = 0; step < options_.steps; ++step) {
+      if (timing_ != nullptr) timing_->clear();
+      StepStats s;
+
+      // Local gradients on the current batches.
+      std::vector<SparseVector<real_t>> updates(m);
+      for (rank_t r = 0; r < m; ++r) {
+        double loss = 0;
+        updates[r] = gradient_update(r, &loss);
+        s.loss += loss;
+      }
+      s.loss /= m;
+
+      // Next batches (their features form the in sets).
+      std::vector<Batch> next(m);
+      for (rank_t r = 0; r < m; ++r) next[r] = draw_batch(r);
+
+      // Combined configure+reduce.
+      std::vector<KeySet> in_sets(m);
+      std::vector<KeySet> out_sets(m);
+      std::vector<std::vector<real_t>> out_values(m);
+      std::vector<PosMap> home_in_map(m);   // home positions in the in set
+      std::vector<PosMap> batch_in_map(m);  // batch positions in the in set
+      for (rank_t r = 0; r < m; ++r) {
+        UnionResult out_u =
+            merge_union(home_sets_[r].keys(), updates[r].keys.keys());
+        out_values[r].assign(out_u.keys.size(), 0.0f);
+        scatter_combine<real_t, OpSum>(std::span<real_t>(out_values[r]),
+                                       std::span<const real_t>(home_store_[r]),
+                                       out_u.maps[0]);
+        scatter_combine<real_t, OpSum>(
+            std::span<real_t>(out_values[r]),
+            std::span<const real_t>(updates[r].values), out_u.maps[1]);
+        out_sets[r] = KeySet::from_sorted_keys(std::move(out_u.keys));
+
+        UnionResult in_u =
+            merge_union(home_sets_[r].keys(), next[r].features.keys());
+        home_in_map[r] = std::move(in_u.maps[0]);
+        batch_in_map[r] = std::move(in_u.maps[1]);
+        in_sets[r] = KeySet::from_sorted_keys(std::move(in_u.keys));
+      }
+
+      SparseAllreduce<real_t, OpSum, Engine> allreduce(engine_, topology_,
+                                                       compute_);
+      auto fresh = allreduce.reduce_with_config(
+          std::move(in_sets), std::move(out_sets), std::move(out_values));
+
+      // Refresh home stores and stage the next batches' weights.
+      for (rank_t r = 0; r < m; ++r) {
+        for (std::size_t p = 0; p < home_store_[r].size(); ++p) {
+          home_store_[r][p] = fresh[r][home_in_map[r][p]];
+        }
+        batch_weights_[r] = gather(std::span<const real_t>(fresh[r]),
+                                   batch_in_map[r]);
+        batches_[r] = std::move(next[r]);
+      }
+
+      if (timing_ != nullptr) s.comm_s = timing_->times().total();
+      stats.push_back(s);
+    }
+    return stats;
+  }
+
+  /// The authoritative weight of feature f, read from its home machine's
+  /// store (test/diagnostic convenience, not a distributed operation).
+  [[nodiscard]] real_t weight(index_t f) const {
+    const key_t k = hash_index(f);
+    const rank_t home = static_cast<rank_t>(k % home_sets_.size());
+    const std::size_t pos = home_sets_[home].find(k);
+    KYLIX_CHECK(pos != KeySet::npos);
+    return home_store_[home][pos];
+  }
+
+ private:
+  struct Sample {
+    std::vector<pos_t> feature_pos;  ///< positions within the batch set
+    real_t label = 0;
+  };
+  struct Batch {
+    KeySet features;
+    std::vector<Sample> samples;
+  };
+
+  /// Draw a minibatch: Zipf feature sets, labels from the planted model.
+  [[nodiscard]] Batch draw_batch(rank_t r) {
+    Rng& rng = machine_rngs_[r];
+    Batch batch;
+    std::vector<std::vector<index_t>> raw(options_.samples_per_batch);
+    std::vector<index_t> all;
+    for (auto& features : raw) {
+      for (std::uint32_t k = 0; k < options_.features_per_sample; ++k) {
+        features.push_back(sampler_(rng) - 1);
+      }
+      all.insert(all.end(), features.begin(), features.end());
+    }
+    batch.features = KeySet::from_indices(all);
+    batch.samples.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      Sample& sample = batch.samples[i];
+      double margin = 0;
+      for (index_t f : raw[i]) {
+        const std::size_t pos = batch.features.find(hash_index(f));
+        KYLIX_DCHECK(pos != KeySet::npos);
+        sample.feature_pos.push_back(static_cast<pos_t>(pos));
+        margin += truth_[f];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-margin));
+      sample.label = rng.uniform() < p ? 1.0f : 0.0f;
+    }
+    return batch;
+  }
+
+  /// -lr · ∂loss/∂w on machine r's current batch, as a sparse vector over
+  /// the batch's features; also reports the mean loss.
+  [[nodiscard]] SparseVector<real_t> gradient_update(rank_t r, double* loss) {
+    const Batch& batch = batches_[r];
+    const std::vector<real_t>& w = batch_weights_[r];
+    std::vector<real_t> grad(batch.features.size(), 0.0f);
+    double total_loss = 0;
+    for (const Sample& sample : batch.samples) {
+      double margin = 0;
+      for (pos_t p : sample.feature_pos) margin += w[p];
+      const double pred = 1.0 / (1.0 + std::exp(-margin));
+      const double y = sample.label;
+      total_loss += -(y * std::log(pred + 1e-12) +
+                      (1.0 - y) * std::log(1.0 - pred + 1e-12));
+      const auto err = static_cast<real_t>(pred - y);
+      for (pos_t p : sample.feature_pos) grad[p] += err;
+    }
+    *loss = total_loss / batch.samples.size();
+    const auto scale = static_cast<real_t>(-options_.learning_rate /
+                                           batch.samples.size());
+    SparseVector<real_t> update;
+    update.keys = batch.features;
+    update.values.resize(grad.size());
+    for (std::size_t p = 0; p < grad.size(); ++p) {
+      update.values[p] = scale * grad[p];
+    }
+    return update;
+  }
+
+  Engine* engine_;
+  Topology topology_;
+  Options options_;
+  const ComputeModel* compute_;
+  TimingAccumulator* timing_;
+  ZipfSampler sampler_;
+  Rng rng_;
+
+  std::vector<real_t> truth_;
+  std::vector<KeySet> home_sets_;
+  std::vector<std::vector<real_t>> home_store_;
+  std::vector<Rng> machine_rngs_;
+  std::vector<Batch> batches_;
+  std::vector<std::vector<real_t>> batch_weights_;
+};
+
+}  // namespace kylix

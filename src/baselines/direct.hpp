@@ -1,0 +1,31 @@
+// The comparison topologies of §II-A and Fig. 6.
+//
+// Direct all-to-all allreduce (every feature has a home node, m-1 messages
+// per machine per round) is exactly a one-layer degree-m butterfly, and the
+// binary butterfly is the all-twos schedule — so both baselines are the
+// same verified SparseAllreduce code on degenerate topologies, mirroring how
+// the paper frames them as endpoints of the design space ("the best
+// approach is a hybrid between butterfly and direct all-to-all", §IX).
+#pragma once
+
+#include "core/allreduce.hpp"
+
+namespace kylix {
+
+/// One-layer degree-m butterfly == direct all-to-all with hashed home nodes.
+template <typename V, typename Op, typename Engine>
+[[nodiscard]] SparseAllreduce<V, Op, Engine> make_direct_allreduce(
+    Engine* engine, const ComputeModel* compute = nullptr) {
+  return SparseAllreduce<V, Op, Engine>(
+      engine, Topology::direct(engine->num_ranks()), compute);
+}
+
+/// log2(m) layers of degree 2; m must be a power of two.
+template <typename V, typename Op, typename Engine>
+[[nodiscard]] SparseAllreduce<V, Op, Engine> make_binary_allreduce(
+    Engine* engine, const ComputeModel* compute = nullptr) {
+  return SparseAllreduce<V, Op, Engine>(
+      engine, Topology::binary(engine->num_ranks()), compute);
+}
+
+}  // namespace kylix

@@ -1,0 +1,17 @@
+#include "baselines/hadoop_model.hpp"
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+double HadoopModel::iteration_time(std::uint64_t num_edges,
+                                   std::uint32_t num_machines) const {
+  KYLIX_CHECK(num_machines >= 1);
+  const double edges_per_node =
+      static_cast<double>(num_edges) / num_machines;
+  const double bytes_per_node = edges_per_node * bytes_per_edge;
+  return job_overhead_s +
+         disk_passes * bytes_per_node / disk_bw_bytes_per_s;
+}
+
+}  // namespace kylix

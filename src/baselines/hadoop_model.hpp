@@ -1,0 +1,31 @@
+// Analytic cost model for Hadoop/Pegasus-class systems (Fig. 8's third
+// series).
+//
+// The paper itself *estimates* Pegasus runtimes by scaling a published
+// measurement linearly in edge count; we model the same regime from first
+// principles: every iteration is a MapReduce job whose matrix-vector
+// multiply shuffles the edge data through disk ("the disk-caching and
+// disk-buffering philosophy of Hadoop", §VIII), paying fixed job-scheduling
+// overhead plus several disk passes over each node's share of the edges.
+// The constants put a 1.5 B-edge PageRank iteration in the hundreds of
+// seconds on ~64 nodes — the order of magnitude the paper quotes (~500x
+// slower than Kylix).
+#pragma once
+
+#include <cstdint>
+
+namespace kylix {
+
+struct HadoopModel {
+  double job_overhead_s = 20.0;       ///< JVM spin-up, scheduling, barriers
+  double disk_bw_bytes_per_s = 60e6;  ///< effective sequential disk rate
+  double disk_passes = 3.0;           ///< map spill + shuffle + reduce merge
+  double bytes_per_edge = 16.0;       ///< serialized (src, dst) pair
+
+  /// Seconds for one PageRank-style iteration over `num_edges` edges on
+  /// `num_machines` nodes.
+  [[nodiscard]] double iteration_time(std::uint64_t num_edges,
+                                      std::uint32_t num_machines) const;
+};
+
+}  // namespace kylix

@@ -1,0 +1,47 @@
+#include "cluster/failure.hpp"
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+FailureModel FailureModel::random_failures(rank_t num_nodes, rank_t count,
+                                           std::uint64_t seed) {
+  KYLIX_CHECK(count <= num_nodes);
+  FailureModel model(num_nodes);
+  Rng rng(mix64(seed));
+  rank_t killed = 0;
+  while (killed < count) {
+    const auto victim = static_cast<rank_t>(rng.below(num_nodes));
+    if (!model.dead_[victim]) {
+      model.dead_[victim] = true;
+      ++killed;
+    }
+  }
+  return model;
+}
+
+void FailureModel::kill(rank_t node) {
+  KYLIX_CHECK(node < dead_.size());
+  dead_[node] = true;
+}
+
+void FailureModel::revive(rank_t node) {
+  KYLIX_CHECK(node < dead_.size());
+  dead_[node] = false;
+}
+
+rank_t FailureModel::num_dead() const {
+  rank_t count = 0;
+  for (bool d : dead_) count += d ? 1 : 0;
+  return count;
+}
+
+std::vector<rank_t> FailureModel::dead_nodes() const {
+  std::vector<rank_t> nodes;
+  for (rank_t i = 0; i < dead_.size(); ++i) {
+    if (dead_[i]) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+}  // namespace kylix

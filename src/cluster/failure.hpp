@@ -1,0 +1,50 @@
+// Node-failure injection (§V).
+//
+// A FailureModel marks physical ranks dead; engines consult it before
+// delivering messages, so a dead node neither sends nor receives — exactly
+// the observable behaviour of a crashed machine under the paper's
+// replication protocol (replicas race; the first *alive* copy wins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace kylix {
+
+class FailureModel {
+ public:
+  FailureModel() = default;
+  explicit FailureModel(rank_t num_nodes) : dead_(num_nodes, false) {}
+
+  /// All nodes healthy, forever.
+  static FailureModel none(rank_t num_nodes) {
+    return FailureModel(num_nodes);
+  }
+
+  /// Kill `count` distinct nodes chosen uniformly at random.
+  static FailureModel random_failures(rank_t num_nodes, rank_t count,
+                                      std::uint64_t seed);
+
+  void kill(rank_t node);
+  void revive(rank_t node);
+
+  [[nodiscard]] bool is_dead(rank_t node) const {
+    return node < dead_.size() && dead_[node];
+  }
+
+  /// True if a message src -> dst cannot be delivered.
+  [[nodiscard]] bool drops(rank_t src, rank_t dst) const {
+    return is_dead(src) || is_dead(dst);
+  }
+
+  [[nodiscard]] rank_t num_dead() const;
+  [[nodiscard]] std::vector<rank_t> dead_nodes() const;
+
+ private:
+  std::vector<bool> dead_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,16 @@
+#include "cluster/netmodel.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace kylix {
+
+double ComputeModel::merge_time(double total_elements,
+                                std::uint32_t ways) const {
+  if (ways <= 1) return 0.0;
+  // A balanced merge tree touches every element once per level.
+  const double levels = std::ceil(std::log2(static_cast<double>(ways)));
+  return total_elements * levels / merge_rate;
+}
+
+}  // namespace kylix

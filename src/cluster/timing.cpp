@@ -1,0 +1,116 @@
+#include "cluster/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+TimingAccumulator::TimingAccumulator(rank_t num_nodes, NetworkModel net,
+                                     ComputeModel compute,
+                                     std::uint32_t threads)
+    : num_nodes_(num_nodes),
+      net_(net),
+      compute_(compute),
+      threads_(threads) {
+  KYLIX_CHECK(num_nodes >= 1);
+  KYLIX_CHECK(threads >= 1);
+}
+
+void TimingAccumulator::set_threads(std::uint32_t threads) {
+  KYLIX_CHECK(threads >= 1);
+  threads_ = threads;
+}
+
+TimingAccumulator::Round& TimingAccumulator::round(Phase phase,
+                                                   std::uint16_t layer) {
+  auto& r = rounds_[{static_cast<std::uint8_t>(phase), layer}];
+  if (r.send_bytes.empty()) {
+    r.send_bytes.assign(num_nodes_, 0);
+    r.send_msgs.assign(num_nodes_, 0);
+    r.recv_bytes.assign(num_nodes_, 0);
+    r.recv_msgs.assign(num_nodes_, 0);
+    r.compute_s.assign(num_nodes_, 0.0);
+  }
+  return r;
+}
+
+void TimingAccumulator::on_message(const MsgEvent& event) {
+  if (event.src == event.dst) return;
+  on_send(event.phase, event.layer, event.src, event.bytes);
+  on_recv(event.phase, event.layer, event.dst, event.bytes);
+}
+
+void TimingAccumulator::on_send(Phase phase, std::uint16_t layer, rank_t rank,
+                                std::uint64_t bytes) {
+  KYLIX_DCHECK(rank < num_nodes_);
+  Round& r = round(phase, layer);
+  r.send_bytes[rank] += bytes;
+  r.send_msgs[rank] += 1;
+}
+
+void TimingAccumulator::on_recv(Phase phase, std::uint16_t layer, rank_t rank,
+                                std::uint64_t bytes) {
+  KYLIX_DCHECK(rank < num_nodes_);
+  Round& r = round(phase, layer);
+  r.recv_bytes[rank] += bytes;
+  r.recv_msgs[rank] += 1;
+}
+
+void TimingAccumulator::on_compute(Phase phase, std::uint16_t layer,
+                                   rank_t rank, double seconds) {
+  KYLIX_DCHECK(rank < num_nodes_);
+  round(phase, layer).compute_s[rank] += seconds;
+}
+
+double TimingAccumulator::eval_round(const Round& r) const {
+  const double bandwidth = net_.bandwidth_bytes_per_s;
+  const auto path = [&](std::uint64_t bytes, std::uint32_t msgs) {
+    // Stack costs serialize on the NIC path; handshakes overlap across up
+    // to `threads_` concurrent message threads (see netmodel.hpp).
+    const double batches =
+        std::ceil(static_cast<double>(msgs) / static_cast<double>(threads_));
+    return static_cast<double>(bytes) / bandwidth +
+           net_.stack_overhead_s * static_cast<double>(msgs) +
+           net_.handshake_latency_s * batches;
+  };
+  const double compute_ways =
+      static_cast<double>(std::min(threads_, compute_.cores));
+  double worst = 0.0;
+  for (rank_t node = 0; node < num_nodes_; ++node) {
+    const double send = path(r.send_bytes[node], r.send_msgs[node]);
+    const double recv = path(r.recv_bytes[node], r.recv_msgs[node]);
+    const double node_time =
+        std::max(send, recv) + r.compute_s[node] / compute_ways;
+    worst = std::max(worst, node_time);
+  }
+  return worst + net_.base_latency_s;
+}
+
+double TimingAccumulator::round_time(Phase phase, std::uint16_t layer) const {
+  const auto it = rounds_.find({static_cast<std::uint8_t>(phase), layer});
+  if (it == rounds_.end()) return 0.0;
+  return eval_round(it->second);
+}
+
+TimingAccumulator::PhaseTimes TimingAccumulator::times() const {
+  PhaseTimes result;
+  for (const auto& [key, r] : rounds_) {
+    const double t = eval_round(r);
+    switch (static_cast<Phase>(key.first)) {
+      case Phase::kConfig:
+        result.config += t;
+        break;
+      case Phase::kReduceDown:
+        result.reduce_down += t;
+        break;
+      case Phase::kReduceUp:
+        result.reduce_up += t;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kylix

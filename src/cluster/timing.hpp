@@ -1,0 +1,84 @@
+// Replaying message traces against the cluster cost models.
+//
+// The engines run the real algorithm bulk-synchronously: each (phase, layer)
+// pair is one communication round in which every node sends to its group
+// neighbors and waits for theirs. TimingAccumulator reconstructs the wall
+// time of each round from the per-node message counts/bytes and modeled
+// local compute:
+//
+//   node_time  = max(send path, recv path) + compute        (full duplex)
+//   send path  = send_bytes/B + a * ceil(send_msgs / threads)
+//   round time = max over nodes of node_time, + base latency
+//
+// Threads hide per-message overheads (the §VI-B effect benchmarked in
+// Fig. 7) but cannot exceed the NIC's serialization bandwidth; modeled
+// compute parallelizes up to ComputeModel::cores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/netmodel.hpp"
+#include "cluster/trace.hpp"
+
+namespace kylix {
+
+class TimingAccumulator {
+ public:
+  TimingAccumulator(rank_t num_nodes, NetworkModel net, ComputeModel compute,
+                    std::uint32_t threads = 16);
+
+  /// Record one delivered message. Self-messages (src == dst) are local
+  /// memory traffic and cost nothing here.
+  void on_message(const MsgEvent& event);
+
+  /// Finer-grained charging for the replication layer: every transmitted
+  /// copy costs its sender, but a racing receiver only pays for the winning
+  /// copy (losers are canceled, §V-B).
+  void on_send(Phase phase, std::uint16_t layer, rank_t rank,
+               std::uint64_t bytes);
+  void on_recv(Phase phase, std::uint16_t layer, rank_t rank,
+               std::uint64_t bytes);
+
+  /// Record modeled local compute performed by `rank` within a round.
+  void on_compute(Phase phase, std::uint16_t layer, rank_t rank,
+                  double seconds);
+
+  /// Wall time of one round (0 if the round never happened).
+  [[nodiscard]] double round_time(Phase phase, std::uint16_t layer) const;
+
+  struct PhaseTimes {
+    double config = 0;
+    double reduce_down = 0;
+    double reduce_up = 0;
+    [[nodiscard]] double reduce() const { return reduce_down + reduce_up; }
+    [[nodiscard]] double total() const { return config + reduce(); }
+  };
+  [[nodiscard]] PhaseTimes times() const;
+
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+  void set_threads(std::uint32_t threads);
+
+  void clear() { rounds_.clear(); }
+
+ private:
+  struct Round {
+    std::vector<std::uint64_t> send_bytes;
+    std::vector<std::uint32_t> send_msgs;
+    std::vector<std::uint64_t> recv_bytes;
+    std::vector<std::uint32_t> recv_msgs;
+    std::vector<double> compute_s;
+  };
+
+  Round& round(Phase phase, std::uint16_t layer);
+  [[nodiscard]] double eval_round(const Round& r) const;
+
+  rank_t num_nodes_;
+  NetworkModel net_;
+  ComputeModel compute_;
+  std::uint32_t threads_;
+  std::map<std::pair<std::uint8_t, std::uint16_t>, Round> rounds_;
+};
+
+}  // namespace kylix

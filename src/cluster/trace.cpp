@@ -1,0 +1,44 @@
+#include "cluster/trace.hpp"
+
+namespace kylix {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kConfig:
+      return "config";
+    case Phase::kReduceDown:
+      return "reduce-down";
+    case Phase::kReduceUp:
+      return "reduce-up";
+  }
+  return "?";
+}
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const MsgEvent& e : events_) total += e.bytes;
+  return total;
+}
+
+std::vector<std::uint64_t> Trace::bytes_by_layer(
+    Phase phase, std::uint16_t num_layers) const {
+  std::vector<std::uint64_t> layers(num_layers, 0);
+  for (const MsgEvent& e : events_) {
+    if (e.phase != phase || e.layer == 0) continue;
+    if (e.layer > num_layers) continue;
+    layers[e.layer - 1] += e.bytes;
+  }
+  return layers;
+}
+
+std::vector<std::uint64_t> Trace::bytes_by_layer_all_phases(
+    std::uint16_t num_layers) const {
+  std::vector<std::uint64_t> layers(num_layers, 0);
+  for (const MsgEvent& e : events_) {
+    if (e.layer == 0 || e.layer > num_layers) continue;
+    layers[e.layer - 1] += e.bytes;
+  }
+  return layers;
+}
+
+}  // namespace kylix

@@ -1,0 +1,107 @@
+// The deterministic bulk-synchronous engine.
+//
+// One round = one communication layer of one phase: every alive node
+// produces its outgoing letters, the engine applies failure drops and
+// records trace/timing, then every alive node consumes its inbox (sorted by
+// source rank, so results are independent of delivery order — the same
+// property the threaded engine guarantees by sorting after collecting).
+//
+// Node algorithms are expressed as produce/expected/consume callbacks, which
+// lets this engine, the replication wrapper, and the threaded engine drive
+// the *same* algorithm code (DESIGN.md decision 3).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+#include "comm/packet.hpp"
+#include "common/check.hpp"
+
+namespace kylix {
+
+/// Engine concept shared by BspEngine / ReplicatedBsp / ThreadedBsp:
+///   rank_t num_ranks() const;
+///   round(phase, layer, produce, expected, consume);
+/// where, for each alive rank r,
+///   produce(r)  -> std::vector<Letter<V>>   letters to send (self allowed)
+///   expected(r) -> std::vector<rank_t>      ranks r awaits a letter from
+///   consume(r, std::vector<Letter<V>>&&)    inbox sorted by src
+template <typename V>
+class BspEngine {
+ public:
+  /// All observer pointers are optional and not owned.
+  BspEngine(rank_t num_nodes, const FailureModel* failures = nullptr,
+            Trace* trace = nullptr, TimingAccumulator* timing = nullptr)
+      : num_nodes_(num_nodes),
+        failures_(failures),
+        trace_(trace),
+        timing_(timing) {
+    KYLIX_CHECK(num_nodes >= 1);
+  }
+
+  [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
+
+  [[nodiscard]] bool is_dead(rank_t rank) const {
+    return failures_ != nullptr && failures_->is_dead(rank);
+  }
+
+  /// Attribute modeled local compute to a rank within a round.
+  void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
+                      double seconds) {
+    if (timing_ != nullptr) timing_->on_compute(phase, layer, rank, seconds);
+  }
+
+  template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
+  void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
+             ExpectedFn&& expected, ConsumeFn&& consume) {
+    std::vector<std::vector<Letter<V>>> inboxes(num_nodes_);
+    for (rank_t rank = 0; rank < num_nodes_; ++rank) {
+      if (is_dead(rank)) continue;
+      for (Letter<V>& letter : produce(rank)) {
+        KYLIX_DCHECK(letter.src == rank);
+        KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
+        deliver(phase, layer, std::move(letter), inboxes);
+      }
+    }
+    for (rank_t rank = 0; rank < num_nodes_; ++rank) {
+      if (is_dead(rank)) continue;
+      auto& inbox = inboxes[rank];
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Letter<V>& a, const Letter<V>& b) {
+                  return a.src < b.src;
+                });
+      if (!inbox.empty()) {
+        // Sanity: only expected senders may appear.
+        const std::vector<rank_t> senders = expected(rank);
+        for (const Letter<V>& letter : inbox) {
+          KYLIX_DCHECK(std::find(senders.begin(), senders.end(),
+                                 letter.src) != senders.end());
+        }
+      }
+      consume(rank, std::move(inbox));
+    }
+  }
+
+ private:
+  void deliver(Phase phase, std::uint16_t layer, Letter<V>&& letter,
+               std::vector<std::vector<Letter<V>>>& inboxes) {
+    const std::uint64_t bytes = letter.packet.wire_bytes();
+    const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
+    if (trace_ != nullptr) trace_->add(event);
+    if (timing_ != nullptr) timing_->on_message(event);
+    // A send to a dead node costs the sender (charged above) but never
+    // arrives.
+    if (failures_ != nullptr && failures_->is_dead(letter.dst)) return;
+    inboxes[letter.dst].push_back(std::move(letter));
+  }
+
+  rank_t num_nodes_;
+  const FailureModel* failures_;
+  Trace* trace_;
+  TimingAccumulator* timing_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,113 @@
+// A blocking per-node mailbox for the threaded engine.
+//
+// Senders push letters concurrently; the owning node blocks on take() until
+// a letter from a given source arrives, or on take_any() until a letter from
+// any source in a replica group arrives (the §V-B packet race: first copy
+// wins, the rest are discarded on arrival via cancel()).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+
+#include "comm/packet.hpp"
+#include "common/check.hpp"
+
+namespace kylix {
+
+/// Thrown when a blocking receive outlives its deadline — in this in-process
+/// setting that always indicates a protocol bug or an unreplicated dead
+/// sender, so failing loudly beats hanging a test run.
+class mailbox_timeout : public std::runtime_error {
+ public:
+  explicit mailbox_timeout(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+template <typename V>
+class Mailbox {
+ public:
+  void put(Letter<V> letter) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (canceled(letter.src)) return;  // losing replica copy: discard
+      letters_.push_back(std::move(letter));
+    }
+    arrived_.notify_all();
+  }
+
+  /// Block until a letter from `src` arrives, then remove and return it.
+  Letter<V> take(rank_t src,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(30000)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Letter<V> result;
+    const bool got = arrived_.wait_for(lock, timeout, [&] {
+      return try_pop(src, &result);
+    });
+    if (!got) throw mailbox_timeout("Mailbox::take timed out");
+    return result;
+  }
+
+  /// Block until a letter from any rank in `group` arrives; the winner is
+  /// returned and the rest of the group is marked canceled so late copies
+  /// are dropped on arrival.
+  Letter<V> take_any(std::span<const rank_t> group,
+                     std::chrono::milliseconds timeout =
+                         std::chrono::milliseconds(30000)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Letter<V> result;
+    const bool got = arrived_.wait_for(lock, timeout, [&] {
+      for (rank_t src : group) {
+        if (try_pop(src, &result)) return true;
+      }
+      return false;
+    });
+    if (!got) throw mailbox_timeout("Mailbox::take_any timed out");
+    for (rank_t src : group) {
+      if (src != result.src) canceled_.push_back(src);
+    }
+    return result;
+  }
+
+  /// Forget all cancellations and pending letters (between rounds).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    letters_.clear();
+    canceled_.clear();
+  }
+
+  [[nodiscard]] std::size_t pending() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return letters_.size();
+  }
+
+ private:
+  bool try_pop(rank_t src, Letter<V>* out) {
+    for (auto it = letters_.begin(); it != letters_.end(); ++it) {
+      if (it->src == src) {
+        *out = std::move(*it);
+        letters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool canceled(rank_t src) const {
+    for (rank_t c : canceled_) {
+      if (c == src) return true;
+    }
+    return false;
+  }
+
+  std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Letter<V>> letters_;
+  std::vector<rank_t> canceled_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,43 @@
+// Wire units exchanged between simulated machines.
+//
+// A Packet carries index keys (configuration), values (reduction), or both
+// (the combined configure+reduce mode used for minibatch workloads, §III).
+// wire_bytes() is what the timing model charges: 8 bytes per key, sizeof(V)
+// per value, plus a small fixed header — matching the paper's 12
+// bytes-per-element accounting for key+float traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "common/types.hpp"
+
+namespace kylix {
+
+/// Fixed framing cost per message on the wire.
+inline constexpr std::uint64_t kPacketHeaderBytes = 32;
+
+template <typename V>
+struct Packet {
+  std::vector<key_t> in_keys;   ///< configuration: indices requested
+  std::vector<key_t> out_keys;  ///< configuration: indices contributed
+  std::vector<V> values;        ///< reduction payload (aligned to out_keys
+                                ///< in combined mode)
+
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return kPacketHeaderBytes + 8 * (in_keys.size() + out_keys.size()) +
+           sizeof(V) * values.size();
+  }
+};
+
+/// An addressed packet. `src`/`dst` are ranks in whatever space the engine
+/// operates on (logical for the replication wrapper, physical otherwise).
+template <typename V>
+struct Letter {
+  rank_t src = 0;
+  rank_t dst = 0;
+  Packet<V> packet;
+};
+
+}  // namespace kylix

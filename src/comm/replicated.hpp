@@ -1,0 +1,163 @@
+// The §V replication layer: s-fold data replication with packet racing.
+//
+// A logical network of m nodes is mapped onto s·m physical machines; the
+// data of logical node j lives on physical machines j, j+m, …, j+(s-1)m.
+// Every message from logical j to logical k is transmitted by *each alive
+// replica* of j to *each replica* of k (s copies per physical sender, s²
+// per logical edge, the "per-node communication increases by s" worst case).
+// A receiver listens to the whole replica group of the expected sender and
+// uses the first copy that arrives, canceling the rest — so it pays receive
+// cost for the winning copy only, while every transmitted copy costs its
+// sender. The protocol completes unless an entire replica group is dead
+// (has_failed()), which by the birthday argument takes ≈ √m failures at
+// s = 2.
+//
+// Exposes the same round() interface as BspEngine, addressed in *logical*
+// ranks, so the identical node algorithm runs unmodified on top of it.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+#include "comm/packet.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace kylix {
+
+template <typename V>
+class ReplicatedBsp {
+ public:
+  /// `failures`, `trace`, `timing` all address *physical* ranks in
+  /// [0, logical_nodes * replication). Observers optional, not owned.
+  ReplicatedBsp(rank_t logical_nodes, std::uint32_t replication,
+                const FailureModel* failures = nullptr,
+                Trace* trace = nullptr, TimingAccumulator* timing = nullptr)
+      : logical_(logical_nodes),
+        replication_(replication),
+        failures_(failures),
+        trace_(trace),
+        timing_(timing) {
+    KYLIX_CHECK(logical_nodes >= 1);
+    KYLIX_CHECK(replication >= 1);
+  }
+
+  [[nodiscard]] rank_t num_ranks() const { return logical_; }
+  [[nodiscard]] rank_t num_physical() const {
+    return logical_ * replication_;
+  }
+
+  /// Physical rank of replica r of logical node j.
+  [[nodiscard]] rank_t physical(rank_t logical, std::uint32_t replica) const {
+    return logical + replica * logical_;
+  }
+
+  /// Alive replicas of a logical node, in replica order.
+  [[nodiscard]] std::vector<rank_t> alive_replicas(rank_t logical) const {
+    std::vector<rank_t> alive;
+    for (std::uint32_t r = 0; r < replication_; ++r) {
+      const rank_t p = physical(logical, r);
+      if (failures_ == nullptr || !failures_->is_dead(p)) alive.push_back(p);
+    }
+    return alive;
+  }
+
+  /// A logical node fails only when its whole replica group is dead.
+  [[nodiscard]] bool is_dead(rank_t logical) const {
+    return alive_replicas(logical).empty();
+  }
+
+  /// True if any logical node has lost all replicas (allreduce cannot
+  /// complete correctly).
+  [[nodiscard]] bool has_failed() const {
+    for (rank_t j = 0; j < logical_; ++j) {
+      if (is_dead(j)) return true;
+    }
+    return false;
+  }
+
+  /// Modeled compute runs on every alive replica of the logical rank.
+  void charge_compute(Phase phase, std::uint16_t layer, rank_t logical,
+                      double seconds) {
+    if (timing_ == nullptr) return;
+    for (rank_t p : alive_replicas(logical)) {
+      timing_->on_compute(phase, layer, p, seconds);
+    }
+  }
+
+  template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
+  void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
+             ExpectedFn&& expected, ConsumeFn&& consume) {
+    std::vector<std::vector<Letter<V>>> inboxes(logical_);
+    for (rank_t j = 0; j < logical_; ++j) {
+      if (is_dead(j)) continue;
+      for (Letter<V>& letter : produce(j)) {
+        KYLIX_DCHECK(letter.src == j);
+        KYLIX_CHECK_MSG(letter.dst < logical_, "letter to invalid rank");
+        transmit(phase, layer, std::move(letter), inboxes);
+      }
+    }
+    for (rank_t j = 0; j < logical_; ++j) {
+      if (is_dead(j)) continue;
+      auto& inbox = inboxes[j];
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Letter<V>& a, const Letter<V>& b) {
+                  return a.src < b.src;
+                });
+      if (!inbox.empty()) {
+        const std::vector<rank_t> senders = expected(j);
+        for (const Letter<V>& letter : inbox) {
+          KYLIX_DCHECK(std::find(senders.begin(), senders.end(),
+                                 letter.src) != senders.end());
+        }
+      }
+      consume(j, std::move(inbox));
+    }
+  }
+
+ private:
+  void transmit(Phase phase, std::uint16_t layer, Letter<V>&& letter,
+                std::vector<std::vector<Letter<V>>>& inboxes) {
+    const std::uint64_t bytes = letter.packet.wire_bytes();
+    const std::vector<rank_t> senders = alive_replicas(letter.src);
+    KYLIX_DCHECK(!senders.empty());
+
+    if (letter.src == letter.dst) {
+      // Replicas run identical programs, so each already has its own copy
+      // of a self-message: no wire traffic.
+      inboxes[letter.dst].push_back(std::move(letter));
+      return;
+    }
+
+    for (std::uint32_t r = 0; r < replication_; ++r) {
+      const rank_t dst_phys = physical(letter.dst, r);
+      // Every alive sender replica transmits a copy (charged to it), even
+      // to dead destinations.
+      for (rank_t src_phys : senders) {
+        if (trace_ != nullptr) {
+          trace_->add(MsgEvent{phase, layer, src_phys, dst_phys, bytes});
+        }
+        if (timing_ != nullptr) {
+          timing_->on_send(phase, layer, src_phys, bytes);
+        }
+      }
+      // The receiver races the copies and pays for the winner only.
+      if (failures_ != nullptr && failures_->is_dead(dst_phys)) continue;
+      if (timing_ != nullptr) {
+        timing_->on_recv(phase, layer, dst_phys, bytes);
+      }
+    }
+    inboxes[letter.dst].push_back(std::move(letter));
+  }
+
+  rank_t logical_;
+  std::uint32_t replication_;
+  const FailureModel* failures_;
+  Trace* trace_;
+  TimingAccumulator* timing_;
+};
+
+}  // namespace kylix

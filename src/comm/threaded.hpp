@@ -1,0 +1,175 @@
+// The concurrent engine: one std::thread per simulated machine.
+//
+// Same round() contract as BspEngine, but every node runs its
+// produce/send/receive/consume cycle on its own thread with blocking
+// mailboxes — real concurrency, real interleavings, opportunistic message
+// arrival (§VI-B). Received letters are sorted by source before consume, so
+// results are bit-identical to the sequential engine regardless of arrival
+// order (asserted by tests/comm, which run both engines on the same inputs).
+//
+// Failures are supported (dead nodes neither run nor receive); replication
+// racing at the wire level is exercised by the Mailbox::take_any unit tests
+// and the sequential ReplicatedBsp — this engine intentionally stays the
+// minimal concurrent counterpart of BspEngine.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/packet.hpp"
+#include "common/check.hpp"
+
+namespace kylix {
+
+template <typename V>
+class ThreadedBsp {
+ public:
+  ThreadedBsp(rank_t num_nodes, const FailureModel* failures = nullptr,
+              Trace* trace = nullptr, TimingAccumulator* timing = nullptr)
+      : num_nodes_(num_nodes),
+        failures_(failures),
+        trace_(trace),
+        timing_(timing),
+        mailboxes_(num_nodes) {
+    KYLIX_CHECK(num_nodes >= 1);
+    workers_.reserve(num_nodes);
+    for (rank_t rank = 0; rank < num_nodes; ++rank) {
+      workers_.emplace_back([this, rank] { worker_loop(rank); });
+    }
+  }
+
+  ~ThreadedBsp() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadedBsp(const ThreadedBsp&) = delete;
+  ThreadedBsp& operator=(const ThreadedBsp&) = delete;
+
+  [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
+
+  [[nodiscard]] bool is_dead(rank_t rank) const {
+    return failures_ != nullptr && failures_->is_dead(rank);
+  }
+
+  /// Attribute modeled local compute to a rank within a round (thread-safe).
+  void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
+                      double seconds) {
+    if (timing_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(observer_mutex_);
+    timing_->on_compute(phase, layer, rank, seconds);
+  }
+
+  template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
+  void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
+             ExpectedFn&& expected, ConsumeFn&& consume) {
+    // Type-erase this round's work; each worker runs it for its own rank.
+    task_ = [&, phase, layer](rank_t rank) {
+      if (is_dead(rank)) return;
+      for (Letter<V>& letter : produce(rank)) {
+        KYLIX_DCHECK(letter.src == rank);
+        send(phase, layer, std::move(letter));
+      }
+      std::vector<Letter<V>> inbox;
+      for (rank_t src : expected(rank)) {
+        if (is_dead(src)) continue;  // an unreplicated dead sender: no letter
+        inbox.push_back(mailboxes_[rank].take(src));
+      }
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Letter<V>& a, const Letter<V>& b) {
+                  return a.src < b.src;
+                });
+      consume(rank, std::move(inbox));
+    };
+    run_task();
+  }
+
+ private:
+  void send(Phase phase, std::uint16_t layer, Letter<V>&& letter) {
+    KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
+    const std::uint64_t bytes = letter.packet.wire_bytes();
+    {
+      std::lock_guard<std::mutex> lock(observer_mutex_);
+      const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
+      if (trace_ != nullptr) trace_->add(event);
+      if (timing_ != nullptr) timing_->on_message(event);
+    }
+    if (is_dead(letter.dst)) return;
+    mailboxes_[letter.dst].put(std::move(letter));
+  }
+
+  void run_task() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ = num_nodes_;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (worker_error_) {
+      auto error = worker_error_;
+      worker_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  void worker_loop(rank_t rank) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [&] {
+          return shutdown_ || generation_ > seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      try {
+        task_(rank);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!worker_error_) worker_error_ = std::current_exception();
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last = (--pending_ == 0);
+      }
+      if (last) done_cv_.notify_all();
+    }
+  }
+
+  rank_t num_nodes_;
+  const FailureModel* failures_;
+  Trace* trace_;
+  TimingAccumulator* timing_;
+
+  std::vector<Mailbox<V>> mailboxes_;
+  std::vector<std::thread> workers_;
+  std::function<void(rank_t)> task_;
+
+  std::mutex mutex_;
+  std::mutex observer_mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  rank_t pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,54 @@
+// Precondition / invariant checking macros.
+//
+// KYLIX_CHECK is always on (argument validation on public APIs); KYLIX_DCHECK
+// compiles out in NDEBUG builds (hot-loop invariants). Failures throw rather
+// than abort so tests can assert on them and long simulations fail cleanly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kylix {
+
+/// Thrown when a KYLIX_CHECK fails: a caller violated an API contract.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "KYLIX_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace kylix
+
+#define KYLIX_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::kylix::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define KYLIX_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream kylix_os_;                                    \
+      kylix_os_ << msg;                                                \
+      ::kylix::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    kylix_os_.str());                  \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define KYLIX_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define KYLIX_DCHECK(expr) KYLIX_CHECK(expr)
+#endif

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace kylix::log {
+
+namespace {
+
+std::atomic<int>& threshold() {
+  static std::atomic<int> value = [] {
+    if (const char* env = std::getenv("KYLIX_LOG_LEVEL")) {
+      return std::atoi(env);
+    }
+    return static_cast<int>(LogLevel::kInfo);
+  }();
+  return value;
+}
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kInfo:
+      return "[info ] ";
+    case LogLevel::kWarn:
+      return "[warn ] ";
+    case LogLevel::kError:
+      return "[error] ";
+  }
+  return "[?    ] ";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) {
+  threshold().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel level() {
+  return static_cast<LogLevel>(threshold().load(std::memory_order_relaxed));
+}
+
+void write(LogLevel lvl, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "%s%s\n", prefix(lvl), message.c_str());
+}
+
+}  // namespace kylix::log

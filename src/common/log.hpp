@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Benches and examples narrate progress through this instead of raw stderr so
+// verbosity is controlled in one place (KYLIX_LOG_LEVEL env var or set_level).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kylix {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log {
+
+/// Global threshold; messages below it are discarded.
+void set_level(LogLevel level);
+LogLevel level();
+
+/// Emit one line to stderr with a level prefix. Thread-safe.
+void write(LogLevel level, const std::string& message);
+
+}  // namespace log
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : level_(lvl) {}
+  ~LogLine() { log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace kylix
+
+#define KYLIX_LOG(lvl)                                      \
+  if (static_cast<int>(lvl) < static_cast<int>(::kylix::log::level())) { \
+  } else                                                    \
+    ::kylix::detail::LogLine(lvl)
+
+#define KYLIX_DEBUG KYLIX_LOG(::kylix::LogLevel::kDebug)
+#define KYLIX_INFO KYLIX_LOG(::kylix::LogLevel::kInfo)
+#define KYLIX_WARN KYLIX_LOG(::kylix::LogLevel::kWarn)
+#define KYLIX_ERROR KYLIX_LOG(::kylix::LogLevel::kError)

@@ -1,0 +1,84 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (graph generators, partitioners,
+// failure injection) take an explicit Rng so every experiment is exactly
+// reproducible from a seed. xoshiro256** is used for speed; independent
+// streams are derived by splitmix64-jumping the seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace kylix {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6b796c6978ULL) { reseed(seed); }
+
+  /// Re-initialize state from a single 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      word = hash_index(seed);
+    }
+  }
+
+  /// Derive an independent stream for sub-component `id` (e.g. per machine).
+  [[nodiscard]] Rng fork(std::uint64_t id) const {
+    return Rng(mix64(state_[0] ^ mix64(id)));
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Poisson sample; Knuth for small rates, normal approximation above.
+  std::uint64_t poisson(double rate) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace kylix

@@ -1,0 +1,25 @@
+// Wall-clock timing helpers for benches and the threaded runtime.
+#pragma once
+
+#include <chrono>
+
+namespace kylix {
+
+/// Simple monotonic stopwatch; seconds() returns elapsed time since start or
+/// the last reset().
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace kylix

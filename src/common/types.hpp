@@ -1,0 +1,29 @@
+// Fundamental scalar types shared across the Kylix library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kylix {
+
+/// A user-facing feature/vertex index. Kylix supports index spaces up to
+/// 2^63 features; indices are opaque identifiers as far as the allreduce is
+/// concerned.
+using index_t = std::uint64_t;
+
+/// The hashed form of an index. All internal sets are kept sorted by key so
+/// that equal-key-range partitioning balances load on skewed data. The hash
+/// is a bijection (see common/hash.hpp), so a key *is* its index, reversibly.
+using key_t = std::uint64_t;
+
+/// Machine (node) rank within a cluster, in [0, m).
+using rank_t = std::uint32_t;
+
+/// Position inside a packed vector; 32 bits bounds single-node set sizes at
+/// 4G elements, far above anything a single simulated machine holds.
+using pos_t = std::uint32_t;
+
+/// Default value type for reductions (models, PageRank mass, gradients).
+using real_t = float;
+
+}  // namespace kylix

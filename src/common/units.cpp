@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace kylix {
+
+std::string format_bytes(double bytes) {
+  const char* suffix = "B";
+  double value = bytes;
+  if (value >= 1e9) {
+    value /= 1e9;
+    suffix = "GB";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    suffix = "MB";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    suffix = "KB";
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, suffix);
+  return buffer;
+}
+
+std::string format_seconds(double seconds) {
+  const char* suffix = "s";
+  double value = seconds;
+  if (value < 1e-3) {
+    value *= 1e6;
+    suffix = "us";
+  } else if (value < 1.0) {
+    value *= 1e3;
+    suffix = "ms";
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3g %s", value, suffix);
+  return buffer;
+}
+
+}  // namespace kylix

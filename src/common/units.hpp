@@ -1,0 +1,15 @@
+// Human-readable formatting of byte counts and durations for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kylix {
+
+/// "1.50 MB", "320 KB", "12 B" — decimal units, matching the paper's usage.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// "1.23 s", "4.56 ms", "789 us".
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace kylix

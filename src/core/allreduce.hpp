@@ -1,0 +1,166 @@
+// SparseAllreduce — the public orchestration API (§III).
+//
+// Drives a vector of KylixNodes through the configuration and reduction
+// rounds on any engine satisfying the comm/bsp.hpp concept. Supports the two
+// usage patterns from the paper:
+//
+//   * configure() once, reduce() many times — graph algorithms whose in/out
+//     vertex sets are fixed across iterations (PageRank, §III).
+//   * reduce_with_config() — minibatch workloads whose sets change every
+//     step; configuration and reduction share combined messages, saving a
+//     full downward pass.
+//
+// Modeled compute (tree merges, scatter-adds, gathers) is charged to the
+// engine per round when a ComputeModel is supplied, so timing reports
+// include local work, not just wire time.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cluster/netmodel.hpp"
+#include "core/node.hpp"
+#include "core/topology.hpp"
+
+namespace kylix {
+
+template <typename V, typename Op = OpSum, typename Engine = void>
+class SparseAllreduce {
+ public:
+  /// `engine` must outlive the allreduce; its rank count must match the
+  /// topology. `compute` is optional (no compute charging when null).
+  SparseAllreduce(Engine* engine, Topology topology,
+                  const ComputeModel* compute = nullptr)
+      : engine_(engine), topo_(std::move(topology)), compute_(compute) {
+    KYLIX_CHECK(engine_ != nullptr);
+    KYLIX_CHECK_MSG(engine_->num_ranks() == topo_.num_machines(),
+                    "engine/topology machine count mismatch");
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Step 1, separate form: exchange and union index sets. `in_sets[r]` /
+  /// `out_sets[r]` are machine r's requested / contributed key sets.
+  void configure(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    build_nodes(std::move(in_sets), std::move(out_sets));
+    for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
+      run_round(Phase::kConfig, layer, &Node::config_produce,
+                &Node::config_consume);
+    }
+    finish_configure();
+  }
+
+  /// Step 2: push contributions down and pull requested values back up.
+  /// `out_values[r]` aligns with the key order of machine r's out set;
+  /// the result[r] aligns with the key order of machine r's in set.
+  /// Reusable: call any number of times after one configure().
+  [[nodiscard]] std::vector<std::vector<V>> reduce(
+      std::vector<std::vector<V>> out_values) {
+    KYLIX_CHECK_MSG(!nodes_.empty() && nodes_.front().configured(),
+                    "reduce() before configure()");
+    load_values(std::move(out_values));
+    for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
+      run_round(Phase::kReduceDown, layer, &Node::down_produce,
+                &Node::down_consume);
+    }
+    return run_up_pass();
+  }
+
+  /// Combined configuration + reduction (minibatch mode): config messages
+  /// carry values, so the separate downward value pass disappears.
+  [[nodiscard]] std::vector<std::vector<V>> reduce_with_config(
+      std::vector<KeySet> in_sets, std::vector<KeySet> out_sets,
+      std::vector<std::vector<V>> out_values) {
+    build_nodes(std::move(in_sets), std::move(out_sets));
+    load_values(std::move(out_values));
+    for (Node& node : nodes_) node.set_combined(true);
+    for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
+      run_round(Phase::kConfig, layer, &Node::config_produce,
+                &Node::config_consume);
+    }
+    for (Node& node : nodes_) node.set_combined(false);
+    finish_configure();
+    return run_up_pass();
+  }
+
+  /// Machine r's node, for tests and volume introspection (Fig. 5 reads the
+  /// per-layer set sizes off these).
+  [[nodiscard]] const KylixNode<V, Op>& node(rank_t rank) const {
+    return nodes_[rank];
+  }
+
+ private:
+  using Node = KylixNode<V, Op>;
+
+  void build_nodes(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    const rank_t m = topo_.num_machines();
+    KYLIX_CHECK(in_sets.size() == m && out_sets.size() == m);
+    nodes_.clear();
+    nodes_.reserve(m);
+    for (rank_t r = 0; r < m; ++r) {
+      nodes_.emplace_back(&topo_, r, std::move(in_sets[r]),
+                          std::move(out_sets[r]));
+    }
+  }
+
+  void load_values(std::vector<std::vector<V>> out_values) {
+    KYLIX_CHECK(out_values.size() == nodes_.size());
+    for (rank_t r = 0; r < nodes_.size(); ++r) {
+      nodes_[r].begin_reduce(std::move(out_values[r]));
+    }
+  }
+
+  void finish_configure() {
+    for (Node& node : nodes_) {
+      if (!engine_->is_dead(node.rank())) node.finish_configure();
+    }
+  }
+
+  std::vector<std::vector<V>> run_up_pass() {
+    const std::uint16_t l = topo_.num_layers();
+    for (Node& node : nodes_) {
+      if (engine_->is_dead(node.rank())) continue;
+      node.begin_up();
+      charge(Phase::kReduceDown, l, node);
+    }
+    for (std::uint16_t layer = l; layer >= 1; --layer) {
+      run_round(Phase::kReduceUp, layer, &Node::up_produce,
+                &Node::up_consume);
+    }
+    std::vector<std::vector<V>> results(nodes_.size());
+    for (rank_t r = 0; r < nodes_.size(); ++r) {
+      if (!engine_->is_dead(r)) results[r] = nodes_[r].take_result();
+    }
+    return results;
+  }
+
+  template <typename ProduceFn, typename ConsumeFn>
+  void run_round(Phase phase, std::uint16_t layer, ProduceFn produce,
+                 ConsumeFn consume) {
+    engine_->round(
+        phase, layer,
+        [&](rank_t r) { return (nodes_[r].*produce)(layer); },
+        [&](rank_t r) { return nodes_[r].expected(layer); },
+        [&](rank_t r, std::vector<Letter<V>>&& inbox) {
+          (nodes_[r].*consume)(layer, std::move(inbox));
+          charge(phase, layer, nodes_[r]);
+        });
+  }
+
+  void charge(Phase phase, std::uint16_t layer, Node& node) {
+    const NodeWork work = node.take_work();
+    if (compute_ == nullptr || layer == 0) return;
+    const double seconds =
+        compute_->merge_time(work.merge_elements, work.merge_ways) +
+        compute_->combine_time(work.combine_elements) +
+        compute_->gather_time(work.gather_elements);
+    engine_->charge_compute(phase, layer, node.rank(), seconds);
+  }
+
+  Engine* engine_;
+  Topology topo_;
+  const ComputeModel* compute_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kylix

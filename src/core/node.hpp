@@ -1,0 +1,296 @@
+// Per-machine state machine for the nested sparse allreduce (§III-A/B).
+//
+// A KylixNode owns one machine's view of the butterfly: its in/out index
+// sets at every node layer, the positional maps produced while configuring,
+// and the value buffers of an in-flight reduction. It exposes one
+// produce/consume step per communication round, so any engine satisfying the
+// concept in comm/bsp.hpp can drive it.
+//
+//   configuration (down): partition in/out sets into the d_i hashed key
+//     subranges of the current range, send piece q to the group member whose
+//     digit is q, union arriving pieces (tree merge) and record maps.
+//   reduce down: split the value buffer along the same boundaries, send, and
+//     combine arriving buffers into the union layout via the out-maps.
+//   reduce up: gather each neighbor's requested values via the in-maps, send
+//     them back, and concatenate arriving pieces in subrange order.
+//
+// Fault tolerance hook: a missing letter (dead unreplicated sender) is
+// treated as an empty piece in configuration and an identity-valued piece in
+// reduction, so the protocol always terminates; correctness under failures
+// is the replication layer's job.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "comm/packet.hpp"
+#include "core/topology.hpp"
+#include "sparse/merge.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+/// Modeled local work performed since the last take_work() call; the
+/// orchestrator converts it to seconds via ComputeModel.
+struct NodeWork {
+  double merge_elements = 0;
+  std::uint32_t merge_ways = 1;
+  double combine_elements = 0;
+  double gather_elements = 0;
+};
+
+template <typename V, typename Op = OpSum>
+class KylixNode {
+ public:
+  /// `topology` must outlive the node. `in0`/`out0` are this machine's
+  /// requested and contributed index sets (§III properties 1-2).
+  KylixNode(const Topology* topology, rank_t rank, KeySet in0, KeySet out0)
+      : topo_(topology), rank_(rank) {
+    KYLIX_CHECK(rank < topo_->num_machines());
+    const std::uint16_t l = topo_->num_layers();
+    in_sets_.resize(l + 1);
+    out_sets_.resize(l + 1);
+    in_sets_[0] = std::move(in0);
+    out_sets_[0] = std::move(out0);
+    layers_.resize(l);
+  }
+
+  [[nodiscard]] rank_t rank() const { return rank_; }
+
+  /// Group members (including self) at `layer` — the expected senders of
+  /// every round at that layer.
+  [[nodiscard]] std::vector<rank_t> expected(std::uint16_t layer) const {
+    return topo_->group(layer, rank_);
+  }
+
+  /// When true, configuration letters also carry values (the combined
+  /// configure+reduce mode for minibatch workloads, §III). Set before the
+  /// first config round; begin_reduce() must already have run.
+  void set_combined(bool combined) { combined_ = combined; }
+
+  // ---- configuration, downward ----
+
+  [[nodiscard]] std::vector<Letter<V>> config_produce(std::uint16_t layer) {
+    LayerCfg& cfg = layers_[layer - 1];
+    const std::vector<rank_t> group = topo_->group(layer, rank_);
+    const auto d = static_cast<std::uint32_t>(group.size());
+    const KeyRange range = topo_->key_range(layer - 1, rank_);
+    const KeySet& in_prev = in_sets_[layer - 1];
+    const KeySet& out_prev = out_sets_[layer - 1];
+    cfg.in_split = in_prev.split_points(range, d);
+    cfg.out_split = out_prev.split_points(range, d);
+
+    std::vector<Letter<V>> letters(d);
+    for (std::uint32_t q = 0; q < d; ++q) {
+      Letter<V>& letter = letters[q];
+      letter.src = rank_;
+      letter.dst = group[q];
+      letter.packet.in_keys = in_prev.extract(cfg.in_split[q],
+                                              cfg.in_split[q + 1]);
+      letter.packet.out_keys = out_prev.extract(cfg.out_split[q],
+                                                cfg.out_split[q + 1]);
+      if (combined_) {
+        letter.packet.values.assign(
+            v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q]),
+            v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q + 1]));
+      }
+      work_.gather_elements +=
+          static_cast<double>(letter.packet.in_keys.size() +
+                              letter.packet.out_keys.size() +
+                              letter.packet.values.size());
+    }
+    return letters;
+  }
+
+  void config_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
+    LayerCfg& cfg = layers_[layer - 1];
+    const std::uint32_t d = topo_->degree(layer);
+    std::vector<std::vector<key_t>> in_pieces(d);
+    std::vector<std::vector<key_t>> out_pieces(d);
+    std::vector<std::vector<V>> value_pieces(d);
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q = topo_->digit(layer, letter.src);
+      in_pieces[q] = std::move(letter.packet.in_keys);
+      out_pieces[q] = std::move(letter.packet.out_keys);
+      value_pieces[q] = std::move(letter.packet.values);
+    }
+
+    UnionResult in_union = tree_merge(in_pieces);
+    UnionResult out_union = tree_merge(out_pieces);
+    for (const auto& piece : in_pieces) {
+      work_.merge_elements += static_cast<double>(piece.size());
+    }
+    for (const auto& piece : out_pieces) {
+      work_.merge_elements += static_cast<double>(piece.size());
+    }
+    work_.merge_ways = std::max(work_.merge_ways, d);
+
+    cfg.recv_out_sizes.assign(d, 0);
+    for (std::uint32_t q = 0; q < d; ++q) {
+      cfg.recv_out_sizes[q] = out_pieces[q].size();
+    }
+    cfg.in_maps = std::move(in_union.maps);
+    cfg.out_maps = std::move(out_union.maps);
+
+    if (combined_) {
+      std::vector<V> merged(out_union.keys.size(),
+                            Op::template identity<V>());
+      for (std::uint32_t q = 0; q < d; ++q) {
+        if (value_pieces[q].empty()) continue;
+        scatter_combine<V, Op>(std::span<V>(merged),
+                               std::span<const V>(value_pieces[q]),
+                               cfg.out_maps[q]);
+        work_.combine_elements += static_cast<double>(value_pieces[q].size());
+      }
+      v_ = std::move(merged);
+    }
+
+    in_sets_[layer] = KeySet::from_sorted_keys(std::move(in_union.keys));
+    out_sets_[layer] = KeySet::from_sorted_keys(std::move(out_union.keys));
+  }
+
+  /// After the last config layer: locate every bottom in-key inside the
+  /// bottom out-keys. Throws check_error if some requested index was never
+  /// contributed by any machine (the ∪in ⊆ ∪out precondition of §III).
+  void finish_configure() {
+    const std::uint16_t l = topo_->num_layers();
+    const KeySet& in_bottom = in_sets_[l];
+    const KeySet& out_bottom = out_sets_[l];
+    bottom_map_.resize(in_bottom.size());
+    for (std::size_t p = 0; p < in_bottom.size(); ++p) {
+      const std::size_t pos = out_bottom.find(in_bottom[p]);
+      KYLIX_CHECK_MSG(pos != KeySet::npos,
+                      "requested index " << unhash_index(in_bottom[p])
+                                         << " was contributed by no machine");
+      bottom_map_[p] = static_cast<pos_t>(pos);
+    }
+    configured_ = true;
+  }
+
+  [[nodiscard]] bool configured() const { return configured_; }
+
+  // ---- reduction, downward ----
+
+  /// Load this machine's contribution, aligned with out_set(0) (key order).
+  void begin_reduce(std::vector<V> out_values) {
+    KYLIX_CHECK(out_values.size() == out_sets_[0].size());
+    v_ = std::move(out_values);
+  }
+
+  [[nodiscard]] std::vector<Letter<V>> down_produce(std::uint16_t layer) {
+    const LayerCfg& cfg = layers_[layer - 1];
+    const std::vector<rank_t> group = topo_->group(layer, rank_);
+    std::vector<Letter<V>> letters(group.size());
+    for (std::uint32_t q = 0; q < group.size(); ++q) {
+      Letter<V>& letter = letters[q];
+      letter.src = rank_;
+      letter.dst = group[q];
+      letter.packet.values.assign(
+          v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q]),
+          v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q + 1]));
+      work_.gather_elements +=
+          static_cast<double>(letter.packet.values.size());
+    }
+    return letters;
+  }
+
+  void down_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
+    const LayerCfg& cfg = layers_[layer - 1];
+    std::vector<V> merged(out_sets_[layer].size(),
+                          Op::template identity<V>());
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q = topo_->digit(layer, letter.src);
+      KYLIX_CHECK_MSG(letter.packet.values.size() == cfg.recv_out_sizes[q],
+                      "reduce payload does not match configured piece size");
+      scatter_combine<V, Op>(std::span<V>(merged),
+                             std::span<const V>(letter.packet.values),
+                             cfg.out_maps[q]);
+      work_.combine_elements +=
+          static_cast<double>(letter.packet.values.size());
+    }
+    v_ = std::move(merged);
+  }
+
+  // ---- reduction, upward ----
+
+  /// Transition from fully-reduced out-values to in-values at the bottom.
+  void begin_up() {
+    KYLIX_CHECK(configured_);
+    KYLIX_CHECK(v_.size() == out_sets_[topo_->num_layers()].size());
+    vin_ = gather(std::span<const V>(v_), bottom_map_);
+    work_.gather_elements += static_cast<double>(bottom_map_.size());
+  }
+
+  [[nodiscard]] std::vector<Letter<V>> up_produce(std::uint16_t layer) {
+    const LayerCfg& cfg = layers_[layer - 1];
+    const std::vector<rank_t> group = topo_->group(layer, rank_);
+    std::vector<Letter<V>> letters(group.size());
+    for (std::uint32_t q = 0; q < group.size(); ++q) {
+      Letter<V>& letter = letters[q];
+      letter.src = rank_;
+      letter.dst = group[q];
+      letter.packet.values =
+          gather(std::span<const V>(vin_), cfg.in_maps[q]);
+      work_.gather_elements +=
+          static_cast<double>(letter.packet.values.size());
+    }
+    return letters;
+  }
+
+  void up_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
+    const LayerCfg& cfg = layers_[layer - 1];
+    std::vector<V> below(in_sets_[layer - 1].size(),
+                         Op::template identity<V>());
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q = topo_->digit(layer, letter.src);
+      const std::size_t first = cfg.in_split[q];
+      KYLIX_CHECK_MSG(
+          letter.packet.values.size() == cfg.in_split[q + 1] - first,
+          "allgather payload does not match configured piece size");
+      std::copy(letter.packet.values.begin(), letter.packet.values.end(),
+                below.begin() + static_cast<std::ptrdiff_t>(first));
+    }
+    vin_ = std::move(below);
+  }
+
+  /// The reduced values this machine asked for, aligned with in_set(0).
+  [[nodiscard]] std::vector<V> take_result() { return std::move(vin_); }
+
+  // ---- introspection ----
+
+  [[nodiscard]] const KeySet& in_set(std::uint16_t node_layer) const {
+    return in_sets_[node_layer];
+  }
+  [[nodiscard]] const KeySet& out_set(std::uint16_t node_layer) const {
+    return out_sets_[node_layer];
+  }
+
+  [[nodiscard]] NodeWork take_work() {
+    return std::exchange(work_, NodeWork{});
+  }
+
+ private:
+  struct LayerCfg {
+    std::vector<std::size_t> in_split;
+    std::vector<std::size_t> out_split;
+    std::vector<PosMap> in_maps;   ///< the paper's g maps (piece -> union)
+    std::vector<PosMap> out_maps;  ///< the paper's f maps (piece -> union)
+    std::vector<std::size_t> recv_out_sizes;
+  };
+
+  const Topology* topo_;
+  rank_t rank_;
+  bool combined_ = false;
+  bool configured_ = false;
+
+  std::vector<KeySet> in_sets_;   ///< node layers 0..l
+  std::vector<KeySet> out_sets_;  ///< node layers 0..l
+  std::vector<LayerCfg> layers_;  ///< index i-1 holds comm layer i
+  PosMap bottom_map_;             ///< in^l positions within out^l
+
+  std::vector<V> v_;    ///< downward (scatter-reduce) value buffer
+  std::vector<V> vin_;  ///< upward (allgather) value buffer
+  NodeWork work_;
+};
+
+}  // namespace kylix

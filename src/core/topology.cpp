@@ -1,0 +1,82 @@
+#include "core/topology.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+Topology::Topology(std::vector<std::uint32_t> degrees)
+    : degrees_(std::move(degrees)) {
+  strides_.reserve(degrees_.size() + 1);
+  strides_.push_back(1);
+  for (std::uint32_t d : degrees_) {
+    KYLIX_CHECK_MSG(d >= 1, "butterfly degree must be >= 1");
+    const std::uint64_t next =
+        static_cast<std::uint64_t>(strides_.back()) * d;
+    KYLIX_CHECK_MSG(next <= 1u << 24, "topology too large");
+    strides_.push_back(static_cast<rank_t>(next));
+  }
+  num_machines_ = strides_.back();
+}
+
+Topology Topology::direct(rank_t num_machines) {
+  KYLIX_CHECK(num_machines >= 1);
+  if (num_machines == 1) return Topology({});
+  return Topology({num_machines});
+}
+
+Topology Topology::binary(rank_t num_machines) {
+  KYLIX_CHECK(num_machines >= 1);
+  KYLIX_CHECK_MSG((num_machines & (num_machines - 1)) == 0,
+                  "binary butterfly requires a power-of-two machine count");
+  std::vector<std::uint32_t> degrees;
+  for (rank_t x = num_machines; x > 1; x /= 2) degrees.push_back(2);
+  return Topology(std::move(degrees));
+}
+
+std::uint32_t Topology::degree(std::uint16_t layer) const {
+  KYLIX_CHECK_MSG(layer >= 1 && layer <= num_layers(),
+                  "communication layers are 1-based");
+  return degrees_[layer - 1];
+}
+
+std::uint32_t Topology::digit(std::uint16_t layer, rank_t rank) const {
+  KYLIX_CHECK(layer >= 1 && layer <= num_layers());
+  KYLIX_DCHECK(rank < num_machines_);
+  return (rank / strides_[layer - 1]) % degrees_[layer - 1];
+}
+
+std::vector<rank_t> Topology::group(std::uint16_t layer, rank_t rank) const {
+  const std::uint32_t d = degree(layer);
+  const rank_t stride = strides_[layer - 1];
+  const rank_t base = rank - digit(layer, rank) * stride;
+  std::vector<rank_t> members;
+  members.reserve(d);
+  for (std::uint32_t q = 0; q < d; ++q) {
+    members.push_back(base + q * stride);
+  }
+  return members;
+}
+
+KeyRange Topology::key_range(std::uint16_t node_layer, rank_t rank) const {
+  KYLIX_CHECK(node_layer <= num_layers());
+  KYLIX_DCHECK(rank < num_machines_);
+  KeyRange range = KeyRange::full();
+  for (std::uint16_t layer = 1; layer <= node_layer; ++layer) {
+    range = range.subrange(digit(layer, rank), degrees_[layer - 1]);
+  }
+  return range;
+}
+
+std::string Topology::to_string() const {
+  if (degrees_.empty()) return "1";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < degrees_.size(); ++i) {
+    if (i > 0) os << " x ";
+    os << degrees_[i];
+  }
+  return os.str();
+}
+
+}  // namespace kylix

@@ -1,0 +1,69 @@
+// The nested heterogeneous-degree butterfly topology (§III, Fig. 3).
+//
+// m = d_1 · d_2 · … · d_l machines are laid out on a mixed-radix grid. At
+// communication layer i the group of a node is the set of d_i nodes whose
+// coordinates agree everywhere except digit i-1; allreduce is performed
+// within each group by direct exchange (a generalized butterfly). Nesting
+// falls out of the coordinate system: the key range a node is responsible
+// for narrows at each layer to the subrange indexed by its digit, so the
+// upward allgather retraces the downward partition exactly.
+//
+// Degrees need not be equal ("heterogeneous"): the degenerate schedules
+// {m} and {2,2,…,2} recover the paper's direct-allreduce and binary-
+// butterfly baselines, which is how src/baselines builds them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/key_set.hpp"
+
+namespace kylix {
+
+class Topology {
+ public:
+  /// `degrees` are the per-layer butterfly degrees, top (layer 1) first;
+  /// every degree must be >= 1. A single machine is degrees == {}.
+  explicit Topology(std::vector<std::uint32_t> degrees);
+
+  /// Convenience: the 1-layer degree-m direct topology.
+  static Topology direct(rank_t num_machines);
+
+  /// The all-binary butterfly over 2^k machines.
+  static Topology binary(rank_t num_machines);
+
+  [[nodiscard]] rank_t num_machines() const { return num_machines_; }
+  [[nodiscard]] std::uint16_t num_layers() const {
+    return static_cast<std::uint16_t>(degrees_.size());
+  }
+  [[nodiscard]] std::span<const std::uint32_t> degrees() const {
+    return degrees_;
+  }
+  [[nodiscard]] std::uint32_t degree(std::uint16_t layer) const;
+
+  /// Digit of `rank` at layer `layer` (its position within its group).
+  [[nodiscard]] std::uint32_t digit(std::uint16_t layer, rank_t rank) const;
+
+  /// The d_layer group members of `rank` at `layer`, in group-position
+  /// order (the member at position q owns subrange q). Includes rank.
+  [[nodiscard]] std::vector<rank_t> group(std::uint16_t layer,
+                                          rank_t rank) const;
+
+  /// The hashed-key range `rank` is responsible for at *node layer* i
+  /// (after i communication layers); node_layer 0 is the full space.
+  [[nodiscard]] KeyRange key_range(std::uint16_t node_layer,
+                                   rank_t rank) const;
+
+  /// "8 x 4 x 2" (or "1" for a single machine).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint32_t> degrees_;
+  std::vector<rank_t> strides_;  ///< strides_[i] = d_1·…·d_i, strides_[0]=1
+  rank_t num_machines_ = 1;
+};
+
+}  // namespace kylix

@@ -1,0 +1,42 @@
+// Umbrella header: the full public surface of the Kylix library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   kylix::Topology topo({8, 4, 2});                  // or autotune_topology
+//   kylix::BspEngine<float> engine(topo.num_machines());
+//   kylix::SparseAllreduce<float> allreduce(&engine, topo);
+//   allreduce.configure(in_sets, out_sets);           // once
+//   auto results = allreduce.reduce(out_values);      // many times
+#pragma once
+
+#include "apps/components.hpp"      // IWYU pragma: export
+#include "apps/diameter.hpp"        // IWYU pragma: export
+#include "apps/pagerank.hpp"        // IWYU pragma: export
+#include "apps/reference.hpp"       // IWYU pragma: export
+#include "apps/sgd.hpp"             // IWYU pragma: export
+#include "baselines/direct.hpp"     // IWYU pragma: export
+#include "baselines/hadoop_model.hpp"  // IWYU pragma: export
+#include "baselines/tree.hpp"       // IWYU pragma: export
+#include "cluster/failure.hpp"      // IWYU pragma: export
+#include "cluster/netmodel.hpp"     // IWYU pragma: export
+#include "cluster/timing.hpp"       // IWYU pragma: export
+#include "cluster/trace.hpp"        // IWYU pragma: export
+#include "comm/bsp.hpp"             // IWYU pragma: export
+#include "common/log.hpp"           // IWYU pragma: export
+#include "common/timer.hpp"         // IWYU pragma: export
+#include "common/units.hpp"         // IWYU pragma: export
+#include "comm/replicated.hpp"      // IWYU pragma: export
+#include "comm/threaded.hpp"        // IWYU pragma: export
+#include "core/allreduce.hpp"       // IWYU pragma: export
+#include "core/autotune.hpp"        // IWYU pragma: export
+#include "core/node.hpp"            // IWYU pragma: export
+#include "core/topology.hpp"        // IWYU pragma: export
+#include "powerlaw/alpha_fit.hpp"   // IWYU pragma: export
+#include "powerlaw/design.hpp"      // IWYU pragma: export
+#include "powerlaw/graphgen.hpp"    // IWYU pragma: export
+#include "powerlaw/model.hpp"       // IWYU pragma: export
+#include "powerlaw/zipf.hpp"        // IWYU pragma: export
+#include "sparse/csr.hpp"           // IWYU pragma: export
+#include "sparse/key_set.hpp"       // IWYU pragma: export
+#include "sparse/merge.hpp"         // IWYU pragma: export
+#include "sparse/ops.hpp"           // IWYU pragma: export

@@ -1,0 +1,48 @@
+#include "powerlaw/alpha_fit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+double fit_alpha_mle(std::span<const std::uint64_t> samples,
+                     std::uint64_t x_min) {
+  KYLIX_CHECK(x_min >= 1);
+  double log_sum = 0.0;
+  std::size_t used = 0;
+  const double denom = static_cast<double>(x_min) - 0.5;
+  for (std::uint64_t x : samples) {
+    if (x < x_min) continue;
+    log_sum += std::log(static_cast<double>(x) / denom);
+    ++used;
+  }
+  KYLIX_CHECK_MSG(used >= 2, "need at least 2 samples >= x_min");
+  // P(x) ∝ x^-a with a = 1 + n / Σ ln(x_i/(x_min - 1/2)).
+  return 1.0 + static_cast<double>(used) / log_sum;
+}
+
+double fit_alpha_rank_frequency(
+    std::span<const std::uint64_t> frequencies_sorted_desc) {
+  std::size_t count = 0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t r = 0; r < frequencies_sorted_desc.size(); ++r) {
+    const std::uint64_t f = frequencies_sorted_desc[r];
+    if (f == 0) break;  // rank-sorted: zeros only trail
+    KYLIX_CHECK_MSG(r == 0 || f <= frequencies_sorted_desc[r - 1],
+                    "frequencies must be sorted descending");
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(f));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  KYLIX_CHECK_MSG(count >= 2, "need at least 2 nonzero frequencies");
+  const double nd = static_cast<double>(count);
+  const double slope = (nd * sxy - sx * sy) / (nd * sxx - sx * sx);
+  return -slope;  // F ∝ r^-α means slope = -α
+}
+
+}  // namespace kylix

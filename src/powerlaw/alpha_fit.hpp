@@ -1,0 +1,27 @@
+// Estimating the power-law exponent of observed data.
+//
+// The design workflow needs α for the workload. Two standard estimators are
+// provided: the discrete maximum-likelihood estimator of Clauset, Shalizi &
+// Newman (continuous approximation, robust for heavy tails) and a rank-
+// frequency log-log least-squares fit (what practitioners eyeball; kept for
+// cross-checking and for the sampled-density construction mentioned at the
+// end of §IV).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kylix {
+
+/// CSN maximum-likelihood exponent from raw observations (e.g. vertex
+/// degrees). Only samples >= x_min are used; returns the exponent of the
+/// frequency law P(x) ∝ x^-(alpha_hat). Requires at least 2 usable samples.
+[[nodiscard]] double fit_alpha_mle(std::span<const std::uint64_t> samples,
+                                   std::uint64_t x_min = 1);
+
+/// Least-squares slope of log(frequency) vs log(rank) over a rank-sorted
+/// frequency table; returns the positive exponent α of F ∝ r^-α.
+[[nodiscard]] double fit_alpha_rank_frequency(
+    std::span<const std::uint64_t> frequencies_sorted_desc);
+
+}  // namespace kylix

@@ -1,0 +1,87 @@
+#include "powerlaw/design.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace kylix {
+
+std::vector<std::uint32_t> divisors_descending(std::uint32_t x) {
+  KYLIX_CHECK(x >= 1);
+  std::vector<std::uint32_t> divisors;
+  for (std::uint32_t d = x; d >= 2; --d) {
+    if (x % d == 0) divisors.push_back(d);
+  }
+  return divisors;
+}
+
+std::uint32_t smallest_prime_factor(std::uint32_t x) {
+  KYLIX_CHECK(x >= 2);
+  for (std::uint32_t d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return d;
+  }
+  return x;
+}
+
+DesignResult choose_degrees(const DesignInput& input) {
+  KYLIX_CHECK(input.num_machines >= 1);
+  KYLIX_CHECK(input.num_features >= 1);
+  KYLIX_CHECK(input.bytes_per_element > 0);
+  KYLIX_CHECK(input.min_packet_bytes >= 0);
+
+  const PowerLawModel model(input.num_features, input.alpha);
+  DesignResult result;
+  result.lambda0 = model.lambda_for_density(input.partition_density);
+
+  std::uint32_t remaining = input.num_machines;
+  std::uint64_t fan_in = 1;
+  while (remaining > 1) {
+    DesignLayer layer;
+    layer.density = model.density(static_cast<double>(fan_in) *
+                                  result.lambda0);
+    layer.elements_per_node = static_cast<double>(input.num_features) *
+                              layer.density / static_cast<double>(fan_in);
+    const double node_bytes =
+        layer.elements_per_node * input.bytes_per_element;
+    layer.node_bytes = node_bytes;
+
+    std::uint32_t chosen = 0;
+    for (std::uint32_t d : divisors_descending(remaining)) {
+      if (node_bytes / d >= input.min_packet_bytes) {
+        chosen = d;
+        break;
+      }
+    }
+    if (chosen == 0) {
+      chosen = smallest_prime_factor(remaining);
+      layer.latency_bound = true;
+    }
+    layer.degree = chosen;
+    layer.message_bytes = node_bytes / chosen;
+    result.degrees.push_back(chosen);
+    result.layers.push_back(layer);
+    remaining /= chosen;
+    fan_in *= chosen;
+  }
+  return result;
+}
+
+std::string DesignResult::to_string() const {
+  std::ostringstream os;
+  os << "degrees:";
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    os << (i == 0 ? " " : " x ") << degrees[i];
+  }
+  os << "  (lambda0 = " << lambda0 << ")\n";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const DesignLayer& l = layers[i];
+    os << "  layer " << (i + 1) << ": degree " << l.degree << ", density "
+       << l.density << ", per-node " << format_bytes(l.node_bytes)
+       << ", message " << format_bytes(l.message_bytes)
+       << (l.latency_bound ? "  [latency-bound fallback]" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kylix

@@ -1,0 +1,57 @@
+// The §IV network-design workflow: choose butterfly degrees for a workload.
+//
+// Goal (paper): minimize the number of layers subject to per-message packets
+// staying above the network's minimum efficient size. Walking down the
+// network: compute per-node data P_i entering layer i from Proposition 4.1,
+// then pick the largest divisor d of the remaining machine count with
+// P_i / d >= min_packet. When even the smallest possible split would drop
+// below the threshold, the workload is latency-bound and we fall back to the
+// smallest prime factor (binary-like layers maximize packet size per
+// message), which is the degenerate regime the paper's binary butterfly
+// occupies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "powerlaw/model.hpp"
+
+namespace kylix {
+
+struct DesignInput {
+  std::uint64_t num_features = 0;  ///< n
+  std::uint32_t num_machines = 0;  ///< m; the degree product must equal m
+  double alpha = 1.0;              ///< power-law exponent of the workload
+  double partition_density = 0;    ///< measured density of one machine's data
+  double bytes_per_element = 12;   ///< wire bytes per nonzero (key + value)
+  double min_packet_bytes = 0;     ///< minimum efficient packet size (Fig. 2)
+};
+
+struct DesignLayer {
+  std::uint32_t degree = 0;
+  double density = 0;             ///< D_i entering this layer
+  double elements_per_node = 0;   ///< P_i entering this layer
+  double node_bytes = 0;          ///< P_i * bytes_per_element
+  double message_bytes = 0;       ///< node_bytes / degree
+  bool latency_bound = false;     ///< fallback rule was used at this layer
+};
+
+struct DesignResult {
+  std::vector<std::uint32_t> degrees;  ///< top-to-bottom, product == m
+  std::vector<DesignLayer> layers;     ///< one entry per degree
+  double lambda0 = 0;                  ///< fitted scaling factor
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run the workflow. Throws check_error on invalid input (m == 0, density
+/// outside (0,1), ...).
+[[nodiscard]] DesignResult choose_degrees(const DesignInput& input);
+
+/// All divisors > 1 of x, descending.
+[[nodiscard]] std::vector<std::uint32_t> divisors_descending(std::uint32_t x);
+
+/// Smallest prime factor of x >= 2.
+[[nodiscard]] std::uint32_t smallest_prime_factor(std::uint32_t x);
+
+}  // namespace kylix

@@ -1,0 +1,121 @@
+#include "powerlaw/graphgen.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "powerlaw/model.hpp"
+#include "powerlaw/zipf.hpp"
+
+namespace kylix {
+
+std::vector<Edge> generate_zipf_graph(const GraphSpec& spec) {
+  KYLIX_CHECK(spec.num_vertices >= 1);
+  Rng rng(spec.seed);
+  const ZipfSampler src_sampler(spec.num_vertices, spec.alpha_out);
+  const ZipfSampler dst_sampler(spec.num_vertices, spec.alpha_in);
+  std::vector<Edge> edges;
+  edges.reserve(spec.num_edges);
+  for (std::uint64_t e = 0; e < spec.num_edges; ++e) {
+    edges.push_back(Edge{src_sampler(rng) - 1, dst_sampler(rng) - 1});
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_rmat(std::uint32_t scale, std::uint64_t num_edges,
+                                std::uint64_t seed, double a, double b,
+                                double c) {
+  KYLIX_CHECK(scale >= 1 && scale < 63);
+  KYLIX_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double u = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (u < a) {
+        // top-left quadrant: neither bit set
+      } else if (u < a + b) {
+        dst |= 1;
+      } else if (u < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back(Edge{src, dst});
+  }
+  return edges;
+}
+
+std::vector<std::vector<Edge>> random_edge_partition(
+    std::span<const Edge> edges, std::uint32_t num_machines,
+    std::uint64_t seed) {
+  KYLIX_CHECK(num_machines >= 1);
+  Rng rng(mix64(seed));
+  std::vector<std::vector<Edge>> parts(num_machines);
+  const std::size_t expected = edges.size() / num_machines + 1;
+  for (auto& p : parts) p.reserve(expected);
+  for (const Edge& e : edges) {
+    parts[rng.below(num_machines)].push_back(e);
+  }
+  return parts;
+}
+
+std::uint64_t edges_for_partition_density(std::uint64_t num_vertices,
+                                          double alpha_in,
+                                          std::uint32_t num_machines,
+                                          double target_density) {
+  const PowerLawModel model(num_vertices, alpha_in);
+  const double lambda0 = model.lambda_for_density(target_density);
+  const double edges =
+      static_cast<double>(num_machines) * lambda0 * model.harmonic();
+  return static_cast<std::uint64_t>(edges);
+}
+
+GraphSpec twitter_like(std::uint64_t num_vertices) {
+  GraphSpec spec;
+  spec.num_vertices = num_vertices;
+  spec.alpha_out = 1.25;  // follower out-degrees are a bit steeper
+  spec.alpha_in = 1.1;
+  spec.num_edges =
+      edges_for_partition_density(num_vertices, spec.alpha_in, 64, 0.21);
+  spec.seed = 20140901;  // ICPP'14
+  spec.name = "twitter-like";
+  return spec;
+}
+
+GraphSpec yahoo_like(std::uint64_t num_vertices) {
+  GraphSpec spec;
+  spec.num_vertices = num_vertices;
+  spec.alpha_out = 1.0;
+  spec.alpha_in = 0.9;
+  spec.num_edges =
+      edges_for_partition_density(num_vertices, spec.alpha_in, 64, 0.035);
+  spec.seed = 20140902;
+  spec.name = "yahoo-like";
+  return spec;
+}
+
+double measure_partition_density(
+    const std::vector<std::vector<Edge>>& partitions,
+    std::uint64_t num_vertices) {
+  KYLIX_CHECK(!partitions.empty());
+  KYLIX_CHECK(num_vertices >= 1);
+  double total = 0.0;
+  for (const auto& part : partitions) {
+    std::vector<index_t> dsts;
+    dsts.reserve(part.size());
+    for (const Edge& e : part) dsts.push_back(e.dst);
+    const KeySet unique = KeySet::from_indices(dsts);
+    total += static_cast<double>(unique.size()) /
+             static_cast<double>(num_vertices);
+  }
+  return total / static_cast<double>(partitions.size());
+}
+
+}  // namespace kylix

@@ -1,0 +1,70 @@
+// Synthetic power-law graph workloads.
+//
+// Stand-ins for the paper's Twitter-followers and Yahoo Altavista graphs
+// (DESIGN.md §2): Zipf-edge sampling draws each edge's endpoints from Zipf
+// marginals (matching the Poisson–power-law partition model of §IV exactly),
+// and R-MAT is provided as a second, correlated generator. Presets are scaled
+// so that the 64-way random edge partition reproduces the paper's measured
+// partition densities (0.21 twitter-like, 0.035 yahoo-like).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace kylix {
+
+struct GraphSpec {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  double alpha_out = 1.0;  ///< exponent of the source (follower) marginal
+  double alpha_in = 1.0;   ///< exponent of the destination marginal
+  std::uint64_t seed = 1;
+  const char* name = "graph";
+};
+
+/// Edge list with endpoints drawn independently from Zipf marginals. Vertex
+/// id v corresponds to rank v+1 (id 0 is the most popular vertex); ids are
+/// hashed before any partitioning, so rank-ordering carries no locality.
+[[nodiscard]] std::vector<Edge> generate_zipf_graph(const GraphSpec& spec);
+
+/// Recursive-matrix (R-MAT) generator over 2^scale vertices: classic
+/// (a,b,c,d) quadrant recursion, defaults a=0.57,b=0.19,c=0.19,d=0.05
+/// (Graph500 constants).
+[[nodiscard]] std::vector<Edge> generate_rmat(std::uint32_t scale,
+                                              std::uint64_t num_edges,
+                                              std::uint64_t seed,
+                                              double a = 0.57, double b = 0.19,
+                                              double c = 0.19);
+
+/// Random edge partitioning across m machines (§II-B): each edge lands on a
+/// uniform machine. Deterministic in `seed`.
+[[nodiscard]] std::vector<std::vector<Edge>> random_edge_partition(
+    std::span<const Edge> edges, std::uint32_t num_machines,
+    std::uint64_t seed);
+
+/// Number of edges so that one machine of an m-way random partition has the
+/// target expected density of *destination* ids: E = m · λ0 · H_{n,α_in}.
+[[nodiscard]] std::uint64_t edges_for_partition_density(
+    std::uint64_t num_vertices, double alpha_in, std::uint32_t num_machines,
+    double target_density);
+
+/// Twitter-followers-like preset (dense partitions, fast head collapse):
+/// n = 2^20 vertices, α = 1.1, edges sized for partition density 0.21 at
+/// m = 64. Pass a smaller n to scale the workload down proportionally.
+[[nodiscard]] GraphSpec twitter_like(std::uint64_t num_vertices = 1u << 20);
+
+/// Yahoo-Altavista-like preset (sparse partitions, weak collapse):
+/// n = 2^22 vertices, α = 0.9, edges sized for partition density 0.035 at
+/// m = 64.
+[[nodiscard]] GraphSpec yahoo_like(std::uint64_t num_vertices = 1u << 22);
+
+/// Measured mean density of the destination sets of an m-way partition
+/// (what "measure the density of the input data" means in §IV).
+[[nodiscard]] double measure_partition_density(
+    const std::vector<std::vector<Edge>>& partitions,
+    std::uint64_t num_vertices);
+
+}  // namespace kylix

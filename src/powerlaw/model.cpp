@@ -1,0 +1,111 @@
+#include "powerlaw/model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+namespace {
+
+/// Σ_{r=a..b} r^-α approximated by ∫_{a-1/2}^{b+1/2} x^-α dx (midpoint rule
+/// in reverse; relative error < 1e-4 for a >= 3, and we only use it where
+/// each term is further multiplied by a tiny factor).
+double power_sum_integral(double a, double b, double alpha) {
+  if (b < a) return 0.0;
+  const double lo = a - 0.5;
+  const double hi = b + 0.5;
+  if (std::abs(alpha - 1.0) < 1e-12) return std::log(hi / lo);
+  return (std::pow(hi, 1.0 - alpha) - std::pow(lo, 1.0 - alpha)) /
+         (1.0 - alpha);
+}
+
+}  // namespace
+
+PowerLawModel::PowerLawModel(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  KYLIX_CHECK(n >= 1);
+  KYLIX_CHECK(alpha > 0.0);
+}
+
+double PowerLawModel::density(double lambda) const {
+  if (lambda <= 0.0) return 0.0;
+  // Terms with λ r^-α below `kTiny` satisfy 1-exp(-x) = x to 5e-7 relative
+  // accuracy, so the tail collapses to λ Σ r^-α, which has a closed-ish form.
+  constexpr double kTiny = 1e-6;
+  const auto nd = static_cast<double>(n_);
+  // r_cut: smallest r with λ r^-α < kTiny, i.e. r > (λ/kTiny)^(1/α).
+  double r_cut = std::pow(lambda / kTiny, 1.0 / alpha_);
+  if (!(r_cut >= 0)) r_cut = nd;  // overflow guard
+  const auto head_end =
+      static_cast<std::uint64_t>(std::min(nd, std::ceil(r_cut)));
+
+  double sum = 0.0;
+  for (std::uint64_t r = 1; r <= head_end; ++r) {
+    sum += -std::expm1(-lambda * std::pow(static_cast<double>(r), -alpha_));
+  }
+  if (head_end < n_) {
+    sum += lambda * power_sum_integral(static_cast<double>(head_end + 1), nd,
+                                       alpha_);
+  }
+  return sum / nd;
+}
+
+double PowerLawModel::lambda_for_density(double target) const {
+  KYLIX_CHECK_MSG(target > 0.0 && target < 1.0,
+                  "density must be in (0,1), got " << target);
+  // Bracket the root by doubling, then bisect on log λ.
+  double lo = 1e-12;
+  double hi = 1.0;
+  while (density(hi) < target) {
+    hi *= 4.0;
+    KYLIX_CHECK_MSG(hi < 1e30, "density target unreachable");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric mid: λ spans decades
+    if (density(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi / lo < 1.0 + 1e-10) break;
+  }
+  return std::sqrt(lo * hi);
+}
+
+double PowerLawModel::harmonic() const {
+  // Exact head + integral tail, mirroring density()'s accuracy strategy.
+  const std::uint64_t head_end = std::min<std::uint64_t>(n_, 100000);
+  double sum = 0.0;
+  for (std::uint64_t r = 1; r <= head_end; ++r) {
+    sum += std::pow(static_cast<double>(r), -alpha_);
+  }
+  if (head_end < n_) {
+    sum += power_sum_integral(static_cast<double>(head_end + 1),
+                              static_cast<double>(n_), alpha_);
+  }
+  return sum;
+}
+
+std::vector<PowerLawModel::LayerStats> PowerLawModel::layer_stats(
+    double lambda0, std::span<const std::uint32_t> degrees) const {
+  KYLIX_CHECK(lambda0 > 0.0);
+  std::vector<LayerStats> stats;
+  stats.reserve(degrees.size() + 1);
+  std::uint64_t fan_in = 1;  // K_1 = d_0 = 1 (paper's convention)
+  for (std::size_t i = 0; i <= degrees.size(); ++i) {
+    LayerStats s;
+    s.fan_in = fan_in;
+    s.density = density(static_cast<double>(fan_in) * lambda0);
+    s.elements_per_node =
+        static_cast<double>(n_) * s.density / static_cast<double>(fan_in);
+    stats.push_back(s);
+    if (i < degrees.size()) {
+      KYLIX_CHECK(degrees[i] >= 1);
+      fan_in *= degrees[i];
+    }
+  }
+  return stats;
+}
+
+}  // namespace kylix

@@ -1,0 +1,67 @@
+// The Poisson–power-law density model of §IV (Eq. 4–7 and Proposition 4.1).
+//
+// Feature r (rank-ordered by frequency) occurs in a machine's partition
+// Poisson(λ r^-α) times. The probability that it occurs at least once is
+// 1 - exp(-λ r^-α); the expected *density* of a partition (fraction of the n
+// features present) is therefore
+//
+//     f(λ) = (1/n) Σ_{r=1..n} (1 - exp(-λ r^-α))          (Eq. 7)
+//
+// f is strictly increasing in λ, so a measured density identifies λ0. When a
+// node at layer i of the butterfly has summed the data of K_i = d_1·…·d_{i-1}
+// machines, the rate simply scales to K_i·λ0 (superposition of Poissons),
+// giving Proposition 4.1:
+//
+//     D_i = f(K_i λ0)         density entering communication layer i
+//     P_i = n·D_i / K_i       per-node element count entering layer i
+//
+// and the per-message size at layer i is P_i / d_i. These two formulas drive
+// the whole §IV design workflow.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kylix {
+
+class PowerLawModel {
+ public:
+  /// `n` features, power-law exponent `alpha` (> 0; real data concentrates
+  /// in [0.5, 2], Fig. 4).
+  PowerLawModel(std::uint64_t n, double alpha);
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// f(λ): expected partition density for Poisson scaling factor λ.
+  /// Exact head summation with an integral tail (relative error < 1e-6).
+  [[nodiscard]] double density(double lambda) const;
+
+  /// Inverse of density(): the λ whose expected density equals `target`
+  /// (clamped to (0, 1)). Bisection on the monotone f.
+  [[nodiscard]] double lambda_for_density(double target) const;
+
+  /// Generalized harmonic number H_{n,α} = Σ_{r=1..n} r^-α — the expected
+  /// number of draws per unit λ, used to convert edge counts to λ.
+  [[nodiscard]] double harmonic() const;
+
+  /// Per-layer expectations from Proposition 4.1 for a degree schedule.
+  struct LayerStats {
+    std::uint64_t fan_in = 1;    ///< K_i = product of degrees above layer i
+    double density = 0;          ///< D_i = f(K_i λ0)
+    double elements_per_node = 0;  ///< P_i = n D_i / K_i
+  };
+
+  /// Stats entering communication layers 1..l, plus one final entry for the
+  /// fully reduced bottom (the paper plots this as the last layer of Fig. 5).
+  /// `degrees` are top-to-bottom butterfly degrees.
+  [[nodiscard]] std::vector<LayerStats> layer_stats(
+      double lambda0, std::span<const std::uint32_t> degrees) const;
+
+ private:
+  std::uint64_t n_;
+  double alpha_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,68 @@
+#include "powerlaw/zipf.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+namespace {
+
+/// log1p(x)/x, stable near 0.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+/// expm1(x)/x, stable near 0.
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  KYLIX_CHECK(n >= 1);
+  KYLIX_CHECK(alpha > 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  return std::exp(helper1(t) * x);
+}
+
+double ZipfSampler::h(double x) const {
+  return std::exp(-alpha_ * std::log(x));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  if (n_ == 1) return 1;
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace kylix

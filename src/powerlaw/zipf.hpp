@@ -1,0 +1,40 @@
+// Zipf-distributed sampling.
+//
+// The paper's workloads are power-law ("natural graph") datasets: feature r
+// occurs with probability proportional to r^-alpha. ZipfSampler draws ranks
+// in [1, n] in O(1) expected time for any alpha > 0 using Hörmann &
+// Derflinger's rejection-inversion scheme (the same algorithm as Apache
+// Commons RNG's RejectionInversionZipfSampler).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace kylix {
+
+class ZipfSampler {
+ public:
+  /// `n` is the number of ranks, `alpha` > 0 the exponent (alpha == 1 is
+  /// handled exactly).
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  /// Draw a rank in [1, n].
+  [[nodiscard]] std::uint64_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+  [[nodiscard]] double h(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,46 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+namespace kylix {
+
+LocalGraph::LocalGraph(std::span<const Edge> edges) {
+  std::vector<index_t> srcs;
+  std::vector<index_t> dsts;
+  srcs.reserve(edges.size());
+  dsts.reserve(edges.size());
+  for (const Edge& e : edges) {
+    srcs.push_back(e.src);
+    dsts.push_back(e.dst);
+  }
+  sources_ = KeySet::from_indices(srcs);
+  destinations_ = KeySet::from_indices(dsts);
+
+  // Count edges per local destination, then fill CSR by a second pass.
+  row_ptr_.assign(destinations_.size() + 1, 0);
+  std::vector<std::pair<pos_t, pos_t>> local_edges;  // (dst_pos, src_pos)
+  local_edges.reserve(edges.size());
+  for (const Edge& e : edges) {
+    const std::size_t d = destinations_.find(hash_index(e.dst));
+    const std::size_t s = sources_.find(hash_index(e.src));
+    KYLIX_DCHECK(d != KeySet::npos && s != KeySet::npos);
+    local_edges.emplace_back(static_cast<pos_t>(d), static_cast<pos_t>(s));
+    ++row_ptr_[d + 1];
+  }
+  for (std::size_t d = 0; d < destinations_.size(); ++d) {
+    row_ptr_[d + 1] += row_ptr_[d];
+  }
+  cols_.resize(edges.size());
+  std::vector<std::size_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (const auto& [d, s] : local_edges) {
+    cols_[cursor[d]++] = s;
+  }
+}
+
+std::vector<float> LocalGraph::local_out_degrees() const {
+  std::vector<float> degrees(sources_.size(), 0.0f);
+  for (pos_t s : cols_) degrees[s] += 1.0f;
+  return degrees;
+}
+
+}  // namespace kylix

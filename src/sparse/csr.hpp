@@ -1,0 +1,113 @@
+// Compacted CSR storage for one machine's edge partition.
+//
+// Distributed graph apps (PageRank, BFS, components, diameter) hold a random
+// edge partition per machine (§II-B: random edge partitioning). LocalGraph
+// compacts the global source/destination vertex ids that actually appear in
+// the partition into dense local ranges and stores the edges in CSR form
+// grouped by destination, so a local multiply is a cache-friendly pass:
+//
+//   for each local dst d: for each incident local src s: w[d] += v[s] * a
+//
+// The compacted id spaces double as the machine's allreduce in/out sets:
+// sources are the *in* set (values the multiply consumes) and destinations
+// are the *out* set (values the multiply produces) — exactly the PageRank
+// wiring of §I-A.2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/key_set.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+/// A directed edge src -> dst over global vertex ids.
+struct Edge {
+  index_t src = 0;
+  index_t dst = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class LocalGraph {
+ public:
+  LocalGraph() = default;
+
+  /// Build from this machine's edge list. Parallel edges are kept (their
+  /// multiplicity contributes to the multiply, as in an adjacency count).
+  explicit LocalGraph(std::span<const Edge> edges);
+
+  /// Unique sources present locally, as a key set (the allreduce *in* set).
+  [[nodiscard]] const KeySet& sources() const { return sources_; }
+  /// Unique destinations present locally (the allreduce *out* set).
+  [[nodiscard]] const KeySet& destinations() const { return destinations_; }
+
+  [[nodiscard]] std::size_t num_edges() const { return cols_.size(); }
+  [[nodiscard]] std::size_t num_local_sources() const {
+    return sources_.size();
+  }
+  [[nodiscard]] std::size_t num_local_destinations() const {
+    return destinations_.size();
+  }
+
+  /// Local out-degree counts: for each local source position, the number of
+  /// edges here that leave it. Summed across machines via allreduce this
+  /// yields global out-degrees (needed to column-normalize PageRank).
+  [[nodiscard]] std::vector<float> local_out_degrees() const;
+
+  /// w[d] += sum over edges (s -> d) of v[s] * scale[s], where v and scale
+  /// are aligned with sources() and w with destinations(). `scale` may be
+  /// empty (treated as all-ones).
+  template <typename V>
+  void multiply_into(std::span<const V> v, std::span<const V> scale,
+                     std::span<V> w) const {
+    KYLIX_CHECK(v.size() == sources_.size());
+    KYLIX_CHECK(w.size() == destinations_.size());
+    KYLIX_CHECK(scale.empty() || scale.size() == v.size());
+    for (std::size_t d = 0; d < destinations_.size(); ++d) {
+      V acc = w[d];
+      for (std::size_t e = row_ptr_[d]; e < row_ptr_[d + 1]; ++e) {
+        const pos_t s = cols_[e];
+        acc += scale.empty() ? v[s] : static_cast<V>(v[s] * scale[s]);
+      }
+      w[d] = acc;
+    }
+  }
+
+  /// Min-semiring multiply for label propagation: w[d] = min(w[d], v[s])
+  /// over local edges s -> d.
+  template <typename V>
+  void min_propagate_into(std::span<const V> v, std::span<V> w) const {
+    KYLIX_CHECK(v.size() == sources_.size());
+    KYLIX_CHECK(w.size() == destinations_.size());
+    for (std::size_t d = 0; d < destinations_.size(); ++d) {
+      V acc = w[d];
+      for (std::size_t e = row_ptr_[d]; e < row_ptr_[d + 1]; ++e) {
+        acc = std::min(acc, v[cols_[e]]);
+      }
+      w[d] = acc;
+    }
+  }
+
+  /// Bit-or multiply for Flajolet–Martin style sketches: w[d] |= v[s].
+  template <typename V>
+  void or_propagate_into(std::span<const V> v, std::span<V> w) const {
+    KYLIX_CHECK(v.size() == sources_.size());
+    KYLIX_CHECK(w.size() == destinations_.size());
+    for (std::size_t d = 0; d < destinations_.size(); ++d) {
+      V acc = w[d];
+      for (std::size_t e = row_ptr_[d]; e < row_ptr_[d + 1]; ++e) {
+        acc |= v[cols_[e]];
+      }
+      w[d] = acc;
+    }
+  }
+
+ private:
+  KeySet sources_;
+  KeySet destinations_;
+  std::vector<std::size_t> row_ptr_;  ///< per local destination, into cols_
+  std::vector<pos_t> cols_;           ///< local source position per edge
+};
+
+}  // namespace kylix

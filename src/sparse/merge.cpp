@@ -1,0 +1,114 @@
+#include "sparse/merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b) {
+  UnionResult result;
+  result.keys.reserve(a.size() + b.size());
+  result.maps.assign(2, {});
+  PosMap& map_a = result.maps[0];
+  PosMap& map_b = result.maps[1];
+  map_a.resize(a.size());
+  map_b.resize(b.size());
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const auto out = static_cast<pos_t>(result.keys.size());
+    if (a[i] < b[j]) {
+      result.keys.push_back(a[i]);
+      map_a[i++] = out;
+    } else if (b[j] < a[i]) {
+      result.keys.push_back(b[j]);
+      map_b[j++] = out;
+    } else {
+      result.keys.push_back(a[i]);
+      map_a[i++] = out;
+      map_b[j++] = out;
+    }
+  }
+  for (; i < a.size(); ++i) {
+    map_a[i] = static_cast<pos_t>(result.keys.size());
+    result.keys.push_back(a[i]);
+  }
+  for (; j < b.size(); ++j) {
+    map_b[j] = static_cast<pos_t>(result.keys.size());
+    result.keys.push_back(b[j]);
+  }
+  return result;
+}
+
+namespace {
+
+/// Recursive balanced tree merge over inputs[first, last).
+UnionResult tree_merge_range(std::span<const std::span<const key_t>> inputs,
+                             std::size_t first, std::size_t last) {
+  UnionResult result;
+  if (first == last) {
+    return result;
+  }
+  if (last - first == 1) {
+    const auto& in = inputs[first];
+    result.keys.assign(in.begin(), in.end());
+    result.maps.emplace_back(in.size());
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      result.maps[0][p] = static_cast<pos_t>(p);
+    }
+    return result;
+  }
+  const std::size_t mid = first + (last - first) / 2;
+  UnionResult left = tree_merge_range(inputs, first, mid);
+  UnionResult right = tree_merge_range(inputs, mid, last);
+  UnionResult merged = merge_union(left.keys, right.keys);
+
+  result.keys = std::move(merged.keys);
+  result.maps.reserve(left.maps.size() + right.maps.size());
+  // Compose each leaf's map with its side's map into the merged union.
+  for (auto& leaf_map : left.maps) {
+    for (auto& p : leaf_map) p = merged.maps[0][p];
+    result.maps.push_back(std::move(leaf_map));
+  }
+  for (auto& leaf_map : right.maps) {
+    for (auto& p : leaf_map) p = merged.maps[1][p];
+    result.maps.push_back(std::move(leaf_map));
+  }
+  return result;
+}
+
+}  // namespace
+
+UnionResult tree_merge(std::span<const std::span<const key_t>> inputs) {
+  return tree_merge_range(inputs, 0, inputs.size());
+}
+
+UnionResult tree_merge(const std::vector<std::vector<key_t>>& inputs) {
+  std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+  return tree_merge(spans);
+}
+
+UnionResult hash_union(std::span<const std::span<const key_t>> inputs) {
+  UnionResult result;
+  std::unordered_map<key_t, pos_t> positions;
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  positions.reserve(total);
+  result.maps.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    PosMap map(in.size());
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      const auto [it, inserted] = positions.try_emplace(
+          in[p], static_cast<pos_t>(result.keys.size()));
+      if (inserted) result.keys.push_back(in[p]);
+      map[p] = it->second;
+    }
+    result.maps.push_back(std::move(map));
+  }
+  return result;
+}
+
+}  // namespace kylix

@@ -1,0 +1,49 @@
+// Set-union with positional maps — the workhorse of Kylix configuration.
+//
+// During configuration every node unions the index sets arriving from its
+// layer neighbors, and records, for each input set, a positional map from
+// positions in that input to positions in the union (the paper's f/g maps,
+// §III-A). During reduction those maps make value accumulation and gathering
+// O(1) per element.
+//
+// Two implementations are provided:
+//  * tree_merge — sorted-sequence k-way union via a balanced merge tree, the
+//    paper's preferred method (§VI-A, "5x faster than a hash implementation").
+//  * hash_union — the hash-table alternative, kept as a measurable baseline
+//    for bench/micro_merge.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/key_set.hpp"
+
+namespace kylix {
+
+/// Positional map: map[p] is the position in the union of element p of an
+/// input sequence.
+using PosMap = std::vector<pos_t>;
+
+/// Result of uniting k sorted inputs: the union (sorted for tree_merge,
+/// insertion-ordered for hash_union) plus one map per input.
+struct UnionResult {
+  std::vector<key_t> keys;
+  std::vector<PosMap> maps;  ///< maps[i].size() == inputs[i].size()
+};
+
+/// Union of two strictly-sorted sequences, with maps for both. Linear time.
+UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b);
+
+/// Union of k strictly-sorted sequences via a balanced binary merge tree;
+/// per-leaf maps are composed up the tree. Total cost O(N log k) for N total
+/// input elements. Accepts k == 0 (empty result) and k == 1 (identity map).
+UnionResult tree_merge(std::span<const std::span<const key_t>> inputs);
+
+/// Convenience overload over vectors.
+UnionResult tree_merge(const std::vector<std::vector<key_t>>& inputs);
+
+/// Hash-table union baseline: the union is in first-appearance order, NOT
+/// sorted. Maps have identical semantics to tree_merge.
+UnionResult hash_union(std::span<const std::span<const key_t>> inputs);
+
+}  // namespace kylix

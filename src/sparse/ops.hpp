@@ -1,0 +1,154 @@
+// Value-buffer primitives driven by positional maps, plus the reduction
+// operators Kylix supports.
+//
+// After configuration, value traffic never touches keys again: the downward
+// scatter-reduce accumulates arriving buffers into the union layout via a
+// PosMap (scatter_combine), and the upward allgather extracts per-neighbor
+// buffers via the same maps (gather). Both are O(1) per element, the property
+// the paper's f/g maps exist to provide.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sparse/merge.hpp"
+
+namespace kylix {
+
+/// Reduction operators. Kylix is a *sum* allreduce in the paper; min and
+/// bit-or extend it to the graph-mining applications of §I-A (connected
+/// components / BFS use min over labels, diameter estimation ORs
+/// Flajolet–Martin bit strings).
+struct OpSum {
+  template <typename V>
+  void operator()(V& acc, const V& x) const {
+    acc += x;
+  }
+  template <typename V>
+  static constexpr V identity() {
+    return V{};
+  }
+};
+
+struct OpMin {
+  template <typename V>
+  void operator()(V& acc, const V& x) const {
+    acc = std::min(acc, x);
+  }
+  template <typename V>
+  static constexpr V identity() {
+    return std::numeric_limits<V>::max();
+  }
+};
+
+struct OpBitOr {
+  template <typename V>
+  void operator()(V& acc, const V& x) const {
+    acc |= x;
+  }
+  template <typename V>
+  static constexpr V identity() {
+    return V{};
+  }
+};
+
+/// acc[map[p]] = op(acc[map[p]], values[p]) for all p.
+template <typename V, typename Op>
+void scatter_combine(std::span<V> acc, std::span<const V> values,
+                     const PosMap& map, Op op = {}) {
+  KYLIX_CHECK(values.size() == map.size());
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    KYLIX_DCHECK(map[p] < acc.size());
+    op(acc[map[p]], values[p]);
+  }
+}
+
+/// out[p] = values[map[p]] for all p.
+template <typename V>
+std::vector<V> gather(std::span<const V> values, const PosMap& map) {
+  std::vector<V> out(map.size());
+  for (std::size_t p = 0; p < map.size(); ++p) {
+    KYLIX_DCHECK(map[p] < values.size());
+    out[p] = values[map[p]];
+  }
+  return out;
+}
+
+/// A sparse vector at the API boundary: aligned (sorted keys, values).
+template <typename V>
+struct SparseVector {
+  KeySet keys;
+  std::vector<V> values;
+
+  [[nodiscard]] std::size_t size() const { return keys.size(); }
+
+  /// Build from (index, value) pairs; duplicate indices are combined by Op.
+  template <typename Op = OpSum>
+  static SparseVector from_pairs(std::span<const index_t> indices,
+                                 std::span<const V> vals, Op op = {}) {
+    KYLIX_CHECK(indices.size() == vals.size());
+    SparseVector out;
+    out.keys = KeySet::from_indices(indices);
+    out.values.assign(out.keys.size(), Op::template identity<V>());
+    for (std::size_t p = 0; p < indices.size(); ++p) {
+      const std::size_t pos = out.keys.find(hash_index(indices[p]));
+      KYLIX_DCHECK(pos != KeySet::npos);
+      op(out.values[pos], vals[p]);
+    }
+    return out;
+  }
+};
+
+/// Single-node reference sparse allreduce: union all contributions, combine
+/// duplicates with Op, then answer each request set by lookup. The oracle
+/// every distributed engine is tested against.
+template <typename V, typename Op = OpSum>
+class ReferenceReduce {
+ public:
+  /// `contributions[i]` is machine i's (out set, values).
+  explicit ReferenceReduce(std::span<const SparseVector<V>> contributions,
+                           Op op = {}) {
+    std::vector<std::span<const key_t>> key_spans;
+    key_spans.reserve(contributions.size());
+    for (const auto& c : contributions) {
+      KYLIX_CHECK(c.keys.size() == c.values.size());
+      key_spans.push_back(c.keys.keys());
+    }
+    UnionResult u = tree_merge(key_spans);
+    totals_.assign(u.keys.size(), Op::template identity<V>());
+    for (std::size_t i = 0; i < contributions.size(); ++i) {
+      scatter_combine<V, Op>(std::span<V>(totals_),
+                             std::span<const V>(contributions[i].values),
+                             u.maps[i], op);
+    }
+    keys_ = KeySet::from_sorted_keys(std::move(u.keys));
+  }
+
+  /// Reduced value for one key; dies if the key was never contributed.
+  [[nodiscard]] V at(key_t key) const {
+    const std::size_t pos = keys_.find(key);
+    KYLIX_CHECK_MSG(pos != KeySet::npos, "key not present in reduction");
+    return totals_[pos];
+  }
+
+  /// Reduced values for a whole request set, aligned with `request`.
+  [[nodiscard]] std::vector<V> lookup(const KeySet& request) const {
+    std::vector<V> out;
+    out.reserve(request.size());
+    for (key_t k : request) out.push_back(at(k));
+    return out;
+  }
+
+  [[nodiscard]] const KeySet& keys() const { return keys_; }
+  [[nodiscard]] std::span<const V> totals() const { return totals_; }
+
+ private:
+  KeySet keys_;
+  std::vector<V> totals_;
+};
+
+}  // namespace kylix

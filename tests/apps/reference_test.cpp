@@ -1,0 +1,74 @@
+#include "apps/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(ReferencePageRank, UniformOnACycle) {
+  // A directed cycle is rank-regular: every vertex ends at exactly 1/n.
+  std::vector<Edge> cycle;
+  for (index_t v = 0; v < 10; ++v) cycle.push_back(Edge{v, (v + 1) % 10});
+  const auto ranks = reference_pagerank(cycle, 10, 50);
+  for (double r : ranks) {
+    EXPECT_NEAR(r, 0.1, 1e-9);
+  }
+}
+
+TEST(ReferencePageRank, HubCollectsMass) {
+  // Everyone links to vertex 0; vertex 0 links back to 1.
+  std::vector<Edge> edges;
+  for (index_t v = 1; v < 20; ++v) edges.push_back(Edge{v, 0});
+  edges.push_back(Edge{0, 1});
+  const auto ranks = reference_pagerank(edges, 20, 40);
+  for (index_t v = 2; v < 20; ++v) {
+    EXPECT_GT(ranks[0], ranks[v] * 5);
+  }
+  EXPECT_GT(ranks[1], ranks[2]);  // vertex 1 inherits the hub's mass
+}
+
+TEST(ReferencePageRank, MassIsConservedWithoutDanglingNodes) {
+  std::vector<Edge> edges;
+  for (index_t v = 0; v < 30; ++v) {
+    edges.push_back(Edge{v, (v + 7) % 30});
+    edges.push_back(Edge{v, (v + 11) % 30});
+  }
+  const auto ranks = reference_pagerank(edges, 30, 30);
+  double total = 0;
+  for (double r : ranks) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReferencePageRank, RejectsOutOfRangeVertices) {
+  const std::vector<Edge> edges = {{0, 5}};
+  EXPECT_THROW(reference_pagerank(edges, 3, 1), check_error);
+}
+
+TEST(ReferenceComponents, LabelsAreComponentMinima) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {4, 5}, {6, 6}};
+  const auto labels = reference_components(edges, 8);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);  // isolated
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+  EXPECT_EQ(labels[6], 6u);  // self-loop
+  EXPECT_EQ(labels[7], 7u);
+}
+
+TEST(ReferenceComponents, ChainsCollapseToOneLabel) {
+  std::vector<Edge> chain;
+  for (index_t v = 0; v + 1 < 100; ++v) chain.push_back(Edge{v + 1, v});
+  const auto labels = reference_components(chain, 100);
+  for (std::uint64_t label : labels) {
+    EXPECT_EQ(label, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,53 @@
+#include "cluster/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(FailureModel, NoneIsAllAlive) {
+  const FailureModel model = FailureModel::none(8);
+  EXPECT_EQ(model.num_dead(), 0u);
+  for (rank_t r = 0; r < 8; ++r) {
+    EXPECT_FALSE(model.is_dead(r));
+  }
+  EXPECT_FALSE(model.drops(0, 7));
+}
+
+TEST(FailureModel, KillAndRevive) {
+  FailureModel model(4);
+  model.kill(2);
+  EXPECT_TRUE(model.is_dead(2));
+  EXPECT_TRUE(model.drops(2, 0));
+  EXPECT_TRUE(model.drops(0, 2));
+  EXPECT_FALSE(model.drops(0, 1));
+  EXPECT_EQ(model.dead_nodes(), (std::vector<rank_t>{2}));
+  model.revive(2);
+  EXPECT_EQ(model.num_dead(), 0u);
+}
+
+TEST(FailureModel, KillOutOfRangeThrows) {
+  FailureModel model(4);
+  EXPECT_THROW(model.kill(4), check_error);
+  EXPECT_THROW(model.revive(9), check_error);
+}
+
+TEST(FailureModel, RandomFailuresAreDistinctAndSeeded) {
+  const FailureModel a = FailureModel::random_failures(64, 5, 17);
+  const FailureModel b = FailureModel::random_failures(64, 5, 17);
+  EXPECT_EQ(a.num_dead(), 5u);
+  EXPECT_EQ(a.dead_nodes(), b.dead_nodes());
+  const FailureModel c = FailureModel::random_failures(64, 5, 18);
+  EXPECT_NE(c.dead_nodes(), a.dead_nodes());
+}
+
+TEST(FailureModel, CanKillEveryone) {
+  const FailureModel model = FailureModel::random_failures(4, 4, 1);
+  EXPECT_EQ(model.num_dead(), 4u);
+  EXPECT_THROW(FailureModel::random_failures(4, 5, 1), check_error);
+}
+
+}  // namespace
+}  // namespace kylix

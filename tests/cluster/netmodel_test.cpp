@@ -1,0 +1,65 @@
+#include "cluster/netmodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kylix {
+namespace {
+
+TEST(NetworkModel, MessageTimeIsOverheadPlusTransfer) {
+  NetworkModel net;
+  net.bandwidth_bytes_per_s = 1e9;
+  net.set_message_overhead(1e-3);
+  EXPECT_DOUBLE_EQ(net.message_time(1e6), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(net.message_time(0), 1e-3);
+}
+
+TEST(NetworkModel, UtilizationRisesWithPacketSize) {
+  const NetworkModel net = NetworkModel::ec2_like();
+  double previous = 0;
+  for (double bytes = 1e3; bytes <= 1e9; bytes *= 10) {
+    const double u = net.utilization(bytes);
+    EXPECT_GT(u, previous);
+    EXPECT_LT(u, 1.0);
+    previous = u;
+  }
+  EXPECT_GT(previous, 0.99);  // giant packets saturate the link
+}
+
+TEST(NetworkModel, CalibrationMatchesFigure2Readings) {
+  // Fig. 2 (64-node EC2): 0.4 MB packets reach ~30% of the rated 10 Gb/s;
+  // ~5 MB is the "smallest efficient" size (we take that as ~84%).
+  const NetworkModel net = NetworkModel::ec2_like();
+  EXPECT_NEAR(net.utilization(0.4e6), 0.30, 0.03);
+  EXPECT_GT(net.utilization(5e6), 0.80);
+  EXPECT_NEAR(net.min_efficient_packet(0.84), 5e6, 1e6);
+}
+
+TEST(NetworkModel, MinEfficientPacketInvertsUtilization) {
+  const NetworkModel net = NetworkModel::ec2_like();
+  for (double target : {0.3, 0.5, 0.84, 0.95}) {
+    const double packet = net.min_efficient_packet(target);
+    EXPECT_NEAR(net.utilization(packet), target, 1e-9);
+  }
+}
+
+TEST(ComputeModel, MergeTimeScalesWithLevels) {
+  ComputeModel compute;
+  compute.merge_rate = 1e6;
+  EXPECT_DOUBLE_EQ(compute.merge_time(1e6, 2), 1.0);   // 1 level
+  EXPECT_DOUBLE_EQ(compute.merge_time(1e6, 4), 2.0);   // 2 levels
+  EXPECT_DOUBLE_EQ(compute.merge_time(1e6, 5), 3.0);   // ceil(log2 5)
+  EXPECT_DOUBLE_EQ(compute.merge_time(1e6, 1), 0.0);   // nothing to merge
+}
+
+TEST(ComputeModel, LinearCosts) {
+  ComputeModel compute;
+  compute.combine_rate = 2e6;
+  compute.gather_rate = 4e6;
+  compute.spmv_rate = 1e6;
+  EXPECT_DOUBLE_EQ(compute.combine_time(1e6), 0.5);
+  EXPECT_DOUBLE_EQ(compute.gather_time(1e6), 0.25);
+  EXPECT_DOUBLE_EQ(compute.spmv_time(2e6), 2.0);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(Trace, AccumulatesBytesAndLayers) {
+  Trace trace;
+  trace.add({Phase::kConfig, 1, 0, 1, 100});
+  trace.add({Phase::kConfig, 2, 1, 0, 50});
+  trace.add({Phase::kReduceDown, 1, 0, 1, 30});
+  trace.add({Phase::kReduceUp, 2, 1, 0, 20});
+  EXPECT_EQ(trace.num_messages(), 4u);
+  EXPECT_EQ(trace.total_bytes(), 200u);
+  EXPECT_EQ(trace.bytes_by_layer(Phase::kConfig, 2),
+            (std::vector<std::uint64_t>{100, 50}));
+  EXPECT_EQ(trace.bytes_by_layer(Phase::kReduceDown, 2),
+            (std::vector<std::uint64_t>{30, 0}));
+  EXPECT_EQ(trace.bytes_by_layer_all_phases(2),
+            (std::vector<std::uint64_t>{130, 70}));
+}
+
+TEST(Trace, ClearAndAppend) {
+  Trace a;
+  a.add({Phase::kConfig, 1, 0, 1, 10});
+  Trace b;
+  b.add({Phase::kConfig, 1, 1, 0, 20});
+  a.append(b);
+  EXPECT_EQ(a.total_bytes(), 30u);
+  a.clear();
+  EXPECT_EQ(a.num_messages(), 0u);
+}
+
+TEST(PhaseName, CoversAllPhases) {
+  EXPECT_STREQ(phase_name(Phase::kConfig), "config");
+  EXPECT_STREQ(phase_name(Phase::kReduceDown), "reduce-down");
+  EXPECT_STREQ(phase_name(Phase::kReduceUp), "reduce-up");
+}
+
+NetworkModel simple_net() {
+  NetworkModel net;
+  net.bandwidth_bytes_per_s = 1e6;  // 1 MB/s: easy mental math
+  net.stack_overhead_s = 0.3;       // total per-message overhead: 0.5 s
+  net.handshake_latency_s = 0.2;
+  net.base_latency_s = 0.0;
+  return net;
+}
+
+TEST(TimingAccumulator, SingleMessageRoundMatchesHandComputation) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_message({Phase::kConfig, 1, 0, 1, 1000000});  // 1 MB
+  // Sender path: 1s transfer + 0.5s overhead; receiver the same; the round
+  // is the max over nodes of max(send, recv).
+  EXPECT_DOUBLE_EQ(timing.round_time(Phase::kConfig, 1), 1.5);
+  EXPECT_DOUBLE_EQ(timing.times().config, 1.5);
+  EXPECT_DOUBLE_EQ(timing.times().reduce(), 0.0);
+}
+
+TEST(TimingAccumulator, SelfMessagesAreFree) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_message({Phase::kConfig, 1, 0, 0, 1000000});
+  EXPECT_DOUBLE_EQ(timing.times().total(), 0.0);
+}
+
+TEST(TimingAccumulator, ThreadsHidePerMessageOverhead) {
+  // One node sends 4 messages of 1 MB at layer 1.
+  const auto total_time = [&](std::uint32_t threads) {
+    TimingAccumulator timing(8, simple_net(), ComputeModel{}, threads);
+    for (rank_t dst = 1; dst <= 4; ++dst) {
+      timing.on_message({Phase::kReduceDown, 1, 0, dst, 1000000});
+    }
+    return timing.times().reduce_down;
+  };
+  // 1 thread: 4s transfer + 4 * (0.3 stack + 0.2 handshake).
+  EXPECT_DOUBLE_EQ(total_time(1), 6.0);
+  // 2 threads: handshakes pair up (2 batches); stack costs never overlap.
+  EXPECT_DOUBLE_EQ(total_time(2), 4.0 + 1.2 + 0.4);
+  // >= 4 threads: one handshake batch; stack + bandwidth cannot shrink.
+  EXPECT_DOUBLE_EQ(total_time(4), 4.0 + 1.2 + 0.2);
+  EXPECT_DOUBLE_EQ(total_time(64), 4.0 + 1.2 + 0.2);
+}
+
+TEST(TimingAccumulator, FullDuplexTakesMaxOfSendAndReceive) {
+  TimingAccumulator timing(3, simple_net(), ComputeModel{}, 1);
+  // Node 1 sends 1 MB and receives 3 MB in the same round.
+  timing.on_message({Phase::kConfig, 1, 1, 0, 1000000});
+  timing.on_message({Phase::kConfig, 1, 2, 1, 3000000});
+  // Node 1's recv path (3.5s) dominates its send path (1.5s); node 2's send
+  // path is 3.5s as well.
+  EXPECT_DOUBLE_EQ(timing.round_time(Phase::kConfig, 1), 3.5);
+}
+
+TEST(TimingAccumulator, RoundsAreIndependentAndSummed) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_message({Phase::kConfig, 1, 0, 1, 1000000});
+  timing.on_message({Phase::kConfig, 2, 0, 1, 1000000});
+  EXPECT_DOUBLE_EQ(timing.times().config, 3.0);
+  EXPECT_DOUBLE_EQ(timing.round_time(Phase::kConfig, 3), 0.0);
+}
+
+TEST(TimingAccumulator, ComputeChargesParallelizeUpToCores) {
+  ComputeModel compute;
+  compute.cores = 2;
+  {
+    TimingAccumulator timing(2, simple_net(), compute, 1);
+    timing.on_compute(Phase::kReduceUp, 1, 0, 4.0);
+    EXPECT_DOUBLE_EQ(timing.times().reduce_up, 4.0);
+  }
+  {
+    TimingAccumulator timing(2, simple_net(), compute, 8);
+    timing.on_compute(Phase::kReduceUp, 1, 0, 4.0);
+    // 8 threads but only 2 modeled cores.
+    EXPECT_DOUBLE_EQ(timing.times().reduce_up, 2.0);
+  }
+}
+
+TEST(TimingAccumulator, BaseLatencyAddsPerRound) {
+  NetworkModel net = simple_net();
+  net.base_latency_s = 0.25;
+  TimingAccumulator timing(2, net, ComputeModel{}, 1);
+  timing.on_message({Phase::kConfig, 1, 0, 1, 0});
+  timing.on_message({Phase::kConfig, 2, 0, 1, 0});
+  // Each round: 0.5s overhead + 0.25s latency.
+  EXPECT_DOUBLE_EQ(timing.times().config, 1.5);
+}
+
+TEST(TimingAccumulator, SendRecvSplitChargesOneSideOnly) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_send(Phase::kConfig, 1, 0, 1000000);
+  // Receiver was never charged: only node 0's send path exists.
+  EXPECT_DOUBLE_EQ(timing.times().config, 1.5);
+  timing.on_recv(Phase::kConfig, 1, 1, 3000000);
+  EXPECT_DOUBLE_EQ(timing.times().config, 3.5);
+}
+
+TEST(TimingAccumulator, ClearResets) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_message({Phase::kConfig, 1, 0, 1, 1000});
+  timing.clear();
+  EXPECT_DOUBLE_EQ(timing.times().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,133 @@
+#include "comm/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace kylix {
+namespace {
+
+/// A toy exchange: every node sends its rank*10 to every node (incl. self);
+/// consume sums what arrived.
+template <typename Engine>
+std::vector<int> run_all_to_all(Engine& engine,
+                                std::vector<rank_t> participants = {}) {
+  const rank_t m = engine.num_ranks();
+  std::vector<int> sums(m, 0);
+  engine.round(
+      Phase::kConfig, 1,
+      [&](rank_t r) {
+        std::vector<Letter<float>> letters;
+        for (rank_t dst = 0; dst < m; ++dst) {
+          Letter<float> letter;
+          letter.src = r;
+          letter.dst = dst;
+          letter.packet.values = {static_cast<float>(r * 10)};
+          letters.push_back(std::move(letter));
+        }
+        return letters;
+      },
+      [&](rank_t) {
+        std::vector<rank_t> all(m);
+        for (rank_t s = 0; s < m; ++s) all[s] = s;
+        return all;
+      },
+      [&](rank_t r, std::vector<Letter<float>>&& inbox) {
+        for (const auto& letter : inbox) {
+          sums[r] += static_cast<int>(letter.packet.values[0]);
+        }
+      });
+  (void)participants;
+  return sums;
+}
+
+TEST(BspEngine, DeliversAllToAll) {
+  BspEngine<float> engine(4);
+  const std::vector<int> sums = run_all_to_all(engine);
+  EXPECT_EQ(sums, (std::vector<int>{60, 60, 60, 60}));
+}
+
+TEST(BspEngine, RecordsTraceEvents) {
+  Trace trace;
+  BspEngine<float> engine(3, nullptr, &trace);
+  run_all_to_all(engine);
+  EXPECT_EQ(trace.num_messages(), 9u);  // self-messages traced too (Fig. 5)
+  for (const MsgEvent& e : trace.events()) {
+    EXPECT_EQ(e.phase, Phase::kConfig);
+    EXPECT_EQ(e.layer, 1);
+    EXPECT_EQ(e.bytes, kPacketHeaderBytes + sizeof(float));
+  }
+}
+
+TEST(BspEngine, ChargesTiming) {
+  NetworkModel net;
+  TimingAccumulator timing(3, net, ComputeModel{}, 1);
+  BspEngine<float> engine(3, nullptr, nullptr, &timing);
+  run_all_to_all(engine);
+  EXPECT_GT(timing.times().config, 0.0);
+  engine.charge_compute(Phase::kConfig, 1, 0, 1.0);
+  EXPECT_GT(timing.times().config, 1.0);
+}
+
+TEST(BspEngine, DeadNodesNeitherSendNorReceive) {
+  FailureModel failures(4);
+  failures.kill(2);
+  BspEngine<float> engine(4, &failures);
+  EXPECT_TRUE(engine.is_dead(2));
+  const std::vector<int> sums = run_all_to_all(engine);
+  // Node 2 (value 20) contributed nothing; node 2 consumed nothing.
+  EXPECT_EQ(sums, (std::vector<int>{40, 40, 0, 40}));
+}
+
+TEST(BspEngine, SendToDeadNodeStillCostsTheSender) {
+  FailureModel failures(2);
+  failures.kill(1);
+  Trace trace;
+  BspEngine<float> engine(2, &failures, &trace);
+  run_all_to_all(engine);
+  // Node 0 sent to itself and to dead node 1: both traced.
+  EXPECT_EQ(trace.num_messages(), 2u);
+}
+
+TEST(BspEngine, LetterToInvalidRankThrows) {
+  BspEngine<float> engine(2);
+  const auto bad_produce = [&](rank_t r) {
+    std::vector<Letter<float>> letters(1);
+    letters[0].src = r;
+    letters[0].dst = 7;
+    return letters;
+  };
+  const auto expected = [](rank_t) { return std::vector<rank_t>{}; };
+  const auto consume = [](rank_t, std::vector<Letter<float>>&&) {};
+  EXPECT_THROW(
+      engine.round(Phase::kConfig, 1, bad_produce, expected, consume),
+      check_error);
+}
+
+TEST(BspEngine, InboxArrivesSortedBySource) {
+  BspEngine<float> engine(5);
+  engine.round(
+      Phase::kReduceDown, 2,
+      [&](rank_t r) {
+        std::vector<Letter<float>> letters(1);
+        letters[0].src = r;
+        letters[0].dst = 0;
+        return letters;
+      },
+      [&](rank_t) {
+        return std::vector<rank_t>{0, 1, 2, 3, 4};
+      },
+      [&](rank_t r, std::vector<Letter<float>>&& inbox) {
+        if (r == 0) {
+          ASSERT_EQ(inbox.size(), 5u);
+          for (rank_t s = 0; s < 5; ++s) {
+            EXPECT_EQ(inbox[s].src, s);
+          }
+        } else {
+          EXPECT_TRUE(inbox.empty());
+        }
+      });
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,93 @@
+#include "comm/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace kylix {
+namespace {
+
+Letter<float> make_letter(rank_t src, rank_t dst, float value) {
+  Letter<float> letter;
+  letter.src = src;
+  letter.dst = dst;
+  letter.packet.values = {value};
+  return letter;
+}
+
+TEST(Mailbox, TakeReturnsMatchingSource) {
+  Mailbox<float> box;
+  box.put(make_letter(3, 0, 3.0f));
+  box.put(make_letter(1, 0, 1.0f));
+  const Letter<float> from1 = box.take(1);
+  EXPECT_EQ(from1.src, 1);
+  EXPECT_EQ(from1.packet.values[0], 1.0f);
+  const Letter<float> from3 = box.take(3);
+  EXPECT_EQ(from3.src, 3);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, TakeBlocksUntilArrival) {
+  Mailbox<float> box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.put(make_letter(2, 0, 2.0f));
+  });
+  const Letter<float> letter = box.take(2);
+  EXPECT_EQ(letter.src, 2);
+  producer.join();
+}
+
+TEST(Mailbox, TakeTimesOutLoudly) {
+  Mailbox<float> box;
+  EXPECT_THROW(box.take(9, std::chrono::milliseconds(20)), mailbox_timeout);
+}
+
+TEST(Mailbox, TakeAnyReturnsFirstOfGroup) {
+  Mailbox<float> box;
+  box.put(make_letter(5, 0, 5.0f));
+  const std::vector<rank_t> group = {4, 5, 6};
+  const Letter<float> winner = box.take_any(group);
+  EXPECT_EQ(winner.src, 5);
+}
+
+TEST(Mailbox, TakeAnyCancelsLosers) {
+  Mailbox<float> box;
+  const std::vector<rank_t> group = {1, 2};
+  box.put(make_letter(1, 0, 1.0f));
+  (void)box.take_any(group);
+  // The losing replica's copy arrives late and is discarded on arrival.
+  box.put(make_letter(2, 0, 2.0f));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, ResetClearsCancellationsAndLetters) {
+  Mailbox<float> box;
+  const std::vector<rank_t> group = {1, 2};
+  box.put(make_letter(1, 0, 1.0f));
+  (void)box.take_any(group);
+  box.reset();
+  box.put(make_letter(2, 0, 2.0f));  // accepted again after reset
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, ConcurrentProducersAllDelivered) {
+  Mailbox<float> box;
+  constexpr int kSenders = 8;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&box, s] {
+      box.put(make_letter(static_cast<rank_t>(s), 0,
+                          static_cast<float>(s)));
+    });
+  }
+  float total = 0;
+  for (int s = 0; s < kSenders; ++s) {
+    total += box.take(static_cast<rank_t>(s)).packet.values[0];
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total, 28.0f);  // 0+1+...+7
+}
+
+}  // namespace
+}  // namespace kylix

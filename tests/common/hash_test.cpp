@@ -1,0 +1,73 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(HashIndex, RoundTripsSmallValues) {
+  for (index_t x = 0; x < 10000; ++x) {
+    EXPECT_EQ(unhash_index(hash_index(x)), x);
+  }
+}
+
+TEST(HashIndex, RoundTripsRandom64BitValues) {
+  Rng rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    const index_t x = rng();
+    EXPECT_EQ(unhash_index(hash_index(x)), x);
+  }
+}
+
+TEST(HashIndex, RoundTripsBoundaryValues) {
+  for (index_t x : {index_t{0}, index_t{1}, ~index_t{0}, ~index_t{0} - 1,
+                    index_t{1} << 63, (index_t{1} << 63) - 1}) {
+    EXPECT_EQ(unhash_index(hash_index(x)), x);
+    EXPECT_EQ(hash_index(unhash_index(x)), x);  // inverse both ways
+  }
+}
+
+TEST(HashIndex, IsInjectiveOnARange) {
+  std::set<key_t> keys;
+  for (index_t x = 0; x < 200000; ++x) {
+    keys.insert(hash_index(x));
+  }
+  EXPECT_EQ(keys.size(), 200000u);
+}
+
+TEST(HashIndex, SpreadsConsecutiveIndicesAcrossKeySpace) {
+  // Partition balance depends on consecutive indices landing in uniformly
+  // random key-space buckets.
+  constexpr int kBuckets = 16;
+  constexpr int kCount = 160000;
+  int counts[kBuckets] = {};
+  for (index_t x = 0; x < kCount; ++x) {
+    ++counts[hash_index(x) >> 60];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kCount / kBuckets, kCount / kBuckets / 10.0)
+        << "bucket " << b;
+  }
+}
+
+TEST(HashIndex, IsConstexprUsable) {
+  static_assert(unhash_index(hash_index(123456789)) == 123456789);
+  // The splitmix64 finalizer fixes 0 (0 -> 0); that is fine for a bijection.
+  static_assert(hash_index(0) == 0);
+  static_assert(hash_index(1) != 1);
+  SUCCEED();
+}
+
+TEST(Mix64, DiffersFromHashIndexAndVaries) {
+  EXPECT_NE(mix64(0), hash_index(0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace kylix

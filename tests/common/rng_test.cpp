@@ -1,0 +1,112 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kylix {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(7);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = base.fork(1);
+  EXPECT_EQ(f1(), f1_again());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f1() == f2()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBoundAndCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.below(7);
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedForAwkwardBounds) {
+  Rng rng(15);
+  constexpr std::uint64_t kBound = 3;
+  constexpr int kDraws = 300000;
+  int counts[kBound] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / 3.0, kDraws * 0.01);
+  }
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MatchesMeanAndVariance) {
+  const double rate = GetParam();
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(rng.poisson(rate));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, rate, std::max(0.05, rate * 0.03));
+  EXPECT_NEAR(var, rate, std::max(0.1, rate * 0.08));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0, 20.0, 50.0,
+                                           200.0));
+
+TEST(Rng, PoissonZeroOrNegativeRateIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace kylix

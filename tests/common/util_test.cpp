@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "common/units.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(KYLIX_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(KYLIX_CHECK(1 + 1 == 3), check_error);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    KYLIX_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(FormatBytes, PicksSensibleUnits) {
+  EXPECT_EQ(format_bytes(12), "12.00 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(5e6), "5.00 MB");
+  EXPECT_EQ(format_bytes(1.25e9), "1.25 GB");
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_EQ(format_seconds(2.5), "2.5 s");
+  EXPECT_EQ(format_seconds(0.0042), "4.2 ms");
+  EXPECT_EQ(format_seconds(3.2e-5), "32 us");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  const double t0 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace kylix

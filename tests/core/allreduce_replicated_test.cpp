@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "comm/replicated.hpp"
+#include "core/allreduce.hpp"
+#include "test_util.hpp"
+
+namespace kylix {
+namespace {
+
+using Engine = ReplicatedBsp<float>;
+using Allreduce = SparseAllreduce<float, OpSum, Engine>;
+using testing::random_workload;
+
+TEST(ReplicatedAllreduce, NoFailuresMatchesOracle) {
+  const Topology topo({4, 2});
+  Engine engine(topo.num_machines(), 2);
+  Allreduce allreduce(&engine, topo);
+  const auto w = random_workload<float>(topo.num_machines(), 150, 0.2, 0.4,
+                                        11);
+  allreduce.configure(w.in_sets, w.out_sets);
+  testing::expect_matches_oracle<float>(w, allreduce.reduce(w.out_values));
+}
+
+class ReplicatedFailureTest : public ::testing::TestWithParam<rank_t> {};
+
+TEST_P(ReplicatedFailureTest, SurvivesKDistinctGroupFailures) {
+  // Table I's setup: 8x4 logical network (32 nodes), replication 2 (64
+  // physical), 0..3 dead nodes; results must stay exact.
+  const rank_t failures = GetParam();
+  const Topology topo({8, 4});
+  const rank_t logical = topo.num_machines();
+  FailureModel failure_model(logical * 2);
+  // Kill nodes in distinct replica groups (worst case short of group loss).
+  for (rank_t f = 0; f < failures; ++f) {
+    failure_model.kill(f * 3 + (f % 2) * logical);
+  }
+  Engine engine(logical, 2, &failure_model);
+  ASSERT_FALSE(engine.has_failed());
+  Allreduce allreduce(&engine, topo);
+  const auto w = random_workload<float>(logical, 200, 0.15, 0.3,
+                                        100 + failures);
+  allreduce.configure(w.in_sets, w.out_sets);
+  testing::expect_matches_oracle<float>(w, allreduce.reduce(w.out_values));
+}
+
+INSTANTIATE_TEST_SUITE_P(DeadNodes, ReplicatedFailureTest,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(ReplicatedAllreduce, RandomFailuresSurviveWhileGroupsLive) {
+  const Topology topo({4, 4});
+  const rank_t logical = topo.num_machines();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FailureModel failure_model =
+        FailureModel::random_failures(logical * 2, 4, seed);
+    Engine engine(logical, 2, &failure_model);
+    if (engine.has_failed()) continue;  // whole group died: protocol void
+    Allreduce allreduce(&engine, topo);
+    const auto w = random_workload<float>(logical, 100, 0.2, 0.4, seed);
+    allreduce.configure(w.in_sets, w.out_sets);
+    testing::expect_matches_oracle<float>(w,
+                                          allreduce.reduce(w.out_values));
+  }
+}
+
+TEST(ReplicatedAllreduce, WholeGroupDeadIsDetected) {
+  const Topology topo({2, 2});
+  FailureModel failure_model(8);
+  failure_model.kill(1);
+  failure_model.kill(1 + 4);  // both replicas of logical node 1
+  Engine engine(4, 2, &failure_model);
+  EXPECT_TRUE(engine.has_failed());
+  EXPECT_TRUE(engine.is_dead(1));
+  EXPECT_FALSE(engine.is_dead(0));
+}
+
+TEST(ReplicatedBsp, ReplicaFanoutCostsSendersAndWinningReceives) {
+  // One logical letter 0 -> 1 at replication 2, everyone alive: 4 physical
+  // copies traced (2 senders x 2 destinations); each physical destination
+  // pays for exactly one winning copy.
+  Trace trace;
+  NetworkModel net;
+  TimingAccumulator timing(4, net, ComputeModel{}, 1);
+  ReplicatedBsp<float> engine(2, 2, nullptr, &trace, &timing);
+  engine.round(
+      Phase::kConfig, 1,
+      [&](rank_t r) {
+        std::vector<Letter<float>> letters;
+        if (r == 0) {
+          Letter<float> letter;
+          letter.src = 0;
+          letter.dst = 1;
+          letter.packet.values = {1.0f};
+          letters.push_back(std::move(letter));
+        }
+        return letters;
+      },
+      [&](rank_t) {
+        return std::vector<rank_t>{0};
+      },
+      [&](rank_t r, std::vector<Letter<float>>&& inbox) {
+        if (r == 1) {
+          ASSERT_EQ(inbox.size(), 1u);
+          EXPECT_EQ(inbox[0].packet.values[0], 1.0f);
+        }
+      });
+  EXPECT_EQ(trace.num_messages(), 4u);
+}
+
+TEST(ReplicatedBsp, SelfMessagesCostNothing) {
+  Trace trace;
+  ReplicatedBsp<float> engine(2, 2, nullptr, &trace);
+  engine.round(
+      Phase::kConfig, 1,
+      [&](rank_t r) {
+        std::vector<Letter<float>> letters(1);
+        letters[0].src = r;
+        letters[0].dst = r;
+        return letters;
+      },
+      [&](rank_t r) {
+        return std::vector<rank_t>{r};
+      },
+      [&](rank_t, std::vector<Letter<float>>&& inbox) {
+        EXPECT_EQ(inbox.size(), 1u);
+      });
+  EXPECT_EQ(trace.num_messages(), 0u);
+}
+
+TEST(ReplicatedBsp, DeadSenderReplicaHalvesTheCopies) {
+  Trace trace;
+  FailureModel failures(4);
+  failures.kill(2);  // replica 1 of logical 0
+  ReplicatedBsp<float> engine(2, 2, &failures, &trace);
+  engine.round(
+      Phase::kConfig, 1,
+      [&](rank_t r) {
+        std::vector<Letter<float>> letters;
+        if (r == 0) {
+          letters.resize(1);
+          letters[0].src = 0;
+          letters[0].dst = 1;
+        }
+        return letters;
+      },
+      [&](rank_t) {
+        return std::vector<rank_t>{0};
+      },
+      [&](rank_t, std::vector<Letter<float>>&&) {});
+  EXPECT_EQ(trace.num_messages(), 2u);  // 1 alive sender x 2 destinations
+}
+
+TEST(ReplicatedBsp, ChargeComputeHitsAllAliveReplicas) {
+  NetworkModel net;
+  net.base_latency_s = 0;
+  TimingAccumulator timing(4, net, ComputeModel{}, 1);
+  ReplicatedBsp<float> engine(2, 2, nullptr, nullptr, &timing);
+  engine.charge_compute(Phase::kConfig, 1, 0, 2.0);
+  // Both replicas of logical 0 do the work; the round is their max.
+  EXPECT_DOUBLE_EQ(timing.times().config, 2.0);
+}
+
+TEST(ReplicatedBsp, ReplicationOneIsPlainBsp) {
+  const Topology topo({2, 2});
+  Engine engine(topo.num_machines(), 1);
+  Allreduce allreduce(&engine, topo);
+  const auto w = random_workload<float>(topo.num_machines(), 80, 0.3, 0.5,
+                                        13);
+  allreduce.configure(w.in_sets, w.out_sets);
+  testing::expect_matches_oracle<float>(w, allreduce.reduce(w.out_values));
+}
+
+}  // namespace
+}  // namespace kylix

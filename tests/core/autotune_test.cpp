@@ -1,0 +1,83 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "powerlaw/graphgen.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(MeasureDensity, AveragesSetSizes) {
+  const std::vector<KeySet> sets = {
+      KeySet::from_indices(std::vector<index_t>{1, 2, 3}),
+      KeySet::from_indices(std::vector<index_t>{4}),
+  };
+  EXPECT_DOUBLE_EQ(measure_density(sets, 10), 0.2);
+}
+
+TEST(Autotune, ProducesRunnableTopology) {
+  AutotuneInput input;
+  input.num_features = 1 << 18;
+  input.num_machines = 64;
+  input.alpha = 1.1;
+  input.partition_density = 0.21;
+  input.network = NetworkModel::ec2_like();
+  // Scale the packet floor to the scaled-down dataset.
+  input.target_utilization = 0.3;
+  input.network.set_message_overhead(3e-5);
+  const Topology topo = autotune_topology(input);
+  EXPECT_EQ(topo.num_machines(), 64u);
+  EXPECT_GE(topo.num_layers(), 1);
+}
+
+TEST(Autotune, DegreesMultiplyToMachineCountAcrossScenarios) {
+  for (std::uint32_t m : {4u, 8u, 16u, 32u, 64u}) {
+    for (double density : {0.035, 0.21}) {
+      AutotuneInput input;
+      input.num_features = 1 << 18;
+      input.num_machines = m;
+      input.alpha = density > 0.1 ? 1.1 : 0.9;
+      input.partition_density = density;
+      input.network.set_message_overhead(1e-4);
+      const DesignResult result = autotune(input);
+      const std::uint64_t product = std::accumulate(
+          result.degrees.begin(), result.degrees.end(), std::uint64_t{1},
+          std::multiplies<>());
+      EXPECT_EQ(product, m);
+    }
+  }
+}
+
+TEST(Autotune, EndToEndFromMeasuredGraphDensity) {
+  // The full §IV workflow: generate a workload, measure its partition
+  // density, fit the network, and check the schedule is usable and that
+  // the first layer is the widest (degrees decrease on power-law data).
+  GraphSpec spec;
+  spec.num_vertices = 1 << 15;
+  spec.alpha_in = 1.1;
+  spec.alpha_out = 1.3;
+  spec.num_edges =
+      edges_for_partition_density(spec.num_vertices, spec.alpha_in, 16, 0.2);
+  spec.seed = 31;
+  const auto edges = generate_zipf_graph(spec);
+  const auto parts = random_edge_partition(edges, 16, 32);
+  const double density = measure_partition_density(parts, spec.num_vertices);
+  EXPECT_NEAR(density, 0.2, 0.05);
+
+  AutotuneInput input;
+  input.num_features = spec.num_vertices;
+  input.num_machines = 16;
+  input.alpha = spec.alpha_in;
+  input.partition_density = density;
+  input.network.set_message_overhead(2e-5);  // scaled testbed
+  const DesignResult result = autotune(input);
+  ASSERT_FALSE(result.degrees.empty());
+  for (std::size_t i = 1; i < result.degrees.size(); ++i) {
+    EXPECT_LE(result.degrees[i], result.degrees[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,172 @@
+// White-box tests of the KylixNode layer structure — the §III-A invariants
+// that make the nested butterfly work.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "comm/bsp.hpp"
+#include "core/allreduce.hpp"
+#include "test_util.hpp"
+
+namespace kylix {
+namespace {
+
+using testing::random_workload;
+using Allreduce = SparseAllreduce<float, OpSum, BspEngine<float>>;
+
+struct Configured {
+  Topology topo{{}};
+  BspEngine<float> engine;
+  Allreduce allreduce;
+  testing::Workload<float> workload;
+
+  explicit Configured(std::vector<std::uint32_t> degrees,
+                      double out_prob = 0.3)
+      : topo(std::move(degrees)),
+        engine(topo.num_machines()),
+        allreduce(&engine, topo),
+        workload(random_workload<float>(topo.num_machines(), 150, out_prob,
+                                        0.4, 321)) {
+    allreduce.configure(workload.in_sets, workload.out_sets);
+  }
+};
+
+TEST(KylixNode, LayerSetsStayInsideTheNodesKeyRange) {
+  Configured c({4, 2});
+  for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+    for (std::uint16_t layer = 0; layer <= c.topo.num_layers(); ++layer) {
+      const KeyRange range = c.topo.key_range(layer, r);
+      for (key_t k : c.allreduce.node(r).out_set(layer)) {
+        EXPECT_TRUE(range.contains(k))
+            << "rank " << r << " layer " << layer;
+      }
+      for (key_t k : c.allreduce.node(r).in_set(layer)) {
+        EXPECT_TRUE(range.contains(k));
+      }
+    }
+  }
+}
+
+TEST(KylixNode, BottomOutSetsPartitionTheGlobalUnion) {
+  Configured c({2, 2, 2});
+  const auto totals = testing::brute_force_totals<float>(c.workload);
+  std::map<key_t, int> owners;
+  const std::uint16_t l = c.topo.num_layers();
+  for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+    for (key_t k : c.allreduce.node(r).out_set(l)) {
+      ++owners[k];
+    }
+  }
+  // Every contributed key lands on exactly one bottom node.
+  EXPECT_EQ(owners.size(), totals.size());
+  for (const auto& [key, count] : owners) {
+    EXPECT_EQ(count, 1) << "key " << key;
+    EXPECT_TRUE(totals.contains(key));
+  }
+}
+
+TEST(KylixNode, BottomInSetsAreSubsetsOfBottomOutSets) {
+  Configured c({4, 2});
+  const std::uint16_t l = c.topo.num_layers();
+  for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+    EXPECT_TRUE(c.allreduce.node(r).in_set(l).subset_of(
+        c.allreduce.node(r).out_set(l)));
+  }
+}
+
+TEST(KylixNode, LayerZeroSetsAreTheUserSets) {
+  Configured c({2, 2});
+  for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+    EXPECT_EQ(c.allreduce.node(r).in_set(0), c.workload.in_sets[r]);
+    EXPECT_EQ(c.allreduce.node(r).out_set(0), c.workload.out_sets[r]);
+  }
+}
+
+TEST(KylixNode, ExpectedSendersAreTheLayerGroup) {
+  Configured c({4, 2});
+  for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+    for (std::uint16_t layer = 1; layer <= c.topo.num_layers(); ++layer) {
+      EXPECT_EQ(c.allreduce.node(r).expected(layer),
+                c.topo.group(layer, r));
+    }
+  }
+}
+
+TEST(KylixNode, TotalLayerElementsNeverGrowOnOverlappingData) {
+  // Σ_nodes |out^i| is non-increasing in i: collisions only collapse.
+  Configured c({4, 2, 2}, /*out_prob=*/0.5);
+  const std::uint16_t l = c.topo.num_layers();
+  std::size_t previous = static_cast<std::size_t>(-1);
+  for (std::uint16_t layer = 0; layer <= l; ++layer) {
+    std::size_t total = 0;
+    for (rank_t r = 0; r < c.topo.num_machines(); ++r) {
+      total += c.allreduce.node(r).out_set(layer).size();
+    }
+    EXPECT_LE(total, previous) << "layer " << layer;
+    previous = total;
+  }
+}
+
+TEST(KylixNode, CombinedModeProducesIdenticalResultsToSeparate) {
+  const Topology topo({4, 2});
+  const auto w = random_workload<float>(topo.num_machines(), 120, 0.3, 0.4,
+                                        654);
+  std::vector<std::vector<float>> separate;
+  {
+    BspEngine<float> engine(topo.num_machines());
+    Allreduce ar(&engine, topo);
+    ar.configure(w.in_sets, w.out_sets);
+    separate = ar.reduce(w.out_values);
+  }
+  std::vector<std::vector<float>> combined;
+  {
+    BspEngine<float> engine(topo.num_machines());
+    Allreduce ar(&engine, topo);
+    combined = ar.reduce_with_config(w.in_sets, w.out_sets, w.out_values);
+  }
+  EXPECT_EQ(combined, separate);
+}
+
+TEST(KylixNode, CombinedModeSavesTheDownwardValuePass) {
+  const Topology topo({4, 2});
+  const auto w = random_workload<float>(topo.num_machines(), 120, 0.3, 0.4,
+                                        654);
+  Trace separate_trace;
+  {
+    BspEngine<float> engine(topo.num_machines(), nullptr, &separate_trace);
+    Allreduce ar(&engine, topo);
+    ar.configure(w.in_sets, w.out_sets);
+    (void)ar.reduce(w.out_values);
+  }
+  Trace combined_trace;
+  {
+    BspEngine<float> engine(topo.num_machines(), nullptr, &combined_trace);
+    Allreduce ar(&engine, topo);
+    (void)ar.reduce_with_config(w.in_sets, w.out_sets, w.out_values);
+  }
+  // A third fewer messages (config + up instead of config + down + up)...
+  EXPECT_EQ(combined_trace.num_messages(),
+            separate_trace.num_messages() * 2 / 3);
+  // ...and strictly fewer bytes (value payloads ride config messages, so
+  // only the per-message headers of the down pass disappear).
+  EXPECT_LT(combined_trace.total_bytes(), separate_trace.total_bytes());
+  // The combined run sends no kReduceDown messages at all.
+  EXPECT_TRUE(combined_trace
+                  .bytes_by_layer(Phase::kReduceDown, topo.num_layers())
+                  .front() == 0);
+}
+
+TEST(Packet, WireBytesCountKeysValuesAndHeader) {
+  Packet<float> packet;
+  EXPECT_EQ(packet.wire_bytes(), kPacketHeaderBytes);
+  packet.in_keys = {1, 2, 3};
+  packet.out_keys = {4};
+  packet.values = {1.0f, 2.0f};
+  EXPECT_EQ(packet.wire_bytes(), kPacketHeaderBytes + 8 * 4 + 4 * 2);
+  Packet<std::uint64_t> wide;
+  wide.values = {1, 2};
+  EXPECT_EQ(wide.wire_bytes(), kPacketHeaderBytes + 16);
+}
+
+}  // namespace
+}  // namespace kylix

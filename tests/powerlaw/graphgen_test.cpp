@@ -1,0 +1,141 @@
+#include "powerlaw/graphgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "powerlaw/alpha_fit.hpp"
+#include "powerlaw/model.hpp"
+
+namespace kylix {
+namespace {
+
+GraphSpec small_spec() {
+  GraphSpec spec;
+  spec.num_vertices = 5000;
+  spec.num_edges = 40000;
+  spec.alpha_out = 1.3;
+  spec.alpha_in = 1.1;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(ZipfGraph, HasRequestedShape) {
+  const GraphSpec spec = small_spec();
+  const std::vector<Edge> edges = generate_zipf_graph(spec);
+  EXPECT_EQ(edges.size(), spec.num_edges);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, spec.num_vertices);
+    EXPECT_LT(e.dst, spec.num_vertices);
+  }
+}
+
+TEST(ZipfGraph, DeterministicInSeed) {
+  const GraphSpec spec = small_spec();
+  EXPECT_EQ(generate_zipf_graph(spec), generate_zipf_graph(spec));
+  GraphSpec other = spec;
+  other.seed = 6;
+  EXPECT_NE(generate_zipf_graph(other), generate_zipf_graph(spec));
+}
+
+TEST(ZipfGraph, InDegreesFollowTheInExponent) {
+  GraphSpec spec = small_spec();
+  spec.num_edges = 400000;
+  const std::vector<Edge> edges = generate_zipf_graph(spec);
+  std::vector<std::uint64_t> in_counts(spec.num_vertices, 0);
+  for (const Edge& e : edges) ++in_counts[e.dst];
+  std::sort(in_counts.begin(), in_counts.end(), std::greater<>());
+  in_counts.resize(100);  // fit the head
+  EXPECT_NEAR(fit_alpha_rank_frequency(in_counts), spec.alpha_in, 0.15);
+}
+
+TEST(Rmat, ShapeAndDeterminism) {
+  const std::vector<Edge> edges = generate_rmat(10, 5000, 3);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, 1u << 10);
+    EXPECT_LT(e.dst, 1u << 10);
+  }
+  EXPECT_EQ(generate_rmat(10, 5000, 3), edges);
+  EXPECT_NE(generate_rmat(10, 5000, 4), edges);
+}
+
+TEST(Rmat, SkewsTowardLowIds) {
+  const std::vector<Edge> edges = generate_rmat(12, 40000, 7);
+  std::size_t low = 0;
+  for (const Edge& e : edges) {
+    if (e.src < (1u << 11)) ++low;  // lower half of the id space
+  }
+  // a + b = 0.76 of mass goes to the low-src half at every recursion level.
+  EXPECT_GT(low, edges.size() * 0.65);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(generate_rmat(0, 10, 1), check_error);
+  EXPECT_THROW(generate_rmat(10, 10, 1, 0.5, 0.3, 0.3), check_error);
+}
+
+TEST(RandomEdgePartition, PreservesAndBalancesEdges) {
+  const std::vector<Edge> edges = generate_zipf_graph(small_spec());
+  const auto parts = random_edge_partition(edges, 8, 42);
+  ASSERT_EQ(parts.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    // Balanced within ~5 sigma of the binomial spread.
+    EXPECT_NEAR(static_cast<double>(p.size()), edges.size() / 8.0,
+                5 * std::sqrt(edges.size() / 8.0));
+  }
+  EXPECT_EQ(total, edges.size());
+  EXPECT_EQ(random_edge_partition(edges, 8, 42), parts);
+}
+
+TEST(RandomEdgePartition, SingleMachineTakesEverything) {
+  const std::vector<Edge> edges = generate_zipf_graph(small_spec());
+  const auto parts = random_edge_partition(edges, 1, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], edges);
+}
+
+TEST(EdgesForPartitionDensity, HitsTheDensityTarget) {
+  // The sizing formula plus the generator should land near the requested
+  // partition density (this is the calibration the presets rely on).
+  const std::uint64_t n = 1 << 15;
+  const double target = 0.15;
+  GraphSpec spec;
+  spec.num_vertices = n;
+  spec.alpha_in = 1.1;
+  spec.alpha_out = 1.3;
+  spec.num_edges = edges_for_partition_density(n, spec.alpha_in, 8, target);
+  spec.seed = 19;
+  const auto edges = generate_zipf_graph(spec);
+  const auto parts = random_edge_partition(edges, 8, 20);
+  const double measured = measure_partition_density(parts, n);
+  EXPECT_NEAR(measured, target, target * 0.15);
+}
+
+TEST(Presets, AreScaledToThePaperDensities) {
+  const GraphSpec twitter = twitter_like(1 << 16);
+  const GraphSpec yahoo = yahoo_like(1 << 16);
+  EXPECT_GT(twitter.num_edges, 0u);
+  EXPECT_GT(yahoo.num_edges, 0u);
+  // Twitter-like partitions are much denser than yahoo-like ones, so at the
+  // same vertex count it needs many more edges.
+  EXPECT_GT(twitter.num_edges, yahoo.num_edges);
+  EXPECT_STREQ(twitter.name, "twitter-like");
+  EXPECT_STREQ(yahoo.name, "yahoo-like");
+}
+
+TEST(MeasurePartitionDensity, CountsUniqueDestinations) {
+  const std::vector<std::vector<Edge>> parts = {
+      {{0, 1}, {2, 1}, {3, 4}},  // dsts {1, 4} -> density 2/10
+      {{0, 5}, {1, 5}},          // dsts {5}    -> density 1/10
+  };
+  EXPECT_NEAR(measure_partition_density(parts, 10), 0.15, 1e-12);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,89 @@
+#include "powerlaw/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(ZipfSampler, StaysInRange) {
+  const ZipfSampler zipf(100, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = zipf(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(ZipfSampler, SingleRankAlwaysOne) {
+  const ZipfSampler zipf(1, 0.8);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf(rng), 1u);
+  }
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), check_error);
+  EXPECT_THROW(ZipfSampler(10, 0.0), check_error);
+  EXPECT_THROW(ZipfSampler(10, -1.0), check_error);
+}
+
+class ZipfDistributionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfDistributionTest, FrequenciesFollowPowerLaw) {
+  const double alpha = GetParam();
+  constexpr std::uint64_t kRanks = 1000;
+  constexpr int kDraws = 400000;
+  const ZipfSampler zipf(kRanks, alpha);
+  Rng rng(static_cast<std::uint64_t>(alpha * 1000));
+  std::vector<double> counts(kRanks + 1, 0.0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+
+  // Expected frequency of rank r is kDraws * r^-alpha / H.
+  double harmonic = 0;
+  for (std::uint64_t r = 1; r <= kRanks; ++r) {
+    harmonic += std::pow(static_cast<double>(r), -alpha);
+  }
+  for (std::uint64_t r : {1ull, 2ull, 3ull, 5ull, 10ull, 50ull}) {
+    const double expected =
+        kDraws * std::pow(static_cast<double>(r), -alpha) / harmonic;
+    EXPECT_NEAR(counts[r], expected, 4 * std::sqrt(expected) + 5)
+        << "alpha " << alpha << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfDistributionTest,
+                         ::testing::Values(0.5, 0.9, 1.0, 1.1, 1.5, 2.0));
+
+TEST(ZipfSampler, AlphaOneHandledExactly) {
+  // alpha == 1 exercises the log branch of the integral helpers.
+  const ZipfSampler zipf(50, 1.0);
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) sum += static_cast<double>(zipf(rng));
+  EXPECT_GT(sum / 1000, 1.0);
+  EXPECT_LT(sum / 1000, 50.0);
+}
+
+TEST(ZipfSampler, LargerAlphaConcentratesOnHead) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const ZipfSampler mild(10000, 0.7);
+  const ZipfSampler steep(10000, 1.8);
+  int mild_head = 0;
+  int steep_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild(rng_a) <= 10) ++mild_head;
+    if (steep(rng_b) <= 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, mild_head * 2);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,118 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace kylix {
+namespace {
+
+const std::vector<Edge> kDiamond = {
+    {0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 1}};  // parallel edge 0->1
+
+TEST(LocalGraph, CompactsVertexSets) {
+  const LocalGraph g(kDiamond);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_local_sources(), 3u);       // 0, 1, 2
+  EXPECT_EQ(g.num_local_destinations(), 3u);  // 1, 2, 3
+  EXPECT_TRUE(g.sources().contains(hash_index(0)));
+  EXPECT_FALSE(g.sources().contains(hash_index(3)));
+  EXPECT_TRUE(g.destinations().contains(hash_index(3)));
+  EXPECT_FALSE(g.destinations().contains(hash_index(0)));
+}
+
+TEST(LocalGraph, OutDegreesCountParallelEdges) {
+  const LocalGraph g(kDiamond);
+  const std::vector<float> deg = g.local_out_degrees();
+  const std::size_t p0 = g.sources().find(hash_index(0));
+  const std::size_t p1 = g.sources().find(hash_index(1));
+  const std::size_t p2 = g.sources().find(hash_index(2));
+  EXPECT_EQ(deg[p0], 3.0f);  // 0->1 twice, 0->2 once
+  EXPECT_EQ(deg[p1], 1.0f);
+  EXPECT_EQ(deg[p2], 1.0f);
+}
+
+TEST(LocalGraph, EmptyGraph) {
+  const LocalGraph g{std::span<const Edge>{}};
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_local_sources(), 0u);
+  std::vector<float> w;
+  g.multiply_into<float>({}, {}, w);  // no-op, no crash
+}
+
+TEST(LocalGraph, MultiplyMatchesBruteForce) {
+  Rng rng(31);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 400; ++i) {
+    edges.push_back(Edge{rng.below(50), rng.below(50)});
+  }
+  const LocalGraph g(edges);
+  std::vector<float> v(g.num_local_sources());
+  std::vector<float> scale(g.num_local_sources());
+  for (std::size_t p = 0; p < v.size(); ++p) {
+    v[p] = static_cast<float>(rng.below(10));
+    scale[p] = static_cast<float>(1 + rng.below(3));
+  }
+  std::vector<float> w(g.num_local_destinations(), 0.0f);
+  g.multiply_into<float>(v, scale, w);
+
+  std::map<index_t, float> expected;
+  for (const Edge& e : edges) {
+    const std::size_t s = g.sources().find(hash_index(e.src));
+    expected[e.dst] += v[s] * scale[s];
+  }
+  for (const auto& [dst, total] : expected) {
+    const std::size_t d = g.destinations().find(hash_index(dst));
+    EXPECT_FLOAT_EQ(w[d], total) << "dst " << dst;
+  }
+}
+
+TEST(LocalGraph, MultiplyWithoutScale) {
+  const std::vector<Edge> edges = {{0, 2}, {1, 2}};
+  const LocalGraph g(edges);
+  std::vector<float> v(g.num_local_sources(), 1.5f);
+  std::vector<float> w(g.num_local_destinations(), 0.25f);
+  g.multiply_into<float>(v, {}, w);
+  const std::size_t d = g.destinations().find(hash_index(2));
+  EXPECT_FLOAT_EQ(w[d], 0.25f + 3.0f);
+}
+
+TEST(LocalGraph, MinPropagateTakesNeighborMinimum) {
+  // 5 -> 0, 7 -> 0: label of 0 becomes min(its own in w, labels of 5 and 7).
+  const std::vector<Edge> edges = {{5, 0}, {7, 0}, {7, 1}};
+  const LocalGraph g(edges);
+  std::vector<std::uint64_t> labels(g.num_local_sources());
+  const std::size_t s5 = g.sources().find(hash_index(5));
+  const std::size_t s7 = g.sources().find(hash_index(7));
+  labels[s5] = 5;
+  labels[s7] = 7;
+  std::vector<std::uint64_t> w(g.num_local_destinations(), 99);
+  g.min_propagate_into<std::uint64_t>(labels, w);
+  EXPECT_EQ(w[g.destinations().find(hash_index(0))], 5u);
+  EXPECT_EQ(w[g.destinations().find(hash_index(1))], 7u);
+}
+
+TEST(LocalGraph, OrPropagateUnionsBits) {
+  const std::vector<Edge> edges = {{5, 0}, {7, 0}};
+  const LocalGraph g(edges);
+  std::vector<std::uint64_t> sketches(g.num_local_sources());
+  sketches[g.sources().find(hash_index(5))] = 0b001;
+  sketches[g.sources().find(hash_index(7))] = 0b100;
+  std::vector<std::uint64_t> w(g.num_local_destinations(), 0b010);
+  g.or_propagate_into<std::uint64_t>(sketches, w);
+  EXPECT_EQ(w[g.destinations().find(hash_index(0))], 0b111u);
+}
+
+TEST(LocalGraph, SizeMismatchThrows) {
+  const LocalGraph g(kDiamond);
+  std::vector<float> v(g.num_local_sources() + 1);
+  std::vector<float> w(g.num_local_destinations());
+  EXPECT_THROW(g.multiply_into<float>(v, {}, w), check_error);
+}
+
+}  // namespace
+}  // namespace kylix

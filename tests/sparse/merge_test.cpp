@@ -1,0 +1,150 @@
+#include "sparse/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace kylix {
+namespace {
+
+std::vector<key_t> random_sorted_unique(Rng& rng, std::size_t size,
+                                        key_t universe) {
+  std::set<key_t> keys;
+  while (keys.size() < size) keys.insert(rng.below(universe));
+  return std::vector<key_t>(keys.begin(), keys.end());
+}
+
+/// The defining property of a union-with-maps: union[map[p]] == input[p].
+void expect_maps_valid(const UnionResult& result,
+                       const std::vector<std::vector<key_t>>& inputs) {
+  ASSERT_EQ(result.maps.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(result.maps[i].size(), inputs[i].size()) << "input " << i;
+    for (std::size_t p = 0; p < inputs[i].size(); ++p) {
+      ASSERT_LT(result.maps[i][p], result.keys.size());
+      EXPECT_EQ(result.keys[result.maps[i][p]], inputs[i][p])
+          << "input " << i << " position " << p;
+    }
+  }
+}
+
+std::vector<key_t> set_union_oracle(
+    const std::vector<std::vector<key_t>>& inputs) {
+  std::set<key_t> u;
+  for (const auto& in : inputs) u.insert(in.begin(), in.end());
+  return std::vector<key_t>(u.begin(), u.end());
+}
+
+TEST(MergeUnion, DisjointInputsConcatenate) {
+  const UnionResult r = merge_union(std::vector<key_t>{1, 3, 5},
+                                    std::vector<key_t>{2, 4, 6});
+  EXPECT_EQ(r.keys, (std::vector<key_t>{1, 2, 3, 4, 5, 6}));
+  expect_maps_valid(r, {{1, 3, 5}, {2, 4, 6}});
+}
+
+TEST(MergeUnion, OverlappingKeysCollapse) {
+  const UnionResult r = merge_union(std::vector<key_t>{1, 2, 3},
+                                    std::vector<key_t>{2, 3, 4});
+  EXPECT_EQ(r.keys, (std::vector<key_t>{1, 2, 3, 4}));
+  expect_maps_valid(r, {{1, 2, 3}, {2, 3, 4}});
+  // Shared keys map to the same union slot (this is what makes reduction
+  // collapse sparse contributions).
+  EXPECT_EQ(r.maps[0][1], r.maps[1][0]);
+  EXPECT_EQ(r.maps[0][2], r.maps[1][1]);
+}
+
+TEST(MergeUnion, EmptySides) {
+  const std::vector<key_t> some = {7, 9};
+  UnionResult r = merge_union(some, {});
+  EXPECT_EQ(r.keys, some);
+  r = merge_union({}, some);
+  EXPECT_EQ(r.keys, some);
+  r = merge_union({}, {});
+  EXPECT_TRUE(r.keys.empty());
+}
+
+TEST(MergeUnion, IdenticalInputsGiveIdentityMaps) {
+  const std::vector<key_t> keys = {1, 5, 9};
+  const UnionResult r = merge_union(keys, keys);
+  EXPECT_EQ(r.keys, keys);
+  for (std::size_t p = 0; p < keys.size(); ++p) {
+    EXPECT_EQ(r.maps[0][p], p);
+    EXPECT_EQ(r.maps[1][p], p);
+  }
+}
+
+class TreeMergeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeMergeTest, MatchesOracleWithValidMaps) {
+  const std::size_t ways = GetParam();
+  Rng rng(ways);
+  std::vector<std::vector<key_t>> inputs;
+  for (std::size_t i = 0; i < ways; ++i) {
+    inputs.push_back(random_sorted_unique(rng, 20 + rng.below(50), 300));
+  }
+  const UnionResult r = tree_merge(inputs);
+  EXPECT_EQ(r.keys, set_union_oracle(inputs));
+  expect_maps_valid(r, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TreeMergeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 64));
+
+TEST(TreeMerge, ZeroInputsGivesEmpty) {
+  const UnionResult r = tree_merge(std::vector<std::vector<key_t>>{});
+  EXPECT_TRUE(r.keys.empty());
+  EXPECT_TRUE(r.maps.empty());
+}
+
+TEST(TreeMerge, SomeInputsEmpty) {
+  std::vector<std::vector<key_t>> inputs = {{}, {1, 2}, {}, {2, 3}, {}};
+  const UnionResult r = tree_merge(inputs);
+  EXPECT_EQ(r.keys, (std::vector<key_t>{1, 2, 3}));
+  expect_maps_valid(r, inputs);
+}
+
+TEST(TreeMerge, HeavilyOverlappingPowerLawLikeInputs) {
+  // Mimics the workload the merge exists for: many sets sharing a hot head.
+  Rng rng(77);
+  std::vector<std::vector<key_t>> inputs;
+  for (int i = 0; i < 16; ++i) {
+    std::set<key_t> keys;
+    for (int j = 0; j < 40; ++j) keys.insert(rng.below(30));    // hot head
+    for (int j = 0; j < 10; ++j) keys.insert(rng.below(10000));  // tail
+    inputs.emplace_back(keys.begin(), keys.end());
+  }
+  const UnionResult r = tree_merge(inputs);
+  EXPECT_EQ(r.keys, set_union_oracle(inputs));
+  expect_maps_valid(r, inputs);
+  // Collapse happened: the union is far smaller than the total input.
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  EXPECT_LT(r.keys.size(), total / 2);
+}
+
+class HashUnionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashUnionTest, SameSetAsTreeMergeWithValidMaps) {
+  const std::size_t ways = GetParam();
+  Rng rng(1000 + ways);
+  std::vector<std::vector<key_t>> input_vecs;
+  for (std::size_t i = 0; i < ways; ++i) {
+    input_vecs.push_back(random_sorted_unique(rng, 30, 200));
+  }
+  std::vector<std::span<const key_t>> inputs(input_vecs.begin(),
+                                             input_vecs.end());
+  const UnionResult r = hash_union(inputs);
+  // hash_union's union is insertion-ordered, not sorted; compare as sets.
+  std::vector<key_t> sorted = r.keys;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, set_union_oracle(input_vecs));
+  expect_maps_valid(r, input_vecs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, HashUnionTest, ::testing::Values(1, 2, 8, 16));
+
+}  // namespace
+}  // namespace kylix

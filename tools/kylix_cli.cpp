@@ -1,0 +1,243 @@
+// kylix_cli — self-contained command-line driver for the sparse allreduce.
+//
+// The paper emphasizes that Kylix "can be run self-contained using shell
+// scripting (it does not require an underlying distributed middleware)".
+// This tool is that entry point for the simulator: it synthesizes a
+// power-law workload, picks (or accepts) a degree schedule, runs the
+// allreduce — optionally replicated, with injected failures — verifies the
+// result against a single-node reference, and prints volumes and modeled
+// times.
+//
+// Usage examples:
+//   kylix_cli --machines 64 --features 262144 --density 0.21 --alpha 1.1
+//   kylix_cli --machines 64 --degrees 8x4x2 --threads 4
+//   kylix_cli --machines 32 --replication 2 --failures 3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "kylix.hpp"
+
+namespace {
+
+using namespace kylix;
+
+struct Cli {
+  rank_t machines = 64;
+  std::uint64_t features = 1u << 18;
+  double density = 0.21;
+  double alpha = 1.1;
+  std::uint32_t threads = 16;
+  std::uint32_t replication = 1;
+  rank_t failures = 0;
+  std::uint64_t seed = 42;
+  std::vector<std::uint32_t> degrees;  // empty -> autotune
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: kylix_cli [options]\n"
+      "  --machines M      logical machine count (default 64)\n"
+      "  --features N      index-space size (default 262144)\n"
+      "  --density D       target partition density (default 0.21)\n"
+      "  --alpha A         power-law exponent (default 1.1)\n"
+      "  --degrees DxDxD   degree schedule (default: autotune per SIV)\n"
+      "  --threads T       message threads in the timing model (default 16)\n"
+      "  --replication S   replication factor (default 1)\n"
+      "  --failures K      dead physical nodes to inject (default 0)\n"
+      "  --seed X          workload seed (default 42)\n");
+  std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_degrees(const std::string& text) {
+  std::vector<std::uint32_t> degrees;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find('x', pos);
+    if (next == std::string::npos) next = text.size();
+    degrees.push_back(
+        static_cast<std::uint32_t>(std::stoul(text.substr(pos, next - pos))));
+    pos = next + 1;
+  }
+  return degrees;
+}
+
+Cli parse(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (flag == "--machines") {
+      cli.machines = static_cast<rank_t>(std::stoul(value()));
+    } else if (flag == "--features") {
+      cli.features = std::stoull(value());
+    } else if (flag == "--density") {
+      cli.density = std::stod(value());
+    } else if (flag == "--alpha") {
+      cli.alpha = std::stod(value());
+    } else if (flag == "--degrees") {
+      cli.degrees = parse_degrees(value());
+    } else if (flag == "--threads") {
+      cli.threads = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--replication") {
+      cli.replication = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--failures") {
+      cli.failures = static_cast<rank_t>(std::stoul(value()));
+    } else if (flag == "--seed") {
+      cli.seed = std::stoull(value());
+    } else {
+      usage_and_exit();
+    }
+  }
+  return cli;
+}
+
+/// Synthesize the workload straight from the SIV Poisson model: machine r's
+/// out set is a Zipf sample of the expected size, its in set likewise.
+struct Workload {
+  std::vector<KeySet> in_sets;
+  std::vector<KeySet> out_sets;
+  std::vector<std::vector<real_t>> values;
+  double measured_density = 0;
+};
+
+Workload synthesize(const Cli& cli) {
+  const PowerLawModel model(cli.features, cli.alpha);
+  const double lambda0 = model.lambda_for_density(cli.density);
+  const auto draws =
+      static_cast<std::uint64_t>(lambda0 * model.harmonic());
+  const ZipfSampler zipf(cli.features, cli.alpha);
+  Rng rng(cli.seed);
+
+  Workload w;
+  const auto draw_set = [&](Rng& machine_rng) {
+    std::vector<index_t> ids;
+    ids.reserve(draws);
+    for (std::uint64_t d = 0; d < draws; ++d) {
+      ids.push_back(zipf(machine_rng) - 1);
+    }
+    return KeySet::from_indices(ids);
+  };
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    Rng machine_rng = rng.fork(r);
+    KeySet out = draw_set(machine_rng);
+    // Requests are drawn from each machine's own contributions plus the
+    // shared head, so coverage (∪in ⊆ ∪out) holds by construction.
+    w.in_sets.push_back(out);
+    std::vector<real_t> values(out.size());
+    for (std::size_t p = 0; p < values.size(); ++p) {
+      values[p] = static_cast<real_t>(machine_rng.below(16));
+    }
+    w.out_sets.push_back(std::move(out));
+    w.values.push_back(std::move(values));
+    w.measured_density += static_cast<double>(w.out_sets.back().size());
+  }
+  w.measured_density /=
+      static_cast<double>(cli.machines) * static_cast<double>(cli.features);
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse(argc, argv);
+  NetworkModel net = NetworkModel::ec2_like();
+  net.stack_overhead_s = 3.2e-5;  // scaled testbed (see bench_common.hpp)
+  net.handshake_latency_s = 0.8e-5;
+  net.base_latency_s = 5e-5;
+  const ComputeModel compute;
+
+  Workload w = synthesize(cli);
+  std::printf("workload: n = %llu, m = %u, measured density %.4f, "
+              "alpha %.2f\n",
+              static_cast<unsigned long long>(cli.features), cli.machines,
+              w.measured_density, cli.alpha);
+
+  Topology topo({});
+  if (cli.degrees.empty()) {
+    AutotuneInput input;
+    input.num_features = cli.features;
+    input.num_machines = cli.machines;
+    input.alpha = cli.alpha;
+    input.partition_density = w.measured_density;
+    input.network = net;
+    input.target_utilization = 0.5;
+    const DesignResult design = autotune(input);
+    std::printf("autotuned (SIV workflow):\n%s", design.to_string().c_str());
+    topo = Topology(design.degrees);
+  } else {
+    topo = Topology(cli.degrees);
+    KYLIX_CHECK_MSG(topo.num_machines() == cli.machines,
+                    "--degrees product must equal --machines");
+    std::printf("degrees: %s\n", topo.to_string().c_str());
+  }
+
+  // Reference reduction for verification.
+  std::vector<SparseVector<real_t>> contributions;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    contributions.push_back(SparseVector<real_t>{w.out_sets[r], w.values[r]});
+  }
+  const ReferenceReduce<real_t> reference(contributions);
+
+  const rank_t physical = cli.machines * cli.replication;
+  KYLIX_CHECK_MSG(cli.failures <= physical, "--failures exceeds nodes");
+  const FailureModel failures =
+      FailureModel::random_failures(physical, cli.failures, cli.seed + 1);
+  Trace trace;
+  TimingAccumulator timing(physical, net, compute, cli.threads);
+
+  std::vector<std::vector<real_t>> results;
+  if (cli.replication == 1) {
+    KYLIX_CHECK_MSG(cli.failures == 0,
+                    "failures need --replication >= 2 to stay correct");
+    BspEngine<real_t> engine(cli.machines, nullptr, &trace, &timing);
+    SparseAllreduce<real_t, OpSum, BspEngine<real_t>> allreduce(
+        &engine, topo, &compute);
+    allreduce.configure(w.in_sets, w.out_sets);
+    results = allreduce.reduce(w.values);
+  } else {
+    ReplicatedBsp<real_t> engine(cli.machines, cli.replication, &failures,
+                                 &trace, &timing);
+    if (engine.has_failed()) {
+      std::printf("FATAL: a whole replica group is dead — allreduce cannot "
+                  "complete (expected after ~sqrt(m) failures)\n");
+      return 1;
+    }
+    SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
+        &engine, topo, &compute);
+    allreduce.configure(w.in_sets, w.out_sets);
+    results = allreduce.reduce(w.values);
+  }
+
+  // Verify.
+  std::size_t errors = 0;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    const std::vector<real_t> expected = reference.lookup(w.in_sets[r]);
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+      if (expected[p] != results[r][p]) ++errors;
+    }
+  }
+
+  const auto times = timing.times();
+  std::printf("\nvolume: %s in %zu messages\n",
+              format_bytes(static_cast<double>(trace.total_bytes())).c_str(),
+              trace.num_messages());
+  const auto layer_bytes =
+      trace.bytes_by_layer_all_phases(topo.num_layers());
+  for (std::uint16_t layer = 1; layer <= topo.num_layers(); ++layer) {
+    std::printf("  layer %u: %s\n", layer,
+                format_bytes(static_cast<double>(layer_bytes[layer - 1]))
+                    .c_str());
+  }
+  std::printf("modeled config time: %s\nmodeled reduce time: %s\n",
+              format_seconds(times.config).c_str(),
+              format_seconds(times.reduce()).c_str());
+  std::printf("verification: %zu mismatches (%s)\n", errors,
+              errors == 0 ? "PASS" : "FAIL");
+  return errors == 0 ? 0 : 1;
+}
