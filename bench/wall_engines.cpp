@@ -1,0 +1,168 @@
+// Host wall-clock comparison of the simulation engines (BENCH_engines.json).
+//
+// Unlike the figure benches, which report the *modeled* cluster time, this
+// bench measures real host seconds: how fast the simulator itself turns the
+// crank. Three questions:
+//   1. engine throughput — sequential BspEngine vs the host-parallel
+//      ParallelBspEngine (same trace, same results, bit-identical);
+//   2. steady-state vs cold — the scratch/pool recycling means iteration 2+
+//      runs allocation-free, so warm reduces beat the cold first pass;
+//   3. merge scratch ablation — allocating tree_merge vs the reusable
+//      tree_merge_into on the same 64-way key sets.
+//
+// The parallel engine's speedup scales with physical cores; the JSON
+// records hardware_threads and engine_threads so a 1-core CI container's
+// ~1x is interpretable. Threads: argv[1] or KYLIX_BENCH_THREADS, default
+// hardware concurrency. Output: argv[2] or BENCH_engines.json.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kylix;
+
+struct ReduceStats {
+  double configure_s = 0;
+  double cold_reduce_s = 0;
+  double warm_mean_s = 0;
+  double warm_min_s = 0;
+  std::vector<std::vector<real_t>> results;
+};
+
+constexpr int kWarmups = 2;
+constexpr int kTimed = 3;
+
+template <typename Engine>
+ReduceStats run_engine(Engine& engine, const bench::Dataset& data,
+                       const Topology& topology) {
+  ReduceStats stats;
+  SparseAllreduce<real_t, OpSum, Engine> allreduce(&engine, topology);
+  {
+    bench::WallTimer t;
+    allreduce.configure(data.in_sets, data.out_sets);
+    stats.configure_s = t.seconds();
+  }
+  {
+    bench::WallTimer t;
+    stats.results = allreduce.reduce(data.out_values);
+    stats.cold_reduce_s = t.seconds();
+  }
+  for (int i = 0; i < kWarmups; ++i) (void)allreduce.reduce(data.out_values);
+  stats.warm_min_s = 1e30;
+  for (int i = 0; i < kTimed; ++i) {
+    bench::WallTimer t;
+    (void)allreduce.reduce(data.out_values);
+    const double s = t.seconds();
+    stats.warm_mean_s += s / kTimed;
+    stats.warm_min_s = std::min(stats.warm_min_s, s);
+  }
+  return stats;
+}
+
+void emit_engine(bench::JsonWriter& json, const char* name,
+                 const ReduceStats& stats) {
+  json.key(name);
+  json.begin_object();
+  json.key_value("configure_s", stats.configure_s);
+  json.key_value("cold_reduce_s", stats.cold_reduce_s);
+  json.key_value("warm_reduce_mean_s", stats.warm_mean_s);
+  json.key_value("warm_reduce_min_s", stats.warm_min_s);
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  unsigned threads = hardware;
+  if (const char* env = std::getenv("KYLIX_BENCH_THREADS")) {
+    threads = static_cast<unsigned>(std::atoi(env));
+  }
+  if (argc > 1) threads = static_cast<unsigned>(std::atoi(argv[1]));
+  if (threads == 0) threads = 1;
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_engines.json";
+
+  std::printf("# wall-clock engine bench: %u engine threads, %u hardware\n",
+              threads, hardware);
+  bench::JsonWriter json(out_path);
+  json.begin_object();
+  json.key_value("benchmark", std::string("wall_engines"));
+  json.key_value("machines", static_cast<int>(bench::kMachines));
+  json.key_value("hardware_threads", static_cast<int>(hardware));
+  json.key_value("engine_threads", static_cast<int>(threads));
+  json.key_value("warm_iterations", kTimed);
+  json.key("presets");
+  json.begin_array();
+
+  for (const char* which : {"twitter", "yahoo"}) {
+    const bench::Dataset data = bench::make_dataset(which);
+    const Topology& topology = data.paper_topology;
+
+    BspEngine<real_t> seq_engine(bench::kMachines);
+    const ReduceStats seq = run_engine(seq_engine, data, topology);
+    ParallelBspEngine<real_t> par_engine(bench::kMachines, threads);
+    const ReduceStats par = run_engine(par_engine, data, topology);
+    const bool identical = seq.results == par.results;
+    const double speedup = par.warm_mean_s > 0
+                               ? seq.warm_mean_s / par.warm_mean_s
+                               : 0;
+
+    // Merge ablation on this preset's real key sets: one allocating
+    // tree_merge vs a warmed tree_merge_into per timed round.
+    std::vector<std::span<const kylix::key_t>> spans;
+    spans.reserve(data.out_sets.size());
+    for (const KeySet& set : data.out_sets) spans.push_back(set.keys());
+    MergeScratch scratch;
+    UnionResult merged;
+    for (int i = 0; i < kWarmups; ++i) tree_merge_into(spans, merged, scratch);
+    double fresh_s = 1e30;
+    double warm_s = 1e30;
+    for (int i = 0; i < kTimed; ++i) {
+      bench::WallTimer t;
+      (void)tree_merge(spans);
+      fresh_s = std::min(fresh_s, t.seconds());
+      bench::WallTimer t2;
+      tree_merge_into(spans, merged, scratch);
+      warm_s = std::min(warm_s, t2.seconds());
+    }
+
+    std::printf("%-14s seq warm %.4fs  par warm %.4fs  speedup %.2fx  "
+                "identical %s\n",
+                data.name.c_str(), seq.warm_mean_s, par.warm_mean_s, speedup,
+                identical ? "yes" : "NO");
+    std::printf("%-14s merge fresh %.5fs  scratch %.5fs  (%.2fx)\n",
+                data.name.c_str(), fresh_s, warm_s,
+                warm_s > 0 ? fresh_s / warm_s : 0);
+
+    json.begin_object();
+    json.key_value("name", data.name);
+    json.key("topology");
+    json.begin_array();
+    for (std::uint16_t i = 1; i <= topology.num_layers(); ++i) {
+      json.value(static_cast<int>(topology.degree(i)));
+    }
+    json.end_array();
+    emit_engine(json, "sequential", seq);
+    emit_engine(json, "parallel", par);
+    json.key_value("warm_speedup", speedup);
+    json.key_value("results_bit_identical", identical);
+    json.key("merge_ablation");
+    json.begin_object();
+    json.key_value("fresh_tree_merge_s", fresh_s);
+    json.key_value("warm_tree_merge_into_s", warm_s);
+    json.key_value("speedup", warm_s > 0 ? fresh_s / warm_s : 0);
+    json.end_object();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  if (!json.finish()) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -57,30 +57,41 @@ class BspEngine {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
-    std::vector<std::vector<Letter<V>>> inboxes(num_nodes_);
+    // Inboxes persist across rounds: clear() keeps both the outer vector's
+    // capacity and each inbox's letter-shell capacity, so steady-state
+    // rounds perform no heap allocation here.
+    if (inboxes_.size() < num_nodes_) inboxes_.resize(num_nodes_);
+    for (auto& inbox : inboxes_) inbox.clear();
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       if (is_dead(rank)) continue;
       for (Letter<V>& letter : produce(rank)) {
         KYLIX_DCHECK(letter.src == rank);
         KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
-        deliver(phase, layer, std::move(letter), inboxes);
+        deliver(phase, layer, std::move(letter), inboxes_);
       }
     }
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       if (is_dead(rank)) continue;
-      auto& inbox = inboxes[rank];
+      auto& inbox = inboxes_[rank];
       std::sort(inbox.begin(), inbox.end(),
                 [](const Letter<V>& a, const Letter<V>& b) {
                   return a.src < b.src;
                 });
+#ifndef NDEBUG
       if (!inbox.empty()) {
-        // Sanity: only expected senders may appear.
-        const std::vector<rank_t> senders = expected(rank);
+        // Sanity: only expected senders may appear. Sort a copy once and
+        // binary-search instead of a linear scan per letter.
+        std::vector<rank_t> senders(expected(rank).begin(),
+                                    expected(rank).end());
+        std::sort(senders.begin(), senders.end());
         for (const Letter<V>& letter : inbox) {
-          KYLIX_DCHECK(std::find(senders.begin(), senders.end(),
-                                 letter.src) != senders.end());
+          KYLIX_DCHECK(
+              std::binary_search(senders.begin(), senders.end(), letter.src));
         }
       }
+#else
+      (void)expected;
+#endif
       consume(rank, std::move(inbox));
     }
   }
@@ -102,6 +113,7 @@ class BspEngine {
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
+  std::vector<std::vector<Letter<V>>> inboxes_;  ///< reused across rounds
 };
 
 }  // namespace kylix

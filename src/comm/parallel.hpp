@@ -1,0 +1,171 @@
+// The host-parallel simulation engine.
+//
+// Same round semantics and observer behavior as BspEngine, but the two
+// embarrassingly-parallel halves of a round — every rank's produce and every
+// rank's consume — run across a persistent ThreadPool. The sequential parts
+// that define observable order (trace events, modeled send/receive timing,
+// failure drops) stay on the calling thread, so results, traces, and timing
+// reports are bit-identical to BspEngine:
+//
+//   1. Parallel produce: rank r's letters are staged into outboxes_[r] in
+//      production order. Workers touch only their own rank's node.
+//   2. Sequential delivery: outboxes are drained in (rank, production) order
+//      — exactly the order BspEngine emits trace/timing events in — applying
+//      failure drops and appending to the destination inboxes.
+//   3. Parallel consume: each rank sorts its inbox by source and consumes
+//      it. charge_compute() calls made by consumers land in per-rank buffers
+//      (no contention: one consume per rank) and are flushed to the timing
+//      accumulator in ascending rank order after the batch, matching the
+//      sequential engine's accumulation order exactly (floating-point
+//      addition order included).
+//
+// Inboxes and outboxes persist across rounds, so the steady-state letter
+// recycling economy of the node layer is preserved: shells keep their
+// capacity, and rounds allocate nothing once warm.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+#include "comm/packet.hpp"
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace kylix {
+
+template <typename V>
+class ParallelBspEngine {
+ public:
+  /// `threads` counts the calling thread (0 = hardware concurrency); all
+  /// observer pointers are optional and not owned. With threads == 1 the
+  /// engine degenerates to BspEngine's exact control flow.
+  explicit ParallelBspEngine(rank_t num_nodes, unsigned threads = 0,
+                             const FailureModel* failures = nullptr,
+                             Trace* trace = nullptr,
+                             TimingAccumulator* timing = nullptr)
+      : num_nodes_(num_nodes),
+        pool_(threads),
+        failures_(failures),
+        trace_(trace),
+        timing_(timing),
+        outboxes_(num_nodes),
+        inboxes_(num_nodes),
+        pending_compute_(num_nodes) {
+    KYLIX_CHECK(num_nodes >= 1);
+  }
+
+  [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
+  [[nodiscard]] unsigned num_threads() const { return pool_.num_threads(); }
+
+  [[nodiscard]] bool is_dead(rank_t rank) const {
+    return failures_ != nullptr && failures_->is_dead(rank);
+  }
+
+  /// Outside a round (e.g. the begin_up charge) this forwards directly to
+  /// the accumulator; during the parallel consume half it buffers per rank.
+  void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
+                      double seconds) {
+    if (timing_ == nullptr) return;
+    if (collecting_) {
+      pending_compute_[rank].push_back(ComputeEvent{phase, layer, seconds});
+    } else {
+      timing_->on_compute(phase, layer, rank, seconds);
+    }
+  }
+
+  template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
+  void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
+             ExpectedFn&& expected, ConsumeFn&& consume) {
+    // 1. Parallel produce into per-rank staging outboxes.
+    pool_.parallel_for(num_nodes_, [&](std::size_t r) {
+      const rank_t rank = static_cast<rank_t>(r);
+      auto& outbox = outboxes_[rank];
+      outbox.clear();
+      if (is_dead(rank)) return;
+      for (Letter<V>& letter : produce(rank)) {
+        KYLIX_DCHECK(letter.src == rank);
+        KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
+        outbox.push_back(std::move(letter));
+      }
+    });
+
+    // 2. Sequential delivery in (rank, production) order — the event order
+    // BspEngine produces — so traces and modeled timing match exactly.
+    for (auto& inbox : inboxes_) inbox.clear();
+    for (rank_t rank = 0; rank < num_nodes_; ++rank) {
+      for (Letter<V>& letter : outboxes_[rank]) {
+        const std::uint64_t bytes = letter.packet.wire_bytes();
+        const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
+        if (trace_ != nullptr) trace_->add(event);
+        if (timing_ != nullptr) timing_->on_message(event);
+        // A send to a dead node costs the sender but never arrives.
+        if (failures_ != nullptr && failures_->is_dead(letter.dst)) continue;
+        inboxes_[letter.dst].push_back(std::move(letter));
+      }
+    }
+
+    // 3. Parallel consume; compute charges buffer per rank (one consumer
+    // per rank, so the buffers are contention-free).
+    collecting_ = timing_ != nullptr;
+    pool_.parallel_for(num_nodes_, [&](std::size_t r) {
+      const rank_t rank = static_cast<rank_t>(r);
+      if (is_dead(rank)) return;
+      auto& inbox = inboxes_[rank];
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Letter<V>& a, const Letter<V>& b) {
+                  return a.src < b.src;
+                });
+#ifndef NDEBUG
+      if (!inbox.empty()) {
+        // Sanity: only expected senders may appear (sorted + binary search).
+        std::vector<rank_t> senders(expected(rank).begin(),
+                                    expected(rank).end());
+        std::sort(senders.begin(), senders.end());
+        for (const Letter<V>& letter : inbox) {
+          KYLIX_DCHECK(
+              std::binary_search(senders.begin(), senders.end(), letter.src));
+        }
+      }
+#else
+      (void)expected;
+#endif
+      consume(rank, std::move(inbox));
+    });
+    collecting_ = false;
+
+    // Flush buffered charges in ascending rank order: identical per-slot
+    // accumulation order to the sequential consume loop.
+    if (timing_ != nullptr) {
+      for (rank_t rank = 0; rank < num_nodes_; ++rank) {
+        for (const ComputeEvent& e : pending_compute_[rank]) {
+          timing_->on_compute(e.phase, e.layer, rank, e.seconds);
+        }
+        pending_compute_[rank].clear();
+      }
+    }
+  }
+
+ private:
+  struct ComputeEvent {
+    Phase phase;
+    std::uint16_t layer;
+    double seconds;
+  };
+
+  rank_t num_nodes_;
+  ThreadPool pool_;
+  const FailureModel* failures_;
+  Trace* trace_;
+  TimingAccumulator* timing_;
+
+  std::vector<std::vector<Letter<V>>> outboxes_;  ///< staged by produce
+  std::vector<std::vector<Letter<V>>> inboxes_;   ///< reused across rounds
+  std::vector<std::vector<ComputeEvent>> pending_compute_;
+  bool collecting_ = false;  ///< true only during the consume batch
+};
+
+}  // namespace kylix

@@ -107,13 +107,19 @@ class ReplicatedBsp {
                 [](const Letter<V>& a, const Letter<V>& b) {
                   return a.src < b.src;
                 });
+#ifndef NDEBUG
       if (!inbox.empty()) {
-        const std::vector<rank_t> senders = expected(j);
+        // Sanity: only expected senders may appear (sorted + binary search).
+        std::vector<rank_t> senders(expected(j).begin(), expected(j).end());
+        std::sort(senders.begin(), senders.end());
         for (const Letter<V>& letter : inbox) {
-          KYLIX_DCHECK(std::find(senders.begin(), senders.end(),
-                                 letter.src) != senders.end());
+          KYLIX_DCHECK(
+              std::binary_search(senders.begin(), senders.end(), letter.src));
         }
       }
+#else
+      (void)expected;
+#endif
       consume(j, std::move(inbox));
     }
   }

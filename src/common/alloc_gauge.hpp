@@ -1,0 +1,30 @@
+// Allocation-counting test hook.
+//
+// The counter is only ever incremented by binaries that install a counting
+// global operator new (tests/core/alloc_test.cpp does); for every other
+// binary it is a dead inline atomic. This is how the zero-allocation claims
+// about the node/merge hot paths are *asserted* rather than assumed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kylix {
+
+/// Total heap allocations observed by the installed counting operator new.
+inline std::atomic<std::uint64_t> g_allocation_count{0};
+
+/// Allocations made between construction and count().
+class AllocGauge {
+ public:
+  AllocGauge() : start_(g_allocation_count.load(std::memory_order_relaxed)) {}
+
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocation_count.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace kylix

@@ -1,0 +1,150 @@
+// A persistent host thread pool with a parallel_for primitive.
+//
+// Built for the parallel simulation engine (comm/parallel.hpp): one pool per
+// engine, woken once per produce/consume phase, so thread startup cost is
+// paid once per engine instead of once per round. Work is distributed by an
+// atomic index counter (dynamic self-scheduling), which balances the skewed
+// per-rank costs of a heterogeneous butterfly without any static partition.
+//
+// Batch protocol: the caller publishes the loop body under the mutex, bumps
+// a generation counter, and wakes every worker. Each worker checks in
+// (arrived), claims indices until the counter is exhausted, and checks out
+// (busy back to zero). The caller participates in the batch itself, then
+// waits until every worker has both arrived *and* finished — guaranteeing no
+// straggler from batch N can observe state being written for batch N+1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread too: the pool spawns threads - 1
+  /// workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    threads_ = threads;
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 1; i < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const { return threads_; }
+
+  /// Run fn(0), …, fn(n - 1) across the pool; indices are claimed
+  /// dynamically, the calling thread participates, and the call returns
+  /// only when every index has finished. The first exception thrown by any
+  /// call is rethrown here (remaining indices still run to completion).
+  /// Runs inline when the pool has one thread or n <= 1.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (threads_ == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ctx_ = &fn;
+      invoke_ = [](void* ctx, std::size_t i) {
+        (*static_cast<std::remove_reference_t<Fn>*>(ctx))(i);
+      };
+      count_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      arrived_ = 0;
+      busy_ = 0;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    run_batch();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return arrived_ == workers_.size() && busy_ == 0; });
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        ++arrived_;
+        ++busy_;
+      }
+      run_batch();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --busy_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void run_batch() {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) return;
+      try {
+        invoke_(ctx_, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per batch (and at shutdown)
+  std::size_t arrived_ = 0;       ///< workers that woke for this batch
+  std::size_t busy_ = 0;          ///< workers currently inside run_batch
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  std::size_t count_ = 0;             ///< batch size (read under happens-before)
+  void* ctx_ = nullptr;
+  void (*invoke_)(void*, std::size_t) = nullptr;
+  std::exception_ptr error_;
+};
+
+}  // namespace kylix

@@ -95,11 +95,15 @@ class SparseAllreduce {
   void build_nodes(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
     const rank_t m = topo_.num_machines();
     KYLIX_CHECK(in_sets.size() == m && out_sets.size() == m);
+    // Nodes are rebuilt per configure/reduce_with_config call, but their
+    // working storage persists here, so repeated minibatch steps reuse
+    // warmed buffers instead of re-allocating every letter and union.
     nodes_.clear();
+    if (scratch_.size() < m) scratch_.resize(m);
     nodes_.reserve(m);
     for (rank_t r = 0; r < m; ++r) {
       nodes_.emplace_back(&topo_, r, std::move(in_sets[r]),
-                          std::move(out_sets[r]));
+                          std::move(out_sets[r]), &scratch_[r]);
     }
   }
 
@@ -139,8 +143,14 @@ class SparseAllreduce {
                  ConsumeFn consume) {
     engine_->round(
         phase, layer,
-        [&](rank_t r) { return (nodes_[r].*produce)(layer); },
-        [&](rank_t r) { return nodes_[r].expected(layer); },
+        // Reference returns: produce hands out the node's reusable letter
+        // shells; expected hands out the cached group (no copies per round).
+        [&](rank_t r) -> std::vector<Letter<V>>& {
+          return (nodes_[r].*produce)(layer);
+        },
+        [&](rank_t r) -> const std::vector<rank_t>& {
+          return nodes_[r].expected(layer);
+        },
         [&](rank_t r, std::vector<Letter<V>>&& inbox) {
           (nodes_[r].*consume)(layer, std::move(inbox));
           charge(phase, layer, nodes_[r]);
@@ -161,6 +171,7 @@ class SparseAllreduce {
   Topology topo_;
   const ComputeModel* compute_;
   std::vector<Node> nodes_;
+  std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes
 };
 
 }  // namespace kylix

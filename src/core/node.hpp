@@ -14,12 +14,21 @@
 //   reduce up: gather each neighbor's requested values via the in-maps, send
 //     them back, and concatenate arriving pieces in subrange order.
 //
+// Allocation discipline: all transient storage (letter shells, piece
+// vectors, merge workspaces, the merged/below value buffers) lives in a
+// NodeScratch that survives across rounds and — when supplied by the caller,
+// as SparseAllreduce does — across node rebuilds. Consumed packet buffers
+// are recycled through per-node pools and handed back to produced letters,
+// so steady-state reduce() iterations perform no heap allocations in the
+// node hot paths (asserted by tests/core/alloc_test).
+//
 // Fault tolerance hook: a missing letter (dead unreplicated sender) is
 // treated as an empty piece in configuration and an identity-valued piece in
 // reduction, so the protocol always terminates; correctness under failures
 // is the replication layer's job.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -39,28 +48,61 @@ struct NodeWork {
   double gather_elements = 0;
 };
 
+/// Reusable working storage for a KylixNode. Stable across rounds and
+/// reduce() iterations; pass the same scratch to successive nodes of the
+/// same rank (as SparseAllreduce does) so repeated reduce_with_config()
+/// calls reuse warmed buffers too. All buffers only ever grow.
+template <typename V>
+struct NodeScratch {
+  MergeScratch merge;
+  UnionResult in_union;
+  UnionResult out_union;
+  std::vector<std::span<const key_t>> key_spans;
+  std::vector<std::vector<key_t>> in_pieces;
+  std::vector<std::vector<key_t>> out_pieces;
+  std::vector<std::vector<V>> value_pieces;
+  std::vector<V> values;  ///< ping-pong partner for the merged/below buffers
+  std::vector<std::vector<Letter<V>>> letters;  ///< per comm layer shells
+  std::vector<std::vector<V>> value_pool;  ///< recycled packet value buffers
+  std::vector<std::vector<key_t>> key_pool;  ///< recycled packet key buffers
+};
+
 template <typename V, typename Op = OpSum>
 class KylixNode {
  public:
   /// `topology` must outlive the node. `in0`/`out0` are this machine's
-  /// requested and contributed index sets (§III properties 1-2).
-  KylixNode(const Topology* topology, rank_t rank, KeySet in0, KeySet out0)
-      : topo_(topology), rank_(rank) {
+  /// requested and contributed index sets (§III properties 1-2). `scratch`
+  /// (optional, not owned, must outlive the node) lets the caller keep
+  /// warmed buffers alive across node rebuilds; without it the node owns a
+  /// private scratch.
+  KylixNode(const Topology* topology, rank_t rank, KeySet in0, KeySet out0,
+            NodeScratch<V>* scratch = nullptr)
+      : topo_(topology), rank_(rank), scratch_(scratch) {
     KYLIX_CHECK(rank < topo_->num_machines());
+    if (scratch_ == nullptr) {
+      owned_scratch_ = std::make_unique<NodeScratch<V>>();
+      scratch_ = owned_scratch_.get();
+    }
     const std::uint16_t l = topo_->num_layers();
     in_sets_.resize(l + 1);
     out_sets_.resize(l + 1);
     in_sets_[0] = std::move(in0);
     out_sets_[0] = std::move(out0);
     layers_.resize(l);
+    for (std::uint16_t i = 1; i <= l; ++i) {
+      layers_[i - 1].group = topo_->group(i, rank_);
+    }
+    if (scratch_->letters.size() < l) scratch_->letters.resize(l);
   }
 
   [[nodiscard]] rank_t rank() const { return rank_; }
 
   /// Group members (including self) at `layer` — the expected senders of
-  /// every round at that layer.
-  [[nodiscard]] std::vector<rank_t> expected(std::uint16_t layer) const {
-    return topo_->group(layer, rank_);
+  /// every round at that layer. Cached at construction (satellite of the
+  /// hot-path work: topo_->group() used to be recomputed every round).
+  [[nodiscard]] const std::vector<rank_t>& expected(
+      std::uint16_t layer) const {
+    return layers_[layer - 1].group;
   }
 
   /// When true, configuration letters also carry values (the combined
@@ -70,9 +112,9 @@ class KylixNode {
 
   // ---- configuration, downward ----
 
-  [[nodiscard]] std::vector<Letter<V>> config_produce(std::uint16_t layer) {
+  [[nodiscard]] std::vector<Letter<V>>& config_produce(std::uint16_t layer) {
     LayerCfg& cfg = layers_[layer - 1];
-    const std::vector<rank_t> group = topo_->group(layer, rank_);
+    const std::vector<rank_t>& group = cfg.group;
     const auto d = static_cast<std::uint32_t>(group.size());
     const KeyRange range = topo_->key_range(layer - 1, rank_);
     const KeySet& in_prev = in_sets_[layer - 1];
@@ -80,19 +122,25 @@ class KylixNode {
     cfg.in_split = in_prev.split_points(range, d);
     cfg.out_split = out_prev.split_points(range, d);
 
-    std::vector<Letter<V>> letters(d);
+    std::vector<Letter<V>>& letters = scratch_->letters[layer - 1];
+    letters.resize(d);
     for (std::uint32_t q = 0; q < d; ++q) {
       Letter<V>& letter = letters[q];
       letter.src = rank_;
       letter.dst = group[q];
-      letter.packet.in_keys = in_prev.extract(cfg.in_split[q],
-                                              cfg.in_split[q + 1]);
-      letter.packet.out_keys = out_prev.extract(cfg.out_split[q],
-                                                cfg.out_split[q + 1]);
+      refill_keys(letter.packet.in_keys);
+      refill_keys(letter.packet.out_keys);
+      in_prev.extract_into(cfg.in_split[q], cfg.in_split[q + 1],
+                           letter.packet.in_keys);
+      out_prev.extract_into(cfg.out_split[q], cfg.out_split[q + 1],
+                            letter.packet.out_keys);
       if (combined_) {
+        refill_values(letter.packet.values);
         letter.packet.values.assign(
             v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q]),
             v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q + 1]));
+      } else {
+        letter.packet.values.clear();
       }
       work_.gather_elements +=
           static_cast<double>(letter.packet.in_keys.size() +
@@ -105,9 +153,17 @@ class KylixNode {
   void config_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
     LayerCfg& cfg = layers_[layer - 1];
     const std::uint32_t d = topo_->degree(layer);
-    std::vector<std::vector<key_t>> in_pieces(d);
-    std::vector<std::vector<key_t>> out_pieces(d);
-    std::vector<std::vector<V>> value_pieces(d);
+    auto& in_pieces = scratch_->in_pieces;
+    auto& out_pieces = scratch_->out_pieces;
+    auto& value_pieces = scratch_->value_pieces;
+    in_pieces.resize(d);
+    out_pieces.resize(d);
+    value_pieces.resize(d);
+    for (std::uint32_t q = 0; q < d; ++q) {
+      in_pieces[q].clear();
+      out_pieces[q].clear();
+      value_pieces[q].clear();
+    }
     for (Letter<V>& letter : inbox) {
       const std::uint32_t q = topo_->digit(layer, letter.src);
       in_pieces[q] = std::move(letter.packet.in_keys);
@@ -115,11 +171,13 @@ class KylixNode {
       value_pieces[q] = std::move(letter.packet.values);
     }
 
-    UnionResult in_union = tree_merge(in_pieces);
-    UnionResult out_union = tree_merge(out_pieces);
+    UnionResult& in_union = scratch_->in_union;
+    UnionResult& out_union = scratch_->out_union;
+    tree_merge_into(spans_of(in_pieces), in_union, scratch_->merge);
     for (const auto& piece : in_pieces) {
       work_.merge_elements += static_cast<double>(piece.size());
     }
+    tree_merge_into(spans_of(out_pieces), out_union, scratch_->merge);
     for (const auto& piece : out_pieces) {
       work_.merge_elements += static_cast<double>(piece.size());
     }
@@ -129,12 +187,14 @@ class KylixNode {
     for (std::uint32_t q = 0; q < d; ++q) {
       cfg.recv_out_sizes[q] = out_pieces[q].size();
     }
-    cfg.in_maps = std::move(in_union.maps);
-    cfg.out_maps = std::move(out_union.maps);
+    // Swap (not move) so the union scratch keeps right-sized map buffers
+    // for the next configure pass.
+    std::swap(cfg.in_maps, in_union.maps);
+    std::swap(cfg.out_maps, out_union.maps);
 
     if (combined_) {
-      std::vector<V> merged(out_union.keys.size(),
-                            Op::template identity<V>());
+      std::vector<V>& merged = scratch_->values;
+      merged.assign(out_union.keys.size(), Op::template identity<V>());
       for (std::uint32_t q = 0; q < d; ++q) {
         if (value_pieces[q].empty()) continue;
         scatter_combine<V, Op>(std::span<V>(merged),
@@ -142,11 +202,16 @@ class KylixNode {
                                cfg.out_maps[q]);
         work_.combine_elements += static_cast<double>(value_pieces[q].size());
       }
-      v_ = std::move(merged);
+      std::swap(v_, merged);
     }
 
     in_sets_[layer] = KeySet::from_sorted_keys(std::move(in_union.keys));
     out_sets_[layer] = KeySet::from_sorted_keys(std::move(out_union.keys));
+    for (std::uint32_t q = 0; q < d; ++q) {
+      recycle(scratch_->key_pool, in_pieces[q]);
+      recycle(scratch_->key_pool, out_pieces[q]);
+      recycle(scratch_->value_pool, value_pieces[q]);
+    }
   }
 
   /// After the last config layer: locate every bottom in-key inside the
@@ -164,6 +229,14 @@ class KylixNode {
                                          << " was contributed by no machine");
       bottom_map_[p] = static_cast<pos_t>(pos);
     }
+    // Largest buffer the upward pass will hold. One buffer exits the node
+    // per iteration through take_result(); reserving this much on the
+    // replacement buffer at begin_up() keeps every up_consume assign within
+    // capacity (alloc_test asserts the up rounds allocation-free).
+    up_capacity_ = 0;
+    for (std::uint16_t i = 0; i <= l; ++i) {
+      up_capacity_ = std::max(up_capacity_, in_sets_[i].size());
+    }
     configured_ = true;
   }
 
@@ -172,19 +245,29 @@ class KylixNode {
   // ---- reduction, downward ----
 
   /// Load this machine's contribution, aligned with out_set(0) (key order).
+  /// Copies into the warm internal buffer and recycles the caller's buffer:
+  /// one buffer leaves the node per iteration through take_result(), so the
+  /// one arriving here keeps the pool balanced — and the internal ping-pong
+  /// buffers never see a foreign (exactly-sized) capacity that would force
+  /// steady-state regrowth.
   void begin_reduce(std::vector<V> out_values) {
     KYLIX_CHECK(out_values.size() == out_sets_[0].size());
-    v_ = std::move(out_values);
+    refill_values(v_);
+    v_.assign(out_values.begin(), out_values.end());
+    recycle(scratch_->value_pool, out_values);
   }
 
-  [[nodiscard]] std::vector<Letter<V>> down_produce(std::uint16_t layer) {
+  [[nodiscard]] std::vector<Letter<V>>& down_produce(std::uint16_t layer) {
     const LayerCfg& cfg = layers_[layer - 1];
-    const std::vector<rank_t> group = topo_->group(layer, rank_);
-    std::vector<Letter<V>> letters(group.size());
-    for (std::uint32_t q = 0; q < group.size(); ++q) {
+    std::vector<Letter<V>>& letters = scratch_->letters[layer - 1];
+    letters.resize(cfg.group.size());
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
       Letter<V>& letter = letters[q];
       letter.src = rank_;
-      letter.dst = group[q];
+      letter.dst = cfg.group[q];
+      letter.packet.in_keys.clear();
+      letter.packet.out_keys.clear();
+      refill_values(letter.packet.values);
       letter.packet.values.assign(
           v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q]),
           v_.begin() + static_cast<std::ptrdiff_t>(cfg.out_split[q + 1]));
@@ -196,8 +279,8 @@ class KylixNode {
 
   void down_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
     const LayerCfg& cfg = layers_[layer - 1];
-    std::vector<V> merged(out_sets_[layer].size(),
-                          Op::template identity<V>());
+    std::vector<V>& merged = scratch_->values;
+    merged.assign(out_sets_[layer].size(), Op::template identity<V>());
     for (Letter<V>& letter : inbox) {
       const std::uint32_t q = topo_->digit(layer, letter.src);
       KYLIX_CHECK_MSG(letter.packet.values.size() == cfg.recv_out_sizes[q],
@@ -207,8 +290,9 @@ class KylixNode {
                              cfg.out_maps[q]);
       work_.combine_elements +=
           static_cast<double>(letter.packet.values.size());
+      recycle(scratch_->value_pool, letter.packet.values);
     }
-    v_ = std::move(merged);
+    std::swap(v_, merged);
   }
 
   // ---- reduction, upward ----
@@ -217,20 +301,25 @@ class KylixNode {
   void begin_up() {
     KYLIX_CHECK(configured_);
     KYLIX_CHECK(v_.size() == out_sets_[topo_->num_layers()].size());
-    vin_ = gather(std::span<const V>(v_), bottom_map_);
+    refill_values(vin_);
+    vin_.reserve(up_capacity_);
+    gather_into(std::span<const V>(v_), bottom_map_, vin_);
     work_.gather_elements += static_cast<double>(bottom_map_.size());
   }
 
-  [[nodiscard]] std::vector<Letter<V>> up_produce(std::uint16_t layer) {
+  [[nodiscard]] std::vector<Letter<V>>& up_produce(std::uint16_t layer) {
     const LayerCfg& cfg = layers_[layer - 1];
-    const std::vector<rank_t> group = topo_->group(layer, rank_);
-    std::vector<Letter<V>> letters(group.size());
-    for (std::uint32_t q = 0; q < group.size(); ++q) {
+    std::vector<Letter<V>>& letters = scratch_->letters[layer - 1];
+    letters.resize(cfg.group.size());
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
       Letter<V>& letter = letters[q];
       letter.src = rank_;
-      letter.dst = group[q];
-      letter.packet.values =
-          gather(std::span<const V>(vin_), cfg.in_maps[q]);
+      letter.dst = cfg.group[q];
+      letter.packet.in_keys.clear();
+      letter.packet.out_keys.clear();
+      refill_values(letter.packet.values);
+      gather_into(std::span<const V>(vin_), cfg.in_maps[q],
+                  letter.packet.values);
       work_.gather_elements +=
           static_cast<double>(letter.packet.values.size());
     }
@@ -239,8 +328,8 @@ class KylixNode {
 
   void up_consume(std::uint16_t layer, std::vector<Letter<V>>&& inbox) {
     const LayerCfg& cfg = layers_[layer - 1];
-    std::vector<V> below(in_sets_[layer - 1].size(),
-                         Op::template identity<V>());
+    std::vector<V>& below = scratch_->values;
+    below.assign(in_sets_[layer - 1].size(), Op::template identity<V>());
     for (Letter<V>& letter : inbox) {
       const std::uint32_t q = topo_->digit(layer, letter.src);
       const std::size_t first = cfg.in_split[q];
@@ -249,8 +338,9 @@ class KylixNode {
           "allgather payload does not match configured piece size");
       std::copy(letter.packet.values.begin(), letter.packet.values.end(),
                 below.begin() + static_cast<std::ptrdiff_t>(first));
+      recycle(scratch_->value_pool, letter.packet.values);
     }
-    vin_ = std::move(below);
+    std::swap(vin_, below);
   }
 
   /// The reduced values this machine asked for, aligned with in_set(0).
@@ -271,6 +361,7 @@ class KylixNode {
 
  private:
   struct LayerCfg {
+    std::vector<rank_t> group;  ///< group members == expected senders
     std::vector<std::size_t> in_split;
     std::vector<std::size_t> out_split;
     std::vector<PosMap> in_maps;   ///< the paper's g maps (piece -> union)
@@ -278,15 +369,48 @@ class KylixNode {
     std::vector<std::size_t> recv_out_sizes;
   };
 
+  /// Hand a recycled buffer to an empty shell so the following assign()
+  /// reuses warmed capacity instead of allocating.
+  template <typename T>
+  static void refill(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() == 0 && !pool.empty()) {
+      buf = std::move(pool.back());
+      pool.pop_back();
+      buf.clear();
+    }
+  }
+  void refill_keys(std::vector<key_t>& buf) {
+    refill(scratch_->key_pool, buf);
+  }
+  void refill_values(std::vector<V>& buf) {
+    refill(scratch_->value_pool, buf);
+  }
+  template <typename T>
+  static void recycle(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() > 0) pool.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::span<const std::span<const key_t>> spans_of(
+      const std::vector<std::vector<key_t>>& pieces) {
+    auto& spans = scratch_->key_spans;
+    spans.clear();
+    for (const auto& piece : pieces) spans.emplace_back(piece);
+    return spans;
+  }
+
   const Topology* topo_;
   rank_t rank_;
   bool combined_ = false;
   bool configured_ = false;
 
+  NodeScratch<V>* scratch_;  ///< external or owned_scratch_.get()
+  std::unique_ptr<NodeScratch<V>> owned_scratch_;
+
   std::vector<KeySet> in_sets_;   ///< node layers 0..l
   std::vector<KeySet> out_sets_;  ///< node layers 0..l
   std::vector<LayerCfg> layers_;  ///< index i-1 holds comm layer i
   PosMap bottom_map_;             ///< in^l positions within out^l
+  std::size_t up_capacity_ = 0;   ///< max |in^i|: upward buffer watermark
 
   std::vector<V> v_;    ///< downward (scatter-reduce) value buffer
   std::vector<V> vin_;  ///< upward (allgather) value buffer

@@ -23,8 +23,10 @@
 #include "cluster/trace.hpp"        // IWYU pragma: export
 #include "comm/bsp.hpp"             // IWYU pragma: export
 #include "common/log.hpp"           // IWYU pragma: export
+#include "common/thread_pool.hpp"   // IWYU pragma: export
 #include "common/timer.hpp"         // IWYU pragma: export
 #include "common/units.hpp"         // IWYU pragma: export
+#include "comm/parallel.hpp"        // IWYU pragma: export
 #include "comm/replicated.hpp"      // IWYU pragma: export
 #include "comm/threaded.hpp"        // IWYU pragma: export
 #include "core/allreduce.hpp"       // IWYU pragma: export

@@ -80,6 +80,13 @@ std::vector<key_t> KeySet::extract(std::size_t first, std::size_t last) const {
                             keys_.begin() + static_cast<std::ptrdiff_t>(last));
 }
 
+void KeySet::extract_into(std::size_t first, std::size_t last,
+                          std::vector<key_t>& out) const {
+  KYLIX_DCHECK(first <= last && last <= keys_.size());
+  out.assign(keys_.begin() + static_cast<std::ptrdiff_t>(first),
+             keys_.begin() + static_cast<std::ptrdiff_t>(last));
+}
+
 bool KeySet::subset_of(const KeySet& other) const {
   return std::includes(other.keys_.begin(), other.keys_.end(), keys_.begin(),
                        keys_.end());

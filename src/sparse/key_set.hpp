@@ -95,6 +95,10 @@ class KeySet {
   [[nodiscard]] std::vector<key_t> extract(std::size_t first,
                                            std::size_t last) const;
 
+  /// extract() into a caller-owned buffer (overwritten, capacity reused).
+  void extract_into(std::size_t first, std::size_t last,
+                    std::vector<key_t>& out) const;
+
   /// True iff every key of *this is also in `other` (both sorted: linear).
   [[nodiscard]] bool subset_of(const KeySet& other) const;
 

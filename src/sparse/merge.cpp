@@ -2,88 +2,129 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace kylix {
 
-UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b) {
-  UnionResult result;
-  result.keys.reserve(a.size() + b.size());
-  result.maps.assign(2, {});
-  PosMap& map_a = result.maps[0];
-  PosMap& map_b = result.maps[1];
+void merge_union_into(std::span<const key_t> a, std::span<const key_t> b,
+                      std::vector<key_t>& keys, PosMap& map_a, PosMap& map_b) {
+  keys.clear();
+  keys.reserve(a.size() + b.size());
   map_a.resize(a.size());
   map_b.resize(b.size());
 
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < a.size() && j < b.size()) {
-    const auto out = static_cast<pos_t>(result.keys.size());
+    const auto out = static_cast<pos_t>(keys.size());
     if (a[i] < b[j]) {
-      result.keys.push_back(a[i]);
+      keys.push_back(a[i]);
       map_a[i++] = out;
     } else if (b[j] < a[i]) {
-      result.keys.push_back(b[j]);
+      keys.push_back(b[j]);
       map_b[j++] = out;
     } else {
-      result.keys.push_back(a[i]);
+      keys.push_back(a[i]);
       map_a[i++] = out;
       map_b[j++] = out;
     }
   }
   for (; i < a.size(); ++i) {
-    map_a[i] = static_cast<pos_t>(result.keys.size());
-    result.keys.push_back(a[i]);
+    map_a[i] = static_cast<pos_t>(keys.size());
+    keys.push_back(a[i]);
   }
   for (; j < b.size(); ++j) {
-    map_b[j] = static_cast<pos_t>(result.keys.size());
-    result.keys.push_back(b[j]);
+    map_b[j] = static_cast<pos_t>(keys.size());
+    keys.push_back(b[j]);
   }
+}
+
+UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b) {
+  UnionResult result;
+  result.maps.assign(2, {});
+  merge_union_into(a, b, result.keys, result.maps[0], result.maps[1]);
   return result;
 }
 
 namespace {
 
-/// Recursive balanced tree merge over inputs[first, last).
-UnionResult tree_merge_range(std::span<const std::span<const key_t>> inputs,
-                             std::size_t first, std::size_t last) {
-  UnionResult result;
-  if (first == last) {
-    return result;
-  }
-  if (last - first == 1) {
-    const auto& in = inputs[first];
-    result.keys.assign(in.begin(), in.end());
-    result.maps.emplace_back(in.size());
-    for (std::size_t p = 0; p < in.size(); ++p) {
-      result.maps[0][p] = static_cast<pos_t>(p);
-    }
-    return result;
-  }
-  const std::size_t mid = first + (last - first) / 2;
-  UnionResult left = tree_merge_range(inputs, first, mid);
-  UnionResult right = tree_merge_range(inputs, mid, last);
-  UnionResult merged = merge_union(left.keys, right.keys);
-
-  result.keys = std::move(merged.keys);
-  result.maps.reserve(left.maps.size() + right.maps.size());
-  // Compose each leaf's map with its side's map into the merged union.
-  for (auto& leaf_map : left.maps) {
-    for (auto& p : leaf_map) p = merged.maps[0][p];
-    result.maps.push_back(std::move(leaf_map));
-  }
-  for (auto& leaf_map : right.maps) {
-    for (auto& p : leaf_map) p = merged.maps[1][p];
-    result.maps.push_back(std::move(leaf_map));
-  }
-  return result;
+void identity_map(PosMap& map, std::size_t n) {
+  map.resize(n);
+  for (std::size_t p = 0; p < n; ++p) map[p] = static_cast<pos_t>(p);
 }
 
 }  // namespace
 
+void tree_merge_into(std::span<const std::span<const key_t>> inputs,
+                     UnionResult& out, MergeScratch& scratch) {
+  const std::size_t k = inputs.size();
+  out.maps.resize(k);
+  if (k == 0) {
+    out.keys.clear();
+    return;
+  }
+  if (k == 1) {
+    out.keys.assign(inputs[0].begin(), inputs[0].end());
+    identity_map(out.maps[0], inputs[0].size());
+    return;
+  }
+
+  // Level 0: 2-way merge adjacent input pairs; the pair maps ARE the leaf
+  // maps at this level, so write them straight into the output slots. (Not
+  // via map_a/map_b + swap: that would rotate buffers between the output
+  // and the scratch on every call, so warm capacities never settle.)
+  auto& runs0 = scratch.runs[0];
+  const std::size_t nruns0 = (k + 1) / 2;
+  if (runs0.size() < nruns0) runs0.resize(nruns0);
+  for (std::size_t j = 0; j < k / 2; ++j) {
+    merge_union_into(inputs[2 * j], inputs[2 * j + 1], runs0[j],
+                     out.maps[2 * j], out.maps[2 * j + 1]);
+  }
+  if (k % 2 == 1) {
+    runs0[nruns0 - 1].assign(inputs[k - 1].begin(), inputs[k - 1].end());
+    identity_map(out.maps[k - 1], inputs[k - 1].size());
+  }
+
+  // Upper levels: ping-pong runs between the two arenas, composing every
+  // affected leaf map with its side's 2-way map. Run j at the level with
+  // `leaf_span` leaves per run covers leaves [j·leaf_span, (j+1)·leaf_span).
+  std::size_t count = nruns0;
+  std::size_t level = 0;
+  while (count > 1) {
+    auto& cur = scratch.runs[level & 1];
+    auto& nxt = scratch.runs[(level + 1) & 1];
+    const std::size_t nnext = (count + 1) / 2;
+    if (nxt.size() < nnext) nxt.resize(nnext);
+    const std::size_t leaf_span = std::size_t{1} << (level + 1);
+    for (std::size_t j = 0; j < count / 2; ++j) {
+      merge_union_into(cur[2 * j], cur[2 * j + 1], nxt[j], scratch.map_a,
+                       scratch.map_b);
+      const std::size_t a_lo = 2 * j * leaf_span;
+      const std::size_t a_hi = std::min(a_lo + leaf_span, k);
+      const std::size_t b_hi = std::min(a_hi + leaf_span, k);
+      for (std::size_t leaf = a_lo; leaf < a_hi; ++leaf) {
+        for (pos_t& p : out.maps[leaf]) p = scratch.map_a[p];
+      }
+      for (std::size_t leaf = a_hi; leaf < b_hi; ++leaf) {
+        for (pos_t& p : out.maps[leaf]) p = scratch.map_b[p];
+      }
+    }
+    // An odd trailing run passes through unchanged (its leaf maps already
+    // address its keys); swap keeps both buffers inside the scratch.
+    if (count % 2 == 1) std::swap(nxt[nnext - 1], cur[count - 1]);
+    count = nnext;
+    ++level;
+  }
+  std::swap(out.keys, scratch.runs[level & 1][0]);
+}
+
 UnionResult tree_merge(std::span<const std::span<const key_t>> inputs) {
-  return tree_merge_range(inputs, 0, inputs.size());
+  UnionResult out;
+  MergeScratch scratch;
+  tree_merge_into(inputs, out, scratch);
+  return out;
 }
 
 UnionResult tree_merge(const std::vector<std::vector<key_t>>& inputs) {

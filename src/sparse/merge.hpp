@@ -9,6 +9,10 @@
 // Two implementations are provided:
 //  * tree_merge — sorted-sequence k-way union via a balanced merge tree, the
 //    paper's preferred method (§VI-A, "5x faster than a hash implementation").
+//    The workhorse form is tree_merge_into, an iterative ping-pong over two
+//    reusable run buffers with a caller-suppliable MergeScratch: repeated
+//    unions of same-shaped inputs (minibatch SGD, one union per node per
+//    layer per step) stop touching the allocator once capacities warm up.
 //  * hash_union — the hash-table alternative, kept as a measurable baseline
 //    for bench/micro_merge.
 #pragma once
@@ -31,12 +35,34 @@ struct UnionResult {
   std::vector<PosMap> maps;  ///< maps[i].size() == inputs[i].size()
 };
 
+/// Reusable working storage for tree_merge_into. One scratch may serve any
+/// sequence of calls (input counts and sizes may vary between calls); its
+/// buffers only ever grow, so steady-state repeated unions are
+/// allocation-free.
+struct MergeScratch {
+  std::vector<std::vector<key_t>> runs[2];  ///< ping-pong key runs per level
+  PosMap map_a;                             ///< 2-way merge temporaries
+  PosMap map_b;
+};
+
+/// Union of two strictly-sorted sequences into caller-owned buffers:
+/// `keys` receives the union, `map_a`/`map_b` the positional maps of `a`/`b`
+/// within it. Buffers are overwritten (capacity reused). Linear time.
+void merge_union_into(std::span<const key_t> a, std::span<const key_t> b,
+                      std::vector<key_t>& keys, PosMap& map_a, PosMap& map_b);
+
 /// Union of two strictly-sorted sequences, with maps for both. Linear time.
 UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b);
 
-/// Union of k strictly-sorted sequences via a balanced binary merge tree;
-/// per-leaf maps are composed up the tree. Total cost O(N log k) for N total
-/// input elements. Accepts k == 0 (empty result) and k == 1 (identity map).
+/// Union of k strictly-sorted sequences via a balanced binary merge tree,
+/// iteratively ping-ponging between two reusable run arenas; per-leaf maps
+/// are composed level by level. Total cost O(N log k) for N total input
+/// elements. Accepts k == 0 (empty result) and k == 1 (identity map), and
+/// arbitrarily many empty inputs. `out` is overwritten, reusing its buffers.
+void tree_merge_into(std::span<const std::span<const key_t>> inputs,
+                     UnionResult& out, MergeScratch& scratch);
+
+/// Allocating convenience wrapper around tree_merge_into.
 UnionResult tree_merge(std::span<const std::span<const key_t>> inputs);
 
 /// Convenience overload over vectors.

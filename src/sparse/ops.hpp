@@ -67,14 +67,23 @@ void scatter_combine(std::span<V> acc, std::span<const V> values,
   }
 }
 
-/// out[p] = values[map[p]] for all p.
+/// out[p] = values[map[p]] for all p, into a caller-owned buffer
+/// (overwritten, capacity reused — the zero-allocation hot-path form).
 template <typename V>
-std::vector<V> gather(std::span<const V> values, const PosMap& map) {
-  std::vector<V> out(map.size());
+void gather_into(std::span<const V> values, const PosMap& map,
+                 std::vector<V>& out) {
+  out.resize(map.size());
   for (std::size_t p = 0; p < map.size(); ++p) {
     KYLIX_DCHECK(map[p] < values.size());
     out[p] = values[map[p]];
   }
+}
+
+/// out[p] = values[map[p]] for all p.
+template <typename V>
+std::vector<V> gather(std::span<const V> values, const PosMap& map) {
+  std::vector<V> out;
+  gather_into(values, map, out);
   return out;
 }
 

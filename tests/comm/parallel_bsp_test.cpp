@@ -1,0 +1,189 @@
+// ThreadPool behavior and ParallelBspEngine round-level parity with
+// BspEngine: same delivered state, same trace event sequence, same modeled
+// timing — with observers, failures, and compute charges in play.
+#include "comm/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/bsp.hpp"
+#include "common/thread_pool.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.parallel_for(17, [&](std::size_t i) {
+      total.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  // 200 batches of sum 1..17 = 153 each.
+  EXPECT_EQ(total.load(), 200u * 153u);
+}
+
+TEST(ThreadPool, RethrowsWorkerException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Remaining indices still ran to completion.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+// ---------------------------------------------------------------------------
+// Engine parity. A synthetic round: rank r sends (r+1)%m and (r+3)%m a
+// packet of values; consumers sum what they receive and charge compute
+// proportional to the received element count.
+
+using Engine = BspEngine<float>;
+using Parallel = ParallelBspEngine<float>;
+
+bool same_event(const MsgEvent& a, const MsgEvent& b) {
+  return a.phase == b.phase && a.layer == b.layer && a.src == b.src &&
+         a.dst == b.dst && a.bytes == b.bytes;
+}
+
+void expect_same_trace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_TRUE(same_event(a.events()[i], b.events()[i])) << "event " << i;
+  }
+}
+
+template <typename E>
+std::vector<float> run_synthetic_rounds(E& engine, rank_t m) {
+  std::vector<float> state(m, 0.0f);
+  std::vector<std::vector<Letter<float>>> outboxes(m);
+  std::vector<std::vector<rank_t>> groups(m);
+  for (rank_t r = 0; r < m; ++r) {
+    groups[r] = {static_cast<rank_t>((r + m - 1) % m),
+                 static_cast<rank_t>((r + m - 3) % m)};
+  }
+  for (std::uint16_t layer = 1; layer <= 3; ++layer) {
+    engine.round(
+        Phase::kReduceDown, layer,
+        [&](rank_t r) -> std::vector<Letter<float>>& {
+          auto& out = outboxes[r];
+          out.clear();
+          for (rank_t offset : {rank_t{1}, rank_t{3}}) {
+            Letter<float> letter;
+            letter.src = r;
+            letter.dst = static_cast<rank_t>((r + offset) % m);
+            for (rank_t v = 0; v < 4 + r; ++v) {
+              letter.packet.values.push_back(
+                  static_cast<float>(r * 100 + layer * 10 + v));
+            }
+            out.push_back(std::move(letter));
+          }
+          return out;
+        },
+        [&](rank_t r) -> const std::vector<rank_t>& { return groups[r]; },
+        [&](rank_t r, std::vector<Letter<float>>&& inbox) {
+          std::size_t elements = 0;
+          for (const Letter<float>& letter : inbox) {
+            for (float v : letter.packet.values) state[r] += v;
+            elements += letter.packet.values.size();
+          }
+          engine.charge_compute(Phase::kReduceDown, layer, r,
+                                1e-7 * static_cast<double>(elements));
+        });
+  }
+  return state;
+}
+
+TEST(ParallelBspEngine, MatchesBspStateTraceAndTimingExactly) {
+  const rank_t m = 12;
+  const NetworkModel net = NetworkModel::ec2_like();
+  const ComputeModel compute;
+
+  Trace seq_trace, par_trace;
+  TimingAccumulator seq_timing(m, net, compute, 16);
+  TimingAccumulator par_timing(m, net, compute, 16);
+
+  Engine seq(m, nullptr, &seq_trace, &seq_timing);
+  Parallel par(m, 4, nullptr, &par_trace, &par_timing);
+
+  const auto seq_state = run_synthetic_rounds(seq, m);
+  const auto par_state = run_synthetic_rounds(par, m);
+
+  EXPECT_EQ(seq_state, par_state);
+  expect_same_trace(seq_trace, par_trace);
+  EXPECT_EQ(seq_timing.times().total(), par_timing.times().total());
+  for (std::uint16_t layer = 1; layer <= 3; ++layer) {
+    EXPECT_EQ(seq_timing.round_time(Phase::kReduceDown, layer),
+              par_timing.round_time(Phase::kReduceDown, layer))
+        << "layer " << layer;
+  }
+}
+
+TEST(ParallelBspEngine, MatchesBspUnderFailures) {
+  const rank_t m = 12;
+  FailureModel failures(m);
+  failures.kill(2);
+  failures.kill(9);
+
+  Trace seq_trace, par_trace;
+  Engine seq(m, &failures, &seq_trace, nullptr);
+  Parallel par(m, 4, &failures, &par_trace, nullptr);
+
+  const auto seq_state = run_synthetic_rounds(seq, m);
+  const auto par_state = run_synthetic_rounds(par, m);
+
+  EXPECT_EQ(seq_state, par_state);
+  expect_same_trace(seq_trace, par_trace);
+  EXPECT_TRUE(par.is_dead(2));
+  EXPECT_FALSE(par.is_dead(3));
+}
+
+TEST(ParallelBspEngine, SingleThreadDegeneratesToBsp) {
+  const rank_t m = 6;
+  Trace seq_trace, par_trace;
+  Engine seq(m, nullptr, &seq_trace, nullptr);
+  Parallel par(m, 1, nullptr, &par_trace, nullptr);
+  EXPECT_EQ(par.num_threads(), 1u);
+
+  EXPECT_EQ(run_synthetic_rounds(seq, m), run_synthetic_rounds(par, m));
+  expect_same_trace(seq_trace, par_trace);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,269 @@
+// Asserts the zero-allocation claims about the steady-state hot paths.
+//
+// This binary installs a counting global operator new, so AllocGauge scopes
+// measure real heap traffic. The strict zero assertions hold in NDEBUG
+// builds (the default RelWithDebInfo); debug builds run the same code but
+// the engines' expected-sender sanity checks intentionally allocate, so
+// those assertions relax to "does not grow between iterations".
+#include "common/alloc_gauge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "comm/bsp.hpp"
+#include "core/allreduce.hpp"
+#include "core/node.hpp"
+#include "sparse/merge.hpp"
+#include "test_util.hpp"
+
+// --- counting global allocator ---------------------------------------------
+
+namespace {
+void* counted_alloc(std::size_t size) {
+  kylix::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  kylix::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  kylix::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace kylix {
+namespace {
+
+using kylix::testing::random_workload;
+
+TEST(AllocGauge, CountsThisBinarysAllocations) {
+  AllocGauge gauge;
+  auto* p = new int(7);
+  EXPECT_GE(gauge.count(), 1u);
+  delete p;
+}
+
+TEST(AllocHotPath, WarmTreeMergeIsAllocationFree) {
+  Rng rng(11);
+  std::vector<std::vector<key_t>> inputs;
+  for (int i = 0; i < 13; ++i) {
+    std::vector<key_t> keys;
+    for (int j = 0; j < 60; ++j) keys.push_back(rng.below(500));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    inputs.push_back(std::move(keys));
+  }
+  std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+
+  MergeScratch scratch;
+  UnionResult out;
+  // Warm until the buffer rotation (runs ping-pong between arenas and the
+  // output, so capacities circulate in cycles) reaches its fixed point.
+  for (int i = 0; i < 10; ++i) tree_merge_into(spans, out, scratch);
+  const UnionResult expected = tree_merge(spans);
+
+  AllocGauge gauge;
+  tree_merge_into(spans, out, scratch);
+  EXPECT_EQ(gauge.count(), 0u);
+  EXPECT_EQ(out.keys, expected.keys);
+  EXPECT_EQ(out.maps, expected.maps);
+}
+
+TEST(AllocHotPath, WarmPairwiseMergeIsAllocationFree) {
+  const std::vector<key_t> a = {1, 3, 5, 7, 9, 11};
+  const std::vector<key_t> b = {2, 3, 8, 9, 20};
+  std::vector<key_t> keys;
+  PosMap map_a, map_b;
+  merge_union_into(a, b, keys, map_a, map_b);  // warm
+
+  AllocGauge gauge;
+  merge_union_into(a, b, keys, map_a, map_b);
+  EXPECT_EQ(gauge.count(), 0u);
+  EXPECT_EQ(keys, (std::vector<key_t>{1, 2, 3, 5, 7, 8, 9, 11, 20}));
+}
+
+// Drives the engine rounds exactly as SparseAllreduce does, but with the
+// warm-up / measurement boundary inside one reduction: after warm-up, the
+// down rounds and up rounds (the per-iteration hot path) must not allocate
+// at all. begin_up and take_result are the accepted API boundary: the
+// result buffer leaves the system with the caller each iteration.
+TEST(AllocHotPath, SteadyStateReduceRoundsAreAllocationFree) {
+  using Node = KylixNode<float, OpSum>;
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 2000, 0.08, 0.15, 42);
+
+  BspEngine<float> engine(m);
+  std::vector<NodeScratch<float>> scratch(m);
+  std::vector<Node> nodes;
+  nodes.reserve(m);
+  for (rank_t r = 0; r < m; ++r) {
+    nodes.emplace_back(&topo, r, w.in_sets[r], w.out_sets[r], &scratch[r]);
+  }
+  const auto run_round = [&](Phase phase, std::uint16_t layer, auto produce,
+                             auto consume) {
+    engine.round(
+        phase, layer,
+        [&](rank_t r) -> std::vector<Letter<float>>& {
+          return (nodes[r].*produce)(layer);
+        },
+        [&](rank_t r) -> const std::vector<rank_t>& {
+          return nodes[r].expected(layer);
+        },
+        [&](rank_t r, std::vector<Letter<float>>&& inbox) {
+          (nodes[r].*consume)(layer, std::move(inbox));
+        });
+  };
+
+  for (std::uint16_t layer = 1; layer <= topo.num_layers(); ++layer) {
+    run_round(Phase::kConfig, layer, &Node::config_produce,
+              &Node::config_consume);
+  }
+  for (Node& node : nodes) node.finish_configure();
+
+  const auto reduce_once = [&](std::vector<std::vector<float>> values,
+                               std::uint64_t* down_allocs,
+                               std::uint64_t* up_allocs) {
+    for (rank_t r = 0; r < m; ++r) {
+      nodes[r].begin_reduce(std::move(values[r]));
+    }
+    {
+      AllocGauge gauge;
+      for (std::uint16_t layer = 1; layer <= topo.num_layers(); ++layer) {
+        run_round(Phase::kReduceDown, layer, &Node::down_produce,
+                  &Node::down_consume);
+      }
+      if (down_allocs != nullptr) *down_allocs = gauge.count();
+    }
+    for (Node& node : nodes) node.begin_up();
+    {
+      AllocGauge gauge;
+      for (std::uint16_t layer = topo.num_layers(); layer >= 1; --layer) {
+        run_round(Phase::kReduceUp, layer, &Node::up_produce,
+                  &Node::up_consume);
+      }
+      if (up_allocs != nullptr) *up_allocs = gauge.count();
+    }
+    std::vector<std::vector<float>> results;
+    results.reserve(m);
+    for (Node& node : nodes) results.push_back(node.take_result());
+    return results;
+  };
+
+  // Warm-up: lets every pool, letter shell, and engine inbox reach its
+  // steady-state capacity. Buffers rotate through pool roles in a cycle, so
+  // give the rotation several full periods to ratchet every capacity up.
+  for (int iter = 0; iter < 10; ++iter) {
+    (void)reduce_once(w.out_values, nullptr, nullptr);
+  }
+
+  std::uint64_t down_allocs = 0;
+  std::uint64_t up_allocs = 0;
+  const auto results = reduce_once(w.out_values, &down_allocs, &up_allocs);
+  testing::expect_matches_oracle<float>(w, results);
+#ifdef NDEBUG
+  EXPECT_EQ(down_allocs, 0u) << "scatter-reduce rounds hit the allocator";
+  EXPECT_EQ(up_allocs, 0u) << "allgather rounds hit the allocator";
+#else
+  // Debug builds allocate in the engines' sender sanity checks; just make
+  // sure repetition doesn't grow.
+  std::uint64_t down2 = 0;
+  std::uint64_t up2 = 0;
+  (void)reduce_once(w.out_values, &down2, &up2);
+  EXPECT_EQ(down_allocs, down2);
+  EXPECT_EQ(up_allocs, up2);
+#endif
+}
+
+TEST(AllocHotPath, FullReduceStaysWithinApiBoundaryBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 99);
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce(w.out_values);  // warm
+  }
+
+  const auto measure = [&] {
+    auto values = w.out_values;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = allreduce.reduce(std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  // Accepted allocations: the per-rank result buffer that leaves with the
+  // caller (grown in begin_up) and the outer results vector. Everything
+  // else — letters, unions, merges, inboxes — must recycle.
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "steady-state reduce() is not steady";
+}
+
+TEST(AllocHotPath, RepeatedCombinedConfigReduceStabilizes) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 1500, 0.08, 0.15, 7);
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+
+  const auto step = [&] {
+    // Copies made outside the gauge: the API takes sets/values by value.
+    auto in_sets = w.in_sets;
+    auto out_sets = w.out_sets;
+    auto values = w.out_values;
+    AllocGauge gauge;
+    const auto results = allreduce.reduce_with_config(
+        std::move(in_sets), std::move(out_sets), std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+
+  const std::uint64_t cold = step();
+  // Buffers rotate through pool/letter/union roles in long deterministic
+  // cycles, so capacities ratchet down-slope for a while; counts are
+  // non-increasing and must reach a fixed point. Warm until two consecutive
+  // steps agree (bounded, so a genuine leak/churn still fails).
+  std::uint64_t warm_a = step();
+  std::uint64_t warm_b = step();
+  int extra = 0;
+  while (warm_a != warm_b && extra < 40) {
+    warm_a = warm_b;
+    warm_b = step();
+    ++extra;
+  }
+  // NodeScratch persistence: identical steps settle to an identical (and
+  // much smaller) allocation count instead of re-allocating every union.
+  EXPECT_EQ(warm_a, warm_b) << "no fixed point after " << extra << " extra";
+  EXPECT_LT(warm_a, cold / 2);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -125,6 +125,71 @@ TEST(TreeMerge, HeavilyOverlappingPowerLawLikeInputs) {
   EXPECT_LT(r.keys.size(), total / 2);
 }
 
+TEST(TreeMergeScratch, ReusedScratchMatchesFreshCallsAcrossShapes) {
+  // One scratch + one output driven through wildly varying input shapes —
+  // exactly how KylixNode reuses them layer after layer — must produce the
+  // same result as a fresh allocating call every time.
+  Rng rng(123);
+  MergeScratch scratch;
+  UnionResult out;
+  for (std::size_t ways : {5u, 1u, 16u, 2u, 64u, 3u, 0u, 7u}) {
+    std::vector<std::vector<key_t>> inputs;
+    for (std::size_t i = 0; i < ways; ++i) {
+      inputs.push_back(random_sorted_unique(rng, 5 + rng.below(80), 400));
+    }
+    std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+    tree_merge_into(spans, out, scratch);
+    const UnionResult fresh = tree_merge(spans);
+    EXPECT_EQ(out.keys, fresh.keys) << ways << " ways";
+    EXPECT_EQ(out.maps, fresh.maps) << ways << " ways";
+    expect_maps_valid(out, inputs);
+  }
+}
+
+TEST(TreeMergeScratch, EmptyAndSingleInputEdgeCases) {
+  MergeScratch scratch;
+  UnionResult out;
+  // Pre-dirty the output with an unrelated merge.
+  const std::vector<std::vector<key_t>> dirty = {{1, 2, 3}, {4, 5}};
+  std::vector<std::span<const key_t>> dirty_spans(dirty.begin(), dirty.end());
+  tree_merge_into(dirty_spans, out, scratch);
+
+  // k == 0: everything clears.
+  tree_merge_into({}, out, scratch);
+  EXPECT_TRUE(out.keys.empty());
+  EXPECT_TRUE(out.maps.empty());
+
+  // k == 1: identity map, keys copied.
+  const std::vector<key_t> single = {10, 20, 30};
+  const std::span<const key_t> single_span(single);
+  tree_merge_into(std::span<const std::span<const key_t>>(&single_span, 1),
+                  out, scratch);
+  EXPECT_EQ(out.keys, single);
+  ASSERT_EQ(out.maps.size(), 1u);
+  EXPECT_EQ(out.maps[0], (PosMap{0, 1, 2}));
+
+  // All-empty inputs: empty union with empty-but-present maps.
+  const std::vector<std::vector<key_t>> empties(5);
+  std::vector<std::span<const key_t>> empty_spans(empties.begin(),
+                                                  empties.end());
+  tree_merge_into(empty_spans, out, scratch);
+  EXPECT_TRUE(out.keys.empty());
+  ASSERT_EQ(out.maps.size(), 5u);
+  for (const PosMap& map : out.maps) EXPECT_TRUE(map.empty());
+}
+
+TEST(MergeUnionInto, ReusesCallerBuffers) {
+  const std::vector<key_t> a = {1, 4, 6};
+  const std::vector<key_t> b = {2, 4, 9};
+  std::vector<key_t> keys = {99, 98, 97, 96, 95};  // stale content
+  PosMap map_a = {7, 7, 7, 7};
+  PosMap map_b;
+  merge_union_into(a, b, keys, map_a, map_b);
+  EXPECT_EQ(keys, (std::vector<key_t>{1, 2, 4, 6, 9}));
+  EXPECT_EQ(map_a, (PosMap{0, 2, 3}));
+  EXPECT_EQ(map_b, (PosMap{1, 2, 4}));
+}
+
 class HashUnionTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HashUnionTest, SameSetAsTreeMergeWithValidMaps) {
