@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combined.dir/ablation_combined.cpp.o"
+  "CMakeFiles/ablation_combined.dir/ablation_combined.cpp.o.d"
+  "ablation_combined"
+  "ablation_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degrees.dir/ablation_degrees.cpp.o"
+  "CMakeFiles/ablation_degrees.dir/ablation_degrees.cpp.o.d"
+  "ablation_degrees"
+  "ablation_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_roce.dir/ablation_roce.cpp.o"
+  "CMakeFiles/ablation_roce.dir/ablation_roce.cpp.o.d"
+  "ablation_roce"
+  "ablation_roce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

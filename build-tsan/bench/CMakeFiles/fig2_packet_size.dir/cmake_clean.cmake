@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_packet_size.dir/fig2_packet_size.cpp.o"
+  "CMakeFiles/fig2_packet_size.dir/fig2_packet_size.cpp.o.d"
+  "fig2_packet_size"
+  "fig2_packet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_packet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_density_curve.dir/fig4_density_curve.cpp.o"
+  "CMakeFiles/fig4_density_curve.dir/fig4_density_curve.cpp.o.d"
+  "fig4_density_curve"
+  "fig4_density_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_density_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

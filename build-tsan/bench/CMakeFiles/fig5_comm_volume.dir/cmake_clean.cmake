@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_comm_volume.dir/fig5_comm_volume.cpp.o"
+  "CMakeFiles/fig5_comm_volume.dir/fig5_comm_volume.cpp.o.d"
+  "fig5_comm_volume"
+  "fig5_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_config_reduce.dir/fig6_config_reduce.cpp.o"
+  "CMakeFiles/fig6_config_reduce.dir/fig6_config_reduce.cpp.o.d"
+  "fig6_config_reduce"
+  "fig6_config_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_config_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_threads.dir/fig7_threads.cpp.o"
+  "CMakeFiles/fig7_threads.dir/fig7_threads.cpp.o.d"
+  "fig7_threads"
+  "fig7_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

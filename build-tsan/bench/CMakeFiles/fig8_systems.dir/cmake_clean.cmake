@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_systems.dir/fig8_systems.cpp.o"
+  "CMakeFiles/fig8_systems.dir/fig8_systems.cpp.o.d"
+  "fig8_systems"
+  "fig8_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_merge.dir/micro_merge.cpp.o"
+  "CMakeFiles/micro_merge.dir/micro_merge.cpp.o.d"
+  "micro_merge"
+  "micro_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

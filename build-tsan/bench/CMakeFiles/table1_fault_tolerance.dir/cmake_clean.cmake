@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fault_tolerance.dir/table1_fault_tolerance.cpp.o"
+  "CMakeFiles/table1_fault_tolerance.dir/table1_fault_tolerance.cpp.o.d"
+  "table1_fault_tolerance"
+  "table1_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wall_engines.dir/wall_engines.cpp.o"
+  "CMakeFiles/wall_engines.dir/wall_engines.cpp.o.d"
+  "wall_engines"
+  "wall_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wall_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_workflow.dir/design_workflow.cpp.o"
+  "CMakeFiles/design_workflow.dir/design_workflow.cpp.o.d"
+  "design_workflow"
+  "design_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

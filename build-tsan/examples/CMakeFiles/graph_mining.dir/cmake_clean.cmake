@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_mining.dir/graph_mining.cpp.o"
+  "CMakeFiles/graph_mining.dir/graph_mining.cpp.o.d"
+  "graph_mining"
+  "graph_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

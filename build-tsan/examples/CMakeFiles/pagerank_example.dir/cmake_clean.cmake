@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_example.dir/pagerank.cpp.o"
+  "CMakeFiles/pagerank_example.dir/pagerank.cpp.o.d"
+  "pagerank_example"
+  "pagerank_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

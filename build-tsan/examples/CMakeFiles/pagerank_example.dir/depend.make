@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgd_minibatch.dir/sgd_minibatch.cpp.o"
+  "CMakeFiles/sgd_minibatch.dir/sgd_minibatch.cpp.o.d"
+  "sgd_minibatch"
+  "sgd_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgd_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

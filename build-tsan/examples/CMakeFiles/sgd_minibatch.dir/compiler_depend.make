@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sgd_minibatch.
+# This may be replaced when dependencies are built.

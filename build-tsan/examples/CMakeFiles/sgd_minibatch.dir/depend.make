@@ -1,0 +1,2 @@
+# Empty dependencies file for sgd_minibatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_apps.dir/reference.cpp.o"
+  "CMakeFiles/kylix_apps.dir/reference.cpp.o.d"
+  "libkylix_apps.a"
+  "libkylix_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

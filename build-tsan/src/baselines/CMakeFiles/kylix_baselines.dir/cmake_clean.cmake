@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_baselines.dir/hadoop_model.cpp.o"
+  "CMakeFiles/kylix_baselines.dir/hadoop_model.cpp.o.d"
+  "libkylix_baselines.a"
+  "libkylix_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/failure.cpp" "src/cluster/CMakeFiles/kylix_cluster.dir/failure.cpp.o" "gcc" "src/cluster/CMakeFiles/kylix_cluster.dir/failure.cpp.o.d"
+  "/root/repo/src/cluster/netmodel.cpp" "src/cluster/CMakeFiles/kylix_cluster.dir/netmodel.cpp.o" "gcc" "src/cluster/CMakeFiles/kylix_cluster.dir/netmodel.cpp.o.d"
+  "/root/repo/src/cluster/timing.cpp" "src/cluster/CMakeFiles/kylix_cluster.dir/timing.cpp.o" "gcc" "src/cluster/CMakeFiles/kylix_cluster.dir/timing.cpp.o.d"
+  "/root/repo/src/cluster/trace.cpp" "src/cluster/CMakeFiles/kylix_cluster.dir/trace.cpp.o" "gcc" "src/cluster/CMakeFiles/kylix_cluster.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kylix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_cluster.dir/failure.cpp.o"
+  "CMakeFiles/kylix_cluster.dir/failure.cpp.o.d"
+  "CMakeFiles/kylix_cluster.dir/netmodel.cpp.o"
+  "CMakeFiles/kylix_cluster.dir/netmodel.cpp.o.d"
+  "CMakeFiles/kylix_cluster.dir/timing.cpp.o"
+  "CMakeFiles/kylix_cluster.dir/timing.cpp.o.d"
+  "CMakeFiles/kylix_cluster.dir/trace.cpp.o"
+  "CMakeFiles/kylix_cluster.dir/trace.cpp.o.d"
+  "libkylix_cluster.a"
+  "libkylix_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

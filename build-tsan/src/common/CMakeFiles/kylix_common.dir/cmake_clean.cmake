@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_common.dir/log.cpp.o"
+  "CMakeFiles/kylix_common.dir/log.cpp.o.d"
+  "CMakeFiles/kylix_common.dir/rng.cpp.o"
+  "CMakeFiles/kylix_common.dir/rng.cpp.o.d"
+  "CMakeFiles/kylix_common.dir/units.cpp.o"
+  "CMakeFiles/kylix_common.dir/units.cpp.o.d"
+  "libkylix_common.a"
+  "libkylix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_core.dir/autotune.cpp.o"
+  "CMakeFiles/kylix_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/kylix_core.dir/topology.cpp.o"
+  "CMakeFiles/kylix_core.dir/topology.cpp.o.d"
+  "libkylix_core.a"
+  "libkylix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powerlaw/alpha_fit.cpp" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/alpha_fit.cpp.o" "gcc" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/alpha_fit.cpp.o.d"
+  "/root/repo/src/powerlaw/design.cpp" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/design.cpp.o" "gcc" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/design.cpp.o.d"
+  "/root/repo/src/powerlaw/graphgen.cpp" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/graphgen.cpp.o" "gcc" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/graphgen.cpp.o.d"
+  "/root/repo/src/powerlaw/model.cpp" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/model.cpp.o" "gcc" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/model.cpp.o.d"
+  "/root/repo/src/powerlaw/zipf.cpp" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/zipf.cpp.o" "gcc" "src/powerlaw/CMakeFiles/kylix_powerlaw.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kylix_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/kylix_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

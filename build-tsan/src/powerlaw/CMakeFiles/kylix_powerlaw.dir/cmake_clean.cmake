@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_powerlaw.dir/alpha_fit.cpp.o"
+  "CMakeFiles/kylix_powerlaw.dir/alpha_fit.cpp.o.d"
+  "CMakeFiles/kylix_powerlaw.dir/design.cpp.o"
+  "CMakeFiles/kylix_powerlaw.dir/design.cpp.o.d"
+  "CMakeFiles/kylix_powerlaw.dir/graphgen.cpp.o"
+  "CMakeFiles/kylix_powerlaw.dir/graphgen.cpp.o.d"
+  "CMakeFiles/kylix_powerlaw.dir/model.cpp.o"
+  "CMakeFiles/kylix_powerlaw.dir/model.cpp.o.d"
+  "CMakeFiles/kylix_powerlaw.dir/zipf.cpp.o"
+  "CMakeFiles/kylix_powerlaw.dir/zipf.cpp.o.d"
+  "libkylix_powerlaw.a"
+  "libkylix_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

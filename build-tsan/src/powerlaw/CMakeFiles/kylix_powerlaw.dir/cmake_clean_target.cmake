@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkylix_powerlaw.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/kylix_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/kylix_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/key_set.cpp" "src/sparse/CMakeFiles/kylix_sparse.dir/key_set.cpp.o" "gcc" "src/sparse/CMakeFiles/kylix_sparse.dir/key_set.cpp.o.d"
+  "/root/repo/src/sparse/merge.cpp" "src/sparse/CMakeFiles/kylix_sparse.dir/merge.cpp.o" "gcc" "src/sparse/CMakeFiles/kylix_sparse.dir/merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kylix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

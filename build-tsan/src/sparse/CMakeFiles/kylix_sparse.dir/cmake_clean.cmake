@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_sparse.dir/csr.cpp.o"
+  "CMakeFiles/kylix_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/kylix_sparse.dir/key_set.cpp.o"
+  "CMakeFiles/kylix_sparse.dir/key_set.cpp.o.d"
+  "CMakeFiles/kylix_sparse.dir/merge.cpp.o"
+  "CMakeFiles/kylix_sparse.dir/merge.cpp.o.d"
+  "libkylix_sparse.a"
+  "libkylix_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_fuzz_test.dir/core/allreduce_fuzz_test.cpp.o"
+  "CMakeFiles/allreduce_fuzz_test.dir/core/allreduce_fuzz_test.cpp.o.d"
+  "allreduce_fuzz_test"
+  "allreduce_fuzz_test.pdb"
+  "allreduce_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

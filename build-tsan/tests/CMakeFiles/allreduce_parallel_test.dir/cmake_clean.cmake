@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_parallel_test.dir/core/allreduce_parallel_test.cpp.o"
+  "CMakeFiles/allreduce_parallel_test.dir/core/allreduce_parallel_test.cpp.o.d"
+  "allreduce_parallel_test"
+  "allreduce_parallel_test.pdb"
+  "allreduce_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

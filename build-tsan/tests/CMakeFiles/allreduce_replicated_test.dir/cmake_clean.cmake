@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_replicated_test.dir/core/allreduce_replicated_test.cpp.o"
+  "CMakeFiles/allreduce_replicated_test.dir/core/allreduce_replicated_test.cpp.o.d"
+  "allreduce_replicated_test"
+  "allreduce_replicated_test.pdb"
+  "allreduce_replicated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_replicated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

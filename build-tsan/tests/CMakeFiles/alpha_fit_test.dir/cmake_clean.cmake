@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_fit_test.dir/powerlaw/alpha_fit_test.cpp.o"
+  "CMakeFiles/alpha_fit_test.dir/powerlaw/alpha_fit_test.cpp.o.d"
+  "alpha_fit_test"
+  "alpha_fit_test.pdb"
+  "alpha_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_test.dir/core/autotune_test.cpp.o"
+  "CMakeFiles/autotune_test.dir/core/autotune_test.cpp.o.d"
+  "autotune_test"
+  "autotune_test.pdb"
+  "autotune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_test.dir/comm/bsp_test.cpp.o"
+  "CMakeFiles/bsp_test.dir/comm/bsp_test.cpp.o.d"
+  "bsp_test"
+  "bsp_test.pdb"
+  "bsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_test.dir/sparse/csr_test.cpp.o"
+  "CMakeFiles/csr_test.dir/sparse/csr_test.cpp.o.d"
+  "csr_test"
+  "csr_test.pdb"
+  "csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

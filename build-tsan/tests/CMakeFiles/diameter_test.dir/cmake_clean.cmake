@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diameter_test.dir/apps/diameter_test.cpp.o"
+  "CMakeFiles/diameter_test.dir/apps/diameter_test.cpp.o.d"
+  "diameter_test"
+  "diameter_test.pdb"
+  "diameter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgen_test.dir/powerlaw/graphgen_test.cpp.o"
+  "CMakeFiles/graphgen_test.dir/powerlaw/graphgen_test.cpp.o.d"
+  "graphgen_test"
+  "graphgen_test.pdb"
+  "graphgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

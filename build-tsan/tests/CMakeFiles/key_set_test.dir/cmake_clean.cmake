@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_set_test.dir/sparse/key_set_test.cpp.o"
+  "CMakeFiles/key_set_test.dir/sparse/key_set_test.cpp.o.d"
+  "key_set_test"
+  "key_set_test.pdb"
+  "key_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailbox_test.dir/comm/mailbox_test.cpp.o"
+  "CMakeFiles/mailbox_test.dir/comm/mailbox_test.cpp.o.d"
+  "mailbox_test"
+  "mailbox_test.pdb"
+  "mailbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

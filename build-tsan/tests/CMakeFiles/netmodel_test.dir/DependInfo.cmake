@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/netmodel_test.cpp" "tests/CMakeFiles/netmodel_test.dir/cluster/netmodel_test.cpp.o" "gcc" "tests/CMakeFiles/netmodel_test.dir/cluster/netmodel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/kylix_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/kylix_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/kylix_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/powerlaw/CMakeFiles/kylix_powerlaw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/kylix_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/kylix_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/kylix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmodel_test.dir/cluster/netmodel_test.cpp.o"
+  "CMakeFiles/netmodel_test.dir/cluster/netmodel_test.cpp.o.d"
+  "netmodel_test"
+  "netmodel_test.pdb"
+  "netmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_bsp_test.dir/comm/parallel_bsp_test.cpp.o"
+  "CMakeFiles/parallel_bsp_test.dir/comm/parallel_bsp_test.cpp.o.d"
+  "parallel_bsp_test"
+  "parallel_bsp_test.pdb"
+  "parallel_bsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_bsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgd_test.dir/apps/sgd_test.cpp.o"
+  "CMakeFiles/sgd_test.dir/apps/sgd_test.cpp.o.d"
+  "sgd_test"
+  "sgd_test.pdb"
+  "sgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_timing_test.dir/cluster/trace_timing_test.cpp.o"
+  "CMakeFiles/trace_timing_test.dir/cluster/trace_timing_test.cpp.o.d"
+  "trace_timing_test"
+  "trace_timing_test.pdb"
+  "trace_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

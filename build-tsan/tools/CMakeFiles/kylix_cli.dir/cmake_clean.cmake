@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kylix_cli.dir/kylix_cli.cpp.o"
+  "CMakeFiles/kylix_cli.dir/kylix_cli.cpp.o.d"
+  "kylix_cli"
+  "kylix_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kylix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_autotune "/root/repo/build-tsan/tools/kylix_cli" "--machines" "16" "--features" "16384" "--density" "0.15")
+set_tests_properties(cli_autotune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explicit_degrees "/root/repo/build-tsan/tools/kylix_cli" "--machines" "12" "--features" "8192" "--density" "0.1" "--degrees" "3x2x2" "--threads" "4")
+set_tests_properties(cli_explicit_degrees PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replicated_with_failures "/root/repo/build-tsan/tools/kylix_cli" "--machines" "16" "--features" "16384" "--density" "0.1" "--replication" "2" "--failures" "3")
+set_tests_properties(cli_replicated_with_failures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
