@@ -10,11 +10,18 @@
 //   3. merge scratch ablation — allocating tree_merge vs the reusable
 //      tree_merge_into on the same 64-way key sets.
 //
+// Timing loops run without observers (measured engines are bare); a separate
+// instrumented pass per preset then routes the run through the telemetry
+// subsystem (src/obs): a MetricsRegistry fed by TelemetryObserver plus
+// per-layer byte counters from the trace, embedded verbatim in the JSON as
+// each preset's "telemetry" object.
+//
 // The parallel engine's speedup scales with physical cores; the JSON
 // records hardware_threads and engine_threads so a 1-core CI container's
 // ~1x is interpretable. Threads: argv[1] or KYLIX_BENCH_THREADS, default
 // hardware concurrency. Output: argv[2] or BENCH_engines.json.
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -61,7 +68,7 @@ ReduceStats run_engine(Engine& engine, const bench::Dataset& data,
   return stats;
 }
 
-void emit_engine(bench::JsonWriter& json, const char* name,
+void emit_engine(obs::JsonWriter& json, const char* name,
                  const ReduceStats& stats) {
   json.key(name);
   json.begin_object();
@@ -70,6 +77,42 @@ void emit_engine(bench::JsonWriter& json, const char* name,
   json.key_value("warm_reduce_mean_s", stats.warm_mean_s);
   json.key_value("warm_reduce_min_s", stats.warm_min_s);
   json.end_object();
+}
+
+/// One instrumented configure+reduce on the parallel engine, populating
+/// `registry` with the engine.* instruments plus per-layer byte counters
+/// (layer<i>.<phase>_bytes / layer<i>.total_bytes) read off the trace.
+void telemetry_pass(const bench::Dataset& data, const Topology& topology,
+                    unsigned threads, obs::MetricsRegistry& registry) {
+  Trace trace;
+  obs::SpanTracer tracer;
+  obs::TelemetryObserver::Options opt;
+  opt.topology = &topology;
+  opt.features = data.spec.num_vertices;
+  opt.bytes_per_element = sizeof(real_t);
+  opt.metrics = &registry;
+  obs::TelemetryObserver observer(&tracer, bench::kMachines, opt);
+
+  ParallelBspEngine<real_t> engine(bench::kMachines, threads, nullptr,
+                                   &trace, nullptr);
+  engine.set_observer(&observer);
+  SparseAllreduce<real_t, OpSum, ParallelBspEngine<real_t>> allreduce(
+      &engine, topology);
+  allreduce.configure(data.in_sets, data.out_sets);
+  (void)allreduce.reduce(data.out_values);
+
+  const std::uint16_t layers = topology.num_layers();
+  const auto config = trace.bytes_by_layer(Phase::kConfig, layers);
+  const auto down = trace.bytes_by_layer(Phase::kReduceDown, layers);
+  const auto up = trace.bytes_by_layer(Phase::kReduceUp, layers);
+  for (std::uint16_t i = 0; i < layers; ++i) {
+    const std::string prefix = "layer" + std::to_string(i + 1) + ".";
+    registry.counter(prefix + "config_bytes").add(config[i]);
+    registry.counter(prefix + "reduce_down_bytes").add(down[i]);
+    registry.counter(prefix + "reduce_up_bytes").add(up[i]);
+    registry.counter(prefix + "total_bytes")
+        .add(config[i] + down[i] + up[i]);
+  }
 }
 
 }  // namespace
@@ -86,7 +129,8 @@ int main(int argc, char** argv) {
 
   std::printf("# wall-clock engine bench: %u engine threads, %u hardware\n",
               threads, hardware);
-  bench::JsonWriter json(out_path);
+  std::ofstream out(out_path);
+  obs::JsonWriter json(out);
   json.begin_object();
   json.key_value("benchmark", std::string("wall_engines"));
   json.key_value("machines", static_cast<int>(bench::kMachines));
@@ -108,6 +152,9 @@ int main(int argc, char** argv) {
     const double speedup = par.warm_mean_s > 0
                                ? seq.warm_mean_s / par.warm_mean_s
                                : 0;
+
+    obs::MetricsRegistry registry;
+    telemetry_pass(data, topology, threads, registry);
 
     // Merge ablation on this preset's real key sets: one allocating
     // tree_merge vs a warmed tree_merge_into per timed round.
@@ -154,12 +201,16 @@ int main(int argc, char** argv) {
     json.key_value("warm_tree_merge_into_s", warm_s);
     json.key_value("speedup", warm_s > 0 ? fresh_s / warm_s : 0);
     json.end_object();
+    json.key("telemetry");
+    registry.write_json(json);
     json.end_object();
   }
 
   json.end_array();
   json.end_object();
-  if (!json.finish()) {
+  out << '\n';
+  out.flush();
+  if (!out.good()) {
     std::fprintf(stderr, "error: could not write %s\n", out_path);
     return 1;
   }

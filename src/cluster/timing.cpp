@@ -94,6 +94,17 @@ double TimingAccumulator::round_time(Phase phase, std::uint16_t layer) const {
   return eval_round(it->second);
 }
 
+std::vector<TimingAccumulator::RoundTime> TimingAccumulator::per_round_times()
+    const {
+  std::vector<RoundTime> result;
+  result.reserve(rounds_.size());
+  for (const auto& [key, r] : rounds_) {
+    result.push_back(RoundTime{static_cast<Phase>(key.first), key.second,
+                               eval_round(r)});
+  }
+  return result;
+}
+
 TimingAccumulator::PhaseTimes TimingAccumulator::times() const {
   PhaseTimes result;
   for (const auto& [key, r] : rounds_) {

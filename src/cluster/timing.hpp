@@ -57,6 +57,15 @@ class TimingAccumulator {
   };
   [[nodiscard]] PhaseTimes times() const;
 
+  /// Every recorded round with its modeled wall time, in (phase, layer)
+  /// order — the run report's per-round timing table.
+  struct RoundTime {
+    Phase phase = Phase::kConfig;
+    std::uint16_t layer = 0;
+    double seconds = 0;
+  };
+  [[nodiscard]] std::vector<RoundTime> per_round_times() const;
+
   [[nodiscard]] std::uint32_t threads() const { return threads_; }
   void set_threads(std::uint32_t threads);
 

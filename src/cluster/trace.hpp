@@ -34,6 +34,13 @@ class Trace {
   void add(const MsgEvent& event) { events_.push_back(event); }
   void clear() { events_.clear(); }
 
+  /// Make room for `additional` more events. Engines that stage a round
+  /// before delivering (ParallelBspEngine) call this with the exact round
+  /// size so recording never reallocates mid-round.
+  void reserve(std::size_t additional) {
+    events_.reserve(events_.size() + additional);
+  }
+
   [[nodiscard]] const std::vector<MsgEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t num_messages() const { return events_.size(); }
 
@@ -51,6 +58,7 @@ class Trace {
       std::uint16_t num_layers) const;
 
   void append(const Trace& other) {
+    events_.reserve(events_.size() + other.events_.size());
     events_.insert(events_.end(), other.events_.begin(), other.events_.end());
   }
 

@@ -19,6 +19,7 @@
 #include "cluster/trace.hpp"
 #include "comm/packet.hpp"
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace kylix {
 
@@ -48,6 +49,13 @@ class BspEngine {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Telemetry hook (src/obs); optional and not owned, like trace/timing.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Messages transmitted to dead destinations (sender paid, nothing
+  /// arrived) since construction.
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
   /// Attribute modeled local compute to a rank within a round.
   void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
                       double seconds) {
@@ -57,6 +65,7 @@ class BspEngine {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // Inboxes persist across rounds: clear() keeps both the outer vector's
     // capacity and each inbox's letter-shell capacity, so steady-state
     // rounds perform no heap allocation here.
@@ -94,6 +103,7 @@ class BspEngine {
 #endif
       consume(rank, std::move(inbox));
     }
+    if (observer_ != nullptr) observer_->on_round_end(phase, layer);
   }
 
  private:
@@ -103,9 +113,14 @@ class BspEngine {
     const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
     if (trace_ != nullptr) trace_->add(event);
     if (timing_ != nullptr) timing_->on_message(event);
+    if (observer_ != nullptr) observer_->on_message(event);
     // A send to a dead node costs the sender (charged above) but never
     // arrives.
-    if (failures_ != nullptr && failures_->is_dead(letter.dst)) return;
+    if (failures_ != nullptr && failures_->is_dead(letter.dst)) {
+      ++dropped_;
+      if (observer_ != nullptr) observer_->on_drop(event);
+      return;
+    }
     inboxes[letter.dst].push_back(std::move(letter));
   }
 
@@ -113,6 +128,8 @@ class BspEngine {
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
+  EngineObserver* observer_ = nullptr;
+  std::uint64_t dropped_ = 0;
   std::vector<std::vector<Letter<V>>> inboxes_;  ///< reused across rounds
 };
 

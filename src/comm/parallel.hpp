@@ -34,6 +34,7 @@
 #include "comm/packet.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/observer.hpp"
 
 namespace kylix {
 
@@ -65,6 +66,15 @@ class ParallelBspEngine {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Telemetry hook (src/obs); optional and not owned, like trace/timing.
+  /// Hooks fire from the sequential half of the round, so observers see the
+  /// same event order as with BspEngine.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Messages transmitted to dead destinations (sender paid, nothing
+  /// arrived) since construction.
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
   /// Outside a round (e.g. the begin_up charge) this forwards directly to
   /// the accumulator; during the parallel consume half it buffers per rank.
   void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
@@ -80,6 +90,7 @@ class ParallelBspEngine {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // 1. Parallel produce into per-rank staging outboxes.
     pool_.parallel_for(num_nodes_, [&](std::size_t r) {
       const rank_t rank = static_cast<rank_t>(r);
@@ -95,6 +106,13 @@ class ParallelBspEngine {
 
     // 2. Sequential delivery in (rank, production) order — the event order
     // BspEngine produces — so traces and modeled timing match exactly.
+    // The staged outboxes give the exact round size up front, so the trace
+    // can reserve once instead of growing mid-round.
+    if (trace_ != nullptr) {
+      std::size_t staged = 0;
+      for (const auto& outbox : outboxes_) staged += outbox.size();
+      trace_->reserve(staged);
+    }
     for (auto& inbox : inboxes_) inbox.clear();
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       for (Letter<V>& letter : outboxes_[rank]) {
@@ -102,8 +120,13 @@ class ParallelBspEngine {
         const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
         if (trace_ != nullptr) trace_->add(event);
         if (timing_ != nullptr) timing_->on_message(event);
+        if (observer_ != nullptr) observer_->on_message(event);
         // A send to a dead node costs the sender but never arrives.
-        if (failures_ != nullptr && failures_->is_dead(letter.dst)) continue;
+        if (failures_ != nullptr && failures_->is_dead(letter.dst)) {
+          ++dropped_;
+          if (observer_ != nullptr) observer_->on_drop(event);
+          continue;
+        }
         inboxes_[letter.dst].push_back(std::move(letter));
       }
     }
@@ -147,6 +170,7 @@ class ParallelBspEngine {
         pending_compute_[rank].clear();
       }
     }
+    if (observer_ != nullptr) observer_->on_round_end(phase, layer);
   }
 
  private:
@@ -161,6 +185,8 @@ class ParallelBspEngine {
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
+  EngineObserver* observer_ = nullptr;
+  std::uint64_t dropped_ = 0;
 
   std::vector<std::vector<Letter<V>>> outboxes_;  ///< staged by produce
   std::vector<std::vector<Letter<V>>> inboxes_;   ///< reused across rounds

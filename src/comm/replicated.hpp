@@ -25,6 +25,7 @@
 #include "comm/packet.hpp"
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "obs/observer.hpp"
 
 namespace kylix {
 
@@ -79,6 +80,23 @@ class ReplicatedBsp {
     return false;
   }
 
+  /// Telemetry hook (src/obs); optional, not owned. Sees one on_message per
+  /// transmitted copy, in physical ranks, mirroring the trace.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// §V-B racing outcomes since construction: a receiver consumes the first
+  /// arriving copy (win) and cancels the rest (losses); copies addressed to
+  /// dead physical receivers are drops.
+  struct RaceStats {
+    std::uint64_t wins = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t drops = 0;
+  };
+  [[nodiscard]] const RaceStats& race_stats() const { return races_; }
+
+  /// Copies transmitted to dead physical destinations since construction.
+  [[nodiscard]] std::uint64_t dropped_messages() const { return races_.drops; }
+
   /// Modeled compute runs on every alive replica of the logical rank.
   void charge_compute(Phase phase, std::uint16_t layer, rank_t logical,
                       double seconds) {
@@ -91,6 +109,7 @@ class ReplicatedBsp {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     std::vector<std::vector<Letter<V>>> inboxes(logical_);
     for (rank_t j = 0; j < logical_; ++j) {
       if (is_dead(j)) continue;
@@ -122,6 +141,7 @@ class ReplicatedBsp {
 #endif
       consume(j, std::move(inbox));
     }
+    if (observer_ != nullptr) observer_->on_round_end(phase, layer);
   }
 
  private:
@@ -140,18 +160,26 @@ class ReplicatedBsp {
 
     for (std::uint32_t r = 0; r < replication_; ++r) {
       const rank_t dst_phys = physical(letter.dst, r);
+      const bool dst_dead =
+          failures_ != nullptr && failures_->is_dead(dst_phys);
       // Every alive sender replica transmits a copy (charged to it), even
       // to dead destinations.
       for (rank_t src_phys : senders) {
-        if (trace_ != nullptr) {
-          trace_->add(MsgEvent{phase, layer, src_phys, dst_phys, bytes});
-        }
+        const MsgEvent event{phase, layer, src_phys, dst_phys, bytes};
+        if (trace_ != nullptr) trace_->add(event);
         if (timing_ != nullptr) {
           timing_->on_send(phase, layer, src_phys, bytes);
         }
+        if (observer_ != nullptr) observer_->on_message(event);
+        if (dst_dead) {
+          ++races_.drops;
+          if (observer_ != nullptr) observer_->on_drop(event);
+        }
       }
       // The receiver races the copies and pays for the winner only.
-      if (failures_ != nullptr && failures_->is_dead(dst_phys)) continue;
+      if (dst_dead) continue;
+      races_.wins += 1;
+      races_.losses += senders.size() - 1;
       if (timing_ != nullptr) {
         timing_->on_recv(phase, layer, dst_phys, bytes);
       }
@@ -164,6 +192,8 @@ class ReplicatedBsp {
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
+  EngineObserver* observer_ = nullptr;
+  RaceStats races_;
 };
 
 }  // namespace kylix

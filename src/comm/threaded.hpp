@@ -27,6 +27,7 @@
 #include "comm/mailbox.hpp"
 #include "comm/packet.hpp"
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace kylix {
 
@@ -65,6 +66,16 @@ class ThreadedBsp {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Telemetry hook (src/obs); optional, not owned. on_message/on_drop fire
+  /// from worker threads under the observer mutex; round begin/end fire on
+  /// the calling thread.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Messages transmitted to dead destinations since construction.
+  [[nodiscard]] std::uint64_t dropped_messages() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Attribute modeled local compute to a rank within a round (thread-safe).
   void charge_compute(Phase phase, std::uint16_t layer, rank_t rank,
                       double seconds) {
@@ -76,6 +87,7 @@ class ThreadedBsp {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // Type-erase this round's work; each worker runs it for its own rank.
     task_ = [&, phase, layer](rank_t rank) {
       if (is_dead(rank)) return;
@@ -95,19 +107,28 @@ class ThreadedBsp {
       consume(rank, std::move(inbox));
     };
     run_task();
+    if (observer_ != nullptr) observer_->on_round_end(phase, layer);
   }
 
  private:
   void send(Phase phase, std::uint16_t layer, Letter<V>&& letter) {
     KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
     const std::uint64_t bytes = letter.packet.wire_bytes();
+    const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
     {
       std::lock_guard<std::mutex> lock(observer_mutex_);
-      const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
       if (trace_ != nullptr) trace_->add(event);
       if (timing_ != nullptr) timing_->on_message(event);
+      if (observer_ != nullptr) observer_->on_message(event);
     }
-    if (is_dead(letter.dst)) return;
+    if (is_dead(letter.dst)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_ != nullptr) {
+        std::lock_guard<std::mutex> lock(observer_mutex_);
+        observer_->on_drop(event);
+      }
+      return;
+    }
     mailboxes_[letter.dst].put(std::move(letter));
   }
 
@@ -157,6 +178,8 @@ class ThreadedBsp {
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
+  EngineObserver* observer_ = nullptr;
+  std::atomic<std::uint64_t> dropped_{0};
 
   std::vector<Mailbox<V>> mailboxes_;
   std::vector<std::thread> workers_;

@@ -89,6 +89,27 @@ class SparseAllreduce {
     return nodes_[rank];
   }
 
+  /// Mean out-set size over alive machines at node layers 0..l: the
+  /// measured per-node elements P_i entering communication layer i is
+  /// entry i-1, and the last entry is the fully reduced bottom. This is the
+  /// measured column of the run report's D_i / P_i comparison (src/obs).
+  [[nodiscard]] std::vector<double> measured_layer_elements() const {
+    KYLIX_CHECK_MSG(!nodes_.empty(), "no configured nodes to measure");
+    std::vector<double> mean(topo_.num_layers() + 1, 0.0);
+    rank_t alive = 0;
+    for (const Node& node : nodes_) {
+      if (engine_->is_dead(node.rank())) continue;
+      ++alive;
+      for (std::uint16_t i = 0; i <= topo_.num_layers(); ++i) {
+        mean[i] += static_cast<double>(node.out_set(i).size());
+      }
+    }
+    if (alive > 0) {
+      for (double& v : mean) v /= static_cast<double>(alive);
+    }
+    return mean;
+  }
+
  private:
   using Node = KylixNode<V, Op>;
 

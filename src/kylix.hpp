@@ -33,6 +33,12 @@
 #include "core/autotune.hpp"        // IWYU pragma: export
 #include "core/node.hpp"            // IWYU pragma: export
 #include "core/topology.hpp"        // IWYU pragma: export
+#include "obs/engine_obs.hpp"       // IWYU pragma: export
+#include "obs/json_writer.hpp"      // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/observer.hpp"         // IWYU pragma: export
+#include "obs/run_report.hpp"       // IWYU pragma: export
+#include "obs/span_tracer.hpp"      // IWYU pragma: export
 #include "powerlaw/alpha_fit.hpp"   // IWYU pragma: export
 #include "powerlaw/design.hpp"      // IWYU pragma: export
 #include "powerlaw/graphgen.hpp"    // IWYU pragma: export

@@ -1,0 +1,111 @@
+#include "obs/engine_obs.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace kylix::obs {
+
+namespace {
+
+std::string round_name(Phase phase, std::uint16_t layer) {
+  return std::string(phase_name(phase)) + "/L" + std::to_string(layer);
+}
+
+}  // namespace
+
+TelemetryObserver::TelemetryObserver(SpanTracer* tracer, rank_t num_ranks,
+                                     const Options& options)
+    : tracer_(tracer),
+      num_ranks_(num_ranks),
+      opts_(options),
+      send_bytes_(num_ranks, 0),
+      send_msgs_(num_ranks, 0),
+      recv_bytes_(num_ranks, 0) {
+  KYLIX_CHECK(num_ranks >= 1);
+  if (tracer_ != nullptr) {
+    for (rank_t r = 0; r < num_ranks_; ++r) {
+      tracer_->set_track_name(r, "rank " + std::to_string(r));
+    }
+  }
+  if (opts_.metrics != nullptr) {
+    MetricsRegistry& m = *opts_.metrics;
+    msg_counter_ = &m.counter("engine.messages");
+    byte_counter_ = &m.counter("engine.wire_bytes");
+    drop_counter_ = &m.counter("engine.dropped_messages");
+    round_counter_ = &m.counter("engine.rounds");
+    // 64 B .. 64 MB packets; sub-µs .. ~1 s rounds.
+    packet_bytes_ =
+        &m.histogram("engine.packet_bytes", exponential_bounds(64, 4, 11));
+    round_seconds_ =
+        &m.histogram("engine.round_seconds", exponential_bounds(1e-6, 10, 8));
+  }
+}
+
+void TelemetryObserver::on_round_begin(Phase phase, std::uint16_t layer) {
+  (void)phase;
+  (void)layer;
+  round_bytes_ = 0;
+  round_msgs_ = 0;
+  std::fill(send_bytes_.begin(), send_bytes_.end(), 0);
+  std::fill(send_msgs_.begin(), send_msgs_.end(), 0);
+  std::fill(recv_bytes_.begin(), recv_bytes_.end(), 0);
+  if (tracer_ != nullptr) round_start_us_ = tracer_->now_us();
+}
+
+void TelemetryObserver::on_message(const MsgEvent& event) {
+  round_bytes_ += event.bytes;
+  ++round_msgs_;
+  ++messages_;
+  cum_bytes_ += event.bytes;
+  if (event.src < num_ranks_) {
+    send_bytes_[event.src] += event.bytes;
+    send_msgs_[event.src] += 1;
+  }
+  if (event.dst < num_ranks_) recv_bytes_[event.dst] += event.bytes;
+  if (msg_counter_ != nullptr) {
+    msg_counter_->add(1);
+    byte_counter_->add(event.bytes);
+    packet_bytes_->observe(static_cast<double>(event.bytes));
+  }
+}
+
+void TelemetryObserver::on_drop(const MsgEvent& event) {
+  (void)event;
+  ++drops_;
+  if (drop_counter_ != nullptr) drop_counter_->add(1);
+}
+
+void TelemetryObserver::on_round_end(Phase phase, std::uint16_t layer) {
+  if (round_counter_ != nullptr) round_counter_->add(1);
+  if (tracer_ == nullptr) {
+    return;
+  }
+  const double end_us = tracer_->now_us();
+  const double dur_us = end_us - round_start_us_;
+  if (round_seconds_ != nullptr) round_seconds_->observe(dur_us * 1e-6);
+  const std::string name = round_name(phase, layer);
+  for (rank_t r = 0; r < num_ranks_; ++r) {
+    // Dead or silent ranks leave an empty track segment instead of a span.
+    if (send_msgs_[r] == 0 && recv_bytes_[r] == 0) continue;
+    tracer_->complete(name, r, round_start_us_, dur_us, /*has_args=*/true,
+                      send_bytes_[r], send_msgs_[r]);
+  }
+  tracer_->counter("wire bytes", end_us, static_cast<double>(round_bytes_));
+  if (phase == Phase::kReduceDown && opts_.topology != nullptr &&
+      opts_.features > 0 && layer >= 1 &&
+      layer <= opts_.topology->num_layers()) {
+    // Round volume -> mean elements per node -> Prop 4.1 density estimate.
+    const double m = static_cast<double>(opts_.topology->num_machines());
+    const double elements =
+        static_cast<double>(round_bytes_) / (opts_.bytes_per_element * m);
+    double fan_in = 1;
+    for (std::uint16_t i = 1; i < layer; ++i) {
+      fan_in *= opts_.topology->degree(i);
+    }
+    const double density =
+        elements * fan_in / static_cast<double>(opts_.features);
+    tracer_->counter("density", end_us, density);
+  }
+}
+
+}  // namespace kylix::obs

@@ -1,0 +1,87 @@
+// TelemetryObserver — the EngineObserver that feeds the span tracer and the
+// metrics registry from a live engine (DESIGN.md "Observability").
+//
+// Per round it accumulates per-rank send/receive bytes and message counts in
+// pre-sized arrays (no allocation after construction; per-message work is a
+// few array increments plus an optional histogram observe), then at round
+// end emits:
+//   * one span per participating rank on that rank's track, named
+//     "<phase>/L<layer>" with bytes/messages args — the per-rank timeline;
+//   * a "wire bytes" counter sample (this round's total volume);
+//   * when a topology and feature count are supplied, a "density" counter
+//     sample for scatter-reduce rounds: the measured per-node element count
+//     converted through Proposition 4.1's D_i = P_i * K_i / n — the live
+//     view of the Kylix shape.
+// Metrics (optional): message/drop/byte counters and a packet-size
+// histogram, all registered once at construction.
+//
+// Thread safety matches the engine contract: hooks are serialized by the
+// calling engine (ThreadedBsp holds its observer mutex around
+// on_message/on_drop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace kylix::obs {
+
+class TelemetryObserver : public EngineObserver {
+ public:
+  struct Options {
+    /// Enables the density counter track (needs features too).
+    const Topology* topology = nullptr;
+    /// Index-space size n; 0 disables the density track.
+    std::uint64_t features = 0;
+    /// Wire bytes per scatter-reduce element (value payload); used only to
+    /// convert round volume back to elements for the density estimate.
+    double bytes_per_element = 4;
+    /// Optional metrics sink; counters/histograms register at construction.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `tracer` may be null (metrics-only observation). `num_ranks` sizes the
+  /// per-rank accumulators and track metadata.
+  TelemetryObserver(SpanTracer* tracer, rank_t num_ranks,
+                    const Options& options);
+  TelemetryObserver(SpanTracer* tracer, rank_t num_ranks)
+      : TelemetryObserver(tracer, num_ranks, Options{}) {}
+
+  void on_round_begin(Phase phase, std::uint16_t layer) override;
+  void on_message(const MsgEvent& event) override;
+  void on_drop(const MsgEvent& event) override;
+  void on_round_end(Phase phase, std::uint16_t layer) override;
+
+  [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return cum_bytes_; }
+  [[nodiscard]] std::uint64_t total_drops() const { return drops_; }
+
+ private:
+  SpanTracer* tracer_;
+  rank_t num_ranks_;
+  Options opts_;
+
+  double round_start_us_ = 0;
+  std::uint64_t round_bytes_ = 0;
+  std::uint32_t round_msgs_ = 0;
+  std::uint64_t cum_bytes_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t drops_ = 0;
+  std::vector<std::uint64_t> send_bytes_;  ///< per rank, this round
+  std::vector<std::uint32_t> send_msgs_;
+  std::vector<std::uint64_t> recv_bytes_;
+
+  // Registered-once metrics instruments (null when metrics are off).
+  Counter* msg_counter_ = nullptr;
+  Counter* byte_counter_ = nullptr;
+  Counter* drop_counter_ = nullptr;
+  Counter* round_counter_ = nullptr;
+  Histogram* packet_bytes_ = nullptr;
+  Histogram* round_seconds_ = nullptr;
+};
+
+}  // namespace kylix::obs

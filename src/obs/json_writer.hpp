@@ -1,0 +1,127 @@
+// Minimal streaming JSON emitter shared by the telemetry exporters (metrics
+// registry, Chrome traces, run reports, BENCH_*.json artifacts).
+//
+// Handles nesting and comma placement; numbers print with enough digits to
+// round-trip doubles. No external dependency (the container only has the C++
+// toolchain). Writes to any std::ostream so the same code serves files,
+// string buffers in tests, and stdout.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace kylix::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    comma();
+    quote(name);
+    out_ << ':';
+    pending_value_ = true;
+  }
+
+  void value(const std::string& s) {
+    scalar([&] { quote(s); });
+  }
+  void value(const char* s) { value(std::string(s)); }
+  void value(double v) {
+    scalar([&] {
+      // JSON has no Infinity/NaN literals; clamp to null.
+      if (!std::isfinite(v)) {
+        out_ << "null";
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ << buf;
+    });
+  }
+  void value(std::uint64_t v) {
+    scalar([&] { out_ << v; });
+  }
+  void value(int v) {
+    scalar([&] { out_ << v; });
+  }
+  void value(unsigned v) {
+    scalar([&] { out_ << v; });
+  }
+  void value(bool v) {
+    scalar([&] { out_ << (v ? "true" : "false"); });
+  }
+
+  template <typename T>
+  void key_value(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+  void key_value(const std::string& name, const std::string& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  template <typename Fn>
+  void scalar(Fn&& emit) {
+    if (!pending_value_) comma();
+    pending_value_ = false;
+    emit();
+    first_ = false;
+  }
+
+  void open(char c) {
+    if (!pending_value_) comma();
+    pending_value_ = false;
+    out_ << c;
+    first_ = true;
+  }
+
+  void close(char c) {
+    out_ << c;
+    first_ = false;
+  }
+
+  void comma() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+
+  void quote(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace kylix::obs

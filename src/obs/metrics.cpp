@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/json_writer.hpp"
+
+namespace kylix::obs {
+
+namespace {
+
+bool env_disables_metrics() {
+  const char* env = std::getenv("KYLIX_METRICS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "false") == 0;
+}
+
+}  // namespace
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> upper_bounds)
+    : enabled_(enabled), bounds_(std::move(upper_bounds)) {
+  KYLIX_CHECK_MSG(!bounds_.empty() &&
+                      std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bounds must be non-empty, strictly increasing");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // First bucket whose upper bound admits v; miss -> overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> snapshot(bounds_.size() + 1);
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  KYLIX_CHECK(start > 0 && factor > 1);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry::MetricsRegistry() : enabled_(!env_disables_metrics()) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>(&enabled_))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::make_unique<Gauge>(&enabled_))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(&enabled_, std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::write_json(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, c] : counters_) json.key_value(name, c->value());
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, g] : gauges_) json.key_value(name, g->value());
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name);
+    json.begin_object();
+    json.key("upper_bounds");
+    json.begin_array();
+    for (double b : h->upper_bounds()) json.value(b);
+    json.end_array();
+    json.key("counts");
+    json.begin_array();
+    for (std::uint64_t c : h->counts()) json.value(c);
+    json.end_array();
+    json.key_value("count", h->count());
+    json.key_value("sum", h->sum());
+    json.key_value("mean", h->mean());
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  JsonWriter json(out);
+  write_json(json);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace kylix::obs

@@ -1,0 +1,49 @@
+// The engine observer hook (DESIGN.md "Observability").
+//
+// Every engine already carries optional Trace / TimingAccumulator pointers;
+// EngineObserver is the third — and last — slot of that pattern: a virtual
+// interface the telemetry layer (src/obs) implements so the engines stay
+// ignorant of metrics registries and span tracers. All hooks are no-ops by
+// default; engines guard every call with a null check, so the hot path stays
+// zero-allocation (and virtually call-free) when no observer is attached,
+// exactly like the trace/timing slots (asserted by tests/core/alloc_test).
+//
+// Hook order within one engine round:
+//   on_round_begin -> {on_message | on_drop}* -> on_round_end
+// ThreadedBsp calls on_message/on_drop from worker threads (serialized by
+// its observer mutex); all other engines call every hook from the driving
+// thread. ReplicatedBsp reports one on_message per transmitted *copy*, in
+// physical ranks, mirroring what it records into the Trace.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/trace.hpp"
+
+namespace kylix {
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A communication round (one phase × layer) is starting.
+  virtual void on_round_begin(Phase phase, std::uint16_t layer) {
+    (void)phase;
+    (void)layer;
+  }
+
+  /// One message was put on the (simulated) wire.
+  virtual void on_message(const MsgEvent& event) { (void)event; }
+
+  /// A transmitted message was dropped (dead destination): the sender paid,
+  /// nothing arrives.
+  virtual void on_drop(const MsgEvent& event) { (void)event; }
+
+  /// The round completed; every inbox has been consumed.
+  virtual void on_round_end(Phase phase, std::uint16_t layer) {
+    (void)phase;
+    (void)layer;
+  }
+};
+
+}  // namespace kylix

@@ -1,0 +1,191 @@
+#include "obs/run_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "obs/json_writer.hpp"
+#include "powerlaw/model.hpp"
+
+namespace kylix::obs {
+
+RunReport build_run_report(const RunReportInputs& inputs) {
+  KYLIX_CHECK_MSG(inputs.trace != nullptr && inputs.topology != nullptr,
+                  "run report needs a trace and a topology");
+  const Topology& topo = *inputs.topology;
+  const std::uint16_t l = topo.num_layers();
+
+  RunReport report;
+  report.workload = inputs.workload;
+  report.machines = topo.num_machines();
+  report.degrees.assign(topo.degrees().begin(), topo.degrees().end());
+  report.features = inputs.features;
+  report.alpha = inputs.alpha;
+  report.partition_density = inputs.partition_density;
+  report.has_measured_shape = !inputs.measured_elements.empty();
+  if (report.has_measured_shape) {
+    KYLIX_CHECK_MSG(inputs.measured_elements.size() ==
+                        static_cast<std::size_t>(l) + 1,
+                    "measured_elements must cover node layers 0..l");
+  }
+  report.has_timing = inputs.timing != nullptr;
+  report.dropped_messages = inputs.dropped_messages;
+  report.race_wins = inputs.race_wins;
+  report.race_losses = inputs.race_losses;
+
+  // Section IV predictions from the supplied workload parameters.
+  std::vector<PowerLawModel::LayerStats> model_stats;
+  if (inputs.features > 0 && inputs.partition_density > 0) {
+    const PowerLawModel model(inputs.features, inputs.alpha);
+    report.lambda0 = model.lambda_for_density(inputs.partition_density);
+    model_stats = model.layer_stats(report.lambda0, topo.degrees());
+    report.has_model = true;
+  }
+
+  const auto config = inputs.trace->bytes_by_layer(Phase::kConfig, l);
+  const auto down = inputs.trace->bytes_by_layer(Phase::kReduceDown, l);
+  const auto up = inputs.trace->bytes_by_layer(Phase::kReduceUp, l);
+  std::vector<std::uint64_t> layer_messages(l, 0);
+  for (const MsgEvent& e : inputs.trace->events()) {
+    if (e.layer >= 1 && e.layer <= l) ++layer_messages[e.layer - 1];
+  }
+
+  double fan_in = 1;
+  for (std::uint16_t layer = 1; layer <= l; ++layer) {
+    LayerReport lr;
+    lr.layer = layer;
+    lr.degree = topo.degree(layer);
+    lr.bytes_config = config[layer - 1];
+    lr.bytes_reduce_down = down[layer - 1];
+    lr.bytes_reduce_up = up[layer - 1];
+    lr.bytes_total = lr.bytes_config + lr.bytes_reduce_down + lr.bytes_reduce_up;
+    lr.messages = layer_messages[layer - 1];
+    if (report.has_measured_shape) {
+      lr.measured_elements_per_node = inputs.measured_elements[layer - 1];
+      if (inputs.features > 0) {
+        lr.measured_density = lr.measured_elements_per_node * fan_in /
+                              static_cast<double>(inputs.features);
+      }
+    }
+    if (report.has_model) {
+      lr.model_elements_per_node = model_stats[layer - 1].elements_per_node;
+      lr.model_density = model_stats[layer - 1].density;
+    }
+    if (report.has_timing) {
+      lr.time_config_s = inputs.timing->round_time(Phase::kConfig, layer);
+      lr.time_reduce_down_s =
+          inputs.timing->round_time(Phase::kReduceDown, layer);
+      lr.time_reduce_up_s = inputs.timing->round_time(Phase::kReduceUp, layer);
+    }
+    report.layers.push_back(lr);
+    fan_in *= topo.degree(layer);
+  }
+  if (report.has_measured_shape) {
+    report.bottom_measured_elements = inputs.measured_elements[l];
+  }
+  if (report.has_model) {
+    report.bottom_model_elements = model_stats[l].elements_per_node;
+  }
+
+  report.total_bytes = inputs.trace->total_bytes();
+  report.total_messages = inputs.trace->num_messages();
+  if (report.has_timing) {
+    const auto times = inputs.timing->times();
+    report.time_config_s = times.config;
+    report.time_reduce_s = times.reduce();
+  }
+  return report;
+}
+
+std::string RunReport::ascii_chart(std::size_t width) const {
+  std::uint64_t max_bytes = 1;
+  for (const LayerReport& lr : layers) {
+    max_bytes = std::max(max_bytes, lr.bytes_total);
+  }
+  std::ostringstream out;
+  for (const LayerReport& lr : layers) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(lr.bytes_total) / static_cast<double>(max_bytes) *
+        static_cast<double>(width));
+    const std::size_t pad = (width - bar) / 2;
+    out << "  layer " << lr.layer << "  |" << std::string(pad, ' ')
+        << std::string(bar, '#')
+        << std::string(width - pad - bar, ' ') << "|  "
+        << format_bytes(static_cast<double>(lr.bytes_total)) << "\n";
+  }
+  return out.str();
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("workload", workload);
+  json.key_value("machines", static_cast<std::uint64_t>(machines));
+  json.key("degrees");
+  json.begin_array();
+  for (std::uint32_t d : degrees) json.value(d);
+  json.end_array();
+  if (has_model) {
+    json.key_value("features", features);
+    json.key_value("alpha", alpha);
+    json.key_value("partition_density", partition_density);
+    json.key_value("lambda0", lambda0);
+  }
+  json.key("layers");
+  json.begin_array();
+  for (const LayerReport& lr : layers) {
+    json.begin_object();
+    json.key_value("layer", static_cast<std::uint64_t>(lr.layer));
+    json.key_value("degree", lr.degree);
+    json.key_value("bytes_config", lr.bytes_config);
+    json.key_value("bytes_reduce_down", lr.bytes_reduce_down);
+    json.key_value("bytes_reduce_up", lr.bytes_reduce_up);
+    json.key_value("bytes_total", lr.bytes_total);
+    json.key_value("messages", lr.messages);
+    if (has_measured_shape) {
+      json.key_value("measured_elements_per_node",
+                     lr.measured_elements_per_node);
+      json.key_value("measured_density", lr.measured_density);
+    }
+    if (has_model) {
+      json.key_value("model_elements_per_node", lr.model_elements_per_node);
+      json.key_value("model_density", lr.model_density);
+    }
+    if (has_timing) {
+      json.key_value("time_config_s", lr.time_config_s);
+      json.key_value("time_reduce_down_s", lr.time_reduce_down_s);
+      json.key_value("time_reduce_up_s", lr.time_reduce_up_s);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("bottom");
+  json.begin_object();
+  if (has_measured_shape) {
+    json.key_value("measured_elements_per_node", bottom_measured_elements);
+  }
+  if (has_model) {
+    json.key_value("model_elements_per_node", bottom_model_elements);
+  }
+  json.end_object();
+  json.key_value("total_bytes", total_bytes);
+  json.key_value("total_messages", total_messages);
+  json.key_value("dropped_messages", dropped_messages);
+  json.key_value("race_wins", race_wins);
+  json.key_value("race_losses", race_losses);
+  if (has_timing) {
+    json.key_value("time_config_s", time_config_s);
+    json.key_value("time_reduce_s", time_reduce_s);
+  }
+  json.end_object();
+  out << '\n';
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace kylix::obs

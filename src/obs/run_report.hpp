@@ -1,0 +1,109 @@
+// Per-layer "Kylix-shape" run report (DESIGN.md "Observability").
+//
+// Aggregates one allreduce run — the message trace, the configured topology,
+// optionally the Section IV model inputs, the allreduce's measured per-layer
+// set sizes, the modeled timing, and the engines' drop/race counters — into
+// a single machine-readable record:
+//
+//   * per layer: measured bytes per phase (matching the trace's
+//     bytes_by_layer exactly), message counts, measured density D_i and
+//     per-node elements P_i next to Proposition 4.1's predictions, and the
+//     modeled round times;
+//   * run totals: volume, messages, drops, replica-race wins/losses,
+//     modeled phase times.
+//
+// Renders as JSON (kylix_cli report, benches) and as an ASCII chart of the
+// paper's Fig. 5: per-layer volume bars centered so the shrinking layers
+// draw the drinking-cup silhouette the system is named after.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/timing.hpp"
+#include "cluster/trace.hpp"
+#include "core/topology.hpp"
+
+namespace kylix::obs {
+
+struct RunReportInputs {
+  const Trace* trace = nullptr;        ///< required
+  const Topology* topology = nullptr;  ///< required
+  const TimingAccumulator* timing = nullptr;  ///< optional modeled times
+
+  /// Section IV model parameters; features == 0 disables the predicted
+  /// D_i / P_i columns.
+  std::uint64_t features = 0;
+  double alpha = 1.0;
+  double partition_density = 0;  ///< measured density of one machine's data
+
+  /// Mean out-set size at node layers 0..l (from
+  /// SparseAllreduce::measured_layer_elements()); empty disables the
+  /// measured D_i / P_i columns.
+  std::vector<double> measured_elements;
+
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t race_wins = 0;
+  std::uint64_t race_losses = 0;
+  std::string workload;  ///< free-form label for the JSON header
+};
+
+struct LayerReport {
+  std::uint16_t layer = 0;  ///< 1-based, as in the paper
+  std::uint32_t degree = 0;
+  std::uint64_t bytes_config = 0;
+  std::uint64_t bytes_reduce_down = 0;
+  std::uint64_t bytes_reduce_up = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t messages = 0;
+  // Measured workload shape (valid when has_measured_shape).
+  double measured_elements_per_node = 0;  ///< P_i entering this layer
+  double measured_density = 0;            ///< D_i = P_i * K_i / n
+  // Section IV predictions (valid when has_model).
+  double model_elements_per_node = 0;
+  double model_density = 0;
+  // Modeled round times (valid when inputs supplied timing).
+  double time_config_s = 0;
+  double time_reduce_down_s = 0;
+  double time_reduce_up_s = 0;
+};
+
+struct RunReport {
+  std::string workload;
+  rank_t machines = 0;
+  std::vector<std::uint32_t> degrees;
+  std::uint64_t features = 0;
+  double alpha = 0;
+  double partition_density = 0;
+  double lambda0 = 0;  ///< fitted scaling factor (0 when no model)
+  bool has_model = false;
+  bool has_measured_shape = false;
+  bool has_timing = false;
+
+  std::vector<LayerReport> layers;  ///< one per communication layer
+  /// The would-be extra layer: fully reduced data at the bottom.
+  double bottom_measured_elements = 0;
+  double bottom_model_elements = 0;
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t race_wins = 0;
+  std::uint64_t race_losses = 0;
+  double time_config_s = 0;
+  double time_reduce_s = 0;
+
+  /// Centered per-layer volume bars — the Kylix silhouette.
+  [[nodiscard]] std::string ascii_chart(std::size_t width = 56) const;
+
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Aggregate a finished run. Throws check_error when trace/topology are
+/// missing or measured_elements has the wrong length.
+[[nodiscard]] RunReport build_run_report(const RunReportInputs& inputs);
+
+}  // namespace kylix::obs

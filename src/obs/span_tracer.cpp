@@ -1,0 +1,116 @@
+#include "obs/span_tracer.hpp"
+
+#include "obs/json_writer.hpp"
+
+namespace kylix::obs {
+
+void SpanTracer::complete(std::string name, std::uint32_t track, double ts_us,
+                          double dur_us, bool has_args,
+                          std::uint64_t arg_bytes, std::uint64_t arg_msgs) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'X';
+  e.track = track;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.has_args = has_args;
+  e.arg_bytes = arg_bytes;
+  e.arg_msgs = arg_msgs;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::counter(std::string name, double ts_us, double value) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'C';
+  e.ts_us = ts_us;
+  e.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::instant(std::string name, std::uint32_t track,
+                         double ts_us) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'i';
+  e.track = track;
+  e.ts_us = ts_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_.emplace_back(track, std::move(name));
+}
+
+std::size_t SpanTracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  track_names_.clear();
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const auto& [track, name] : track_names_) {
+    json.begin_object();
+    json.key_value("name", std::string("thread_name"));
+    json.key_value("ph", std::string("M"));
+    json.key_value("pid", 0);
+    json.key_value("tid", track);
+    json.key("args");
+    json.begin_object();
+    json.key_value("name", name);
+    json.end_object();
+    json.end_object();
+  }
+  for (const Event& e : events_) {
+    json.begin_object();
+    json.key_value("name", e.name);
+    json.key_value("ph", std::string(1, e.ph));
+    json.key_value("pid", 0);
+    json.key_value("tid", e.track);
+    json.key_value("ts", e.ts_us);
+    switch (e.ph) {
+      case 'X':
+        json.key_value("dur", e.dur_us);
+        if (e.has_args) {
+          json.key("args");
+          json.begin_object();
+          json.key_value("bytes", e.arg_bytes);
+          json.key_value("messages", e.arg_msgs);
+          json.end_object();
+        }
+        break;
+      case 'C':
+        json.key("args");
+        json.begin_object();
+        json.key_value("value", e.value);
+        json.end_object();
+        break;
+      case 'i':
+        json.key_value("s", std::string("t"));
+        break;
+      default:
+        break;
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key_value("displayTimeUnit", std::string("ms"));
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace kylix::obs

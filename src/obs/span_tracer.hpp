@@ -1,0 +1,107 @@
+// Span tracing with Chrome trace-event export (DESIGN.md "Observability").
+//
+// SpanTracer collects timestamped events — RAII spans, counter samples,
+// instants — against a monotonic microsecond clock started at construction,
+// and serializes them as Chrome trace-event JSON ("traceEvents" array of
+// "ph":"X"/"C"/"i" records) loadable by Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. Tracks map onto trace "tid"s: the engine observer
+// uses one track per simulated rank plus counter tracks for wire bytes and
+// measured layer density, so a run renders as the per-rank round timeline
+// the paper's figures describe.
+//
+// Recording takes one mutex per event (events are rare next to the per-
+// message hot path, which only touches pre-sized arrays in the observer);
+// the tracer itself is never touched when no observer is attached.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace kylix::obs {
+
+class SpanTracer {
+ public:
+  /// Microseconds since the tracer was constructed.
+  [[nodiscard]] double now_us() const { return timer_.seconds() * 1e6; }
+
+  /// A finished span ("ph":"X") on `track`. `arg_bytes`/`arg_msgs` become
+  /// the span's args when `has_args` is set.
+  void complete(std::string name, std::uint32_t track, double ts_us,
+                double dur_us, bool has_args = false,
+                std::uint64_t arg_bytes = 0, std::uint64_t arg_msgs = 0);
+
+  /// A counter sample ("ph":"C"): one series named `name` over time.
+  void counter(std::string name, double ts_us, double value);
+
+  /// An instant event ("ph":"i", thread scope).
+  void instant(std::string name, std::uint32_t track, double ts_us);
+
+  /// Human-readable track label emitted as thread_name metadata.
+  void set_track_name(std::uint32_t track, std::string name);
+
+  /// RAII scope: records a complete event from construction to destruction.
+  class Span {
+   public:
+    Span(SpanTracer* tracer, std::string name, std::uint32_t track)
+        : tracer_(tracer),
+          name_(std::move(name)),
+          track_(track),
+          start_us_(tracer->now_us()) {}
+    Span(Span&& other) noexcept
+        : tracer_(std::exchange(other.tracer_, nullptr)),
+          name_(std::move(other.name_)),
+          track_(other.track_),
+          start_us_(other.start_us_) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() {
+      if (tracer_ != nullptr) {
+        tracer_->complete(std::move(name_), track_, start_us_,
+                          tracer_->now_us() - start_us_);
+      }
+    }
+
+   private:
+    SpanTracer* tracer_;
+    std::string name_;
+    std::uint32_t track_;
+    double start_us_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::uint32_t track = 0) {
+    return Span(this, std::move(name), track);
+  }
+
+  [[nodiscard]] std::size_t num_events() const;
+  void clear();
+
+  /// The full {"traceEvents":[...]} document.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char ph = 'X';  ///< 'X' complete, 'C' counter, 'i' instant
+    std::uint32_t track = 0;
+    double ts_us = 0;
+    double dur_us = 0;
+    double value = 0;  ///< counter series value
+    bool has_args = false;
+    std::uint64_t arg_bytes = 0;
+    std::uint64_t arg_msgs = 0;
+  };
+
+  Timer timer_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+};
+
+}  // namespace kylix::obs

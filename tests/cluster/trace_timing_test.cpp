@@ -33,10 +33,69 @@ TEST(Trace, ClearAndAppend) {
   EXPECT_EQ(a.num_messages(), 0u);
 }
 
+TEST(Trace, AppendLargeDoesNotLoseEvents) {
+  Trace a;
+  a.add({Phase::kConfig, 1, 0, 1, 1});
+  Trace b;
+  for (int i = 0; i < 1000; ++i) b.add({Phase::kReduceDown, 1, 0, 1, 1});
+  a.append(b);
+  EXPECT_EQ(a.num_messages(), 1001u);
+  EXPECT_EQ(a.total_bytes(), 1001u);
+}
+
+TEST(Trace, ReservePreservesContentAndGuaranteesCapacity) {
+  Trace trace;
+  trace.add({Phase::kConfig, 1, 0, 1, 5});
+  trace.reserve(100);
+  EXPECT_EQ(trace.num_messages(), 1u);
+  EXPECT_GE(trace.events().capacity(), 101u);
+  const MsgEvent* data = trace.events().data();
+  for (int i = 0; i < 100; ++i) trace.add({Phase::kConfig, 1, 0, 1, 1});
+  // The reservation covered all the adds: no reallocation happened.
+  EXPECT_EQ(trace.events().data(), data);
+  EXPECT_EQ(trace.total_bytes(), 105u);
+}
+
+TEST(Trace, BytesByLayerPadsBeyondDeepestEvent) {
+  Trace trace;
+  trace.add({Phase::kConfig, 1, 0, 1, 40});
+  EXPECT_EQ(trace.bytes_by_layer(Phase::kConfig, 4),
+            (std::vector<std::uint64_t>{40, 0, 0, 0}));
+  EXPECT_EQ(trace.bytes_by_layer_all_phases(4),
+            (std::vector<std::uint64_t>{40, 0, 0, 0}));
+}
+
+TEST(Trace, BytesByLayerEmptyPhaseIsAllZeros) {
+  Trace trace;
+  trace.add({Phase::kConfig, 1, 0, 1, 40});
+  EXPECT_EQ(trace.bytes_by_layer(Phase::kReduceUp, 3),
+            (std::vector<std::uint64_t>{0, 0, 0}));
+  EXPECT_EQ(Trace{}.bytes_by_layer(Phase::kConfig, 2),
+            (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_TRUE(Trace{}.bytes_by_layer(Phase::kConfig, 0).empty());
+}
+
+TEST(Trace, BytesByLayerIgnoresOutOfRangeLayers) {
+  Trace trace;
+  trace.add({Phase::kConfig, 0, 0, 1, 7});   // layer 0: not a comm layer
+  trace.add({Phase::kConfig, 3, 0, 1, 11});  // deeper than requested
+  trace.add({Phase::kConfig, 2, 0, 1, 13});
+  EXPECT_EQ(trace.bytes_by_layer(Phase::kConfig, 2),
+            (std::vector<std::uint64_t>{0, 13}));
+  EXPECT_EQ(trace.bytes_by_layer_all_phases(2),
+            (std::vector<std::uint64_t>{0, 13}));
+  // total_bytes still counts everything: it reports volume, not shape.
+  EXPECT_EQ(trace.total_bytes(), 31u);
+}
+
 TEST(PhaseName, CoversAllPhases) {
   EXPECT_STREQ(phase_name(Phase::kConfig), "config");
   EXPECT_STREQ(phase_name(Phase::kReduceDown), "reduce-down");
   EXPECT_STREQ(phase_name(Phase::kReduceUp), "reduce-up");
+}
+
+TEST(PhaseName, UnknownValueIsQuestionMark) {
+  EXPECT_STREQ(phase_name(static_cast<Phase>(99)), "?");
 }
 
 NetworkModel simple_net() {
@@ -133,6 +192,48 @@ TEST(TimingAccumulator, SendRecvSplitChargesOneSideOnly) {
   EXPECT_DOUBLE_EQ(timing.times().config, 1.5);
   timing.on_recv(Phase::kConfig, 1, 1, 3000000);
   EXPECT_DOUBLE_EQ(timing.times().config, 3.5);
+}
+
+TEST(TimingAccumulator, AsymmetricSendRecvModelsRacingReplicas) {
+  // §V-B: two replica senders each transmit 1 MB to the same receiver, but
+  // the receiver only pays for the winning copy. on_message would charge
+  // both ends of both copies; the split API charges 2 sends + 1 recv.
+  TimingAccumulator timing(3, simple_net(), ComputeModel{}, 1);
+  timing.on_send(Phase::kReduceDown, 1, 0, 1000000);
+  timing.on_send(Phase::kReduceDown, 1, 1, 1000000);
+  timing.on_recv(Phase::kReduceDown, 1, 2, 1000000);
+  // Every node's path is 1 MB + one message overhead; the round is their
+  // max, not the sum of both transmissions at the receiver.
+  EXPECT_DOUBLE_EQ(timing.times().reduce_down, 1.5);
+
+  // The equivalent on_message run double-charges the receiver.
+  TimingAccumulator both(3, simple_net(), ComputeModel{}, 1);
+  both.on_message({Phase::kReduceDown, 1, 0, 2, 1000000});
+  both.on_message({Phase::kReduceDown, 1, 1, 2, 1000000});
+  EXPECT_DOUBLE_EQ(both.times().reduce_down, 3.0);
+}
+
+TEST(TimingAccumulator, PerRoundTimesListsRoundsInPhaseLayerOrder) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  timing.on_message({Phase::kReduceUp, 1, 0, 1, 1000000});
+  timing.on_message({Phase::kConfig, 2, 0, 1, 1000000});
+  timing.on_message({Phase::kConfig, 1, 0, 1, 1000000});
+  const auto rounds = timing.per_round_times();
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[0].phase, Phase::kConfig);
+  EXPECT_EQ(rounds[0].layer, 1u);
+  EXPECT_EQ(rounds[1].phase, Phase::kConfig);
+  EXPECT_EQ(rounds[1].layer, 2u);
+  EXPECT_EQ(rounds[2].phase, Phase::kReduceUp);
+  EXPECT_EQ(rounds[2].layer, 1u);
+  for (const auto& round : rounds) {
+    EXPECT_DOUBLE_EQ(round.seconds, 1.5);
+    EXPECT_DOUBLE_EQ(round.seconds,
+                     timing.round_time(round.phase, round.layer));
+  }
+  EXPECT_TRUE(TimingAccumulator(2, simple_net(), ComputeModel{}, 1)
+                  .per_round_times()
+                  .empty());
 }
 
 TEST(TimingAccumulator, ClearResets) {

@@ -16,6 +16,8 @@
 #include "comm/bsp.hpp"
 #include "core/allreduce.hpp"
 #include "core/node.hpp"
+#include "obs/engine_obs.hpp"
+#include "obs/span_tracer.hpp"
 #include "sparse/merge.hpp"
 #include "test_util.hpp"
 
@@ -223,6 +225,51 @@ TEST(AllocHotPath, FullReduceStaysWithinApiBoundaryBudget) {
   EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
 #endif
   EXPECT_EQ(first, second) << "steady-state reduce() is not steady";
+}
+
+// The observability hooks must be pay-for-what-you-use: after detaching an
+// observer, the steady-state reduce path is exactly as allocation-free as
+// it is on an engine that never had one (the null checks cost nothing).
+TEST(AllocHotPath, ObserverDetachRestoresSteadyStateBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 99);
+
+  BspEngine<float> engine(m);
+  obs::SpanTracer tracer;
+  obs::TelemetryObserver observer(&tracer, m, obs::TelemetryObserver::Options{});
+  engine.set_observer(&observer);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce(w.out_values);  // warm with telemetry attached
+  }
+  EXPECT_GT(observer.total_messages(), 0u);
+
+  engine.set_observer(nullptr);
+  (void)allreduce.reduce(w.out_values);  // settle
+
+  const auto measure = [&] {
+    auto values = w.out_values;
+    AllocGauge gauge;
+    const auto results = allreduce.reduce(std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  // Same budget as FullReduceStaysWithinApiBoundaryBudget: only the result
+  // buffers that leave with the caller.
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second);
+  const std::size_t events_after_detach = tracer.num_events();
+  (void)measure();
+  EXPECT_EQ(tracer.num_events(), events_after_detach)
+      << "detached observer still received events";
 }
 
 TEST(AllocHotPath, RepeatedCombinedConfigReduceStabilizes) {

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kylix::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("messages");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("density");
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("packet_bytes", {10.0, 100.0, 1000.0});
+  // A value lands in the first bucket whose upper bound is >= the value.
+  h.observe(5);     // <= 10
+  h.observe(10);    // <= 10 (bounds are inclusive)
+  h.observe(11);    // <= 100
+  h.observe(1000);  // <= 1000
+  h.observe(5000);  // overflow
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6026.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 6026.0 / 5.0);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  MetricsRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.histogram("empty", {1.0}).mean(), 0.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", {1.0, 1.0}), check_error);
+  EXPECT_THROW(registry.histogram("bad2", {2.0, 1.0}), check_error);
+  EXPECT_THROW(registry.histogram("bad3", {}), check_error);
+}
+
+TEST(ExponentialBounds, GeneratesGeometricGrid) {
+  const auto bounds = exponential_bounds(64, 4, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 64);
+  EXPECT_DOUBLE_EQ(bounds[1], 256);
+  EXPECT_DOUBLE_EQ(bounds[2], 1024);
+  EXPECT_DOUBLE_EQ(bounds[3], 4096);
+}
+
+TEST(MetricsRegistry, LookupOrCreateReturnsStableInstruments) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.add(3);
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // A histogram re-registered under an existing name keeps original bounds.
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+  // The three namespaces are independent: same name, distinct instruments.
+  registry.gauge("x").set(1.5);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+}
+
+TEST(MetricsRegistry, DisabledInstrumentsAreNoOps) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1.0});
+  registry.set_enabled(false);
+  EXPECT_FALSE(registry.enabled());
+  c.add(10);
+  g.set(3.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Re-enabling resumes collection on the same instruments.
+  registry.set_enabled(true);
+  c.add(10);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(MetricsRegistry, EnvVarDisablesCollectionAtConstruction) {
+  ::setenv("KYLIX_METRICS", "off", 1);
+  MetricsRegistry off;
+  EXPECT_FALSE(off.enabled());
+  ::setenv("KYLIX_METRICS", "1", 1);
+  MetricsRegistry on;
+  EXPECT_TRUE(on.enabled());
+  ::unsetenv("KYLIX_METRICS");
+  MetricsRegistry unset;
+  EXPECT_TRUE(unset.enabled());
+}
+
+TEST(MetricsRegistry, JsonSnapshotContainsAllSections) {
+  MetricsRegistry registry;
+  registry.counter("engine.messages").add(7);
+  registry.gauge("run.density").set(0.125);
+  registry.histogram("engine.packet_bytes", {10.0, 100.0}).observe(42);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.messages\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"run.density\":0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\":[10,100]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[0,1,0]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndUpdatesAreSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& c = registry.counter("shared");
+      Histogram& h = registry.histogram("lat", exponential_bounds(1, 2, 8));
+      for (int i = 0; i < 1000; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared").value(), 4000u);
+  EXPECT_EQ(registry.histogram("lat", {}).count(), 4000u);
+}
+
+TEST(MetricsRegistry, GlobalIsOneSharedInstance) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace kylix::obs

@@ -1,0 +1,109 @@
+#include "obs/span_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kylix::obs {
+namespace {
+
+std::string chrome_trace(const SpanTracer& tracer) {
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  return out.str();
+}
+
+TEST(SpanTracer, RecordsCompleteCounterAndInstantEvents) {
+  SpanTracer tracer;
+  tracer.complete("config/L1", 3, 10.0, 25.0, true, 4096, 8);
+  tracer.counter("wire bytes", 35.0, 4096);
+  tracer.instant("drop", 3, 40.0);
+  EXPECT_EQ(tracer.num_events(), 3u);
+
+  const std::string json = chrome_trace(tracer);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"config/L1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"messages\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(SpanTracer, TrackNamesBecomeThreadMetadata) {
+  SpanTracer tracer;
+  tracer.set_track_name(0, "rank 0");
+  tracer.set_track_name(7, "rank 7");
+  const std::string json = chrome_trace(tracer);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 7\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(SpanTracer, RaiiSpanMeasuresItsScope) {
+  SpanTracer tracer;
+  {
+    auto span = tracer.span("scatter-reduce", 2);
+    (void)span;
+  }
+  EXPECT_EQ(tracer.num_events(), 1u);
+  const std::string json = chrome_trace(tracer);
+  EXPECT_NE(json.find("\"name\":\"scatter-reduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(SpanTracer, MovedFromSpanDoesNotDoubleRecord) {
+  SpanTracer tracer;
+  {
+    auto a = tracer.span("outer");
+    auto b = std::move(a);
+    (void)b;
+  }
+  EXPECT_EQ(tracer.num_events(), 1u);
+}
+
+TEST(SpanTracer, ClockIsMonotonic) {
+  SpanTracer tracer;
+  const double a = tracer.now_us();
+  const double b = tracer.now_us();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(SpanTracer, EscapesJsonSpecialCharactersInNames) {
+  SpanTracer tracer;
+  tracer.complete("weird \"name\"\\with\nnewline", 0, 0.0, 1.0);
+  const std::string json = chrome_trace(tracer);
+  EXPECT_NE(json.find("weird \\\"name\\\"\\\\with\\nnewline"),
+            std::string::npos);
+}
+
+TEST(SpanTracer, ClearDropsEvents) {
+  SpanTracer tracer;
+  tracer.instant("x", 0, 1.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(SpanTracer, ConcurrentRecordingIsSafe) {
+  SpanTracer tracer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 250; ++i) {
+        tracer.complete("span", static_cast<std::uint32_t>(t), i, 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.num_events(), 1000u);
+}
+
+}  // namespace
+}  // namespace kylix::obs

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Address-sanitized test run: configures a dedicated build tree with
+# -DKYLIX_SANITIZE=address, builds everything, and runs the full ctest
+# suite under ASan (the thread-sanitized twin is `ctest -L tsan` on a
+# -DKYLIX_SANITIZE=thread tree; see tests/CMakeLists.txt).
+#
+# Usage: tools/asan_ctest.sh [build-dir] [ctest-args...]
+#   build-dir defaults to build-asan (kept separate from the plain tree so
+#   switching sanitizers never forces a full reconfigure of either).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-asan"}"
+shift || true
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKYLIX_SANITIZE=address
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps CI signal crisp: the first ASan report fails the test
+# instead of scrolling past; leaks are on by default with ASan on Linux.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

@@ -8,13 +8,23 @@
 // result against a single-node reference, and prints volumes and modeled
 // times.
 //
+// The `report` subcommand additionally attaches the telemetry subsystem
+// (src/obs): it runs the same workload on the host-parallel engine with a
+// span tracer and metrics registry wired in, prints the per-layer
+// Kylix-shape chart with measured vs. modeled D_i / P_i, and can write a
+// Chrome trace-event file (open in Perfetto / chrome://tracing) plus a
+// machine-readable run-report JSON.
+//
 // Usage examples:
 //   kylix_cli --machines 64 --features 262144 --density 0.21 --alpha 1.1
 //   kylix_cli --machines 64 --degrees 8x4x2 --threads 4
 //   kylix_cli --machines 32 --replication 2 --failures 3
+//   kylix_cli report --machines 64 --trace-out trace.json \
+//             --report-out report.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "kylix.hpp"
@@ -24,6 +34,7 @@ namespace {
 using namespace kylix;
 
 struct Cli {
+  bool report = false;
   rank_t machines = 64;
   std::uint64_t features = 1u << 18;
   double density = 0.21;
@@ -33,12 +44,14 @@ struct Cli {
   rank_t failures = 0;
   std::uint64_t seed = 42;
   std::vector<std::uint32_t> degrees;  // empty -> autotune
+  std::string trace_out;               // report mode: Chrome trace JSON
+  std::string report_out;              // report mode: run-report JSON
 };
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
-      "usage: kylix_cli [options]\n"
+      "usage: kylix_cli [report] [options]\n"
       "  --machines M      logical machine count (default 64)\n"
       "  --features N      index-space size (default 262144)\n"
       "  --density D       target partition density (default 0.21)\n"
@@ -47,7 +60,10 @@ struct Cli {
       "  --threads T       message threads in the timing model (default 16)\n"
       "  --replication S   replication factor (default 1)\n"
       "  --failures K      dead physical nodes to inject (default 0)\n"
-      "  --seed X          workload seed (default 42)\n");
+      "  --seed X          workload seed (default 42)\n"
+      "report mode only:\n"
+      "  --trace-out F     write Chrome trace-event JSON (Perfetto) to F\n"
+      "  --report-out F    write the run-report JSON to F\n");
   std::exit(2);
 }
 
@@ -66,7 +82,12 @@ std::vector<std::uint32_t> parse_degrees(const std::string& text) {
 
 Cli parse(int argc, char** argv) {
   Cli cli;
-  for (int i = 1; i < argc; ++i) {
+  int i = 1;
+  if (i < argc && std::strcmp(argv[i], "report") == 0) {
+    cli.report = true;
+    ++i;
+  }
+  for (; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= argc) usage_and_exit();
@@ -90,6 +111,10 @@ Cli parse(int argc, char** argv) {
       cli.failures = static_cast<rank_t>(std::stoul(value()));
     } else if (flag == "--seed") {
       cli.seed = std::stoull(value());
+    } else if (flag == "--trace-out" && cli.report) {
+      cli.trace_out = value();
+    } else if (flag == "--report-out" && cli.report) {
+      cli.report_out = value();
     } else {
       usage_and_exit();
     }
@@ -142,14 +167,59 @@ Workload synthesize(const Cli& cli) {
   return w;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Cli cli = parse(argc, argv);
+NetworkModel scaled_network() {
   NetworkModel net = NetworkModel::ec2_like();
   net.stack_overhead_s = 3.2e-5;  // scaled testbed (see bench_common.hpp)
   net.handshake_latency_s = 0.8e-5;
   net.base_latency_s = 5e-5;
+  return net;
+}
+
+Topology pick_topology(const Cli& cli, const Workload& w,
+                       const NetworkModel& net, bool verbose) {
+  if (!cli.degrees.empty()) {
+    Topology topo(cli.degrees);
+    KYLIX_CHECK_MSG(topo.num_machines() == cli.machines,
+                    "--degrees product must equal --machines");
+    if (verbose) std::printf("degrees: %s\n", topo.to_string().c_str());
+    return topo;
+  }
+  AutotuneInput input;
+  input.num_features = cli.features;
+  input.num_machines = cli.machines;
+  input.alpha = cli.alpha;
+  input.partition_density = w.measured_density;
+  input.network = net;
+  input.target_utilization = 0.5;
+  const DesignResult design = autotune(input);
+  if (verbose) {
+    std::printf("autotuned (SIV workflow):\n%s", design.to_string().c_str());
+  } else {
+    std::printf("degrees: %s (autotuned)\n",
+                Topology(design.degrees).to_string().c_str());
+  }
+  return Topology(design.degrees);
+}
+
+std::size_t verify(const Cli& cli, const Workload& w,
+                   const std::vector<std::vector<real_t>>& results) {
+  std::vector<SparseVector<real_t>> contributions;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    contributions.push_back(SparseVector<real_t>{w.out_sets[r], w.values[r]});
+  }
+  const ReferenceReduce<real_t> reference(contributions);
+  std::size_t errors = 0;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    const std::vector<real_t> expected = reference.lookup(w.in_sets[r]);
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+      if (expected[p] != results[r][p]) ++errors;
+    }
+  }
+  return errors;
+}
+
+int run_default(const Cli& cli) {
+  const NetworkModel net = scaled_network();
   const ComputeModel compute;
 
   Workload w = synthesize(cli);
@@ -158,31 +228,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cli.features), cli.machines,
               w.measured_density, cli.alpha);
 
-  Topology topo({});
-  if (cli.degrees.empty()) {
-    AutotuneInput input;
-    input.num_features = cli.features;
-    input.num_machines = cli.machines;
-    input.alpha = cli.alpha;
-    input.partition_density = w.measured_density;
-    input.network = net;
-    input.target_utilization = 0.5;
-    const DesignResult design = autotune(input);
-    std::printf("autotuned (SIV workflow):\n%s", design.to_string().c_str());
-    topo = Topology(design.degrees);
-  } else {
-    topo = Topology(cli.degrees);
-    KYLIX_CHECK_MSG(topo.num_machines() == cli.machines,
-                    "--degrees product must equal --machines");
-    std::printf("degrees: %s\n", topo.to_string().c_str());
-  }
-
-  // Reference reduction for verification.
-  std::vector<SparseVector<real_t>> contributions;
-  for (rank_t r = 0; r < cli.machines; ++r) {
-    contributions.push_back(SparseVector<real_t>{w.out_sets[r], w.values[r]});
-  }
-  const ReferenceReduce<real_t> reference(contributions);
+  const Topology topo = pick_topology(cli, w, net, /*verbose=*/true);
 
   const rank_t physical = cli.machines * cli.replication;
   KYLIX_CHECK_MSG(cli.failures <= physical, "--failures exceeds nodes");
@@ -214,14 +260,7 @@ int main(int argc, char** argv) {
     results = allreduce.reduce(w.values);
   }
 
-  // Verify.
-  std::size_t errors = 0;
-  for (rank_t r = 0; r < cli.machines; ++r) {
-    const std::vector<real_t> expected = reference.lookup(w.in_sets[r]);
-    for (std::size_t p = 0; p < expected.size(); ++p) {
-      if (expected[p] != results[r][p]) ++errors;
-    }
-  }
+  const std::size_t errors = verify(cli, w, results);
 
   const auto times = timing.times();
   std::printf("\nvolume: %s in %zu messages\n",
@@ -240,4 +279,130 @@ int main(int argc, char** argv) {
   std::printf("verification: %zu mismatches (%s)\n", errors,
               errors == 0 ? "PASS" : "FAIL");
   return errors == 0 ? 0 : 1;
+}
+
+int run_report(const Cli& cli) {
+  const NetworkModel net = scaled_network();
+  const ComputeModel compute;
+
+  Workload w = synthesize(cli);
+  std::printf("workload: n = %llu, m = %u, measured density %.4f, "
+              "alpha %.2f\n",
+              static_cast<unsigned long long>(cli.features), cli.machines,
+              w.measured_density, cli.alpha);
+  const Topology topo = pick_topology(cli, w, net, /*verbose=*/false);
+
+  const rank_t physical = cli.machines * cli.replication;
+  KYLIX_CHECK_MSG(cli.failures <= physical, "--failures exceeds nodes");
+  const FailureModel failures =
+      FailureModel::random_failures(physical, cli.failures, cli.seed + 1);
+  Trace trace;
+  TimingAccumulator timing(physical, net, compute, cli.threads);
+  obs::SpanTracer tracer;
+  obs::MetricsRegistry metrics;
+
+  obs::TelemetryObserver::Options opt;
+  opt.topology = &topo;
+  opt.features = cli.features;
+  opt.bytes_per_element = sizeof(real_t);
+  opt.metrics = &metrics;
+  obs::TelemetryObserver observer(&tracer, physical, opt);
+
+  obs::RunReportInputs inputs;
+  inputs.trace = &trace;
+  inputs.topology = &topo;
+  inputs.timing = &timing;
+  inputs.features = cli.features;
+  inputs.alpha = cli.alpha;
+  inputs.partition_density = w.measured_density;
+  inputs.workload = "powerlaw(seed=" + std::to_string(cli.seed) + ")";
+
+  std::vector<std::vector<real_t>> results;
+  if (cli.replication == 1) {
+    KYLIX_CHECK_MSG(cli.failures == 0,
+                    "failures need --replication >= 2 to stay correct");
+    ParallelBspEngine<real_t> engine(cli.machines, 0, nullptr, &trace,
+                                     &timing);
+    engine.set_observer(&observer);
+    SparseAllreduce<real_t, OpSum, ParallelBspEngine<real_t>> allreduce(
+        &engine, topo, &compute);
+    allreduce.configure(w.in_sets, w.out_sets);
+    results = allreduce.reduce(w.values);
+    inputs.measured_elements = allreduce.measured_layer_elements();
+    inputs.dropped_messages = engine.dropped_messages();
+    std::printf("engine: parallel (%u threads)\n", engine.num_threads());
+  } else {
+    ReplicatedBsp<real_t> engine(cli.machines, cli.replication, &failures,
+                                 &trace, &timing);
+    if (engine.has_failed()) {
+      std::printf("FATAL: a whole replica group is dead — allreduce cannot "
+                  "complete (expected after ~sqrt(m) failures)\n");
+      return 1;
+    }
+    engine.set_observer(&observer);
+    SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
+        &engine, topo, &compute);
+    allreduce.configure(w.in_sets, w.out_sets);
+    results = allreduce.reduce(w.values);
+    inputs.measured_elements = allreduce.measured_layer_elements();
+    inputs.dropped_messages = engine.dropped_messages();
+    inputs.race_wins = engine.race_stats().wins;
+    inputs.race_losses = engine.race_stats().losses;
+    std::printf("engine: replicated x%u, %u failures injected\n",
+                cli.replication, cli.failures);
+  }
+
+  const std::size_t errors = verify(cli, w, results);
+  const obs::RunReport report = obs::build_run_report(inputs);
+
+  std::printf("\n%s\n", report.ascii_chart().c_str());
+  std::printf("layer   deg   P_i meas   P_i model   D_i meas   D_i model\n");
+  for (const obs::LayerReport& lr : report.layers) {
+    std::printf("%5u %5u %10.0f %11.0f %10.4f %11.4f\n", lr.layer,
+                lr.degree, lr.measured_elements_per_node,
+                lr.model_elements_per_node, lr.measured_density,
+                lr.model_density);
+  }
+  std::printf("totals: %s in %llu messages, %llu dropped",
+              format_bytes(static_cast<double>(report.total_bytes)).c_str(),
+              static_cast<unsigned long long>(report.total_messages),
+              static_cast<unsigned long long>(report.dropped_messages));
+  if (cli.replication > 1) {
+    std::printf(", races %llu won / %llu lost",
+                static_cast<unsigned long long>(report.race_wins),
+                static_cast<unsigned long long>(report.race_losses));
+  }
+  std::printf("\nmodeled config time: %s\nmodeled reduce time: %s\n",
+              format_seconds(report.time_config_s).c_str(),
+              format_seconds(report.time_reduce_s).c_str());
+
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    KYLIX_CHECK_MSG(out.good(), "cannot open --trace-out file");
+    tracer.write_chrome_trace(out);
+    std::printf("trace: %s (%zu events; open in Perfetto or "
+                "chrome://tracing)\n",
+                cli.trace_out.c_str(), tracer.num_events());
+  }
+  if (!cli.report_out.empty()) {
+    std::ofstream out(cli.report_out);
+    KYLIX_CHECK_MSG(out.good(), "cannot open --report-out file");
+    // The run report plus the engine-side metrics snapshot, one document.
+    out << "{\"report\":";
+    report.write_json(out);
+    out << ",\"metrics\":";
+    metrics.write_json(out);
+    out << "}\n";
+    std::printf("report: %s\n", cli.report_out.c_str());
+  }
+  std::printf("verification: %zu mismatches (%s)\n", errors,
+              errors == 0 ? "PASS" : "FAIL");
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse(argc, argv);
+  return cli.report ? run_report(cli) : run_default(cli);
 }
