@@ -17,12 +17,17 @@
 // each preset's "telemetry" object.
 //
 // The parallel engine's speedup scales with physical cores; the JSON
-// records hardware_threads and engine_threads so a 1-core CI container's
-// ~1x is interpretable. Threads: argv[1] or KYLIX_BENCH_THREADS, default
+// records hardware_concurrency, the affinity-visible CPU count, and
+// engine_threads so a 1-core CI container's ~1x is interpretable.
+// Threads: argv[1] or KYLIX_BENCH_THREADS, default
 // hardware concurrency. Output: argv[2] or BENCH_engines.json.
 #include <cstdio>
 #include <fstream>
 #include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "bench_common.hpp"
 
@@ -134,7 +139,19 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.key_value("benchmark", std::string("wall_engines"));
   json.key_value("machines", static_cast<int>(bench::kMachines));
-  json.key_value("hardware_threads", static_cast<int>(hardware));
+  // Containers and taskset often pin the process to fewer CPUs than
+  // hardware_concurrency() reports; record both so thread-count columns in
+  // the artifact can be interpreted (an affinity_cpus < hardware_concurrency
+  // run is oversubscribed when engine_threads exceeds affinity_cpus).
+  unsigned affinity = hardware;
+#ifdef __linux__
+  cpu_set_t cpuset;
+  if (sched_getaffinity(0, sizeof(cpuset), &cpuset) == 0) {
+    affinity = static_cast<unsigned>(CPU_COUNT(&cpuset));
+  }
+#endif
+  json.key_value("hardware_concurrency", static_cast<int>(hardware));
+  json.key_value("affinity_cpus", static_cast<int>(affinity));
   json.key_value("engine_threads", static_cast<int>(threads));
   json.key_value("warm_iterations", kTimed);
   json.key("presets");

@@ -173,11 +173,13 @@ class KylixNode {
 
     UnionResult& in_union = scratch_->in_union;
     UnionResult& out_union = scratch_->out_union;
-    tree_merge_into(spans_of(in_pieces), in_union, scratch_->merge);
+    // union_into picks the loser-tree kernel for high-degree layers and the
+    // binary cascade for low degrees (kernels::choose_union_kernel).
+    union_into(spans_of(in_pieces), in_union, scratch_->merge);
     for (const auto& piece : in_pieces) {
       work_.merge_elements += static_cast<double>(piece.size());
     }
-    tree_merge_into(spans_of(out_pieces), out_union, scratch_->merge);
+    union_into(spans_of(out_pieces), out_union, scratch_->merge);
     for (const auto& piece : out_pieces) {
       work_.merge_elements += static_cast<double>(piece.size());
     }
@@ -222,10 +224,14 @@ class KylixNode {
     const KeySet& in_bottom = in_sets_[l];
     const KeySet& out_bottom = out_sets_[l];
     bottom_map_.resize(in_bottom.size());
+    // Both sets are sorted, so locating every in-key is one monotone sweep
+    // (O(|in|+|out|)) rather than a binary search per key.
+    std::size_t pos = 0;
     for (std::size_t p = 0; p < in_bottom.size(); ++p) {
-      const std::size_t pos = out_bottom.find(in_bottom[p]);
-      KYLIX_CHECK_MSG(pos != KeySet::npos,
-                      "requested index " << unhash_index(in_bottom[p])
+      const key_t key = in_bottom[p];
+      while (pos < out_bottom.size() && out_bottom[pos] < key) ++pos;
+      KYLIX_CHECK_MSG(pos < out_bottom.size() && out_bottom[pos] == key,
+                      "requested index " << unhash_index(key)
                                          << " was contributed by no machine");
       bottom_map_[p] = static_cast<pos_t>(pos);
     }

@@ -1,0 +1,104 @@
+#include "sparse/kernels/kway_merge.hpp"
+
+#include <utility>
+
+#include "sparse/merge.hpp"
+
+namespace kylix::kernels {
+
+void kway_merge_into(std::span<const std::span<const key_t>> inputs,
+                     UnionResult& out, KWayScratch& s) {
+  const std::size_t k = inputs.size();
+  out.maps.resize(k);
+  if (k == 0) {
+    out.keys.clear();
+    return;
+  }
+  if (k == 1) {
+    out.keys.assign(inputs[0].begin(), inputs[0].end());
+    out.maps[0].resize(inputs[0].size());
+    for (std::size_t p = 0; p < inputs[0].size(); ++p) {
+      out.maps[0][p] = static_cast<pos_t>(p);
+    }
+    return;
+  }
+
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  out.keys.clear();
+  out.keys.reserve(total);
+
+  // Pad the tournament to a power of two; runs >= k are born exhausted.
+  std::size_t K = 1;
+  while (K < k) K <<= 1;
+  if (s.cur.size() < K) {
+    s.cur.resize(K);
+    s.pos.resize(K);
+    s.alive.resize(K);
+    s.losers.resize(K);
+    s.winners.resize(2 * K);
+  }
+  std::size_t remaining = 0;
+  for (std::size_t r = 0; r < K; ++r) {
+    s.pos[r] = 0;
+    const bool live = r < k && !inputs[r].empty();
+    s.alive[r] = live ? 1 : 0;
+    s.cur[r] = live ? inputs[r][0] : 0;
+    if (r < k) out.maps[r].resize(inputs[r].size());
+    if (live) ++remaining;
+  }
+
+  // Exhausted runs lose to every live run; ties break on run id so the
+  // tournament is a strict order even between dead runs.
+  const auto wins = [&s](std::uint32_t a, std::uint32_t b) {
+    if (s.alive[a] != s.alive[b]) return s.alive[a] != 0;
+    if (s.alive[a] == 0) return a < b;
+    if (s.cur[a] != s.cur[b]) return s.cur[a] < s.cur[b];
+    return a < b;
+  };
+
+  // Build the loser tree bottom-up via a transient winner tree:
+  // losers[i] keeps the loser of the match at internal node i, losers[0]
+  // the overall winner.
+  auto& l = s.losers;
+  auto& w = s.winners;
+  for (std::size_t r = 0; r < K; ++r) {
+    w[K + r] = static_cast<std::uint32_t>(r);
+  }
+  for (std::size_t i = K - 1; i >= 1; --i) {
+    const std::uint32_t a = w[2 * i];
+    const std::uint32_t b = w[2 * i + 1];
+    const bool a_wins = wins(a, b);
+    w[i] = a_wins ? a : b;
+    l[i] = a_wins ? b : a;
+  }
+  l[0] = w[1];
+
+  // Pop the global minimum, advance its run, and replay only the path from
+  // that run's leaf to the root (log2 K matches against the stored losers).
+  std::size_t out_n = 0;
+  key_t last_key = 0;
+  while (remaining > 0) {
+    const std::uint32_t r = l[0];
+    const key_t key = s.cur[r];
+    if (out_n == 0 || last_key != key) {
+      out.keys.push_back(key);
+      ++out_n;
+      last_key = key;
+    }
+    out.maps[r][s.pos[r]] = static_cast<pos_t>(out_n - 1);
+    if (++s.pos[r] < inputs[r].size()) {
+      s.cur[r] = inputs[r][s.pos[r]];
+    } else {
+      s.alive[r] = 0;
+      --remaining;
+    }
+    std::uint32_t cur = r;
+    for (std::size_t i = (K + r) >> 1; i >= 1; i >>= 1) {
+      if (wins(l[i], cur)) std::swap(cur, l[i]);
+    }
+    l[0] = cur;
+  }
+}
+
+}  // namespace kylix::kernels

@@ -1,0 +1,43 @@
+// Single-pass k-way union via a loser tree, with positional maps.
+//
+// The binary merge cascade (merge.hpp tree_merge_into) re-copies every
+// surviving key log2(k) times and composes every leaf map level by level —
+// at the paper's degrees (up to 16) that is four full passes over the data.
+// The loser tree pops the global minimum in log2(k) *compares* against a
+// 2k-entry tournament array that lives in L1, writes each union key exactly
+// once, and writes each map entry exactly once, directly: one pass, total
+// O(N log k) compares but O(N) memory traffic.
+//
+// Output contract is identical to tree_merge_into: sorted duplicate-free
+// union, maps[i][p] = union position of inputs[i][p] (asserted equivalent by
+// tests/sparse/kernels_test.cpp). Call-sites choose between the two through
+// kernels::choose_union_kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kylix {
+struct UnionResult;  // sparse/merge.hpp
+}
+
+namespace kylix::kernels {
+
+/// Reusable loser-tree storage; buffers only ever grow, so steady-state
+/// repeated unions are allocation-free (same discipline as MergeScratch).
+struct KWayScratch {
+  std::vector<std::uint32_t> losers;   ///< tournament: [0] winner, [1,K) losers
+  std::vector<std::uint32_t> winners;  ///< build-time winner tree
+  std::vector<key_t> cur;              ///< current head key per run
+  std::vector<std::size_t> pos;        ///< cursor per run
+  std::vector<unsigned char> alive;    ///< run not yet exhausted
+};
+
+/// Union of k strictly-sorted sequences in one pass. `out` is overwritten
+/// (buffers reused); accepts k == 0/1 and arbitrarily many empty inputs.
+void kway_merge_into(std::span<const std::span<const key_t>> inputs,
+                     UnionResult& out, KWayScratch& scratch);
+
+}  // namespace kylix::kernels

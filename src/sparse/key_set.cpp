@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sparse/kernels/radix_sort.hpp"
+
 namespace kylix {
 
 KeyRange KeyRange::subrange(std::uint32_t which, std::uint32_t parts) const {
@@ -26,8 +28,9 @@ KeySet KeySet::from_indices(std::span<const index_t> indices) {
 }
 
 KeySet KeySet::from_keys(std::vector<key_t> keys) {
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  // Hashed keys are uniform over the 64-bit space — the ideal radix-sort
+  // input. Below the tuning threshold this falls back to std::sort.
+  kernels::radix_sort_dedup(keys);
   return KeySet(std::move(keys));
 }
 
@@ -65,8 +68,16 @@ std::vector<std::size_t> KeySet::split_points(const KeyRange& range,
   KYLIX_CHECK(parts > 0);
   std::vector<std::size_t> bounds(parts + 1);
   bounds[0] = 0;
+  // Subrange upper bounds are monotone, so part p's search can resume where
+  // part p-1 ended: a d-way split is one monotone sweep of narrowing binary
+  // searches instead of d searches over the whole set.
   for (std::uint32_t p = 0; p < parts; ++p) {
-    bounds[p + 1] = slice(range.subrange(p, parts)).last;
+    const KeyRange sub = range.subrange(p, parts);
+    const auto first = keys_.begin() + static_cast<std::ptrdiff_t>(bounds[p]);
+    const auto last = sub.hi == 0
+                          ? keys_.end()
+                          : std::lower_bound(first, keys_.end(), sub.hi);
+    bounds[p + 1] = static_cast<std::size_t>(last - keys_.begin());
   }
   KYLIX_CHECK_MSG(bounds[parts] == keys_.size() &&
                       slice(range).size() == keys_.size(),

@@ -5,8 +5,61 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sparse/kernels/kernels.hpp"
 
 namespace kylix {
+
+namespace {
+
+/// Append src[lo, hi) to the union in one bulk copy (vector::insert lowers
+/// to memmove) and fill the matching map entries with consecutive union
+/// positions — the memcpy-tail form of "everything left comes from one side".
+void bulk_take(std::span<const key_t> src, std::size_t lo, std::size_t hi,
+               std::vector<key_t>& keys, PosMap& map) {
+  auto out = static_cast<pos_t>(keys.size());
+  keys.insert(keys.end(), src.begin() + static_cast<std::ptrdiff_t>(lo),
+              src.begin() + static_cast<std::ptrdiff_t>(hi));
+  for (std::size_t p = lo; p < hi; ++p) map[p] = out++;
+}
+
+/// First index >= `from` with a[idx] >= key: exponential probe to bracket
+/// the answer in a window of size <= 2^ceil(log gap), then binary search
+/// only that window. O(log gap) instead of O(log n) per probe, and O(1)
+/// when the next short-side key is nearby.
+std::size_t gallop(std::span<const key_t> a, std::size_t from, key_t key) {
+  if (from >= a.size() || a[from] >= key) return from;
+  std::size_t offset = 1;
+  while (from + offset < a.size() && a[from + offset] < key) offset <<= 1;
+  const auto lo = a.begin() + static_cast<std::ptrdiff_t>(from + (offset >> 1));
+  const auto hi = a.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(from + offset, a.size()));
+  return static_cast<std::size_t>(std::lower_bound(lo, hi, key) - a.begin());
+}
+
+/// Skewed-size union: for each key of the short side, gallop over the long
+/// side and bulk-copy the keys it skips. Total cost O(short * log(long/short)
+/// + long/memcpy-speed) instead of a compare+branch per long element.
+void gallop_union(std::span<const key_t> lng, std::span<const key_t> shrt,
+                  std::vector<key_t>& keys, PosMap& map_long,
+                  PosMap& map_short) {
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < shrt.size(); ++j) {
+    const std::size_t idx = gallop(lng, i, shrt[j]);
+    bulk_take(lng, i, idx, keys, map_long);
+    i = idx;
+    const auto out = static_cast<pos_t>(keys.size());
+    if (i < lng.size() && lng[i] == shrt[j]) {
+      keys.push_back(lng[i]);
+      map_long[i++] = out;
+    } else {
+      keys.push_back(shrt[j]);
+    }
+    map_short[j] = out;
+  }
+  bulk_take(lng, i, lng.size(), keys, map_long);
+}
+
+}  // namespace
 
 void merge_union_into(std::span<const key_t> a, std::span<const key_t> b,
                       std::vector<key_t>& keys, PosMap& map_a, PosMap& map_b) {
@@ -14,6 +67,16 @@ void merge_union_into(std::span<const key_t> a, std::span<const key_t> b,
   keys.reserve(a.size() + b.size());
   map_a.resize(a.size());
   map_b.resize(b.size());
+
+  const std::size_t ratio = kernels::kernel_tuning().gallop_ratio;
+  if (a.size() >= ratio * b.size()) {
+    gallop_union(a, b, keys, map_a, map_b);
+    return;
+  }
+  if (b.size() >= ratio * a.size()) {
+    gallop_union(b, a, keys, map_b, map_a);
+    return;
+  }
 
   std::size_t i = 0;
   std::size_t j = 0;
@@ -31,14 +94,9 @@ void merge_union_into(std::span<const key_t> a, std::span<const key_t> b,
       map_b[j++] = out;
     }
   }
-  for (; i < a.size(); ++i) {
-    map_a[i] = static_cast<pos_t>(keys.size());
-    keys.push_back(a[i]);
-  }
-  for (; j < b.size(); ++j) {
-    map_b[j] = static_cast<pos_t>(keys.size());
-    keys.push_back(b[j]);
-  }
+  // One side is exhausted: the other tail transfers as a single bulk copy.
+  bulk_take(a, i, a.size(), keys, map_a);
+  bulk_take(b, j, b.size(), keys, map_b);
 }
 
 UnionResult merge_union(std::span<const key_t> a, std::span<const key_t> b) {
@@ -118,6 +176,18 @@ void tree_merge_into(std::span<const std::span<const key_t>> inputs,
     ++level;
   }
   std::swap(out.keys, scratch.runs[level & 1][0]);
+}
+
+void union_into(std::span<const std::span<const key_t>> inputs,
+                UnionResult& out, MergeScratch& scratch) {
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  if (kernels::choose_union_kernel(inputs.size(), total) ==
+      kernels::UnionKernel::kKWay) {
+    kernels::kway_merge_into(inputs, out, scratch.kway);
+  } else {
+    tree_merge_into(inputs, out, scratch);
+  }
 }
 
 UnionResult tree_merge(std::span<const std::span<const key_t>> inputs) {

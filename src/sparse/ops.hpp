@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "sparse/kernels/scatter_gather.hpp"
 #include "sparse/merge.hpp"
 
 namespace kylix {
@@ -56,15 +58,13 @@ struct OpBitOr {
   }
 };
 
-/// acc[map[p]] = op(acc[map[p]], values[p]) for all p.
+/// acc[map[p]] = op(acc[map[p]], values[p]) for all p, in ascending p
+/// (kernels/scatter_gather.hpp: unrolled + software-prefetched, combine
+/// order bit-identical to the scalar loop).
 template <typename V, typename Op>
 void scatter_combine(std::span<V> acc, std::span<const V> values,
                      const PosMap& map, Op op = {}) {
-  KYLIX_CHECK(values.size() == map.size());
-  for (std::size_t p = 0; p < values.size(); ++p) {
-    KYLIX_DCHECK(map[p] < acc.size());
-    op(acc[map[p]], values[p]);
-  }
+  kernels::scatter_combine<V, Op>(acc, values, map, op);
 }
 
 /// out[p] = values[map[p]] for all p, into a caller-owned buffer
@@ -73,10 +73,7 @@ template <typename V>
 void gather_into(std::span<const V> values, const PosMap& map,
                  std::vector<V>& out) {
   out.resize(map.size());
-  for (std::size_t p = 0; p < map.size(); ++p) {
-    KYLIX_DCHECK(map[p] < values.size());
-    out[p] = values[map[p]];
-  }
+  kernels::gather<V>(values, map, out.data());
 }
 
 /// out[p] = values[map[p]] for all p.
@@ -96,18 +93,32 @@ struct SparseVector {
   [[nodiscard]] std::size_t size() const { return keys.size(); }
 
   /// Build from (index, value) pairs; duplicate indices are combined by Op.
+  /// Positions are produced by the key construction itself: one sort of
+  /// (key, input position) tags followed by a linear fold — no per-element
+  /// binary search (each probe of which re-hashed the index).
   template <typename Op = OpSum>
   static SparseVector from_pairs(std::span<const index_t> indices,
                                  std::span<const V> vals, Op op = {}) {
     KYLIX_CHECK(indices.size() == vals.size());
-    SparseVector out;
-    out.keys = KeySet::from_indices(indices);
-    out.values.assign(out.keys.size(), Op::template identity<V>());
+    std::vector<std::pair<key_t, pos_t>> tagged(indices.size());
     for (std::size_t p = 0; p < indices.size(); ++p) {
-      const std::size_t pos = out.keys.find(hash_index(indices[p]));
-      KYLIX_DCHECK(pos != KeySet::npos);
-      op(out.values[pos], vals[p]);
+      tagged[p] = {hash_index(indices[p]), static_cast<pos_t>(p)};
     }
+    // Sorting ties by input position keeps duplicate combination in input
+    // order, so results stay bit-identical to the lookup-based build.
+    std::sort(tagged.begin(), tagged.end());
+    SparseVector out;
+    std::vector<key_t> keys;
+    keys.reserve(tagged.size());
+    out.values.reserve(tagged.size());
+    for (const auto& [key, p] : tagged) {
+      if (keys.empty() || keys.back() != key) {
+        keys.push_back(key);
+        out.values.push_back(Op::template identity<V>());
+      }
+      op(out.values.back(), vals[p]);
+    }
+    out.keys = KeySet::from_sorted_keys(std::move(keys));
     return out;
   }
 };

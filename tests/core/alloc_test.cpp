@@ -90,6 +90,30 @@ TEST(AllocHotPath, WarmTreeMergeIsAllocationFree) {
   EXPECT_EQ(out.maps, expected.maps);
 }
 
+TEST(AllocHotPath, WarmKWayMergeIsAllocationFree) {
+  Rng rng(12);
+  std::vector<std::vector<key_t>> inputs;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<key_t> keys;
+    for (int j = 0; j < 80; ++j) keys.push_back(rng.below(700));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    inputs.push_back(std::move(keys));
+  }
+  std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+
+  kernels::KWayScratch scratch;
+  UnionResult out;
+  for (int i = 0; i < 3; ++i) kernels::kway_merge_into(spans, out, scratch);
+  const UnionResult expected = tree_merge(spans);
+
+  AllocGauge gauge;
+  kernels::kway_merge_into(spans, out, scratch);
+  EXPECT_EQ(gauge.count(), 0u);
+  EXPECT_EQ(out.keys, expected.keys);
+  EXPECT_EQ(out.maps, expected.maps);
+}
+
 TEST(AllocHotPath, WarmPairwiseMergeIsAllocationFree) {
   const std::vector<key_t> a = {1, 3, 5, 7, 9, 11};
   const std::vector<key_t> b = {2, 3, 8, 9, 20};

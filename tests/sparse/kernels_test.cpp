@@ -1,0 +1,376 @@
+// Property tests for the vectorized sparse kernels (src/sparse/kernels/):
+// every kernel is asserted equivalent to its scalar/standard-library
+// counterpart over randomized sizes, duplicate densities, degenerate inputs,
+// and the skewed shapes the fast paths specialize for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/autotune.hpp"
+#include "sparse/kernels/kway_merge.hpp"
+#include "sparse/kernels/radix_sort.hpp"
+#include "sparse/kernels/scatter_gather.hpp"
+#include "sparse/merge.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+namespace {
+
+// --- radix sort -------------------------------------------------------------
+
+void expect_radix_matches_std(std::vector<key_t> keys) {
+  std::vector<key_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  std::vector<key_t> scratch;
+  kernels::radix_sort_dedup(keys, scratch);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSort, DegenerateInputs) {
+  expect_radix_matches_std({});
+  expect_radix_matches_std({42});
+  expect_radix_matches_std({7, 7});
+  expect_radix_matches_std({9, 3});
+  expect_radix_matches_std(std::vector<key_t>(5000, 123));  // all equal
+}
+
+TEST(RadixSort, RandomizedSizesAboveAndBelowTheStdSortCutoff) {
+  Rng rng(101);
+  for (const std::size_t n : {3u, 50u, 511u, 512u, 513u, 4096u, 50000u}) {
+    std::vector<key_t> keys(n);
+    for (auto& k : keys) k = rng();  // uniform over the full 64-bit space
+    expect_radix_matches_std(std::move(keys));
+  }
+}
+
+TEST(RadixSort, DuplicateHeavyInputs) {
+  Rng rng(102);
+  for (const std::size_t universe : {1u, 7u, 100u, 5000u}) {
+    std::vector<key_t> keys(20000);
+    // Hash to spread over all byte positions while keeping many duplicates.
+    for (auto& k : keys) k = hash_index(rng.below(universe));
+    expect_radix_matches_std(std::move(keys));
+  }
+}
+
+TEST(RadixSort, SmallRangeKeysExerciseTrivialPassSkipping) {
+  Rng rng(103);
+  std::vector<key_t> low(10000);
+  for (auto& k : low) k = rng.below(500);  // only the low two bytes vary
+  expect_radix_matches_std(std::move(low));
+
+  std::vector<key_t> high(10000);
+  for (auto& k : high) k = rng.below(256) << 56;  // only the top byte varies
+  expect_radix_matches_std(std::move(high));
+}
+
+TEST(RadixSort, ExtremeKeyValuesSurviveDedup) {
+  std::vector<key_t> keys(2000);
+  Rng rng(104);
+  for (auto& k : keys) {
+    const auto r = rng.below(4);
+    k = r == 0 ? 0 : r == 1 ? ~key_t{0} : rng();
+  }
+  expect_radix_matches_std(std::move(keys));
+}
+
+TEST(RadixSort, WarmScratchIsReusedAcrossShrinkingCalls) {
+  Rng rng(105);
+  std::vector<key_t> scratch;
+  for (const std::size_t n : {60000u, 600u, 30000u}) {
+    std::vector<key_t> keys(n);
+    for (auto& k : keys) k = rng();
+    std::vector<key_t> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    kernels::radix_sort_dedup(keys, scratch);
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+// --- k-way merge ------------------------------------------------------------
+
+std::vector<key_t> random_sorted_unique(Rng& rng, std::size_t size,
+                                        key_t universe) {
+  std::set<key_t> keys;
+  while (keys.size() < size) keys.insert(rng.below(universe));
+  return std::vector<key_t>(keys.begin(), keys.end());
+}
+
+/// kway_merge_into must be indistinguishable from tree_merge_into: same
+/// union, same positional maps.
+void expect_kway_matches_tree(const std::vector<std::vector<key_t>>& inputs) {
+  std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+  UnionResult tree;
+  MergeScratch tree_scratch;
+  tree_merge_into(spans, tree, tree_scratch);
+  UnionResult kway;
+  kernels::KWayScratch kway_scratch;
+  kernels::kway_merge_into(spans, kway, kway_scratch);
+  EXPECT_EQ(kway.keys, tree.keys);
+  ASSERT_EQ(kway.maps.size(), tree.maps.size());
+  for (std::size_t i = 0; i < tree.maps.size(); ++i) {
+    EXPECT_EQ(kway.maps[i], tree.maps[i]) << "map " << i;
+  }
+}
+
+TEST(KWayMerge, DegenerateShapes) {
+  expect_kway_matches_tree({});
+  expect_kway_matches_tree({{}});
+  expect_kway_matches_tree({{5, 9}});
+  expect_kway_matches_tree({{}, {}, {}});
+  expect_kway_matches_tree({{1}, {}, {1}, {}});
+  expect_kway_matches_tree({{~key_t{0}}, {0, ~key_t{0}}});
+}
+
+TEST(KWayMerge, RandomizedFanInAndOverlap) {
+  Rng rng(201);
+  for (const std::size_t ways : {2u, 3u, 5u, 8u, 16u, 33u}) {
+    for (const key_t universe : {50u, 100000u}) {
+      std::vector<std::vector<key_t>> inputs;
+      for (std::size_t i = 0; i < ways; ++i) {
+        const std::size_t size = rng.below(200);
+        inputs.push_back(random_sorted_unique(
+            rng, std::min<std::size_t>(size, universe / 2 + 1), universe));
+      }
+      expect_kway_matches_tree(inputs);
+    }
+  }
+}
+
+TEST(KWayMerge, SkewedRunSizes) {
+  Rng rng(202);
+  std::vector<std::vector<key_t>> inputs;
+  inputs.push_back(random_sorted_unique(rng, 20000, 1u << 30));
+  for (int i = 0; i < 15; ++i) {
+    inputs.push_back(random_sorted_unique(rng, 20, 1u << 30));
+  }
+  expect_kway_matches_tree(inputs);
+}
+
+TEST(KWayMerge, WarmScratchSurvivesChangingFanIn) {
+  Rng rng(203);
+  kernels::KWayScratch scratch;
+  UnionResult out;
+  for (const std::size_t ways : {16u, 2u, 9u, 16u}) {
+    std::vector<std::vector<key_t>> inputs;
+    for (std::size_t i = 0; i < ways; ++i) {
+      inputs.push_back(random_sorted_unique(rng, 100, 4000));
+    }
+    std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+    kernels::kway_merge_into(spans, out, scratch);
+    const UnionResult expected = tree_merge(spans);
+    EXPECT_EQ(out.keys, expected.keys);
+    EXPECT_EQ(out.maps, expected.maps);
+  }
+}
+
+// --- dispatch heuristic -----------------------------------------------------
+
+TEST(UnionDispatch, HeuristicSelectsByFanInAndSize) {
+  const KernelTuning& t = kernel_tuning();
+  EXPECT_EQ(choose_union_kernel(2, 1 << 20), UnionKernel::kTree);
+  EXPECT_EQ(choose_union_kernel(t.kway_min_ways, t.kway_min_elements),
+            UnionKernel::kKWay);
+  EXPECT_EQ(choose_union_kernel(16, t.kway_min_elements - 1),
+            UnionKernel::kTree);
+}
+
+TEST(UnionDispatch, PlanCoversEveryLayer) {
+  const KernelTuning& t = kernel_tuning();
+  const Topology topo({16, 4, 2});
+  // Without an element estimate the plan assumes the threshold volume, so
+  // only the fan-in criterion discriminates.
+  const auto plan = union_kernel_plan(topo);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], UnionKernel::kKWay);
+  EXPECT_EQ(plan[1], UnionKernel::kTree);
+  EXPECT_EQ(plan[2], UnionKernel::kTree);
+
+  // Explicit per-layer volumes flip a small high-fan-in layer back to the
+  // cascade; a big volume keeps the loser tree only where fan-in allows.
+  const double big = static_cast<double>(t.kway_min_elements);
+  const auto starved = union_kernel_plan(topo, std::vector<double>{16, 16, 16});
+  EXPECT_EQ(starved[0], UnionKernel::kTree);
+  const auto fed = union_kernel_plan(topo, std::vector<double>{big, big, big});
+  EXPECT_EQ(fed[0], UnionKernel::kKWay);
+  EXPECT_EQ(fed[1], UnionKernel::kTree);  // fan-in 4 < kway_min_ways
+}
+
+TEST(UnionDispatch, UnionIntoMatchesTreeMergeEitherWay) {
+  Rng rng(301);
+  for (const std::size_t ways : {2u, 4u, 16u}) {
+    std::vector<std::vector<key_t>> inputs;
+    for (std::size_t i = 0; i < ways; ++i) {
+      inputs.push_back(random_sorted_unique(rng, 300, 10000));
+    }
+    std::vector<std::span<const key_t>> spans(inputs.begin(), inputs.end());
+    UnionResult dispatched;
+    MergeScratch scratch;
+    union_into(spans, dispatched, scratch);
+    const UnionResult expected = tree_merge(spans);
+    EXPECT_EQ(dispatched.keys, expected.keys);
+    EXPECT_EQ(dispatched.maps, expected.maps);
+  }
+}
+
+// --- galloping pairwise merge ----------------------------------------------
+
+void expect_pairwise_union(const std::vector<key_t>& a,
+                           const std::vector<key_t>& b) {
+  const UnionResult r = merge_union(a, b);
+  std::set<key_t> u(a.begin(), a.end());
+  u.insert(b.begin(), b.end());
+  EXPECT_EQ(r.keys, std::vector<key_t>(u.begin(), u.end()));
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(r.keys[r.maps[0][p]], a[p]);
+  }
+  for (std::size_t p = 0; p < b.size(); ++p) {
+    EXPECT_EQ(r.keys[r.maps[1][p]], b[p]);
+  }
+}
+
+TEST(GallopMerge, SkewedSizesTakeTheGallopPathBothWays) {
+  Rng rng(401);
+  const auto big = random_sorted_unique(rng, 50000, key_t{1} << 40);
+  for (const std::size_t small_n : {0u, 1u, 3u, 100u}) {
+    // Mix keys present in `big` (every other one) with fresh keys, so the
+    // gallop hits both the equal and the in-between case.
+    std::vector<key_t> small;
+    for (std::size_t i = 0; i < small_n; ++i) {
+      small.push_back(i % 2 == 0 ? big[rng.below(big.size())]
+                                 : rng.below(key_t{1} << 40));
+    }
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+    expect_pairwise_union(big, small);
+    expect_pairwise_union(small, big);
+  }
+}
+
+TEST(GallopMerge, ShortSideBeyondEveryLongKey) {
+  const std::vector<key_t> big = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                  11, 12, 13, 14, 15, 16};
+  expect_pairwise_union(big, {100});
+  expect_pairwise_union(big, {0});
+  expect_pairwise_union({100}, big);
+}
+
+// --- prefetched scatter/gather ---------------------------------------------
+
+TEST(ScatterGather, PrefetchedMatchesScalarAcrossSizes) {
+  Rng rng(501);
+  for (const std::size_t n : {0u, 1u, 7u, 19u, 21u, 1000u, 100000u}) {
+    const std::size_t acc_size = n + 1;
+    std::vector<float> values(n);
+    PosMap map(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      values[p] = static_cast<float>(rng.uniform());
+      map[p] = static_cast<pos_t>(rng.below(acc_size));
+    }
+    std::vector<float> acc_fast(acc_size, 1.0f);
+    std::vector<float> acc_ref(acc_size, 1.0f);
+    kernels::scatter_combine<float, OpSum>(std::span<float>(acc_fast), values,
+                                           map, {});
+    kernels::scatter_combine_scalar<float, OpSum>(std::span<float>(acc_ref),
+                                                  values, map, {});
+    EXPECT_EQ(acc_fast, acc_ref) << "scatter n=" << n;
+
+    std::vector<float> out_fast(n), out_ref(n);
+    kernels::gather<float>(std::span<const float>(acc_fast), map,
+                           out_fast.data());
+    kernels::gather_scalar<float>(std::span<const float>(acc_fast), map,
+                                  out_ref.data());
+    EXPECT_EQ(out_fast, out_ref) << "gather n=" << n;
+  }
+}
+
+TEST(ScatterGather, StrictlyIncreasingMapsStayBitIdentical) {
+  // The node hot path always scatters through strictly increasing maps
+  // (piece keys are strictly sorted); combine order per slot is then a
+  // single op, so fast and scalar must agree bitwise even for floats.
+  Rng rng(502);
+  const std::size_t n = 50000;
+  std::vector<float> values(n);
+  PosMap map(n);
+  pos_t pos = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    values[p] = static_cast<float>(rng.uniform()) * 3.7f;
+    pos += 1 + static_cast<pos_t>(rng.below(3));
+    map[p] = pos;
+  }
+  std::vector<float> acc_fast(pos + 1, 0.25f);
+  std::vector<float> acc_ref(pos + 1, 0.25f);
+  kernels::scatter_combine<float, OpSum>(std::span<float>(acc_fast), values,
+                                         map, {});
+  kernels::scatter_combine_scalar<float, OpSum>(std::span<float>(acc_ref),
+                                                values, map, {});
+  EXPECT_EQ(acc_fast, acc_ref);
+}
+
+// --- split_points monotone sweep -------------------------------------------
+
+TEST(SplitPoints, SweepMatchesPerPartSlices) {
+  Rng rng(601);
+  for (const std::uint32_t parts : {1u, 2u, 7u, 16u, 64u}) {
+    std::vector<key_t> keys(3000);
+    for (auto& k : keys) k = rng();
+    const KeySet set = KeySet::from_keys(std::move(keys));
+    const auto bounds = set.split_points(KeyRange::full(), parts);
+    ASSERT_EQ(bounds.size(), parts + 1u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), set.size());
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      const KeySet::Slice s = set.slice(KeyRange::full().subrange(p, parts));
+      EXPECT_EQ(bounds[p], s.first) << "part " << p;
+      EXPECT_EQ(bounds[p + 1], s.last) << "part " << p;
+    }
+  }
+}
+
+// --- from_pairs -------------------------------------------------------------
+
+TEST(FromPairs, CombinesDuplicatesWithoutPerElementLookup) {
+  const std::vector<index_t> indices = {9, 2, 9, 5, 2, 9};
+  const std::vector<float> vals = {1.0f, 2.0f, 4.0f, 8.0f, 16.0f, 32.0f};
+  const auto sv = SparseVector<float>::from_pairs(indices, vals);
+  ASSERT_EQ(sv.size(), 3u);
+  const auto at = [&](index_t id) {
+    return sv.values[sv.keys.find(hash_index(id))];
+  };
+  EXPECT_EQ(at(9), 1.0f + 4.0f + 32.0f);
+  EXPECT_EQ(at(2), 2.0f + 16.0f);
+  EXPECT_EQ(at(5), 8.0f);
+}
+
+TEST(FromPairs, RandomizedAgainstMapOracle) {
+  Rng rng(701);
+  for (const std::size_t n : {0u, 1u, 100u, 5000u}) {
+    std::vector<index_t> indices(n);
+    std::vector<double> vals(n);
+    std::map<index_t, double> oracle;
+    for (std::size_t p = 0; p < n; ++p) {
+      indices[p] = rng.below(n / 3 + 1);
+      vals[p] = rng.uniform();
+      oracle[indices[p]] += vals[p];
+    }
+    const auto sv = SparseVector<double>::from_pairs(
+        indices, std::span<const double>(vals));
+    ASSERT_EQ(sv.size(), oracle.size());
+    for (const auto& [id, total] : oracle) {
+      const std::size_t pos = sv.keys.find(hash_index(id));
+      ASSERT_NE(pos, KeySet::npos);
+      EXPECT_DOUBLE_EQ(sv.values[pos], total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kylix

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Kernel perf regression gate: rebuilds bench/micro_kernels in Release,
+# re-measures every kernel row, and compares kernel_eps against the
+# committed BENCH_kernels.json. A row regressing by more than the tolerance
+# fails the script (exit 1) and the table marks it REGRESS.
+#
+# Wall-clock microbenches are noisy across hosts, so the committed artifact
+# is a same-machine baseline: refresh it (run micro_kernels, commit the
+# JSON) whenever the kernels or the hardware change intentionally. The
+# default 25% tolerance absorbs scheduler jitter on shared runners while
+# still catching algorithmic regressions (the kernels win by 2-4x, not
+# percents).
+#
+# Usage: tools/bench_check.sh [build-dir] [tolerance-fraction]
+#   build-dir defaults to build-bench (separate tree pinned to Release so a
+#   Debug working tree never produces bogus regressions).
+#   tolerance-fraction defaults to 0.25 (new_eps >= (1 - tol) * old_eps).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-bench"}"
+tolerance="${2:-0.25}"
+baseline="${repo_root}/BENCH_kernels.json"
+
+if [[ ! -f "${baseline}" ]]; then
+  echo "error: no committed baseline at ${baseline}" >&2
+  echo "       run bench/micro_kernels once and commit its output" >&2
+  exit 2
+fi
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_kernels
+
+fresh="${build_dir}/BENCH_kernels_fresh.json"
+"${build_dir}/bench/micro_kernels" "${fresh}" > /dev/null
+
+python3 - "${baseline}" "${fresh}" "${tolerance}" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def rows(doc):
+    return {(r["kernel"], r["size"], r["skew"]): r for r in doc["kernels"]}
+
+old, new = rows(baseline), rows(fresh)
+missing = sorted(set(old) - set(new))
+if missing:
+    print(f"error: fresh run lacks {len(missing)} baseline rows: {missing}")
+    sys.exit(1)
+
+print(f"{'kernel':<16}{'size':>9} {'skew':<15}{'old el/s':>11}"
+      f"{'new el/s':>11}{'ratio':>7}  status")
+failed = 0
+for key in sorted(old):
+    o, n = old[key]["kernel_eps"], new[key]["kernel_eps"]
+    ratio = n / o if o else float("inf")
+    ok = n >= (1.0 - tol) * o
+    failed += not ok
+    print(f"{key[0]:<16}{key[1]:>9} {key[2]:<15}{o:>11.3g}{n:>11.3g}"
+          f"{ratio:>7.2f}  {'ok' if ok else 'REGRESS'}")
+
+if failed:
+    print(f"\n{failed} kernel row(s) regressed beyond "
+          f"{tol:.0%} tolerance vs {baseline_path}")
+    sys.exit(1)
+print(f"\nall {len(old)} kernel rows within {tol:.0%} of the baseline")
+EOF
