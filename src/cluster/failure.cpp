@@ -14,6 +14,7 @@ FailureModel FailureModel::random_failures(rank_t num_nodes, rank_t count,
     const auto victim = static_cast<rank_t>(rng.below(num_nodes));
     if (!model.dead_[victim]) {
       model.dead_[victim] = true;
+      ++model.version_;
       ++killed;
     }
   }
@@ -23,11 +24,13 @@ FailureModel FailureModel::random_failures(rank_t num_nodes, rank_t count,
 void FailureModel::kill(rank_t node) {
   KYLIX_CHECK(node < dead_.size());
   dead_[node] = true;
+  ++version_;
 }
 
 void FailureModel::revive(rank_t node) {
   KYLIX_CHECK(node < dead_.size());
   dead_[node] = false;
+  ++version_;
 }
 
 rank_t FailureModel::num_dead() const {

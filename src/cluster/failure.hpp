@@ -35,6 +35,19 @@ class FailureModel {
     return node < dead_.size() && dead_[node];
   }
 
+  /// Ranks this model covers. is_dead() answers false for out-of-range
+  /// ranks (a default-constructed model covers nothing), so engines CHECK
+  /// at construction that the model spans their whole rank space instead
+  /// of silently treating uncovered ranks as immortal.
+  [[nodiscard]] rank_t num_nodes() const {
+    return static_cast<rank_t>(dead_.size());
+  }
+
+  /// Bumped by every kill()/revive(); lets caches of alive sets (the
+  /// replication layer's per-round masks) detect external mutation without
+  /// rescanning when nothing changed.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   /// True if a message src -> dst cannot be delivered.
   [[nodiscard]] bool drops(rank_t src, rank_t dst) const {
     return is_dead(src) || is_dead(dst);
@@ -45,6 +58,7 @@ class FailureModel {
 
  private:
   std::vector<bool> dead_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace kylix

@@ -1,0 +1,188 @@
+#include "cluster/fault_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace kylix {
+
+const char* fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kDeliver:
+      return "deliver";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kDuplicate:
+      return "duplicate";
+    case FaultAction::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(rank_t num_nodes, std::uint64_t seed)
+    : failures_(num_nodes), rng_(mix64(seed ^ 0xc4a05ULL)) {
+  KYLIX_CHECK(num_nodes >= 1);
+}
+
+void FaultPlan::crash_at_round(rank_t node, std::uint64_t round) {
+  KYLIX_CHECK(node < num_nodes());
+  Event e;
+  e.crash = true;
+  e.node = node;
+  e.by_round = true;
+  e.round = round;
+  events_.push_back(e);
+}
+
+void FaultPlan::revive_at_round(rank_t node, std::uint64_t round) {
+  KYLIX_CHECK(node < num_nodes());
+  Event e;
+  e.crash = false;
+  e.node = node;
+  e.by_round = true;
+  e.round = round;
+  events_.push_back(e);
+}
+
+void FaultPlan::crash_at(rank_t node, Phase phase, std::uint16_t layer,
+                         std::uint32_t occurrence) {
+  KYLIX_CHECK(node < num_nodes());
+  Event e;
+  e.crash = true;
+  e.node = node;
+  e.by_round = false;
+  e.phase = phase;
+  e.layer = layer;
+  e.occurrence = occurrence;
+  events_.push_back(e);
+}
+
+void FaultPlan::revive_at(rank_t node, Phase phase, std::uint16_t layer,
+                          std::uint32_t occurrence) {
+  KYLIX_CHECK(node < num_nodes());
+  Event e;
+  e.crash = false;
+  e.node = node;
+  e.by_round = false;
+  e.phase = phase;
+  e.layer = layer;
+  e.occurrence = occurrence;
+  events_.push_back(e);
+}
+
+void FaultPlan::random_crashes(rank_t count, std::uint64_t round_horizon) {
+  KYLIX_CHECK(count <= num_nodes());
+  KYLIX_CHECK(count == 0 || round_horizon >= 1);
+  std::vector<bool> chosen(num_nodes(), false);
+  rank_t placed = 0;
+  while (placed < count) {
+    const auto victim = static_cast<rank_t>(rng_.below(num_nodes()));
+    if (chosen[victim]) continue;
+    chosen[victim] = true;
+    crash_at_round(victim, rng_.below(round_horizon));
+    ++placed;
+  }
+}
+
+void FaultPlan::add_edge_rule(const EdgeRule& rule) {
+  KYLIX_CHECK(rule.src < num_nodes() && rule.dst < num_nodes());
+  KYLIX_CHECK(rule.action != FaultAction::kDelay || rule.delay_rounds >= 1);
+  edge_rules_.push_back(rule);
+}
+
+void FaultPlan::set_transient_rates(const TransientRates& rates) {
+  KYLIX_CHECK(rates.drop >= 0 && rates.duplicate >= 0 && rates.delay >= 0);
+  KYLIX_CHECK(rates.drop + rates.duplicate + rates.delay <= 1.0);
+  KYLIX_CHECK(rates.delay == 0 || rates.delay_rounds >= 1);
+  rates_ = rates;
+  has_rates_ = rates.drop > 0 || rates.duplicate > 0 || rates.delay > 0;
+}
+
+std::uint32_t FaultPlan::bump_occurrence(Phase phase, std::uint16_t layer) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(phase) << 16) | layer;
+  for (auto& [k, count] : occurrences_) {
+    if (k == key) return count++;
+  }
+  occurrences_.emplace_back(key, 1);
+  return 0;
+}
+
+void FaultPlan::begin_round(Phase phase, std::uint16_t layer) {
+  const std::uint64_t round = rounds_begun_++;
+  const std::uint32_t occurrence = bump_occurrence(phase, layer);
+  for (Event& e : events_) {
+    if (e.fired) continue;
+    const bool match =
+        e.by_round ? e.round == round
+                   : (e.phase == phase && e.layer == layer &&
+                      e.occurrence == occurrence);
+    if (!match) continue;
+    e.fired = true;
+    if (e.crash) {
+      if (!failures_.is_dead(e.node)) {
+        failures_.kill(e.node);
+        ++stats_.crashes;
+      }
+    } else if (failures_.is_dead(e.node)) {
+      failures_.revive(e.node);
+      ++stats_.revivals;
+    }
+  }
+  const bool phase_on = (phase == Phase::kConfig && rates_.config) ||
+                        (phase == Phase::kReduceDown && rates_.reduce_down) ||
+                        (phase == Phase::kReduceUp && rates_.reduce_up);
+  rates_live_ = has_rates_ && phase_on;
+}
+
+void FaultPlan::note_action(FaultAction action) {
+  switch (action) {
+    case FaultAction::kDeliver:
+      break;
+    case FaultAction::kDrop:
+      ++stats_.dropped;
+      break;
+    case FaultAction::kDuplicate:
+      ++stats_.duplicated;
+      break;
+    case FaultAction::kDelay:
+      ++stats_.delayed;
+      break;
+  }
+}
+
+FaultPlan::Decision FaultPlan::classify(rank_t src, rank_t dst) {
+  for (EdgeRule& rule : edge_rules_) {
+    if (rule.count == 0 || rule.src != src || rule.dst != dst) continue;
+    --rule.count;
+    note_action(rule.action);
+    return {rule.action,
+            rule.action == FaultAction::kDelay ? rule.delay_rounds : 0};
+  }
+  if (rates_live_) {
+    const double u = rng_.uniform();
+    if (u < rates_.drop) {
+      ++stats_.dropped;
+      return {FaultAction::kDrop, 0};
+    }
+    if (u < rates_.drop + rates_.duplicate) {
+      ++stats_.duplicated;
+      return {FaultAction::kDuplicate, 0};
+    }
+    if (u < rates_.drop + rates_.duplicate + rates_.delay) {
+      ++stats_.delayed;
+      return {FaultAction::kDelay, rates_.delay_rounds};
+    }
+  }
+  return {};
+}
+
+std::uint64_t FaultPlan::current_round() const {
+  KYLIX_CHECK(rounds_begun_ > 0);
+  return rounds_begun_ - 1;
+}
+
+bool FaultPlan::scripted() const {
+  return !events_.empty() || !edge_rules_.empty() || has_rates_;
+}
+
+}  // namespace kylix

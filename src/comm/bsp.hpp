@@ -17,6 +17,7 @@
 #include "cluster/failure.hpp"
 #include "cluster/timing.hpp"
 #include "cluster/trace.hpp"
+#include "comm/fault_channel.hpp"
 #include "comm/packet.hpp"
 #include "common/check.hpp"
 #include "obs/observer.hpp"
@@ -41,6 +42,8 @@ class BspEngine {
         trace_(trace),
         timing_(timing) {
     KYLIX_CHECK(num_nodes >= 1);
+    KYLIX_CHECK_MSG(failures == nullptr || failures->num_nodes() >= num_nodes,
+                    "FailureModel covers fewer ranks than the engine");
   }
 
   [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
@@ -51,6 +54,20 @@ class BspEngine {
 
   /// Telemetry hook (src/obs); optional and not owned, like trace/timing.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Attach a chaos-engine fault channel (optional, not owned, one engine
+  /// per channel). When the engine has no FailureModel of its own it adopts
+  /// the plan's, so scripted crashes take effect without extra plumbing.
+  void set_fault_channel(FaultChannel<V>* channel) {
+    channel_ = channel;
+    if (channel_ != nullptr && failures_ == nullptr) {
+      failures_ = &channel_->plan().failures();
+    }
+    KYLIX_CHECK_MSG(
+        channel_ == nullptr ||
+            channel_->plan().num_nodes() >= num_nodes_,
+        "FaultPlan covers fewer ranks than the engine");
+  }
 
   /// Messages transmitted to dead destinations (sender paid, nothing
   /// arrived) since construction.
@@ -65,6 +82,9 @@ class BspEngine {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    // The fault plan's scripted crashes fire first, so a node killed "at"
+    // this round neither produces nor receives in it.
+    if (channel_ != nullptr) channel_->begin_round(phase, layer);
     if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // Inboxes persist across rounds: clear() keeps both the outer vector's
     // capacity and each inbox's letter-shell capacity, so steady-state
@@ -79,6 +99,7 @@ class BspEngine {
         deliver(phase, layer, std::move(letter), inboxes_);
       }
     }
+    if (channel_ != nullptr) drain_due();
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       if (is_dead(rank)) continue;
       auto& inbox = inboxes_[rank];
@@ -121,7 +142,46 @@ class BspEngine {
       if (observer_ != nullptr) observer_->on_drop(event);
       return;
     }
+    if (channel_ != nullptr) {
+      const FaultAction action = channel_->route(phase, layer, letter);
+      if (action != FaultAction::kDeliver) {
+        if (observer_ != nullptr) observer_->on_fault(event, action);
+        if (action == FaultAction::kDuplicate) {
+          // The wire carried the letter twice; charge the second copy.
+          if (trace_ != nullptr) trace_->add(event);
+          if (timing_ != nullptr) timing_->on_message(event);
+          if (observer_ != nullptr) observer_->on_message(event);
+        } else {
+          return;  // kDrop is lost; kDelay is stashed in the channel.
+        }
+      }
+    }
     inboxes[letter.dst].push_back(std::move(letter));
+  }
+
+  /// Move delayed letters that are due this round into their inboxes. A
+  /// letter is discarded as stale when its destination died meanwhile or a
+  /// fresh letter from the same sender already arrived this round.
+  void drain_due() {
+    for (Letter<V>& letter : channel_->due()) {
+      if (letter.dst >= num_nodes_ ||
+          (failures_ != nullptr && failures_->is_dead(letter.dst))) {
+        channel_->note_stale();
+        continue;
+      }
+      auto& inbox = inboxes_[letter.dst];
+      const bool superseded =
+          std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
+            return l.src == letter.src;
+          });
+      if (superseded) {
+        channel_->note_stale();
+        continue;
+      }
+      inbox.push_back(std::move(letter));
+      channel_->note_redelivered();
+    }
+    channel_->due().clear();
   }
 
   rank_t num_nodes_;
@@ -129,6 +189,7 @@ class BspEngine {
   Trace* trace_;
   TimingAccumulator* timing_;
   EngineObserver* observer_ = nullptr;
+  FaultChannel<V>* channel_ = nullptr;
   std::uint64_t dropped_ = 0;
   std::vector<std::vector<Letter<V>>> inboxes_;  ///< reused across rounds
 };

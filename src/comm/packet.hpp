@@ -37,6 +37,10 @@ template <typename V>
 struct Letter {
   rank_t src = 0;
   rank_t dst = 0;
+  /// Tombstone flag: the payload was lost to an injected fault. Engines
+  /// with blocking receives (ThreadedBsp) deliver an empty tombstone so
+  /// the receiver unblocks, then discard it before consume.
+  bool faulted = false;
   Packet<V> packet;
 };
 

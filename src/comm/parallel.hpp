@@ -31,6 +31,7 @@
 #include "cluster/failure.hpp"
 #include "cluster/timing.hpp"
 #include "cluster/trace.hpp"
+#include "comm/fault_channel.hpp"
 #include "comm/packet.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
@@ -57,6 +58,8 @@ class ParallelBspEngine {
         inboxes_(num_nodes),
         pending_compute_(num_nodes) {
     KYLIX_CHECK(num_nodes >= 1);
+    KYLIX_CHECK_MSG(failures == nullptr || failures->num_nodes() >= num_nodes,
+                    "FailureModel covers fewer ranks than the engine");
   }
 
   [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
@@ -70,6 +73,21 @@ class ParallelBspEngine {
   /// Hooks fire from the sequential half of the round, so observers see the
   /// same event order as with BspEngine.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Attach a chaos-engine fault channel (optional, not owned, one engine
+  /// per channel). Classification happens in the sequential delivery stage,
+  /// so the plan's RNG is consumed in the same order as with BspEngine and
+  /// results stay bit-identical across the two engines.
+  void set_fault_channel(FaultChannel<V>* channel) {
+    channel_ = channel;
+    if (channel_ != nullptr && failures_ == nullptr) {
+      failures_ = &channel_->plan().failures();
+    }
+    KYLIX_CHECK_MSG(
+        channel_ == nullptr ||
+            channel_->plan().num_nodes() >= num_nodes_,
+        "FaultPlan covers fewer ranks than the engine");
+  }
 
   /// Messages transmitted to dead destinations (sender paid, nothing
   /// arrived) since construction.
@@ -90,6 +108,8 @@ class ParallelBspEngine {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    // Scripted crashes fire before produce, exactly as in BspEngine.
+    if (channel_ != nullptr) channel_->begin_round(phase, layer);
     if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // 1. Parallel produce into per-rank staging outboxes.
     pool_.parallel_for(num_nodes_, [&](std::size_t r) {
@@ -127,9 +147,24 @@ class ParallelBspEngine {
           if (observer_ != nullptr) observer_->on_drop(event);
           continue;
         }
+        if (channel_ != nullptr) {
+          const FaultAction action = channel_->route(phase, layer, letter);
+          if (action != FaultAction::kDeliver) {
+            if (observer_ != nullptr) observer_->on_fault(event, action);
+            if (action == FaultAction::kDuplicate) {
+              // The wire carried the letter twice; charge the second copy.
+              if (trace_ != nullptr) trace_->add(event);
+              if (timing_ != nullptr) timing_->on_message(event);
+              if (observer_ != nullptr) observer_->on_message(event);
+            } else {
+              continue;  // kDrop is lost; kDelay is stashed in the channel.
+            }
+          }
+        }
         inboxes_[letter.dst].push_back(std::move(letter));
       }
     }
+    if (channel_ != nullptr) drain_due();
 
     // 3. Parallel consume; compute charges buffer per rank (one consumer
     // per rank, so the buffers are contention-free).
@@ -180,12 +215,37 @@ class ParallelBspEngine {
     double seconds;
   };
 
+  /// Same redelivery rules as BspEngine::drain_due (stale when the dst died
+  /// or a fresh same-src letter already arrived).
+  void drain_due() {
+    for (Letter<V>& letter : channel_->due()) {
+      if (letter.dst >= num_nodes_ ||
+          (failures_ != nullptr && failures_->is_dead(letter.dst))) {
+        channel_->note_stale();
+        continue;
+      }
+      auto& inbox = inboxes_[letter.dst];
+      const bool superseded =
+          std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
+            return l.src == letter.src;
+          });
+      if (superseded) {
+        channel_->note_stale();
+        continue;
+      }
+      inbox.push_back(std::move(letter));
+      channel_->note_redelivered();
+    }
+    channel_->due().clear();
+  }
+
   rank_t num_nodes_;
   ThreadPool pool_;
   const FailureModel* failures_;
   Trace* trace_;
   TimingAccumulator* timing_;
   EngineObserver* observer_ = nullptr;
+  FaultChannel<V>* channel_ = nullptr;
   std::uint64_t dropped_ = 0;
 
   std::vector<std::vector<Letter<V>>> outboxes_;  ///< staged by produce

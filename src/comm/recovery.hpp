@@ -1,0 +1,53 @@
+// Replica-recovery policy and bookkeeping for the §V replication layer.
+//
+// When every copy of a letter faults in transit (but the sender's replica
+// group survives), the receiver re-requests it from a surviving replica:
+// bounded retries with escalating per-attempt backoff, each attempt charged
+// to the timing model (control headers both ways, backoff compute on the
+// stalled receiver), and a final reliable-path fallback — the simulator's
+// stand-in for TCP eventually delivering — so recovery cannot fail while any
+// replica lives. When a whole replica group is dead, nothing can be
+// recovered: the engine records a DeathRecord per {phase, layer} it notices
+// the group missing in, and the allreduce completes in degraded mode
+// (core/degraded.hpp) instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "common/types.hpp"
+
+namespace kylix {
+
+struct RecoveryPolicy {
+  /// Re-request attempts per missing letter before the reliable fallback.
+  std::uint32_t max_attempts = 4;
+  /// Attempt k stalls the receiver for k * backoff_base_s modeled seconds.
+  double backoff_base_s = 1e-4;
+  /// Modeled bytes of the re-request control message (each direction pays
+  /// one header; the successful retransmit then pays full wire cost).
+  std::uint64_t request_bytes = 32;
+  /// When false, detecting a dead replica group throws instead of degrading.
+  bool degraded_completion = true;
+};
+
+struct RecoveryStats {
+  std::uint64_t detections = 0;  ///< letters found missing after delivery
+  std::uint64_t retries = 0;     ///< re-request attempts issued
+  std::uint64_t promotions = 0;  ///< surviving replicas that served a letter
+  std::uint64_t forced = 0;      ///< reliable-path fallbacks (retries spent)
+  std::uint64_t group_deaths = 0;  ///< distinct {phase, layer, rank} records
+};
+
+/// A replica group observed fully dead while it was an expected sender.
+/// The allreduce maps records to lost key ranges: a down/config death at
+/// layer i loses the group's node-layer i-1 range, an up death at layer i
+/// loses its node-layer i range (core/allreduce.hpp degraded_report()).
+struct DeathRecord {
+  Phase phase = Phase::kConfig;
+  std::uint16_t layer = 0;
+  rank_t logical = 0;
+};
+
+}  // namespace kylix

@@ -8,21 +8,41 @@
 // A receiver listens to the whole replica group of the expected sender and
 // uses the first copy that arrives, canceling the rest — so it pays receive
 // cost for the winning copy only, while every transmitted copy costs its
-// sender. The protocol completes unless an entire replica group is dead
-// (has_failed()), which by the birthday argument takes ≈ √m failures at
-// s = 2.
+// sender.
+//
+// Chaos engine (set_fault_channel): every physical copy is classified
+// independently. A dropped copy is lost, a delayed copy loses its race (late
+// copies are canceled, never redelivered), a duplicated copy arrives once
+// but is charged twice. When *all* copies of a letter fault away while both
+// replica groups still live, the receiver recovers it (RecoveryPolicy):
+// bounded re-requests round-robin over surviving sender replicas, each
+// attempt paying control headers and an escalating backoff stall, with a
+// reliable-path fallback on the last attempt — so the protocol still
+// completes bit-identically whenever no whole group is dead.
+//
+// When an entire replica group is dead (≈ √m failures at s = 2 by the
+// birthday argument), nothing can be recovered: the engine records a
+// DeathRecord per {phase, layer} in which an alive node expected the dead
+// group, and the allreduce completes in degraded mode over surviving key
+// ranges (core/degraded.hpp) instead of aborting.
 //
 // Exposes the same round() interface as BspEngine, addressed in *logical*
 // ranks, so the identical node algorithm runs unmodified on top of it.
+// Alive-replica lookups are cached and revalidated against
+// FailureModel::version(), so steady-state rounds allocate nothing
+// (tests/core/alloc_test).
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/failure.hpp"
 #include "cluster/timing.hpp"
 #include "cluster/trace.hpp"
+#include "comm/fault_channel.hpp"
 #include "comm/packet.hpp"
+#include "comm/recovery.hpp"
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "obs/observer.hpp"
@@ -44,49 +64,85 @@ class ReplicatedBsp {
         timing_(timing) {
     KYLIX_CHECK(logical_nodes >= 1);
     KYLIX_CHECK(replication >= 1);
+    KYLIX_CHECK_MSG(
+        failures == nullptr || failures->num_nodes() >= num_physical(),
+        "FailureModel covers fewer ranks than the physical network");
   }
 
   [[nodiscard]] rank_t num_ranks() const { return logical_; }
   [[nodiscard]] rank_t num_physical() const {
     return logical_ * replication_;
   }
+  [[nodiscard]] std::uint32_t replication() const { return replication_; }
 
   /// Physical rank of replica r of logical node j.
   [[nodiscard]] rank_t physical(rank_t logical, std::uint32_t replica) const {
     return logical + replica * logical_;
   }
 
-  /// Alive replicas of a logical node, in replica order.
-  [[nodiscard]] std::vector<rank_t> alive_replicas(rank_t logical) const {
-    std::vector<rank_t> alive;
-    for (std::uint32_t r = 0; r < replication_; ++r) {
-      const rank_t p = physical(logical, r);
-      if (failures_ == nullptr || !failures_->is_dead(p)) alive.push_back(p);
-    }
-    return alive;
+  /// Alive replicas of a logical node, in replica order. Returns a cached
+  /// vector revalidated against FailureModel::version() — no allocation on
+  /// the steady-state path.
+  [[nodiscard]] const std::vector<rank_t>& alive_replicas(
+      rank_t logical) const {
+    refresh_alive();
+    return alive_phys_[logical];
   }
 
   /// A logical node fails only when its whole replica group is dead.
   [[nodiscard]] bool is_dead(rank_t logical) const {
-    return alive_replicas(logical).empty();
+    refresh_alive();
+    return alive_count_[logical] == 0;
   }
 
-  /// True if any logical node has lost all replicas (allreduce cannot
-  /// complete correctly).
+  /// True if any logical node has lost all replicas (the allreduce can only
+  /// complete in degraded mode).
   [[nodiscard]] bool has_failed() const {
+    refresh_alive();
+    return dead_groups_ > 0;
+  }
+
+  /// Logical ranks whose whole replica group is currently dead (cold path).
+  [[nodiscard]] std::vector<rank_t> dead_logical_ranks() const {
+    refresh_alive();
+    std::vector<rank_t> dead;
     for (rank_t j = 0; j < logical_; ++j) {
-      if (is_dead(j)) return true;
+      if (alive_count_[j] == 0) dead.push_back(j);
     }
-    return false;
+    return dead;
   }
 
   /// Telemetry hook (src/obs); optional, not owned. Sees one on_message per
   /// transmitted copy, in physical ranks, mirroring the trace.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  /// Attach a chaos-engine fault channel (optional, not owned). The plan
+  /// must cover all num_physical() ranks; when the engine has no
+  /// FailureModel of its own it adopts the plan's.
+  void set_fault_channel(FaultChannel<V>* channel) {
+    channel_ = channel;
+    if (channel_ != nullptr && failures_ == nullptr) {
+      failures_ = &channel_->plan().failures();
+      cache_built_ = false;
+    }
+    KYLIX_CHECK_MSG(
+        channel_ == nullptr ||
+            channel_->plan().num_nodes() >= num_physical(),
+        "FaultPlan covers fewer ranks than the physical network");
+  }
+
+  void set_recovery_policy(const RecoveryPolicy& policy) {
+    KYLIX_CHECK(policy.max_attempts >= 1);
+    policy_ = policy;
+  }
+  [[nodiscard]] const RecoveryPolicy& recovery_policy() const {
+    return policy_;
+  }
+
   /// §V-B racing outcomes since construction: a receiver consumes the first
   /// arriving copy (win) and cancels the rest (losses); copies addressed to
-  /// dead physical receivers are drops.
+  /// dead physical receivers — or lost to injected drops — are drops, and
+  /// injected delays count as canceled race losses.
   struct RaceStats {
     std::uint64_t wins = 0;
     std::uint64_t losses = 0;
@@ -96,6 +152,50 @@ class ReplicatedBsp {
 
   /// Copies transmitted to dead physical destinations since construction.
   [[nodiscard]] std::uint64_t dropped_messages() const { return races_.drops; }
+
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_;
+  }
+
+  /// Replica groups observed fully dead while an alive node expected a
+  /// letter from them, one record per distinct {phase, layer, group}.
+  [[nodiscard]] const std::vector<DeathRecord>& death_records() const {
+    return deaths_;
+  }
+
+  /// True if the group was already fully dead when the first round ran —
+  /// its data never entered the reduction, so its loss is exactly the
+  /// uncovered bottom keys rather than a partially-merged key range.
+  [[nodiscard]] bool was_dead_at_start(rank_t logical) const {
+    return snapshot_taken_ && dead_at_start_[logical];
+  }
+
+  [[nodiscard]] bool degraded_allowed() const {
+    return policy_.degraded_completion;
+  }
+
+  /// The allreduce reports each logical rank's input mass Σ|v| here before
+  /// the run, so lost_mass_fraction() can price a group death.
+  void note_input_mass(rank_t logical, double mass) {
+    if (input_masses_.size() < static_cast<std::size_t>(logical_)) {
+      input_masses_.assign(logical_, 0.0);
+    }
+    input_masses_[logical] = mass;
+  }
+
+  /// Fraction of total input mass contributed by currently-dead groups
+  /// (0 when masses were never reported).
+  [[nodiscard]] double lost_mass_fraction() const {
+    if (input_masses_.empty()) return 0.0;
+    refresh_alive();
+    double total = 0.0;
+    double lost = 0.0;
+    for (rank_t j = 0; j < logical_; ++j) {
+      total += input_masses_[j];
+      if (alive_count_[j] == 0) lost += input_masses_[j];
+    }
+    return total > 0.0 ? lost / total : 0.0;
+  }
 
   /// Modeled compute runs on every alive replica of the logical rank.
   void charge_compute(Phase phase, std::uint16_t layer, rank_t logical,
@@ -109,19 +209,33 @@ class ReplicatedBsp {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    // Groups dead before any round ran contribute nothing to the reduction;
+    // the snapshot lets the degraded report price them exactly. Taken
+    // before scripted crashes fire, so a crash at round 1 is mid-run.
+    if (!snapshot_taken_) snapshot_dead_at_start();
+    if (channel_ != nullptr) channel_->begin_round(phase, layer);
     if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
-    std::vector<std::vector<Letter<V>>> inboxes(logical_);
+    refresh_alive();
+    // Inboxes and the undelivered stash persist across rounds: clear()
+    // keeps capacity, so steady-state rounds allocate nothing.
+    if (inboxes_.size() < static_cast<std::size_t>(logical_)) {
+      inboxes_.resize(logical_);
+    }
+    for (auto& inbox : inboxes_) inbox.clear();
+    undelivered_.clear();
     for (rank_t j = 0; j < logical_; ++j) {
-      if (is_dead(j)) continue;
+      if (alive_count_[j] == 0) continue;
       for (Letter<V>& letter : produce(j)) {
         KYLIX_DCHECK(letter.src == j);
         KYLIX_CHECK_MSG(letter.dst < logical_, "letter to invalid rank");
-        transmit(phase, layer, std::move(letter), inboxes);
+        transmit(phase, layer, std::move(letter));
       }
     }
+    if (!undelivered_.empty()) recover(phase, layer);
+    detect_group_deaths(phase, layer, expected);
     for (rank_t j = 0; j < logical_; ++j) {
-      if (is_dead(j)) continue;
-      auto& inbox = inboxes[j];
+      if (alive_count_[j] == 0) continue;
+      auto& inbox = inboxes_[j];
       std::sort(inbox.begin(), inbox.end(),
                 [](const Letter<V>& a, const Letter<V>& b) {
                   return a.src < b.src;
@@ -136,8 +250,6 @@ class ReplicatedBsp {
               std::binary_search(senders.begin(), senders.end(), letter.src));
         }
       }
-#else
-      (void)expected;
 #endif
       consume(j, std::move(inbox));
     }
@@ -145,25 +257,27 @@ class ReplicatedBsp {
   }
 
  private:
-  void transmit(Phase phase, std::uint16_t layer, Letter<V>&& letter,
-                std::vector<std::vector<Letter<V>>>& inboxes) {
+  void transmit(Phase phase, std::uint16_t layer, Letter<V>&& letter) {
     const std::uint64_t bytes = letter.packet.wire_bytes();
-    const std::vector<rank_t> senders = alive_replicas(letter.src);
+    const std::vector<rank_t>& senders = alive_phys_[letter.src];
     KYLIX_DCHECK(!senders.empty());
 
     if (letter.src == letter.dst) {
       // Replicas run identical programs, so each already has its own copy
-      // of a self-message: no wire traffic.
-      inboxes[letter.dst].push_back(std::move(letter));
+      // of a self-message: no wire traffic, and nothing to fault.
+      inboxes_[letter.dst].push_back(std::move(letter));
       return;
     }
 
+    bool delivered_anywhere = false;
     for (std::uint32_t r = 0; r < replication_; ++r) {
       const rank_t dst_phys = physical(letter.dst, r);
       const bool dst_dead =
           failures_ != nullptr && failures_->is_dead(dst_phys);
       // Every alive sender replica transmits a copy (charged to it), even
-      // to dead destinations.
+      // to dead destinations. With a fault channel each copy is classified
+      // independently; `arrived` counts copies that reach this receiver.
+      std::uint64_t arrived = 0;
       for (rank_t src_phys : senders) {
         const MsgEvent event{phase, layer, src_phys, dst_phys, bytes};
         if (trace_ != nullptr) trace_->add(event);
@@ -174,17 +288,206 @@ class ReplicatedBsp {
         if (dst_dead) {
           ++races_.drops;
           if (observer_ != nullptr) observer_->on_drop(event);
+          continue;
+        }
+        if (channel_ == nullptr) {
+          ++arrived;
+          continue;
+        }
+        switch (channel_->classify_copy(src_phys, dst_phys)) {
+          case FaultAction::kDeliver:
+            ++arrived;
+            break;
+          case FaultAction::kDuplicate:
+            // Arrives once, but the wire carried it twice.
+            ++arrived;
+            if (observer_ != nullptr) {
+              observer_->on_fault(event, FaultAction::kDuplicate);
+            }
+            if (trace_ != nullptr) trace_->add(event);
+            if (timing_ != nullptr) {
+              timing_->on_send(phase, layer, src_phys, bytes);
+            }
+            if (observer_ != nullptr) observer_->on_message(event);
+            break;
+          case FaultAction::kDrop:
+            ++races_.drops;
+            if (observer_ != nullptr) {
+              observer_->on_fault(event, FaultAction::kDrop);
+              observer_->on_drop(event);
+            }
+            break;
+          case FaultAction::kDelay:
+            // A late copy loses its race and is canceled, never redelivered
+            // (the §V receiver has moved on); recovery handles total loss.
+            ++races_.losses;
+            if (observer_ != nullptr) {
+              observer_->on_fault(event, FaultAction::kDelay);
+            }
+            break;
         }
       }
-      // The receiver races the copies and pays for the winner only.
-      if (dst_dead) continue;
+      // The receiver races the surviving copies and pays for the winner.
+      if (dst_dead || arrived == 0) continue;
       races_.wins += 1;
-      races_.losses += senders.size() - 1;
+      races_.losses += arrived - 1;
+      delivered_anywhere = true;
       if (timing_ != nullptr) {
         timing_->on_recv(phase, layer, dst_phys, bytes);
       }
     }
-    inboxes[letter.dst].push_back(std::move(letter));
+    if (delivered_anywhere) {
+      inboxes_[letter.dst].push_back(std::move(letter));
+    } else if (alive_count_[letter.dst] != 0) {
+      // Every copy faulted away but the destination group lives: the
+      // receivers noticed nothing arrived and will re-request (recover()).
+      undelivered_.push_back(std::move(letter));
+    }
+    // A fully dead destination group behaves as before: all copies paid
+    // for and dropped, nothing to recover.
+  }
+
+  /// Re-request each totally-lost letter from surviving sender replicas:
+  /// bounded retries (control header each way + escalating backoff stall on
+  /// the stalled receiver), reliable-path fallback on the last attempt.
+  /// Sender groups are always alive here — crashes only fire at round
+  /// begins, so whoever produced a letter survives the round.
+  void recover(Phase phase, std::uint16_t layer) {
+    for (Letter<V>& letter : undelivered_) {
+      const std::vector<rank_t>& senders = alive_phys_[letter.src];
+      const std::vector<rank_t>& receivers = alive_phys_[letter.dst];
+      KYLIX_DCHECK(!senders.empty());
+      KYLIX_DCHECK(!receivers.empty());
+      const rank_t dst_phys = receivers.front();
+      const std::uint64_t bytes = letter.packet.wire_bytes();
+      ++recovery_.detections;
+      if (observer_ != nullptr) {
+        observer_->on_recovery(RecoveryEvent{
+            phase, layer, letter.src, letter.dst, RecoveryAction::kDetect, 0});
+      }
+      for (std::uint32_t attempt = 1; attempt <= policy_.max_attempts;
+           ++attempt) {
+        const rank_t src_phys =
+            senders[(attempt - 1) % senders.size()];
+        ++recovery_.retries;
+        if (timing_ != nullptr) {
+          timing_->on_send(phase, layer, dst_phys, policy_.request_bytes);
+          timing_->on_recv(phase, layer, src_phys, policy_.request_bytes);
+          timing_->on_compute(phase, layer, dst_phys,
+                              policy_.backoff_base_s * attempt);
+        }
+        if (observer_ != nullptr) {
+          observer_->on_recovery(RecoveryEvent{phase, layer, letter.src,
+                                               letter.dst,
+                                               RecoveryAction::kRetry,
+                                               attempt});
+        }
+        bool ok = true;
+        if (channel_ != nullptr) {
+          const FaultAction a = channel_->classify_copy(src_phys, dst_phys);
+          ok = a == FaultAction::kDeliver || a == FaultAction::kDuplicate;
+        }
+        if (!ok && attempt == policy_.max_attempts) {
+          // Retries exhausted: fall back to the reliable path (the
+          // simulator's stand-in for TCP eventually delivering), so
+          // recovery cannot fail while any replica lives.
+          ok = true;
+          ++recovery_.forced;
+          if (observer_ != nullptr) {
+            observer_->on_recovery(RecoveryEvent{phase, layer, letter.src,
+                                                 letter.dst,
+                                                 RecoveryAction::kForce,
+                                                 attempt});
+          }
+        }
+        if (!ok) continue;
+        ++recovery_.promotions;
+        const MsgEvent event{phase, layer, src_phys, dst_phys, bytes};
+        if (trace_ != nullptr) trace_->add(event);
+        if (timing_ != nullptr) {
+          timing_->on_send(phase, layer, src_phys, bytes);
+          timing_->on_recv(phase, layer, dst_phys, bytes);
+        }
+        if (observer_ != nullptr) {
+          observer_->on_message(event);
+          observer_->on_recovery(RecoveryEvent{phase, layer, letter.src,
+                                               letter.dst,
+                                               RecoveryAction::kPromote,
+                                               attempt});
+        }
+        inboxes_[letter.dst].push_back(std::move(letter));
+        break;
+      }
+    }
+    undelivered_.clear();
+  }
+
+  /// Record every fully-dead replica group an alive node expected a letter
+  /// from this round (once per distinct {phase, layer, group}).
+  template <typename ExpectedFn>
+  void detect_group_deaths(Phase phase, std::uint16_t layer,
+                           ExpectedFn&& expected) {
+    if (dead_groups_ == 0) return;
+    for (rank_t j = 0; j < logical_; ++j) {
+      if (alive_count_[j] == 0) continue;
+      for (rank_t s : expected(j)) {
+        if (s == j || s >= logical_ || alive_count_[s] != 0) continue;
+        note_death(phase, layer, s, j);
+      }
+    }
+  }
+
+  void note_death(Phase phase, std::uint16_t layer, rank_t dead,
+                  rank_t requester) {
+    for (const DeathRecord& d : deaths_) {
+      if (d.phase == phase && d.layer == layer && d.logical == dead) return;
+    }
+    KYLIX_CHECK_MSG(policy_.degraded_completion,
+                    "replica group fully dead and degraded completion is "
+                    "disabled (RecoveryPolicy)");
+    deaths_.push_back(DeathRecord{phase, layer, dead});
+    ++recovery_.group_deaths;
+    if (observer_ != nullptr) {
+      observer_->on_recovery(RecoveryEvent{
+          phase, layer, dead, requester, RecoveryAction::kGroupDeath, 0});
+    }
+  }
+
+  void snapshot_dead_at_start() {
+    refresh_alive();
+    dead_at_start_.assign(logical_, false);
+    for (rank_t j = 0; j < logical_; ++j) {
+      dead_at_start_[j] = alive_count_[j] == 0;
+    }
+    snapshot_taken_ = true;
+  }
+
+  /// Rebuild the per-group alive cache iff the FailureModel changed (its
+  /// version() bumps on every kill/revive). clear()+push_back keeps each
+  /// vector's capacity, so even rebuilds stop allocating once warm.
+  void refresh_alive() const {
+    const std::uint64_t version =
+        failures_ == nullptr ? 0 : failures_->version();
+    if (cache_built_ && version == cache_version_) return;
+    if (alive_phys_.size() != static_cast<std::size_t>(logical_)) {
+      alive_phys_.resize(logical_);
+      alive_count_.resize(logical_);
+    }
+    dead_groups_ = 0;
+    for (rank_t j = 0; j < logical_; ++j) {
+      auto& alive = alive_phys_[j];
+      alive.clear();
+      for (std::uint32_t r = 0; r < replication_; ++r) {
+        const rank_t p = physical(j, r);
+        if (failures_ == nullptr || !failures_->is_dead(p)) {
+          alive.push_back(p);
+        }
+      }
+      alive_count_[j] = static_cast<std::uint32_t>(alive.size());
+      if (alive.empty()) ++dead_groups_;
+    }
+    cache_version_ = version;
+    cache_built_ = true;
   }
 
   rank_t logical_;
@@ -193,7 +496,24 @@ class ReplicatedBsp {
   Trace* trace_;
   TimingAccumulator* timing_;
   EngineObserver* observer_ = nullptr;
+  FaultChannel<V>* channel_ = nullptr;
+  RecoveryPolicy policy_;
   RaceStats races_;
+  RecoveryStats recovery_;
+  std::vector<DeathRecord> deaths_;
+  std::vector<double> input_masses_;
+  std::vector<bool> dead_at_start_;
+  bool snapshot_taken_ = false;
+
+  // Alive cache, revalidated against FailureModel::version().
+  mutable std::vector<std::vector<rank_t>> alive_phys_;
+  mutable std::vector<std::uint32_t> alive_count_;
+  mutable rank_t dead_groups_ = 0;
+  mutable std::uint64_t cache_version_ = 0;
+  mutable bool cache_built_ = false;
+
+  std::vector<std::vector<Letter<V>>> inboxes_;  ///< reused across rounds
+  std::vector<Letter<V>> undelivered_;           ///< reused across rounds
 };
 
 }  // namespace kylix

@@ -24,6 +24,7 @@
 #include "cluster/failure.hpp"
 #include "cluster/timing.hpp"
 #include "cluster/trace.hpp"
+#include "comm/fault_channel.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/packet.hpp"
 #include "common/check.hpp"
@@ -40,8 +41,11 @@ class ThreadedBsp {
         failures_(failures),
         trace_(trace),
         timing_(timing),
-        mailboxes_(num_nodes) {
+        mailboxes_(num_nodes),
+        due_by_rank_(num_nodes) {
     KYLIX_CHECK(num_nodes >= 1);
+    KYLIX_CHECK_MSG(failures == nullptr || failures->num_nodes() >= num_nodes,
+                    "FailureModel covers fewer ranks than the engine");
     workers_.reserve(num_nodes);
     for (rank_t rank = 0; rank < num_nodes; ++rank) {
       workers_.emplace_back([this, rank] { worker_loop(rank); });
@@ -71,6 +75,23 @@ class ThreadedBsp {
   /// the calling thread.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  /// Attach a chaos-engine fault channel (optional, not owned). Workers
+  /// classify sends under the observer mutex — the plan's RNG is consumed in
+  /// whatever order threads reach it, so fault *placement* is scheduling-
+  /// dependent here (unlike the sequential engines), while fault *semantics*
+  /// are identical: dropped and delayed copies become tombstone letters so
+  /// blocking receives still unblock.
+  void set_fault_channel(FaultChannel<V>* channel) {
+    channel_ = channel;
+    if (channel_ != nullptr && failures_ == nullptr) {
+      failures_ = &channel_->plan().failures();
+    }
+    KYLIX_CHECK_MSG(
+        channel_ == nullptr ||
+            channel_->plan().num_nodes() >= num_nodes_,
+        "FaultPlan covers fewer ranks than the engine");
+  }
+
   /// Messages transmitted to dead destinations since construction.
   [[nodiscard]] std::uint64_t dropped_messages() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -87,6 +108,21 @@ class ThreadedBsp {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    if (channel_ != nullptr) {
+      // Scripted crashes fire on the calling thread before workers start, so
+      // is_dead() is stable for the whole round. Due delayed letters are
+      // staged per destination rank here; the generation handshake in
+      // run_task() makes the staging visible to the workers.
+      channel_->begin_round(phase, layer);
+      for (Letter<V>& letter : channel_->due()) {
+        if (letter.dst >= num_nodes_ || is_dead(letter.dst)) {
+          channel_->note_stale();
+          continue;
+        }
+        due_by_rank_[letter.dst].push_back(std::move(letter));
+      }
+      channel_->due().clear();
+    }
     if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
     // Type-erase this round's work; each worker runs it for its own rank.
     task_ = [&, phase, layer](rank_t rank) {
@@ -98,8 +134,12 @@ class ThreadedBsp {
       std::vector<Letter<V>> inbox;
       for (rank_t src : expected(rank)) {
         if (is_dead(src)) continue;  // an unreplicated dead sender: no letter
-        inbox.push_back(mailboxes_[rank].take(src));
+        Letter<V> letter = mailboxes_[rank].take(src);
+        // Tombstones stand in for dropped/delayed copies (the sender still
+        // paid); they only exist to unblock this take.
+        if (!letter.faulted) inbox.push_back(std::move(letter));
       }
+      if (channel_ != nullptr) drain_due(rank, inbox);
       std::sort(inbox.begin(), inbox.end(),
                 [](const Letter<V>& a, const Letter<V>& b) {
                   return a.src < b.src;
@@ -113,15 +153,34 @@ class ThreadedBsp {
  private:
   void send(Phase phase, std::uint16_t layer, Letter<V>&& letter) {
     KYLIX_CHECK_MSG(letter.dst < num_nodes_, "letter to invalid rank");
+    const rank_t src = letter.src;
+    const rank_t dst = letter.dst;
     const std::uint64_t bytes = letter.packet.wire_bytes();
-    const MsgEvent event{phase, layer, letter.src, letter.dst, bytes};
+    const MsgEvent event{phase, layer, src, dst, bytes};
+    const bool dead_dst = is_dead(dst);
+    FaultAction action = FaultAction::kDeliver;
     {
       std::lock_guard<std::mutex> lock(observer_mutex_);
       if (trace_ != nullptr) trace_->add(event);
       if (timing_ != nullptr) timing_->on_message(event);
       if (observer_ != nullptr) observer_->on_message(event);
+      // Classify under the same lock: the plan's RNG is not thread-safe.
+      // Letters to dead destinations never consume plan randomness,
+      // matching the sequential engines' order of checks.
+      if (channel_ != nullptr && !dead_dst) {
+        action = channel_->route(phase, layer, letter);
+        if (action != FaultAction::kDeliver) {
+          if (observer_ != nullptr) observer_->on_fault(event, action);
+          if (action == FaultAction::kDuplicate) {
+            // The wire carried the letter twice; charge the second copy.
+            if (trace_ != nullptr) trace_->add(event);
+            if (timing_ != nullptr) timing_->on_message(event);
+            if (observer_ != nullptr) observer_->on_message(event);
+          }
+        }
+      }
     }
-    if (is_dead(letter.dst)) {
+    if (dead_dst) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       if (observer_ != nullptr) {
         std::lock_guard<std::mutex> lock(observer_mutex_);
@@ -129,7 +188,44 @@ class ThreadedBsp {
       }
       return;
     }
-    mailboxes_[letter.dst].put(std::move(letter));
+    if (action == FaultAction::kDrop || action == FaultAction::kDelay) {
+      // The payload is gone (lost or stashed in the channel), but the
+      // receiver blocks on take(src) — deliver a tombstone to unblock it.
+      Letter<V> tombstone;
+      tombstone.src = src;
+      tombstone.dst = dst;
+      tombstone.faulted = true;
+      mailboxes_[dst].put(std::move(tombstone));
+      return;
+    }
+    mailboxes_[dst].put(std::move(letter));
+  }
+
+  /// Merge this rank's staged due letters into its inbox: a fresh letter
+  /// from the same sender supersedes the stale delayed copy. Channel
+  /// counters are bumped under the observer mutex (the channel itself is
+  /// not thread-safe).
+  void drain_due(rank_t rank, std::vector<Letter<V>>& inbox) {
+    auto& due = due_by_rank_[rank];
+    if (due.empty()) return;
+    std::uint64_t redelivered = 0;
+    std::uint64_t stale = 0;
+    for (Letter<V>& letter : due) {
+      const bool superseded =
+          std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
+            return l.src == letter.src;
+          });
+      if (superseded) {
+        ++stale;
+      } else {
+        inbox.push_back(std::move(letter));
+        ++redelivered;
+      }
+    }
+    due.clear();
+    std::lock_guard<std::mutex> lock(observer_mutex_);
+    for (; redelivered > 0; --redelivered) channel_->note_redelivered();
+    for (; stale > 0; --stale) channel_->note_stale();
   }
 
   void run_task() {
@@ -179,9 +275,14 @@ class ThreadedBsp {
   Trace* trace_;
   TimingAccumulator* timing_;
   EngineObserver* observer_ = nullptr;
+  FaultChannel<V>* channel_ = nullptr;
   std::atomic<std::uint64_t> dropped_{0};
 
   std::vector<Mailbox<V>> mailboxes_;
+  /// Delayed letters due this round, staged per destination by the calling
+  /// thread before the workers are released (run_task's mutex handshake
+  /// publishes the staging); each worker drains only its own slot.
+  std::vector<std::vector<Letter<V>>> due_by_rank_;
   std::vector<std::thread> workers_;
   std::function<void(rank_t)> task_;
 

@@ -15,10 +15,15 @@
 // include local work, not just wire time.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "cluster/netmodel.hpp"
+#include "core/degraded.hpp"
 #include "core/node.hpp"
 #include "core/topology.hpp"
 
@@ -42,6 +47,7 @@ class SparseAllreduce {
   /// Step 1, separate form: exchange and union index sets. `in_sets[r]` /
   /// `out_sets[r]` are machine r's requested / contributed key sets.
   void configure(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    combined_mode_ = false;
     build_nodes(std::move(in_sets), std::move(out_sets));
     for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
       run_round(Phase::kConfig, layer, &Node::config_produce,
@@ -56,7 +62,10 @@ class SparseAllreduce {
   /// Reusable: call any number of times after one configure().
   [[nodiscard]] std::vector<std::vector<V>> reduce(
       std::vector<std::vector<V>> out_values) {
-    KYLIX_CHECK_MSG(!nodes_.empty() && nodes_.front().configured(),
+    // Dead ranks never configure (degraded completion), so the precondition
+    // is that some alive node finished configuring.
+    KYLIX_CHECK_MSG(std::any_of(nodes_.begin(), nodes_.end(),
+                                [](const Node& n) { return n.configured(); }),
                     "reduce() before configure()");
     load_values(std::move(out_values));
     for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
@@ -71,6 +80,7 @@ class SparseAllreduce {
   [[nodiscard]] std::vector<std::vector<V>> reduce_with_config(
       std::vector<KeySet> in_sets, std::vector<KeySet> out_sets,
       std::vector<std::vector<V>> out_values) {
+    combined_mode_ = true;
     build_nodes(std::move(in_sets), std::move(out_sets));
     load_values(std::move(out_values));
     for (Node& node : nodes_) node.set_combined(true);
@@ -110,6 +120,76 @@ class SparseAllreduce {
     return mean;
   }
 
+  /// What the last completed run lost, if anything (core/degraded.hpp).
+  /// Engines without recovery support (BspEngine & friends) always report
+  /// an exact run. Call after reduce() / reduce_with_config() returns.
+  [[nodiscard]] DegradedReport degraded_report() const {
+    DegradedReport rep;
+    if constexpr (requires(const Engine& e) {
+                    e.death_records();
+                    e.recovery_stats();
+                    { e.was_dead_at_start(rank_t{0}) }
+                        -> std::convertible_to<bool>;
+                    { e.lost_mass_fraction() }
+                        -> std::convertible_to<double>;
+                  }) {
+      rep.deaths = engine_->death_records();
+      rep.recovery = engine_->recovery_stats();
+      rep.degraded = !rep.deaths.empty();
+      if (!rep.degraded) return rep;
+      rep.mass_lost_fraction = engine_->lost_mass_fraction();
+      for (const DeathRecord& d : rep.deaths) {
+        if (!contains(rep.lost_logical, d.logical)) {
+          rep.lost_logical.push_back(d.logical);
+          if (engine_->was_dead_at_start(d.logical)) {
+            rep.lost_from_start.push_back(d.logical);
+          }
+          // A group's inputs entered the reduction iff it completed its
+          // first reduce-down merge. Its chronologically first record
+          // tells: dead during config, at {down, 1}, or from the start
+          // means the contribution never left the group.
+          if (engine_->was_dead_at_start(d.logical) ||
+              d.phase == Phase::kConfig ||
+              (d.phase == Phase::kReduceDown && d.layer <= 1)) {
+            rep.inputs_lost.push_back(d.logical);
+          }
+        }
+        rep.degraded_ranges.push_back(
+            topo_.key_range(record_node_layer(d), d.logical));
+      }
+      std::sort(rep.lost_logical.begin(), rep.lost_logical.end());
+      std::sort(rep.lost_from_start.begin(), rep.lost_from_start.end());
+      std::sort(rep.inputs_lost.begin(), rep.inputs_lost.end());
+      prune_ranges(rep.degraded_ranges);
+      // Requested indices that resolved to no surviving contributor, per
+      // alive requester and globally (sorted, deduplicated).
+      rep.lost_keys_per_rank.resize(nodes_.size());
+      for (rank_t r = 0; r < nodes_.size(); ++r) {
+        if (engine_->is_dead(r) || !nodes_[r].configured()) continue;
+        for (const key_t key : nodes_[r].missing_bottom_keys()) {
+          rep.lost_keys.push_back(key);
+        }
+      }
+      std::sort(rep.lost_keys.begin(), rep.lost_keys.end());
+      rep.lost_keys.erase(
+          std::unique(rep.lost_keys.begin(), rep.lost_keys.end()),
+          rep.lost_keys.end());
+      for (rank_t r = 0; r < nodes_.size(); ++r) {
+        if (engine_->is_dead(r) || !nodes_[r].configured()) continue;
+        const KeySet& in0 = nodes_[r].in_set(0);
+        for (std::size_t p = 0; p < in0.size(); ++p) {
+          const key_t key = in0[p];
+          if (rep.covers(key) ||
+              std::binary_search(rep.lost_keys.begin(), rep.lost_keys.end(),
+                                 key)) {
+            rep.lost_keys_per_rank[r].push_back(key);
+          }
+        }
+      }
+    }
+    return rep;
+  }
+
  private:
   using Node = KylixNode<V, Op>;
 
@@ -131,13 +211,34 @@ class SparseAllreduce {
   void load_values(std::vector<std::vector<V>> out_values) {
     KYLIX_CHECK(out_values.size() == nodes_.size());
     for (rank_t r = 0; r < nodes_.size(); ++r) {
+      // Recovery-capable engines price group deaths by input mass Σ|v|.
+      if constexpr (std::is_arithmetic_v<V> &&
+                    requires(Engine& e) { e.note_input_mass(r, 0.0); }) {
+        double mass = 0.0;
+        for (const V& v : out_values[r]) {
+          mass += std::abs(static_cast<double>(v));
+        }
+        engine_->note_input_mass(r, mass);
+      }
       nodes_[r].begin_reduce(std::move(out_values[r]));
     }
   }
 
   void finish_configure() {
+    // A recovery-capable engine that already lost a whole replica group
+    // switches surviving nodes to degraded completion: unresolvable
+    // requested indices become identity instead of aborting the run.
+    bool degraded = false;
+    if constexpr (requires(Engine& e) {
+                    { e.degraded_allowed() } -> std::convertible_to<bool>;
+                    { e.has_failed() } -> std::convertible_to<bool>;
+                  }) {
+      degraded = engine_->degraded_allowed() && engine_->has_failed();
+    }
     for (Node& node : nodes_) {
-      if (!engine_->is_dead(node.rank())) node.finish_configure();
+      if (engine_->is_dead(node.rank())) continue;
+      node.set_degraded(degraded);
+      node.finish_configure();
     }
   }
 
@@ -178,6 +279,57 @@ class SparseAllreduce {
         });
   }
 
+  static bool contains(const std::vector<rank_t>& v, rank_t x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  }
+
+  /// Node layer whose key range a death record takes down. A group dying at
+  /// {down, i} held its layer i-1 merged partial; one noticed at {up, i}
+  /// was the only path to its layer-i fully-reduced values. Config deaths
+  /// follow the down rule in combined mode (values ride config letters);
+  /// in separate mode only key routing through the group is lost, which is
+  /// the layer-i subrange. Clamped at 1: a group that never merged anything
+  /// loses at most its layer-1 range (its own inputs are priced by
+  /// inputs_lost, not by a range).
+  [[nodiscard]] std::uint16_t record_node_layer(const DeathRecord& d) const {
+    if (d.phase == Phase::kReduceUp) return d.layer;
+    if (d.phase == Phase::kConfig && !combined_mode_) return d.layer;
+    return std::max<std::uint16_t>(d.layer, 2) - 1;
+  }
+
+  /// True iff `inner` ⊆ `outer` (hi == 0 with lo != 0 means "up to 2^64").
+  static bool range_within(const KeyRange& inner, const KeyRange& outer) {
+    if (outer.is_full()) return true;
+    if (inner.is_full()) return false;
+    if (inner.lo < outer.lo) return false;
+    if (outer.hi == 0) return true;
+    return inner.hi != 0 && inner.hi <= outer.hi;
+  }
+
+  /// Drop ranges contained in another (death records repeat across rounds
+  /// at nested layers); collapse to the full space if any record was.
+  static void prune_ranges(std::vector<KeyRange>& ranges) {
+    for (const KeyRange& range : ranges) {
+      if (range.is_full()) {
+        ranges.assign(1, KeyRange::full());
+        return;
+      }
+    }
+    std::vector<KeyRange> kept;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t k = 0; k < ranges.size() && !dominated; ++k) {
+        if (k == i) continue;
+        if (range_within(ranges[i], ranges[k]) &&
+            !(range_within(ranges[k], ranges[i]) && k > i)) {
+          dominated = true;
+        }
+      }
+      if (!dominated) kept.push_back(ranges[i]);
+    }
+    ranges.swap(kept);
+  }
+
   void charge(Phase phase, std::uint16_t layer, Node& node) {
     const NodeWork work = node.take_work();
     if (compute_ == nullptr || layer == 0) return;
@@ -191,6 +343,7 @@ class SparseAllreduce {
   Engine* engine_;
   Topology topo_;
   const ComputeModel* compute_;
+  bool combined_mode_ = false;  ///< last run was reduce_with_config()
   std::vector<Node> nodes_;
   std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes
 };

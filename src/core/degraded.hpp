@@ -1,0 +1,86 @@
+// Degraded-completion report (chaos engine).
+//
+// When an entire replica group dies mid-run, the exact allreduce result is
+// unreachable — but the protocol still terminates: surviving machines treat
+// the dead group's pieces as empty/identity and finish over whatever key
+// ranges survive. This report tells the caller precisely what was lost:
+//
+//   lost_logical        the logical ranks whose whole group died in-run
+//   inputs_lost         the subset whose *contributions* never entered the
+//                       reduction (dead at start, or dead before their
+//                       first reduce-down merge): their out-values are
+//                       missing from every sum, everywhere
+//   degraded_ranges     hashed-key ranges whose sums may be partial or
+//                       identity. A group that died at {down, layer i}
+//                       having merged through layer i-1 takes its
+//                       node-layer i-1 range down with it; a death noticed
+//                       at {up, layer i} loses the group's node-layer i
+//                       range (it was the requesters' only path to those
+//                       fully-reduced values). A death that persists into
+//                       the up pass therefore widens to the group's
+//                       node-layer 1 range — group death is expensive.
+//   lost_keys           requested indices no surviving machine contributed;
+//                       those result positions hold the reduction identity
+//   lost_keys_per_rank  unreliable in-keys per alive requester (in
+//                       lost_keys or inside a degraded range)
+//   mass_lost_fraction  fraction of total input mass Σ|v| on dead groups
+//
+// The contract (asserted by tests/integration/chaos_test): for every alive
+// requester, result values at keys outside degraded_ranges ∪ lost_keys
+// exactly equal the brute-force sum over all machines except inputs_lost —
+// those contributions were fully merged before the death.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/recovery.hpp"
+#include "common/types.hpp"
+#include "sparse/key_set.hpp"
+
+namespace kylix {
+
+struct DegradedReport {
+  bool degraded = false;  ///< false: the run was exact, rest is empty
+  std::vector<rank_t> lost_logical;     ///< groups observed dead in-run
+  std::vector<rank_t> lost_from_start;  ///< subset dead before round one
+  /// Subset whose contributions never entered any sum (dead at start or
+  /// before their first reduce-down merge). Comparison oracles must
+  /// exclude these ranks' out-values.
+  std::vector<rank_t> inputs_lost;
+  std::vector<KeyRange> degraded_ranges;  ///< possibly-partial sums
+  std::vector<key_t> lost_keys;           ///< identity-valued result keys
+  /// lost_keys restricted to each alive requester's in-set, indexed by
+  /// logical rank (empty vector for dead ranks).
+  std::vector<std::vector<key_t>> lost_keys_per_rank;
+  double mass_lost_fraction = 0.0;
+  RecoveryStats recovery;            ///< engine-wide recovery counters
+  std::vector<DeathRecord> deaths;   ///< raw {phase, layer, group} records
+
+  /// True if `key`'s sum may be partial (inside some degraded range).
+  [[nodiscard]] bool covers(key_t key) const {
+    for (const KeyRange& range : degraded_ranges) {
+      if (range.contains(key)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string summary() const {
+    std::ostringstream out;
+    if (!degraded) {
+      out << "exact completion (no replica group lost)";
+      return out.str();
+    }
+    out << "degraded completion: lost " << lost_logical.size()
+        << " logical rank(s) (" << inputs_lost.size()
+        << " with inputs lost), " << degraded_ranges.size()
+        << " degraded key range(s), " << lost_keys.size()
+        << " unresolvable key(s), mass lost " << mass_lost_fraction;
+    return out.str();
+  }
+};
+
+}  // namespace kylix

@@ -28,6 +28,7 @@
 // is the replication layer's job.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -109,6 +110,17 @@ class KylixNode {
   /// configure+reduce mode for minibatch workloads, §III). Set before the
   /// first config round; begin_reduce() must already have run.
   void set_combined(bool combined) { combined_ = combined; }
+
+  /// Degraded-completion mode (chaos engine): requested indices that no
+  /// surviving machine contributed resolve to the reduction identity
+  /// instead of failing finish_configure(). Set before finish_configure().
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+
+  /// Bottom in-keys that resolved to no contributor (sorted; nonempty only
+  /// in degraded mode). These positions of the final result hold identity.
+  [[nodiscard]] const std::vector<key_t>& missing_bottom_keys() const {
+    return missing_bottom_;
+  }
 
   // ---- configuration, downward ----
 
@@ -224,16 +236,24 @@ class KylixNode {
     const KeySet& in_bottom = in_sets_[l];
     const KeySet& out_bottom = out_sets_[l];
     bottom_map_.resize(in_bottom.size());
+    missing_bottom_.clear();
     // Both sets are sorted, so locating every in-key is one monotone sweep
     // (O(|in|+|out|)) rather than a binary search per key.
     std::size_t pos = 0;
     for (std::size_t p = 0; p < in_bottom.size(); ++p) {
       const key_t key = in_bottom[p];
       while (pos < out_bottom.size() && out_bottom[pos] < key) ++pos;
-      KYLIX_CHECK_MSG(pos < out_bottom.size() && out_bottom[pos] == key,
+      if (pos < out_bottom.size() && out_bottom[pos] == key) {
+        bottom_map_[p] = static_cast<pos_t>(pos);
+        continue;
+      }
+      KYLIX_CHECK_MSG(degraded_,
                       "requested index " << unhash_index(key)
                                          << " was contributed by no machine");
-      bottom_map_[p] = static_cast<pos_t>(pos);
+      // Degraded completion: the contributor's replica group is gone; this
+      // position of the result resolves to the reduction identity.
+      bottom_map_[p] = kMissingPos;
+      missing_bottom_.push_back(key);
     }
     // Largest buffer the upward pass will hold. One buffer exits the node
     // per iteration through take_result(); reserving this much on the
@@ -308,8 +328,18 @@ class KylixNode {
     KYLIX_CHECK(configured_);
     KYLIX_CHECK(v_.size() == out_sets_[topo_->num_layers()].size());
     refill_values(vin_);
-    vin_.reserve(up_capacity_);
-    gather_into(std::span<const V>(v_), bottom_map_, vin_);
+    vin_.reserve(std::max(up_capacity_, bottom_map_.size()));
+    if (missing_bottom_.empty()) {
+      // Hot path: every in-key resolved, plain positional gather.
+      gather_into(std::span<const V>(v_), bottom_map_, vin_);
+    } else {
+      // Degraded cold path: kMissingPos entries resolve to identity.
+      vin_.clear();
+      for (const pos_t pos : bottom_map_) {
+        vin_.push_back(pos == kMissingPos ? Op::template identity<V>()
+                                          : v_[pos]);
+      }
+    }
     work_.gather_elements += static_cast<double>(bottom_map_.size());
   }
 
@@ -404,10 +434,14 @@ class KylixNode {
     return spans;
   }
 
+  /// Sentinel in bottom_map_ for an in-key with no surviving contributor.
+  static constexpr pos_t kMissingPos = std::numeric_limits<pos_t>::max();
+
   const Topology* topo_;
   rank_t rank_;
   bool combined_ = false;
   bool configured_ = false;
+  bool degraded_ = false;
 
   NodeScratch<V>* scratch_;  ///< external or owned_scratch_.get()
   std::unique_ptr<NodeScratch<V>> owned_scratch_;
@@ -416,6 +450,7 @@ class KylixNode {
   std::vector<KeySet> out_sets_;  ///< node layers 0..l
   std::vector<LayerCfg> layers_;  ///< index i-1 holds comm layer i
   PosMap bottom_map_;             ///< in^l positions within out^l
+  std::vector<key_t> missing_bottom_;  ///< degraded: unresolvable in-keys
   std::size_t up_capacity_ = 0;   ///< max |in^i|: upward buffer watermark
 
   std::vector<V> v_;    ///< downward (scatter-reduce) value buffer

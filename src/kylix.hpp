@@ -18,10 +18,13 @@
 #include "baselines/hadoop_model.hpp"  // IWYU pragma: export
 #include "baselines/tree.hpp"       // IWYU pragma: export
 #include "cluster/failure.hpp"      // IWYU pragma: export
+#include "cluster/fault_plan.hpp"   // IWYU pragma: export
 #include "cluster/netmodel.hpp"     // IWYU pragma: export
 #include "cluster/timing.hpp"       // IWYU pragma: export
 #include "cluster/trace.hpp"        // IWYU pragma: export
 #include "comm/bsp.hpp"             // IWYU pragma: export
+#include "comm/fault_channel.hpp"   // IWYU pragma: export
+#include "comm/recovery.hpp"        // IWYU pragma: export
 #include "common/log.hpp"           // IWYU pragma: export
 #include "common/thread_pool.hpp"   // IWYU pragma: export
 #include "common/timer.hpp"         // IWYU pragma: export
@@ -31,6 +34,7 @@
 #include "comm/threaded.hpp"        // IWYU pragma: export
 #include "core/allreduce.hpp"       // IWYU pragma: export
 #include "core/autotune.hpp"        // IWYU pragma: export
+#include "core/degraded.hpp"        // IWYU pragma: export
 #include "core/node.hpp"            // IWYU pragma: export
 #include "core/topology.hpp"        // IWYU pragma: export
 #include "obs/engine_obs.hpp"       // IWYU pragma: export

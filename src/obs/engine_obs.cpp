@@ -38,6 +38,14 @@ TelemetryObserver::TelemetryObserver(SpanTracer* tracer, rank_t num_ranks,
         &m.histogram("engine.packet_bytes", exponential_bounds(64, 4, 11));
     round_seconds_ =
         &m.histogram("engine.round_seconds", exponential_bounds(1e-6, 10, 8));
+    fault_dropped_ = &m.counter("engine.faults.dropped");
+    fault_duplicated_ = &m.counter("engine.faults.duplicated");
+    fault_delayed_ = &m.counter("engine.faults.delayed");
+    rec_detections_ = &m.counter("engine.recovery.detections");
+    rec_retries_ = &m.counter("engine.recovery.retries");
+    rec_promotions_ = &m.counter("engine.recovery.promotions");
+    rec_forced_ = &m.counter("engine.recovery.forced");
+    rec_group_deaths_ = &m.counter("engine.recovery.group_deaths");
   }
 }
 
@@ -73,6 +81,47 @@ void TelemetryObserver::on_drop(const MsgEvent& event) {
   (void)event;
   ++drops_;
   if (drop_counter_ != nullptr) drop_counter_->add(1);
+}
+
+void TelemetryObserver::on_fault(const MsgEvent& event, FaultAction action) {
+  (void)event;
+  ++faults_;
+  if (msg_counter_ == nullptr) return;  // metrics off
+  switch (action) {
+    case FaultAction::kDrop:
+      fault_dropped_->add(1);
+      break;
+    case FaultAction::kDuplicate:
+      fault_duplicated_->add(1);
+      break;
+    case FaultAction::kDelay:
+      fault_delayed_->add(1);
+      break;
+    case FaultAction::kDeliver:
+      break;
+  }
+}
+
+void TelemetryObserver::on_recovery(const RecoveryEvent& event) {
+  ++recoveries_;
+  if (msg_counter_ == nullptr) return;  // metrics off
+  switch (event.action) {
+    case RecoveryAction::kDetect:
+      rec_detections_->add(1);
+      break;
+    case RecoveryAction::kRetry:
+      rec_retries_->add(1);
+      break;
+    case RecoveryAction::kPromote:
+      rec_promotions_->add(1);
+      break;
+    case RecoveryAction::kForce:
+      rec_forced_->add(1);
+      break;
+    case RecoveryAction::kGroupDeath:
+      rec_group_deaths_->add(1);
+      break;
+  }
 }
 
 void TelemetryObserver::on_round_end(Phase phase, std::uint16_t layer) {

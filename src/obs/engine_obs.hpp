@@ -54,11 +54,17 @@ class TelemetryObserver : public EngineObserver {
   void on_round_begin(Phase phase, std::uint16_t layer) override;
   void on_message(const MsgEvent& event) override;
   void on_drop(const MsgEvent& event) override;
+  void on_fault(const MsgEvent& event, FaultAction action) override;
+  void on_recovery(const RecoveryEvent& event) override;
   void on_round_end(Phase phase, std::uint16_t layer) override;
 
   [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return cum_bytes_; }
   [[nodiscard]] std::uint64_t total_drops() const { return drops_; }
+  /// Injected faults seen (chaos engine), summed over drop/dup/delay.
+  [[nodiscard]] std::uint64_t total_faults() const { return faults_; }
+  /// Recovery events seen, summed over all RecoveryActions.
+  [[nodiscard]] std::uint64_t total_recoveries() const { return recoveries_; }
 
  private:
   SpanTracer* tracer_;
@@ -71,6 +77,8 @@ class TelemetryObserver : public EngineObserver {
   std::uint64_t cum_bytes_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t recoveries_ = 0;
   std::vector<std::uint64_t> send_bytes_;  ///< per rank, this round
   std::vector<std::uint32_t> send_msgs_;
   std::vector<std::uint64_t> recv_bytes_;
@@ -82,6 +90,16 @@ class TelemetryObserver : public EngineObserver {
   Counter* round_counter_ = nullptr;
   Histogram* packet_bytes_ = nullptr;
   Histogram* round_seconds_ = nullptr;
+  // Chaos-engine instruments: injected faults by action, recovery
+  // state-machine transitions by action.
+  Counter* fault_dropped_ = nullptr;
+  Counter* fault_duplicated_ = nullptr;
+  Counter* fault_delayed_ = nullptr;
+  Counter* rec_detections_ = nullptr;
+  Counter* rec_retries_ = nullptr;
+  Counter* rec_promotions_ = nullptr;
+  Counter* rec_forced_ = nullptr;
+  Counter* rec_group_deaths_ = nullptr;
 };
 
 }  // namespace kylix::obs

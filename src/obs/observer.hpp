@@ -18,9 +18,46 @@
 
 #include <cstdint>
 
+#include "cluster/fault_plan.hpp"
 #include "cluster/trace.hpp"
 
 namespace kylix {
+
+/// What a recovery-capable engine (ReplicatedBsp) just did about a missing
+/// letter or a dead replica group.
+enum class RecoveryAction : std::uint8_t {
+  kDetect = 0,      ///< a letter had no surviving on-time copy
+  kRetry = 1,       ///< one re-request attempt went out
+  kPromote = 2,     ///< a surviving replica served the letter
+  kForce = 3,       ///< retries exhausted; reliable-path fallback delivered
+  kGroupDeath = 4,  ///< an expected sender's whole replica group is dead
+};
+
+[[nodiscard]] constexpr const char* recovery_action_name(
+    RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kDetect:
+      return "detect";
+    case RecoveryAction::kRetry:
+      return "retry";
+    case RecoveryAction::kPromote:
+      return "promote";
+    case RecoveryAction::kForce:
+      return "force";
+    case RecoveryAction::kGroupDeath:
+      return "group-death";
+  }
+  return "?";
+}
+
+struct RecoveryEvent {
+  Phase phase = Phase::kConfig;
+  std::uint16_t layer = 0;
+  rank_t src = 0;  ///< logical sender (the dead group for kGroupDeath)
+  rank_t dst = 0;  ///< logical receiver
+  RecoveryAction action = RecoveryAction::kDetect;
+  std::uint32_t attempt = 0;  ///< retry ordinal (1-based) where applicable
+};
 
 class EngineObserver {
  public:
@@ -38,6 +75,18 @@ class EngineObserver {
   /// A transmitted message was dropped (dead destination): the sender paid,
   /// nothing arrives.
   virtual void on_drop(const MsgEvent& event) { (void)event; }
+
+  /// An injected fault hit this message copy (chaos engine; the matching
+  /// on_message already fired). kDrop/kDelay copies never arrive; a
+  /// kDuplicate copy arrives once but was charged twice.
+  virtual void on_fault(const MsgEvent& event, FaultAction action) {
+    (void)event;
+    (void)action;
+  }
+
+  /// The replication layer detected / retried / recovered a missing letter,
+  /// or noticed a dead replica group (see RecoveryAction).
+  virtual void on_recovery(const RecoveryEvent& event) { (void)event; }
 
   /// The round completed; every inbox has been consumed.
   virtual void on_round_end(Phase phase, std::uint16_t layer) {

@@ -43,6 +43,48 @@ TEST(FailureModel, RandomFailuresAreDistinctAndSeeded) {
   EXPECT_NE(c.dead_nodes(), a.dead_nodes());
 }
 
+TEST(FailureModel, ReviveIsExactInverseOfKill) {
+  FailureModel model(6);
+  for (rank_t r = 0; r < 6; ++r) model.kill(r);
+  EXPECT_EQ(model.num_dead(), 6u);
+  for (rank_t r = 0; r < 6; ++r) {
+    model.revive(r);
+    EXPECT_FALSE(model.is_dead(r));
+    EXPECT_EQ(model.num_dead(), static_cast<rank_t>(5 - r));
+  }
+  EXPECT_TRUE(model.dead_nodes().empty());
+  EXPECT_FALSE(model.drops(0, 5));
+}
+
+TEST(FailureModel, VersionBumpsOnEveryMutation) {
+  FailureModel model(4);
+  const std::uint64_t v0 = model.version();
+  model.kill(1);
+  const std::uint64_t v1 = model.version();
+  EXPECT_GT(v1, v0);
+  model.revive(1);
+  const std::uint64_t v2 = model.version();
+  EXPECT_GT(v2, v1);
+  // Queries do not bump.
+  (void)model.is_dead(1);
+  (void)model.num_dead();
+  EXPECT_EQ(model.version(), v2);
+  const FailureModel random = FailureModel::random_failures(8, 3, 4);
+  EXPECT_GT(random.version(), 0u);
+}
+
+TEST(FailureModel, OutOfRangeIsDeadAnswersFalse) {
+  // is_dead stays permissive for out-of-range ranks; engines are required
+  // to CHECK coverage at construction instead (see engine ctors).
+  const FailureModel model(4);
+  EXPECT_FALSE(model.is_dead(4));
+  EXPECT_FALSE(model.is_dead(1000));
+  EXPECT_EQ(model.num_nodes(), 4u);
+  const FailureModel empty;
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_FALSE(empty.is_dead(0));
+}
+
 TEST(FailureModel, CanKillEveryone) {
   const FailureModel model = FailureModel::random_failures(4, 4, 1);
   EXPECT_EQ(model.num_dead(), 4u);

@@ -1,0 +1,261 @@
+#include "cluster/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(FaultPlan, CrashAtRoundFiresExactlyOnce) {
+  FaultPlan plan(4);
+  plan.crash_at_round(2, 1);
+  EXPECT_TRUE(plan.scripted());
+
+  plan.begin_round(Phase::kConfig, 3);  // round 0
+  EXPECT_FALSE(plan.failures().is_dead(2));
+  plan.begin_round(Phase::kConfig, 2);  // round 1
+  EXPECT_TRUE(plan.failures().is_dead(2));
+  EXPECT_EQ(plan.stats().crashes, 1u);
+
+  // The event does not re-fire even after an external revive.
+  plan.failures().revive(2);
+  plan.begin_round(Phase::kConfig, 1);  // round 2
+  EXPECT_FALSE(plan.failures().is_dead(2));
+  EXPECT_EQ(plan.stats().crashes, 1u);
+}
+
+TEST(FaultPlan, ReviveAtRoundRestoresNode) {
+  FaultPlan plan(4);
+  plan.crash_at_round(1, 0);
+  plan.revive_at_round(1, 2);
+
+  plan.begin_round(Phase::kReduceDown, 1);
+  EXPECT_TRUE(plan.failures().is_dead(1));
+  plan.begin_round(Phase::kReduceDown, 2);
+  EXPECT_TRUE(plan.failures().is_dead(1));
+  plan.begin_round(Phase::kReduceDown, 3);
+  EXPECT_FALSE(plan.failures().is_dead(1));
+  EXPECT_EQ(plan.stats().crashes, 1u);
+  EXPECT_EQ(plan.stats().revivals, 1u);
+}
+
+TEST(FaultPlan, CrashOnDeadNodeAndReviveOnAliveNodeAreNoOps) {
+  FaultPlan plan(4);
+  plan.failures().kill(3);
+  plan.crash_at_round(3, 0);   // already dead: no stat
+  plan.revive_at_round(2, 1);  // already alive: no stat
+  plan.begin_round(Phase::kConfig, 1);
+  plan.begin_round(Phase::kConfig, 2);
+  EXPECT_EQ(plan.stats().crashes, 0u);
+  EXPECT_EQ(plan.stats().revivals, 0u);
+}
+
+TEST(FaultPlan, CrashAtPhaseLayerOccurrence) {
+  FaultPlan plan(8);
+  // The second time {reduce-up, layer 2} begins (occurrence 1).
+  plan.crash_at(5, Phase::kReduceUp, 2, 1);
+
+  plan.begin_round(Phase::kReduceUp, 2);  // occurrence 0
+  EXPECT_FALSE(plan.failures().is_dead(5));
+  plan.begin_round(Phase::kReduceDown, 2);  // different phase, same layer
+  EXPECT_FALSE(plan.failures().is_dead(5));
+  plan.begin_round(Phase::kReduceUp, 1);  // same phase, different layer
+  EXPECT_FALSE(plan.failures().is_dead(5));
+  plan.begin_round(Phase::kReduceUp, 2);  // occurrence 1 -> fires
+  EXPECT_TRUE(plan.failures().is_dead(5));
+}
+
+TEST(FaultPlan, ReviveAtPhaseLayer) {
+  FaultPlan plan(4);
+  plan.crash_at(0, Phase::kConfig, 2);
+  plan.revive_at(0, Phase::kReduceUp, 2);
+  plan.begin_round(Phase::kConfig, 2);
+  EXPECT_TRUE(plan.failures().is_dead(0));
+  plan.begin_round(Phase::kReduceDown, 2);
+  EXPECT_TRUE(plan.failures().is_dead(0));
+  plan.begin_round(Phase::kReduceUp, 2);
+  EXPECT_FALSE(plan.failures().is_dead(0));
+}
+
+TEST(FaultPlan, RoundCounters) {
+  FaultPlan plan(2);
+  EXPECT_EQ(plan.rounds_begun(), 0u);
+  plan.begin_round(Phase::kConfig, 1);
+  plan.begin_round(Phase::kReduceDown, 1);
+  EXPECT_EQ(plan.rounds_begun(), 2u);
+  EXPECT_EQ(plan.current_round(), 1u);
+}
+
+TEST(FaultPlan, CurrentRoundBeforeAnyRoundThrows) {
+  FaultPlan plan(2);
+  EXPECT_THROW((void)plan.current_round(), check_error);
+}
+
+TEST(FaultPlan, OutOfRangeNodesThrow) {
+  FaultPlan plan(4);
+  EXPECT_THROW(plan.crash_at_round(4, 0), check_error);
+  EXPECT_THROW(plan.revive_at_round(7, 0), check_error);
+  EXPECT_THROW(plan.crash_at(4, Phase::kConfig, 1), check_error);
+  EXPECT_THROW(plan.add_edge_rule({4, 0}), check_error);
+}
+
+TEST(FaultPlan, EdgeRuleCountsDownAndExpires) {
+  FaultPlan plan(4);
+  FaultPlan::EdgeRule rule;
+  rule.src = 1;
+  rule.dst = 2;
+  rule.action = FaultAction::kDrop;
+  rule.count = 2;
+  plan.add_edge_rule(rule);
+  plan.begin_round(Phase::kReduceDown, 1);
+
+  EXPECT_EQ(plan.classify(1, 2).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.classify(2, 1).action, FaultAction::kDeliver);  // other edge
+  EXPECT_EQ(plan.classify(1, 2).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.classify(1, 2).action, FaultAction::kDeliver);  // expired
+  EXPECT_EQ(plan.stats().dropped, 2u);
+}
+
+TEST(FaultPlan, EdgeRuleDelayCarriesDelayRounds) {
+  FaultPlan plan(4);
+  FaultPlan::EdgeRule rule;
+  rule.src = 0;
+  rule.dst = 3;
+  rule.action = FaultAction::kDelay;
+  rule.delay_rounds = 2;
+  plan.add_edge_rule(rule);
+  plan.begin_round(Phase::kConfig, 1);
+
+  const FaultPlan::Decision d = plan.classify(0, 3);
+  EXPECT_EQ(d.action, FaultAction::kDelay);
+  EXPECT_EQ(d.delay_rounds, 2u);
+  EXPECT_EQ(plan.stats().delayed, 1u);
+}
+
+TEST(FaultPlan, EdgeRuleDelayNeedsPositiveDelay) {
+  FaultPlan plan(4);
+  FaultPlan::EdgeRule rule;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.action = FaultAction::kDelay;
+  rule.delay_rounds = 0;
+  EXPECT_THROW(plan.add_edge_rule(rule), check_error);
+}
+
+TEST(FaultPlan, TransientRatesAreSeedDeterministic) {
+  FaultPlan::TransientRates rates;
+  rates.drop = 0.2;
+  rates.duplicate = 0.2;
+  rates.delay = 0.2;
+
+  FaultPlan a(8, /*seed=*/7);
+  FaultPlan b(8, /*seed=*/7);
+  a.set_transient_rates(rates);
+  b.set_transient_rates(rates);
+  a.begin_round(Phase::kReduceDown, 1);
+  b.begin_round(Phase::kReduceDown, 1);
+
+  bool saw_fault = false;
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan::Decision da = a.classify(0, 1);
+    const FaultPlan::Decision db = b.classify(0, 1);
+    EXPECT_EQ(da.action, db.action);
+    if (da.action != FaultAction::kDeliver) saw_fault = true;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+  EXPECT_EQ(a.stats().delayed, b.stats().delayed);
+  // All three actions appear at these rates over 200 draws (whp).
+  EXPECT_GT(a.stats().dropped, 0u);
+  EXPECT_GT(a.stats().duplicated, 0u);
+  EXPECT_GT(a.stats().delayed, 0u);
+}
+
+TEST(FaultPlan, TransientRatesRespectPhaseMask) {
+  FaultPlan::TransientRates rates;
+  rates.drop = 1.0;  // every message, when the phase is enabled
+  rates.config = false;
+  rates.reduce_up = false;
+  FaultPlan plan(4, 3);
+  plan.set_transient_rates(rates);
+
+  plan.begin_round(Phase::kConfig, 1);
+  EXPECT_EQ(plan.classify(0, 1).action, FaultAction::kDeliver);
+  plan.begin_round(Phase::kReduceDown, 1);
+  EXPECT_EQ(plan.classify(0, 1).action, FaultAction::kDrop);
+  plan.begin_round(Phase::kReduceUp, 1);
+  EXPECT_EQ(plan.classify(0, 1).action, FaultAction::kDeliver);
+}
+
+TEST(FaultPlan, TransientRatesValidate) {
+  FaultPlan plan(4);
+  FaultPlan::TransientRates bad;
+  bad.drop = 0.7;
+  bad.duplicate = 0.7;  // sums past 1
+  EXPECT_THROW(plan.set_transient_rates(bad), check_error);
+  FaultPlan::TransientRates delay;
+  delay.delay = 0.1;
+  delay.delay_rounds = 0;
+  EXPECT_THROW(plan.set_transient_rates(delay), check_error);
+}
+
+TEST(FaultPlan, EdgeRulesTakePrecedenceOverRates) {
+  FaultPlan::TransientRates rates;
+  rates.drop = 1.0;
+  FaultPlan plan(4, 11);
+  plan.set_transient_rates(rates);
+  FaultPlan::EdgeRule rule;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.action = FaultAction::kDuplicate;
+  plan.add_edge_rule(rule);
+  plan.begin_round(Phase::kReduceDown, 1);
+
+  EXPECT_EQ(plan.classify(0, 1).action, FaultAction::kDuplicate);
+  EXPECT_EQ(plan.classify(0, 1).action, FaultAction::kDrop);  // rule spent
+}
+
+TEST(FaultPlan, RandomCrashesPickDistinctVictimsDeterministically) {
+  FaultPlan a(16, 21);
+  FaultPlan b(16, 21);
+  a.random_crashes(5, /*round_horizon=*/9);
+  b.random_crashes(5, 9);
+  for (std::uint64_t round = 0; round < 9; ++round) {
+    a.begin_round(Phase::kReduceDown, 1);
+    b.begin_round(Phase::kReduceDown, 1);
+  }
+  EXPECT_EQ(a.stats().crashes, 5u);
+  EXPECT_EQ(a.failures().dead_nodes(), b.failures().dead_nodes());
+  EXPECT_EQ(a.failures().num_dead(), 5u);
+
+  FaultPlan c(16, 22);
+  c.random_crashes(5, 9);
+  for (std::uint64_t round = 0; round < 9; ++round) {
+    c.begin_round(Phase::kReduceDown, 1);
+  }
+  EXPECT_NE(c.failures().dead_nodes(), a.failures().dead_nodes());
+}
+
+TEST(FaultPlan, RandomCrashesValidate) {
+  FaultPlan plan(4);
+  EXPECT_THROW(plan.random_crashes(5, 3), check_error);  // > num_nodes
+  EXPECT_THROW(plan.random_crashes(1, 0), check_error);  // empty horizon
+  plan.random_crashes(0, 0);                             // no-op is fine
+  EXPECT_FALSE(plan.scripted());
+}
+
+TEST(FaultPlan, KillsBumpFailureModelVersion) {
+  FaultPlan plan(4);
+  plan.crash_at_round(1, 0);
+  const std::uint64_t before = plan.failures().version();
+  plan.begin_round(Phase::kConfig, 1);
+  EXPECT_GT(plan.failures().version(), before);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -129,5 +129,16 @@ TEST(BspEngine, InboxArrivesSortedBySource) {
       });
 }
 
+TEST(BspEngine, FailureModelMustCoverEngineRanks) {
+  // FailureModel::is_dead answers false out of range, so an undersized
+  // model would silently make uncovered ranks immortal; the constructor
+  // rejects it instead.
+  FailureModel small(3);
+  EXPECT_THROW(BspEngine<float>(4, &small), check_error);
+  FailureModel exact(4);
+  BspEngine<float> ok(4, &exact);  // must not throw
+  EXPECT_EQ(ok.num_ranks(), 4u);
+}
+
 }  // namespace
 }  // namespace kylix

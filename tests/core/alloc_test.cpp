@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/bsp.hpp"
+#include "comm/replicated.hpp"
 #include "core/allreduce.hpp"
 #include "core/node.hpp"
 #include "obs/engine_obs.hpp"
@@ -294,6 +295,77 @@ TEST(AllocHotPath, ObserverDetachRestoresSteadyStateBudget) {
   (void)measure();
   EXPECT_EQ(tracer.num_events(), events_after_detach)
       << "detached observer still received events";
+}
+
+// The replication layer's alive-replica lookups used to build a fresh
+// std::vector per call; they are now served from a cache revalidated
+// against FailureModel::version(), so queries — and cache rebuilds after a
+// kill, once warm — touch the allocator not at all.
+TEST(AllocHotPath, ReplicatedAliveMaskQueriesAreAllocationFree) {
+  FailureModel failures(16);
+  failures.kill(3);   // replica 0 of logical 3
+  failures.kill(12);  // replica 1 of logical 4
+  ReplicatedBsp<float> engine(8, 2, &failures);
+  (void)engine.alive_replicas(0);  // build the cache
+  std::size_t total = 0;
+  {
+    AllocGauge gauge;
+    for (int iter = 0; iter < 100; ++iter) {
+      for (rank_t j = 0; j < 8; ++j) {
+        total += engine.alive_replicas(j).size();
+        total += engine.is_dead(j) ? 1 : 0;
+      }
+      total += engine.has_failed() ? 1 : 0;
+    }
+    EXPECT_EQ(gauge.count(), 0u) << "alive-mask queries hit the allocator";
+  }
+  EXPECT_EQ(total, 100u * 14u);  // 14 alive replicas over 8 groups
+
+  // A mid-run kill invalidates the cache; the rebuild reuses the warmed
+  // per-group vectors (clear() keeps capacity), so it is allocation-free
+  // too once every group has seen its full replica count.
+  AllocGauge gauge;
+  failures.kill(5);
+  EXPECT_EQ(engine.alive_replicas(5).size(), 1u);
+  EXPECT_FALSE(engine.has_failed());
+  failures.revive(5);
+  EXPECT_EQ(engine.alive_replicas(5).size(), 2u);
+  EXPECT_EQ(gauge.count(), 0u) << "cache rebuild after kill allocated";
+}
+
+// Steady-state replicated reduce: same API-boundary budget as the flat
+// engine — only the result buffers that leave with the caller — including
+// with dead replicas forcing the racing paths.
+TEST(AllocHotPath, ReplicatedSteadyStateReduceStaysWithinBudget) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 2000, 0.08, 0.15, 57);
+
+  FailureModel failures(m * 2);
+  failures.kill(2);      // replica 0 of logical 2
+  failures.kill(m + 5);  // replica 1 of logical 5
+  ReplicatedBsp<float> engine(m, 2, &failures);
+  SparseAllreduce<float, OpSum, ReplicatedBsp<float>> allreduce(&engine,
+                                                                topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce(w.out_values);  // warm
+  }
+
+  const auto measure = [&] {
+    auto values = w.out_values;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = allreduce.reduce(std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "steady-state replicated reduce not steady";
 }
 
 TEST(AllocHotPath, RepeatedCombinedConfigReduceStabilizes) {

@@ -159,6 +159,83 @@ TEST(ReplicatedBsp, ChargeComputeHitsAllAliveReplicas) {
   EXPECT_DOUBLE_EQ(timing.times().config, 2.0);
 }
 
+TEST(ReplicatedBsp, FailureModelMustCoverPhysicalRanks) {
+  FailureModel small(7);  // one short of the 4x2 physical network
+  EXPECT_THROW(ReplicatedBsp<float>(4, 2, &small), check_error);
+  FailureModel exact(8);
+  ReplicatedBsp<float> ok(4, 2, &exact);  // must not throw
+  EXPECT_EQ(ok.num_physical(), 8u);
+}
+
+TEST(ReplicatedBsp, MidRunKillsChargeDropsToDeadReplicas) {
+  // RaceStats accounting across a kill sequence: every copy to a dead
+  // physical destination is a drop, every surviving destination pays one
+  // win and cancels the rest.
+  FailureModel failures(4);
+  ReplicatedBsp<float> engine(2, 2, &failures);
+  const auto send_once = [&] {
+    engine.round(
+        Phase::kConfig, 1,
+        [&](rank_t r) {
+          std::vector<Letter<float>> letters;
+          if (r == 0) {
+            letters.resize(1);
+            letters[0].src = 0;
+            letters[0].dst = 1;
+            letters[0].packet.values = {2.0f};
+          }
+          return letters;
+        },
+        [&](rank_t) {
+          return std::vector<rank_t>{0};
+        },
+        [&](rank_t, std::vector<Letter<float>>&&) {});
+  };
+
+  // All alive: 2 senders x 2 destination replicas; each destination wins
+  // one race and cancels one copy.
+  send_once();
+  EXPECT_EQ(engine.race_stats().wins, 2u);
+  EXPECT_EQ(engine.race_stats().losses, 2u);
+  EXPECT_EQ(engine.race_stats().drops, 0u);
+
+  // Kill replica 1 of logical 1 (physical 3): both copies to it drop.
+  failures.kill(3);
+  send_once();
+  EXPECT_EQ(engine.race_stats().wins, 3u);
+  EXPECT_EQ(engine.race_stats().losses, 3u);
+  EXPECT_EQ(engine.race_stats().drops, 2u);
+
+  // Also kill replica 1 of logical 0 (physical 2): one sender remains, so
+  // the dead destination eats one more drop and the alive one races alone.
+  failures.kill(2);
+  send_once();
+  EXPECT_EQ(engine.race_stats().wins, 4u);
+  EXPECT_EQ(engine.race_stats().losses, 3u);
+  EXPECT_EQ(engine.race_stats().drops, 3u);
+  EXPECT_EQ(engine.dropped_messages(), 3u);
+}
+
+TEST(ReplicatedAllreduce, MidRunReplicaKillStaysExactAndCountsDrops) {
+  // A single replica dying between reduce() iterations must not perturb
+  // values (the survivor carries the group) but must surface in RaceStats.
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  FailureModel failures(m * 2);
+  Engine engine(m, 2, &failures);
+  Allreduce allreduce(&engine, topo);
+  const auto w = random_workload<float>(m, 120, 0.2, 0.4, 31);
+  allreduce.configure(w.in_sets, w.out_sets);
+  testing::expect_matches_oracle<float>(w, allreduce.reduce(w.out_values));
+  const std::uint64_t drops_before = engine.race_stats().drops;
+
+  failures.kill(3 + m);  // replica 1 of logical 3
+  ASSERT_FALSE(engine.has_failed());
+  testing::expect_matches_oracle<float>(w, allreduce.reduce(w.out_values));
+  EXPECT_GT(engine.race_stats().drops, drops_before)
+      << "copies to the dead replica were not accounted";
+}
+
 TEST(ReplicatedBsp, ReplicationOneIsPlainBsp) {
   const Topology topo({2, 2});
   Engine engine(topo.num_machines(), 1);

@@ -1,0 +1,512 @@
+// Chaos property harness (ISSUE: chaos engine). Sweeps 64+ seeded fault
+// schedules through the replication layer and asserts the two invariants of
+// DESIGN.md "Degraded completion":
+//
+//   1. With s >= 2 and no whole replica group dead, the result is
+//      bit-identical to the failure-free run — drops, duplicates, delays,
+//      and single-replica crashes are absorbed by racing + recovery.
+//   2. With a whole group dead, the run completes in degraded mode and every
+//      alive requester's values at keys outside degraded_ranges ∪ lost_keys
+//      exactly equal the brute-force sum excluding inputs_lost ranks.
+//
+// Plus per-engine fault-semantics checks for the shared FaultChannel hook
+// (BspEngine, ParallelBspEngine, ThreadedBsp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "comm/bsp.hpp"
+#include "comm/fault_channel.hpp"
+#include "comm/parallel.hpp"
+#include "comm/replicated.hpp"
+#include "comm/threaded.hpp"
+#include "core/allreduce.hpp"
+#include "core/degraded.hpp"
+#include "test_util.hpp"
+
+namespace kylix {
+namespace {
+
+using Engine = ReplicatedBsp<float>;
+using Allreduce = SparseAllreduce<float, OpSum, Engine>;
+using testing::random_workload;
+using testing::Workload;
+
+bool contains(const std::vector<rank_t>& v, rank_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// The degraded-completion contract: for every alive requester, result
+/// values at keys outside degraded_ranges ∪ lost_keys exactly equal the
+/// brute-force sum over all machines except `report.inputs_lost` (whose
+/// contributions never entered any sum). Returns how many positions were
+/// actually comparable, so callers can assert the check had teeth.
+std::size_t expect_degraded_sound(const Workload<float>& w,
+                                  const std::vector<std::vector<float>>& results,
+                                  const DegradedReport& report,
+                                  const std::vector<rank_t>& dead_ranks) {
+  std::map<key_t, float> totals;
+  for (rank_t r = 0; r < w.out_sets.size(); ++r) {
+    if (contains(report.inputs_lost, r)) continue;
+    for (std::size_t p = 0; p < w.out_sets[r].size(); ++p) {
+      totals[w.out_sets[r][p]] += w.out_values[r][p];
+    }
+  }
+  EXPECT_EQ(results.size(), w.in_sets.size());
+  std::size_t checked = 0;
+  for (rank_t r = 0; r < w.in_sets.size(); ++r) {
+    if (contains(dead_ranks, r)) {
+      EXPECT_TRUE(results[r].empty()) << "dead rank " << r << " has a result";
+      continue;
+    }
+    EXPECT_EQ(results[r].size(), w.in_sets[r].size()) << "machine " << r;
+    for (std::size_t p = 0; p < w.in_sets[r].size(); ++p) {
+      const key_t key = w.in_sets[r][p];
+      if (report.covers(key) ||
+          std::binary_search(report.lost_keys.begin(),
+                             report.lost_keys.end(), key)) {
+        continue;  // declared unreliable; nothing is promised here
+      }
+      const auto it = totals.find(key);
+      const float expected = it == totals.end() ? 0.0f : it->second;
+      EXPECT_EQ(results[r][p], expected)
+          << "machine " << r << " position " << p << " index "
+          << unhash_index(key);
+      ++checked;
+    }
+  }
+  return checked;
+}
+
+// ---- Invariant 1: no group death => bit-identical to the clean run ----
+
+TEST(ChaosReplicated, TransientFaultsAndReplicaCrashesAreInvisible) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_recoveries = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto w = random_workload<float>(m, 64, 0.25, 0.4, 1000 + seed);
+
+    // Reference: failure-free replicated run.
+    Engine clean(m, 2);
+    Allreduce clean_ar(&clean, topo);
+    clean_ar.configure(w.in_sets, w.out_sets);
+    const auto clean_results = clean_ar.reduce(w.out_values);
+
+    // Chaotic run: transient faults everywhere plus up to three
+    // single-replica crashes — one per distinct group, so no group dies.
+    FaultPlan plan(m * 2, seed);
+    FaultPlan::TransientRates rates;
+    rates.drop = 0.08;
+    rates.duplicate = 0.05;
+    rates.delay = 0.05;
+    plan.set_transient_rates(rates);
+    const rank_t crashes = seed % 4;
+    for (rank_t c = 0; c < crashes; ++c) {
+      const rank_t victim = (seed + 2 * c) % m;  // distinct logical groups
+      const rank_t replica = (seed + c) % 2;
+      plan.crash_at_round(victim + replica * m, (seed + c) % 6);
+    }
+    FaultChannel<float> channel(&plan);
+    Engine engine(m, 2);
+    engine.set_fault_channel(&channel);
+    Allreduce allreduce(&engine, topo);
+    allreduce.configure(w.in_sets, w.out_sets);
+    const auto results = allreduce.reduce(w.out_values);
+
+    ASSERT_FALSE(engine.has_failed());
+    EXPECT_EQ(results, clean_results);  // bit-identical
+    const DegradedReport report = allreduce.degraded_report();
+    EXPECT_FALSE(report.degraded);
+    EXPECT_TRUE(report.deaths.empty());
+    EXPECT_TRUE(report.lost_keys.empty());
+    // Every total loss was detected and then promoted or force-delivered.
+    const RecoveryStats& rec = engine.recovery_stats();
+    EXPECT_EQ(rec.promotions, rec.detections);
+    EXPECT_EQ(rec.group_deaths, 0u);
+    const FaultStats& stats = plan.stats();
+    total_faults += stats.dropped + stats.duplicated + stats.delayed;
+    total_recoveries += rec.detections;
+    EXPECT_EQ(stats.crashes, crashes);
+  }
+  // The sweep actually exercised the machinery.
+  EXPECT_GT(total_faults, 100u);
+  EXPECT_GT(total_recoveries, 0u);
+}
+
+// ---- Invariant 2: group death => sound degraded completion ----
+
+TEST(ChaosReplicated, GroupDeadFromStartDegradesSoundly) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto w = random_workload<float>(m, 48, 0.2, 0.4, 2000 + seed);
+    const rank_t g = seed % m;  // the doomed logical group
+
+    FaultPlan plan(m * 2, seed);
+    plan.failures().kill(g);
+    plan.failures().kill(g + m);
+    FaultChannel<float> channel(&plan);
+    Engine engine(m, 2);
+    engine.set_fault_channel(&channel);
+    ASSERT_TRUE(engine.has_failed());
+    Allreduce allreduce(&engine, topo);
+    allreduce.configure(w.in_sets, w.out_sets);
+    const auto results = allreduce.reduce(w.out_values);
+
+    const DegradedReport report = allreduce.degraded_report();
+    EXPECT_TRUE(report.degraded);
+    EXPECT_TRUE(contains(report.lost_logical, g));
+    EXPECT_TRUE(contains(report.lost_from_start, g));
+    EXPECT_TRUE(contains(report.inputs_lost, g));
+    EXPECT_FALSE(report.degraded_ranges.empty());
+    EXPECT_GT(engine.recovery_stats().group_deaths, 0u);
+
+    const std::size_t checked =
+        expect_degraded_sound(w, results, report, {g});
+    EXPECT_GT(checked, 0u) << "degraded ranges swallowed every key";
+
+    // Exact mass pricing: the dead group's share of total input mass.
+    double total = 0.0;
+    double lost = 0.0;
+    for (rank_t r = 0; r < m; ++r) {
+      for (const float v : w.out_values[r]) {
+        total += std::abs(static_cast<double>(v));
+        if (r == g) lost += std::abs(static_cast<double>(v));
+      }
+    }
+    EXPECT_DOUBLE_EQ(report.mass_lost_fraction, lost / total);
+
+    // Loss accounting: a key contributed only by g must be declared lost or
+    // sit inside a degraded range; a declared-lost key must have no
+    // surviving contributor or sit inside a degraded range.
+    std::set<key_t> alive_contributed;
+    std::set<key_t> requested;
+    for (rank_t r = 0; r < m; ++r) {
+      if (r != g) {
+        for (std::size_t p = 0; p < w.out_sets[r].size(); ++p) {
+          alive_contributed.insert(w.out_sets[r][p]);
+        }
+        for (std::size_t p = 0; p < w.in_sets[r].size(); ++p) {
+          requested.insert(w.in_sets[r][p]);
+        }
+      }
+    }
+    for (std::size_t p = 0; p < w.out_sets[g].size(); ++p) {
+      const key_t key = w.out_sets[g][p];
+      if (alive_contributed.contains(key) || !requested.contains(key)) {
+        continue;
+      }
+      EXPECT_TRUE(std::binary_search(report.lost_keys.begin(),
+                                     report.lost_keys.end(), key) ||
+                  report.covers(key))
+          << "orphaned key " << unhash_index(key) << " not declared";
+    }
+    for (const key_t key : report.lost_keys) {
+      EXPECT_TRUE(!alive_contributed.contains(key) || report.covers(key))
+          << "key " << unhash_index(key) << " lost despite a live contributor";
+    }
+    // Per-rank views agree with the global declaration.
+    for (rank_t r = 0; r < m; ++r) {
+      if (r == g) continue;
+      for (const key_t key : report.lost_keys_per_rank[r]) {
+        EXPECT_TRUE(report.covers(key) ||
+                    std::binary_search(report.lost_keys.begin(),
+                                       report.lost_keys.end(), key));
+      }
+    }
+  }
+}
+
+TEST(ChaosReplicated, MidRunGroupDeathDegradesSoundly) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const struct {
+    Phase phase;
+    std::uint16_t layer;
+    bool inputs_survive;  // did g's contribution complete a down merge?
+  } kills[] = {
+      {Phase::kReduceDown, 1, false},  // dies before sending anything
+      {Phase::kReduceDown, 2, true},   // layer-1 partial already spread
+      {Phase::kReduceUp, 2, true},
+      {Phase::kReduceUp, 1, true},
+  };
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto w = random_workload<float>(m, 48, 0.2, 0.4, 3000 + seed);
+    const rank_t g = (seed * 3 + 1) % m;
+    const auto& kill = kills[seed % 4];
+
+    FaultPlan plan(m * 2, seed);
+    plan.crash_at(g, kill.phase, kill.layer);
+    plan.crash_at(g + m, kill.phase, kill.layer);
+    FaultChannel<float> channel(&plan);
+    Engine engine(m, 2);
+    engine.set_fault_channel(&channel);
+    Allreduce allreduce(&engine, topo);
+    allreduce.configure(w.in_sets, w.out_sets);
+    ASSERT_FALSE(engine.has_failed());  // config was clean
+    const auto results = allreduce.reduce(w.out_values);
+
+    ASSERT_TRUE(engine.has_failed());
+    const DegradedReport report = allreduce.degraded_report();
+    EXPECT_TRUE(report.degraded);
+    EXPECT_TRUE(contains(report.lost_logical, g));
+    EXPECT_FALSE(contains(report.lost_from_start, g));
+    EXPECT_EQ(contains(report.inputs_lost, g), !kill.inputs_survive);
+    EXPECT_TRUE(report.lost_keys.empty());  // config resolved every key
+    ASSERT_FALSE(report.degraded_ranges.empty());
+
+    const std::size_t checked =
+        expect_degraded_sound(w, results, report, {g});
+    EXPECT_GT(checked, 0u) << "degraded ranges swallowed every key";
+  }
+}
+
+TEST(ChaosReplicated, GroupDeathWithDegradedCompletionDisabledThrows) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  FaultPlan plan(m * 2);
+  plan.failures().kill(2);
+  plan.failures().kill(2 + m);
+  FaultChannel<float> channel(&plan);
+  Engine engine(m, 2);
+  engine.set_fault_channel(&channel);
+  RecoveryPolicy policy;
+  policy.degraded_completion = false;
+  engine.set_recovery_policy(policy);
+  Allreduce allreduce(&engine, topo);
+  const auto w = random_workload<float>(m, 48, 0.2, 0.4, 5);
+  EXPECT_THROW(allreduce.configure(w.in_sets, w.out_sets), check_error);
+}
+
+// ---- Targeted recovery: every copy of one logical letter lost ----
+
+TEST(ChaosReplicated, TotalCopyLossIsRecoveredBitIdentically) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 77);
+
+  Engine clean(m, 2);
+  Allreduce clean_ar(&clean, topo);
+  clean_ar.configure(w.in_sets, w.out_sets);
+  const auto clean_results = clean_ar.reduce(w.out_values);
+
+  // Drop all four physical copies of the first logical letter 0 -> 1
+  // (2 sender replicas x 2 destination replicas).
+  FaultPlan plan(m * 2);
+  for (const rank_t src : {rank_t{0}, rank_t{0 + m}}) {
+    for (const rank_t dst : {rank_t{1}, rank_t{1 + m}}) {
+      FaultPlan::EdgeRule rule;
+      rule.src = src;
+      rule.dst = dst;
+      rule.action = FaultAction::kDrop;
+      rule.count = 1;
+      plan.add_edge_rule(rule);
+    }
+  }
+  FaultChannel<float> channel(&plan);
+  Engine engine(m, 2);
+  engine.set_fault_channel(&channel);
+  Allreduce allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto results = allreduce.reduce(w.out_values);
+
+  EXPECT_EQ(results, clean_results);
+  EXPECT_EQ(plan.stats().dropped, 4u);
+  const RecoveryStats& rec = engine.recovery_stats();
+  EXPECT_EQ(rec.detections, 1u);
+  EXPECT_EQ(rec.promotions, 1u);
+  EXPECT_GE(rec.retries, 1u);
+  EXPECT_EQ(rec.forced, 0u);  // the rules were spent; retry 1 delivered
+  EXPECT_GE(engine.race_stats().drops, 4u);
+  EXPECT_FALSE(allreduce.degraded_report().degraded);
+}
+
+TEST(ChaosReplicated, UnrecoverableEdgeIsForceDelivered) {
+  // An edge rule that also eats every recovery retry: the final attempt
+  // falls back to the reliable path, so the result is still exact.
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 78);
+
+  Engine clean(m, 2);
+  Allreduce clean_ar(&clean, topo);
+  clean_ar.configure(w.in_sets, w.out_sets);
+  const auto clean_results = clean_ar.reduce(w.out_values);
+
+  FaultPlan plan(m * 2);
+  for (const rank_t src : {rank_t{0}, rank_t{0 + m}}) {
+    for (const rank_t dst : {rank_t{1}, rank_t{1 + m}}) {
+      FaultPlan::EdgeRule rule;
+      rule.src = src;
+      rule.dst = dst;
+      rule.action = FaultAction::kDrop;
+      rule.count = 1000;  // never expires
+      plan.add_edge_rule(rule);
+    }
+  }
+  FaultChannel<float> channel(&plan);
+  Engine engine(m, 2);
+  engine.set_fault_channel(&channel);
+  Allreduce allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto results = allreduce.reduce(w.out_values);
+
+  EXPECT_EQ(results, clean_results);
+  const RecoveryStats& rec = engine.recovery_stats();
+  EXPECT_GT(rec.forced, 0u);
+  EXPECT_EQ(rec.promotions, rec.detections);
+}
+
+// ---- The shared hook on the flat engines ----
+
+TEST(ChaosBsp, DuplicatesAreDeliveredOnceAndChargedTwice) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 17);
+
+  Trace clean_trace;
+  BspEngine<float> clean(m, nullptr, &clean_trace);
+  SparseAllreduce<float, OpSum, BspEngine<float>> clean_ar(&clean, topo);
+  clean_ar.configure(w.in_sets, w.out_sets);
+  const auto clean_results = clean_ar.reduce(w.out_values);
+
+  FaultPlan plan(m, 5);
+  FaultPlan::TransientRates rates;
+  rates.duplicate = 0.3;  // duplication only: results must stay exact
+  plan.set_transient_rates(rates);
+  FaultChannel<float> channel(&plan);
+  Trace trace;
+  BspEngine<float> engine(m, nullptr, &trace);
+  engine.set_fault_channel(&channel);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto results = allreduce.reduce(w.out_values);
+
+  EXPECT_EQ(results, clean_results);
+  EXPECT_GT(plan.stats().duplicated, 0u);
+  // Each duplicate pays the wire twice.
+  EXPECT_EQ(trace.num_messages(),
+            clean_trace.num_messages() + plan.stats().duplicated);
+}
+
+TEST(ChaosBsp, DelayedLetterIsSupersededByTheNextRun) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 19);
+
+  FaultPlan plan(m);
+  FaultChannel<float> channel(&plan);
+  BspEngine<float> engine(m);
+  engine.set_fault_channel(&channel);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+
+  // Armed only after configuration so the held-back letter is a value
+  // letter of the down pass (a delayed config piece would change the
+  // union layouts instead).
+  FaultPlan::EdgeRule rule;
+  rule.src = 0;
+  rule.dst = topo.group(1, 0)[1];  // a layer-1 neighbor of rank 0
+  rule.action = FaultAction::kDelay;
+  rule.delay_rounds = 1;
+  rule.count = 1;
+  plan.add_edge_rule(rule);
+
+  // Run 1: one letter of the down pass is held back; its round finishes
+  // without it, so the results of this run are not trusted.
+  (void)allreduce.reduce(w.out_values);
+  EXPECT_EQ(plan.stats().delayed, 1u);
+  EXPECT_EQ(channel.pending_delayed(), 1u);
+
+  // Run 2 revisits the same {phase, layer}: the stale copy meets a fresh
+  // letter from the same sender and is discarded, so run 2 is exact.
+  const auto results = allreduce.reduce(w.out_values);
+  EXPECT_EQ(channel.pending_delayed(), 0u);
+  EXPECT_EQ(channel.stale(), 1u);
+  EXPECT_EQ(channel.redelivered(), 0u);
+  testing::expect_matches_oracle<float>(w, results);
+}
+
+TEST(ChaosParallel, DuplicateOnlyRatesStayExact) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 23);
+
+  FaultPlan plan(m, 9);
+  FaultPlan::TransientRates rates;
+  rates.duplicate = 0.3;
+  plan.set_transient_rates(rates);
+  FaultChannel<float> channel(&plan);
+  ParallelBspEngine<float> engine(m);
+  engine.set_fault_channel(&channel);
+  SparseAllreduce<float, OpSum, ParallelBspEngine<float>> allreduce(&engine,
+                                                                    topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto results = allreduce.reduce(w.out_values);
+  EXPECT_GT(plan.stats().duplicated, 0u);
+  testing::expect_matches_oracle<float>(w, results);
+}
+
+TEST(ChaosThreaded, ReduceFaultsTerminateAndDuplicatesStayExact) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+
+  // Duplicates only: real-thread engine must still match the oracle.
+  {
+    const auto w = random_workload<float>(m, 64, 0.25, 0.4, 29);
+    FaultPlan plan(m, 13);
+    FaultPlan::TransientRates rates;
+    rates.duplicate = 0.25;
+    plan.set_transient_rates(rates);
+    FaultChannel<float> channel(&plan);
+    ThreadedBsp<float> engine(m);
+    engine.set_fault_channel(&channel);
+    SparseAllreduce<float, OpSum, ThreadedBsp<float>> allreduce(&engine,
+                                                                topo);
+    allreduce.configure(w.in_sets, w.out_sets);
+    const auto results = allreduce.reduce(w.out_values);
+    EXPECT_GT(plan.stats().duplicated, 0u);
+    testing::expect_matches_oracle<float>(w, results);
+  }
+
+  // Drop/delay storms confined to the reduce phases (config must stay
+  // clean so piece-size checks hold): the blocking engine must not
+  // deadlock — tombstones unblock every waiting take().
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto w = random_workload<float>(m, 64, 0.25, 0.4, 40 + seed);
+    FaultPlan plan(m, seed);
+    FaultPlan::TransientRates rates;
+    rates.drop = 0.15;
+    rates.duplicate = 0.1;
+    rates.delay = 0.1;
+    rates.config = false;
+    plan.set_transient_rates(rates);
+    FaultChannel<float> channel(&plan);
+    ThreadedBsp<float> engine(m);
+    engine.set_fault_channel(&channel);
+    SparseAllreduce<float, OpSum, ThreadedBsp<float>> allreduce(&engine,
+                                                                topo);
+    allreduce.configure(w.in_sets, w.out_sets);
+    const auto results = allreduce.reduce(w.out_values);  // must terminate
+    ASSERT_EQ(results.size(), w.in_sets.size());
+    for (rank_t r = 0; r < m; ++r) {
+      EXPECT_EQ(results[r].size(), w.in_sets[r].size());
+    }
+    const FaultStats& stats = plan.stats();
+    EXPECT_GT(stats.dropped + stats.duplicated + stats.delayed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kylix

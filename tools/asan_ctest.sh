@@ -22,3 +22,9 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # instead of scrolling past; leaks are on by default with ASan on Linux.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:strict_string_checks=1}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+
+# Focused chaos pass: the fault-injection/recovery tests exercise the
+# gnarliest lifetime paths (delayed-letter staging, mid-round kills,
+# degraded teardown), so run them again by label — this keeps them covered
+# even when extra ctest args above filtered the full suite down.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L chaos

@@ -11,15 +11,22 @@
 # still catching algorithmic regressions (the kernels win by 2-4x, not
 # percents).
 #
-# Usage: tools/bench_check.sh [build-dir] [tolerance-fraction]
+# The script also gates the chaos layer's no-fault overhead: with no
+# FaultPlan attached, the FaultChannel hooks in every engine must cost
+# nothing, so the engine wall-clock bench (BENCH_engines.json) is
+# re-measured and compared too — see the second gate below.
+#
+# Usage: tools/bench_check.sh [build-dir] [tolerance] [engine-tolerance]
 #   build-dir defaults to build-bench (separate tree pinned to Release so a
 #   Debug working tree never produces bogus regressions).
-#   tolerance-fraction defaults to 0.25 (new_eps >= (1 - tol) * old_eps).
+#   tolerance defaults to 0.25 (new_eps >= (1 - tol) * old_eps).
+#   engine-tolerance defaults to 0.5 (new_s <= (1 + tol) * old_s).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build-bench"}"
 tolerance="${2:-0.25}"
+engine_tolerance="${3:-0.5}"
 baseline="${repo_root}/BENCH_kernels.json"
 
 if [[ ! -f "${baseline}" ]]; then
@@ -67,4 +74,68 @@ if failed:
           f"{tol:.0%} tolerance vs {baseline_path}")
     sys.exit(1)
 print(f"\nall {len(old)} kernel rows within {tol:.0%} of the baseline")
+EOF
+
+# ---- No-fault-overhead gate ------------------------------------------------
+# The chaos layer adds a delivery hook to every engine; with fault hooks
+# disabled (no FaultChannel attached — exactly what wall_engines runs) the
+# engines must not get slower. Wall times are far noisier than throughput
+# ratios, so the tolerance is wide by default (50%): this catches accidental
+# per-letter work on the no-fault path, not percent-level jitter. Refresh
+# the committed artifact the same way as the kernel baseline.
+engines_baseline="${repo_root}/BENCH_engines.json"
+if [[ ! -f "${engines_baseline}" ]]; then
+  echo "error: no committed baseline at ${engines_baseline}" >&2
+  echo "       run bench/wall_engines once and commit its output" >&2
+  exit 2
+fi
+
+cmake --build "${build_dir}" -j "$(nproc)" --target wall_engines
+engines_fresh="${build_dir}/BENCH_engines_fresh.json"
+engines_threads="$(python3 -c \
+  'import json,sys; print(json.load(open(sys.argv[1]))["engine_threads"])' \
+  "${engines_baseline}")"
+"${build_dir}/bench/wall_engines" "${engines_threads}" "${engines_fresh}" \
+  > /dev/null
+
+python3 - "${engines_baseline}" "${engines_fresh}" "${engine_tolerance}" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+fresh = json.load(open(fresh_path))
+
+def rows(doc):
+    out = {}
+    for preset in doc["presets"]:
+        for engine in ("sequential", "parallel"):
+            for metric in ("configure_s", "warm_reduce_mean_s"):
+                out[(preset["name"], engine, metric)] = \
+                    preset[engine][metric]
+    return out
+
+old, new = rows(baseline), rows(fresh)
+missing = sorted(set(old) - set(new))
+if missing:
+    print(f"error: fresh run lacks {len(missing)} baseline rows: {missing}")
+    sys.exit(1)
+
+print(f"\n{'preset':<14}{'engine':<12}{'metric':<20}{'old s':>10}"
+      f"{'new s':>10}{'ratio':>7}  status")
+failed = 0
+for key in sorted(old):
+    o, n = old[key], new[key]
+    ratio = n / o if o else float("inf")
+    ok = n <= (1.0 + tol) * o
+    failed += not ok
+    print(f"{key[0]:<14}{key[1]:<12}{key[2]:<20}{o:>10.4f}{n:>10.4f}"
+          f"{ratio:>7.2f}  {'ok' if ok else 'REGRESS'}")
+
+if failed:
+    print(f"\n{failed} engine row(s) slower than {tol:.0%} over "
+          f"{baseline_path} — the no-fault path grew overhead")
+    sys.exit(1)
+print(f"\nall {len(old)} engine rows within {tol:.0%} of the baseline: "
+      "fault hooks are free when disabled")
 EOF

@@ -21,10 +21,20 @@
 //   kylix_cli --machines 32 --replication 2 --failures 3
 //   kylix_cli report --machines 64 --trace-out trace.json \
 //             --report-out report.json
+//   kylix_cli chaos --machines 32 --replication 2 --max-failures 12
+//
+// The `chaos` subcommand sweeps seeded fault schedules (random mid-run
+// crashes plus transient drop/duplicate/delay rates) through the replicated
+// engine and prints a survival/degradation table: at each failure count it
+// reports how many runs completed exactly, how many completed degraded but
+// sound (values outside the reported degraded ranges match the oracle), and
+// how many violated the contract (the gate: any "bad" run exits nonzero).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 
 #include "kylix.hpp"
@@ -35,6 +45,7 @@ using namespace kylix;
 
 struct Cli {
   bool report = false;
+  bool chaos = false;
   rank_t machines = 64;
   std::uint64_t features = 1u << 18;
   double density = 0.21;
@@ -46,12 +57,18 @@ struct Cli {
   std::vector<std::uint32_t> degrees;  // empty -> autotune
   std::string trace_out;               // report mode: Chrome trace JSON
   std::string report_out;              // report mode: run-report JSON
+  // chaos mode: sweep shape and background fault rates.
+  std::uint64_t chaos_seeds = 16;
+  rank_t max_failures = 8;
+  double drop_rate = 0.02;
+  double dup_rate = 0.01;
+  double delay_rate = 0.01;
 };
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
-      "usage: kylix_cli [report] [options]\n"
+      "usage: kylix_cli [report|chaos] [options]\n"
       "  --machines M      logical machine count (default 64)\n"
       "  --features N      index-space size (default 262144)\n"
       "  --density D       target partition density (default 0.21)\n"
@@ -63,7 +80,13 @@ struct Cli {
       "  --seed X          workload seed (default 42)\n"
       "report mode only:\n"
       "  --trace-out F     write Chrome trace-event JSON (Perfetto) to F\n"
-      "  --report-out F    write the run-report JSON to F\n");
+      "  --report-out F    write the run-report JSON to F\n"
+      "chaos mode only (seeded fault sweep, survival table):\n"
+      "  --seeds S         schedules per failure count (default 16)\n"
+      "  --max-failures K  sweep 0..K scripted crashes (default 8)\n"
+      "  --drop-rate P     per-copy drop probability (default 0.02)\n"
+      "  --dup-rate P      per-copy duplicate probability (default 0.01)\n"
+      "  --delay-rate P    per-copy delay probability (default 0.01)\n");
   std::exit(2);
 }
 
@@ -85,6 +108,9 @@ Cli parse(int argc, char** argv) {
   int i = 1;
   if (i < argc && std::strcmp(argv[i], "report") == 0) {
     cli.report = true;
+    ++i;
+  } else if (i < argc && std::strcmp(argv[i], "chaos") == 0) {
+    cli.chaos = true;
     ++i;
   }
   for (; i < argc; ++i) {
@@ -115,6 +141,16 @@ Cli parse(int argc, char** argv) {
       cli.trace_out = value();
     } else if (flag == "--report-out" && cli.report) {
       cli.report_out = value();
+    } else if (flag == "--seeds" && cli.chaos) {
+      cli.chaos_seeds = std::stoull(value());
+    } else if (flag == "--max-failures" && cli.chaos) {
+      cli.max_failures = static_cast<rank_t>(std::stoul(value()));
+    } else if (flag == "--drop-rate" && cli.chaos) {
+      cli.drop_rate = std::stod(value());
+    } else if (flag == "--dup-rate" && cli.chaos) {
+      cli.dup_rate = std::stod(value());
+    } else if (flag == "--delay-rate" && cli.chaos) {
+      cli.delay_rate = std::stod(value());
     } else {
       usage_and_exit();
     }
@@ -218,6 +254,69 @@ std::size_t verify(const Cli& cli, const Workload& w,
   return errors;
 }
 
+struct SoundCheck {
+  std::size_t errors = 0;   ///< mismatches at keys the report vouches for
+  std::size_t checked = 0;  ///< reliable positions actually compared
+};
+
+/// Degraded-completion verification: the brute-force oracle minus
+/// `inputs_lost` ranks, checked only at keys the report does not disclaim
+/// (outside degraded_ranges ∪ lost_keys), skipping dead requesters. Keys
+/// absent from the pruned oracle expect the reduction identity.
+/// `dead_ranks` is the engine's post-run dead set — a superset of
+/// report.lost_logical, since a group that dies after its last send is
+/// never missed by anyone yet still returns no result.
+SoundCheck verify_degraded(const Cli& cli, const Workload& w,
+                           const std::vector<std::vector<real_t>>& results,
+                           const DegradedReport& report,
+                           const std::vector<rank_t>& dead_ranks) {
+  const auto contains = [](const std::vector<rank_t>& v, rank_t r) {
+    return std::find(v.begin(), v.end(), r) != v.end();
+  };
+  std::map<kylix::key_t, real_t> totals;  // ::key_t (sys/types.h) clashes
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    if (contains(report.inputs_lost, r)) continue;
+    for (std::size_t p = 0; p < w.out_sets[r].size(); ++p) {
+      totals[w.out_sets[r][p]] += w.values[r][p];
+    }
+  }
+  SoundCheck check;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    if (contains(dead_ranks, r)) {
+      if (!results[r].empty()) ++check.errors;  // dead ranks return nothing
+      continue;
+    }
+    if (results[r].size() != w.in_sets[r].size()) {
+      ++check.errors;
+      continue;
+    }
+    for (std::size_t p = 0; p < w.in_sets[r].size(); ++p) {
+      const kylix::key_t key = w.in_sets[r][p];
+      if (report.covers(key) ||
+          std::binary_search(report.lost_keys.begin(),
+                             report.lost_keys.end(), key)) {
+        continue;  // declared unreliable; nothing is promised here
+      }
+      const auto it = totals.find(key);
+      const real_t expected =
+          it == totals.end() ? static_cast<real_t>(0) : it->second;
+      if (results[r][p] != expected) {
+        ++check.errors;
+        if (std::getenv("KYLIX_CHAOS_DEBUG") != nullptr) {
+          std::printf("    mismatch: rank %u pos %zu key %llu idx %llu "
+                      "got %g want %g\n",
+                      r, p, static_cast<unsigned long long>(key),
+                      static_cast<unsigned long long>(unhash_index(key)),
+                      static_cast<double>(results[r][p]),
+                      static_cast<double>(expected));
+        }
+      }
+      ++check.checked;
+    }
+  }
+  return check;
+}
+
 int run_default(const Cli& cli) {
   const NetworkModel net = scaled_network();
   const ComputeModel compute;
@@ -238,6 +337,8 @@ int run_default(const Cli& cli) {
   TimingAccumulator timing(physical, net, compute, cli.threads);
 
   std::vector<std::vector<real_t>> results;
+  DegradedReport degraded;
+  std::vector<rank_t> dead_ranks;
   if (cli.replication == 1) {
     KYLIX_CHECK_MSG(cli.failures == 0,
                     "failures need --replication >= 2 to stay correct");
@@ -250,17 +351,32 @@ int run_default(const Cli& cli) {
     ReplicatedBsp<real_t> engine(cli.machines, cli.replication, &failures,
                                  &trace, &timing);
     if (engine.has_failed()) {
-      std::printf("FATAL: a whole replica group is dead — allreduce cannot "
-                  "complete (expected after ~sqrt(m) failures)\n");
-      return 1;
+      // A whole replica group is dead (expected after ~sqrt(m) failures);
+      // proceed anyway and report the degraded completion.
+      std::printf("warning: a whole replica group is dead — completing "
+                  "degraded over the surviving ranks\n");
     }
     SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
         &engine, topo, &compute);
     allreduce.configure(w.in_sets, w.out_sets);
     results = allreduce.reduce(w.values);
+    degraded = allreduce.degraded_report();
+    dead_ranks = engine.dead_logical_ranks();
   }
 
-  const std::size_t errors = verify(cli, w, results);
+  std::size_t errors;
+  std::size_t checked;
+  if (degraded.degraded || !dead_ranks.empty()) {
+    std::printf("%s\n", degraded.summary().c_str());
+    const SoundCheck check =
+        verify_degraded(cli, w, results, degraded, dead_ranks);
+    errors = check.errors;
+    checked = check.checked;
+  } else {
+    errors = verify(cli, w, results);
+    checked = 0;
+    for (rank_t r = 0; r < cli.machines; ++r) checked += w.in_sets[r].size();
+  }
 
   const auto times = timing.times();
   std::printf("\nvolume: %s in %zu messages\n",
@@ -276,8 +392,9 @@ int run_default(const Cli& cli) {
   std::printf("modeled config time: %s\nmodeled reduce time: %s\n",
               format_seconds(times.config).c_str(),
               format_seconds(times.reduce()).c_str());
-  std::printf("verification: %zu mismatches (%s)\n", errors,
-              errors == 0 ? "PASS" : "FAIL");
+  std::printf("verification: %zu mismatches over %zu reliable positions "
+              "(%s)\n",
+              errors, checked, errors == 0 ? "PASS" : "FAIL");
   return errors == 0 ? 0 : 1;
 }
 
@@ -318,6 +435,8 @@ int run_report(const Cli& cli) {
   inputs.workload = "powerlaw(seed=" + std::to_string(cli.seed) + ")";
 
   std::vector<std::vector<real_t>> results;
+  DegradedReport degraded;
+  std::vector<rank_t> dead_ranks;
   if (cli.replication == 1) {
     KYLIX_CHECK_MSG(cli.failures == 0,
                     "failures need --replication >= 2 to stay correct");
@@ -335,15 +454,18 @@ int run_report(const Cli& cli) {
     ReplicatedBsp<real_t> engine(cli.machines, cli.replication, &failures,
                                  &trace, &timing);
     if (engine.has_failed()) {
-      std::printf("FATAL: a whole replica group is dead — allreduce cannot "
-                  "complete (expected after ~sqrt(m) failures)\n");
-      return 1;
+      // A whole replica group is dead (expected after ~sqrt(m) failures);
+      // proceed anyway and report the degraded completion.
+      std::printf("warning: a whole replica group is dead — completing "
+                  "degraded over the surviving ranks\n");
     }
     engine.set_observer(&observer);
     SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
         &engine, topo, &compute);
     allreduce.configure(w.in_sets, w.out_sets);
     results = allreduce.reduce(w.values);
+    degraded = allreduce.degraded_report();
+    dead_ranks = engine.dead_logical_ranks();
     inputs.measured_elements = allreduce.measured_layer_elements();
     inputs.dropped_messages = engine.dropped_messages();
     inputs.race_wins = engine.race_stats().wins;
@@ -352,7 +474,19 @@ int run_report(const Cli& cli) {
                 cli.replication, cli.failures);
   }
 
-  const std::size_t errors = verify(cli, w, results);
+  std::size_t errors;
+  std::size_t checked;
+  if (degraded.degraded || !dead_ranks.empty()) {
+    std::printf("%s\n", degraded.summary().c_str());
+    const SoundCheck check =
+        verify_degraded(cli, w, results, degraded, dead_ranks);
+    errors = check.errors;
+    checked = check.checked;
+  } else {
+    errors = verify(cli, w, results);
+    checked = 0;
+    for (rank_t r = 0; r < cli.machines; ++r) checked += w.in_sets[r].size();
+  }
   const obs::RunReport report = obs::build_run_report(inputs);
 
   std::printf("\n%s\n", report.ascii_chart().c_str());
@@ -395,14 +529,104 @@ int run_report(const Cli& cli) {
     out << "}\n";
     std::printf("report: %s\n", cli.report_out.c_str());
   }
-  std::printf("verification: %zu mismatches (%s)\n", errors,
-              errors == 0 ? "PASS" : "FAIL");
+  std::printf("verification: %zu mismatches over %zu reliable positions "
+              "(%s)\n",
+              errors, checked, errors == 0 ? "PASS" : "FAIL");
   return errors == 0 ? 0 : 1;
+}
+
+/// The chaos sweep: for every failure count k in 0..max, run `--seeds`
+/// independently seeded schedules (k scripted crashes at uniform rounds
+/// plus background drop/duplicate/delay rates) through the replicated
+/// engine, classify each run as exact / degraded-but-sound / bad, and
+/// print the survival table. Any "bad" run — a mismatch at a key the
+/// degraded report vouched for — fails the sweep.
+int run_chaos(const Cli& cli) {
+  const NetworkModel net = scaled_network();
+  KYLIX_CHECK_MSG(cli.replication >= 1, "--replication must be >= 1");
+
+  const Workload w = synthesize(cli);
+  std::printf("workload: n = %llu, m = %u, measured density %.4f\n",
+              static_cast<unsigned long long>(cli.features), cli.machines,
+              w.measured_density);
+  const Topology topo = pick_topology(cli, w, net, /*verbose=*/false);
+  const rank_t physical = cli.machines * cli.replication;
+  KYLIX_CHECK_MSG(cli.max_failures <= physical,
+                  "--max-failures exceeds physical nodes");
+  // One allreduce runs 3*l rounds (config down, reduce down, reduce up);
+  // scripted crashes land uniformly inside that window.
+  const std::uint64_t horizon = 3ull * topo.num_layers();
+
+  std::printf("chaos sweep: replication %u (%u physical), %llu schedules "
+              "per row, rates drop/dup/delay = %.3f/%.3f/%.3f\n\n",
+              cli.replication, physical,
+              static_cast<unsigned long long>(cli.chaos_seeds),
+              cli.drop_rate, cli.dup_rate, cli.delay_rate);
+  std::printf("%8s %6s %9s %4s %10s %10s %11s\n", "failures", "exact",
+              "degraded", "bad", "recovered", "mean-mass", "mean-lostkeys");
+
+  std::uint64_t total_bad = 0;
+  for (rank_t k = 0; k <= cli.max_failures; ++k) {
+    std::uint64_t exact = 0, sound = 0, bad = 0, recoveries = 0;
+    double mass_lost = 0.0, lost_keys = 0.0;
+    for (std::uint64_t s = 0; s < cli.chaos_seeds; ++s) {
+      FaultPlan plan(physical, cli.seed + 1000ull * k + s);
+      plan.random_crashes(k, horizon);
+      if (cli.drop_rate > 0 || cli.dup_rate > 0 || cli.delay_rate > 0) {
+        FaultPlan::TransientRates rates;
+        rates.drop = cli.drop_rate;
+        rates.duplicate = cli.dup_rate;
+        rates.delay = cli.delay_rate;
+        plan.set_transient_rates(rates);
+      }
+      FaultChannel<real_t> channel(&plan);
+      ReplicatedBsp<real_t> engine(cli.machines, cli.replication);
+      engine.set_fault_channel(&channel);
+      SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
+          &engine, topo);
+      allreduce.configure(w.in_sets, w.out_sets);
+      const auto results = allreduce.reduce(w.values);
+      const DegradedReport report = allreduce.degraded_report();
+      const std::vector<rank_t> dead = engine.dead_logical_ranks();
+      recoveries += engine.recovery_stats().promotions +
+                    engine.recovery_stats().forced;
+
+      const SoundCheck check =
+          verify_degraded(cli, w, results, report, dead);
+      if (check.errors > 0) {
+        ++bad;
+        std::printf("  BAD schedule: failures=%u seed=%llu — %zu mismatches "
+                    "over %zu vouched positions (%s)\n",
+                    k, static_cast<unsigned long long>(s), check.errors,
+                    check.checked, report.summary().c_str());
+      } else if (report.degraded || !dead.empty()) {
+        ++sound;
+        mass_lost += report.mass_lost_fraction;
+        lost_keys += static_cast<double>(report.lost_keys.size());
+      } else {
+        ++exact;
+      }
+    }
+    total_bad += bad;
+    std::printf("%8u %6llu %9llu %4llu %10llu %10.4f %13.1f\n", k,
+                static_cast<unsigned long long>(exact),
+                static_cast<unsigned long long>(sound),
+                static_cast<unsigned long long>(bad),
+                static_cast<unsigned long long>(recoveries),
+                sound > 0 ? mass_lost / static_cast<double>(sound) : 0.0,
+                sound > 0 ? lost_keys / static_cast<double>(sound) : 0.0);
+  }
+  std::printf("\n%s\n", total_bad == 0
+                            ? "chaos sweep PASS: every run was exact or "
+                              "degraded-but-sound"
+                            : "chaos sweep FAIL: unsound degraded results");
+  return total_bad == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parse(argc, argv);
+  if (cli.chaos) return run_chaos(cli);
   return cli.report ? run_report(cli) : run_default(cli);
 }
