@@ -8,7 +8,12 @@
 //   2. steady-state vs cold — the scratch/pool recycling means iteration 2+
 //      runs allocation-free, so warm reduces beat the cold first pass;
 //   3. merge scratch ablation — allocating tree_merge vs the reusable
-//      tree_merge_into on the same 64-way key sets.
+//      tree_merge_into on the same 64-way key sets;
+//   4. plan reuse — per-iteration configure+reduce (the combined mode)
+//      vs a warm cached-plan replay (configure_cached + reduce), plus the
+//      strided multi-payload amortization (k interleaved payloads through
+//      one plan vs k single replays). Gated by tools/bench_check.sh:
+//      cached replay must beat per-iteration configuration.
 //
 // Timing loops run without observers (measured engines are bare); a separate
 // instrumented pass per preset then routes the run through the telemetry
@@ -45,6 +50,81 @@ struct ReduceStats {
 
 constexpr int kWarmups = 2;
 constexpr int kTimed = 3;
+constexpr std::uint32_t kPayloads = 4;
+
+struct PlanReuseStats {
+  double combined_per_iter_s = 0;   ///< reduce_with_config every iteration
+  double replay_per_iter_s = 0;     ///< configure_cached (hit) + reduce
+  double single_reduce_s = 0;       ///< one stride-1 replay
+  double strided_reduce_s = 0;      ///< one k-payload strided replay
+  bool strided_identical = false;   ///< strided == k independent replays
+};
+
+/// The plan-reuse ablation on a preset's real key sets: time the combined
+/// per-iteration path against warm cached replay, then push kPayloads
+/// interleaved vectors through the plan and check bit-identity against
+/// independent replays.
+PlanReuseStats run_plan_reuse(BspEngine<real_t>& engine,
+                              const bench::Dataset& data,
+                              const Topology& topology) {
+  PlanReuseStats stats;
+  PlanCache cache(4);
+  SparseAllreduce<real_t, OpSum, BspEngine<real_t>> cached(&engine, topology);
+  (void)cached.configure_cached(cache, data.in_sets, data.out_sets);
+  for (int i = 0; i < kWarmups; ++i) (void)cached.reduce(data.out_values);
+  for (int i = 0; i < kTimed; ++i) {
+    bench::WallTimer t;
+    (void)cached.configure_cached(cache, data.in_sets, data.out_sets);
+    (void)cached.reduce(data.out_values);
+    stats.replay_per_iter_s += t.seconds() / kTimed;
+    bench::WallTimer t2;
+    SparseAllreduce<real_t, OpSum, BspEngine<real_t>> fresh(&engine,
+                                                            topology);
+    (void)fresh.reduce_with_config(data.in_sets, data.out_sets,
+                                   data.out_values);
+    stats.combined_per_iter_s += t2.seconds() / kTimed;
+  }
+
+  // Multi-payload amortization: payload j shifts every value by j, so the
+  // independent replays double as the bit-identity oracle.
+  std::vector<std::vector<real_t>> strided(data.out_values.size());
+  std::vector<std::vector<std::vector<real_t>>> independent(kPayloads);
+  for (std::uint32_t j = 0; j < kPayloads; ++j) {
+    auto payload = data.out_values;
+    for (auto& values : payload) {
+      for (auto& v : values) v += static_cast<real_t>(j);
+    }
+    independent[j] = cached.reduce(payload);
+    for (std::size_t r = 0; r < payload.size(); ++r) {
+      strided[r].resize(payload[r].size() * kPayloads);
+      for (std::size_t p = 0; p < payload[r].size(); ++p) {
+        strided[r][p * kPayloads + j] = payload[r][p];
+      }
+    }
+  }
+  stats.single_reduce_s = 1e30;
+  stats.strided_reduce_s = 1e30;
+  std::vector<std::vector<real_t>> strided_results;
+  for (int i = 0; i < kTimed; ++i) {
+    bench::WallTimer t;
+    (void)cached.reduce(data.out_values);
+    stats.single_reduce_s = std::min(stats.single_reduce_s, t.seconds());
+    bench::WallTimer t2;
+    strided_results = cached.reduce_strided(strided, kPayloads);
+    stats.strided_reduce_s = std::min(stats.strided_reduce_s, t2.seconds());
+  }
+  stats.strided_identical = true;
+  for (std::size_t r = 0; r < strided_results.size(); ++r) {
+    for (std::uint32_t j = 0; j < kPayloads; ++j) {
+      for (std::size_t p = 0; p < independent[j][r].size(); ++p) {
+        if (strided_results[r][p * kPayloads + j] != independent[j][r][p]) {
+          stats.strided_identical = false;
+        }
+      }
+    }
+  }
+  return stats;
+}
 
 template <typename Engine>
 ReduceStats run_engine(Engine& engine, const bench::Dataset& data,
@@ -200,6 +280,22 @@ int main(int argc, char** argv) {
                 data.name.c_str(), fresh_s, warm_s,
                 warm_s > 0 ? fresh_s / warm_s : 0);
 
+    const PlanReuseStats reuse = run_plan_reuse(seq_engine, data, topology);
+    const double replay_speedup =
+        reuse.replay_per_iter_s > 0
+            ? reuse.combined_per_iter_s / reuse.replay_per_iter_s
+            : 0;
+    const double amortization =
+        reuse.strided_reduce_s > 0
+            ? kPayloads * reuse.single_reduce_s / reuse.strided_reduce_s
+            : 0;
+    std::printf("%-14s combined %.4fs/it  cached replay %.4fs/it (%.2fx)  "
+                "%u-payload strided %.2fx vs %u singles, identical %s\n",
+                data.name.c_str(), reuse.combined_per_iter_s,
+                reuse.replay_per_iter_s, replay_speedup, kPayloads,
+                amortization, kPayloads,
+                reuse.strided_identical ? "yes" : "NO");
+
     json.begin_object();
     json.key_value("name", data.name);
     json.key("topology");
@@ -217,6 +313,17 @@ int main(int argc, char** argv) {
     json.key_value("fresh_tree_merge_s", fresh_s);
     json.key_value("warm_tree_merge_into_s", warm_s);
     json.key_value("speedup", warm_s > 0 ? fresh_s / warm_s : 0);
+    json.end_object();
+    json.key("plan_reuse");
+    json.begin_object();
+    json.key_value("combined_per_iter_s", reuse.combined_per_iter_s);
+    json.key_value("cached_replay_per_iter_s", reuse.replay_per_iter_s);
+    json.key_value("cached_replay_speedup", replay_speedup);
+    json.key_value("payloads", static_cast<int>(kPayloads));
+    json.key_value("single_reduce_s", reuse.single_reduce_s);
+    json.key_value("strided_reduce_s", reuse.strided_reduce_s);
+    json.key_value("payload_amortization", amortization);
+    json.key_value("strided_bit_identical", reuse.strided_identical);
     json.end_object();
     json.key("telemetry");
     registry.write_json(json);

@@ -24,6 +24,7 @@
 
 #include "cluster/timing.hpp"
 #include "core/allreduce.hpp"
+#include "core/plan_cache.hpp"
 #include "powerlaw/graphgen.hpp"
 #include "sparse/csr.hpp"
 
@@ -63,12 +64,16 @@ class DistributedPageRank {
   };
 
   /// `timing` may be the accumulator attached to `engine` (it is cleared and
-  /// snapshotted around setup and each iteration) or null.
+  /// snapshotted around setup and each iteration) or null. `plan_cache`, if
+  /// given, serves the per-iteration routing plan by fingerprint: a second
+  /// run over the same partitions adopts the compiled plan and skips the
+  /// configuration pass entirely.
   DistributedPageRank(Engine* engine, Topology topology,
                       std::span<const std::vector<Edge>> partitions,
                       std::uint64_t num_vertices,
                       const ComputeModel* compute = nullptr,
-                      TimingAccumulator* timing = nullptr)
+                      TimingAccumulator* timing = nullptr,
+                      PlanCache* plan_cache = nullptr)
       : engine_(engine),
         allreduce_(engine, topology, compute),
         num_vertices_(num_vertices),
@@ -126,7 +131,12 @@ class DistributedPageRank {
         in_sets.push_back(g.sources());
         out_sets.push_back(KeySet::from_sorted_keys(std::move(u.keys)));
       }
-      allreduce_.configure(std::move(in_sets), std::move(out_sets));
+      if (plan_cache != nullptr) {
+        plan_cache_hit_ = allreduce_.configure_cached(
+            *plan_cache, std::move(in_sets), std::move(out_sets));
+      } else {
+        allreduce_.configure(std::move(in_sets), std::move(out_sets));
+      }
     }
 
     if (timing_ != nullptr) {
@@ -199,6 +209,10 @@ class DistributedPageRank {
     return values_[r];
   }
 
+  /// True iff construction adopted the iteration plan from the cache
+  /// (always false when no cache was supplied).
+  [[nodiscard]] bool plan_cache_hit() const { return plan_cache_hit_; }
+
  private:
   Engine* engine_;
   SparseAllreduce<real_t, OpSum, Engine> allreduce_;
@@ -213,6 +227,7 @@ class DistributedPageRank {
   std::vector<std::size_t> out_union_size_;
   std::vector<std::vector<real_t>> values_;
   std::size_t max_local_edges_ = 0;
+  bool plan_cache_hit_ = false;
   TimingAccumulator::PhaseTimes setup_times_;
 };
 

@@ -19,6 +19,13 @@
 //
 // Training data is synthetic: power-law distributed feature sets with labels
 // from a planted logistic model, so convergence is measurable.
+//
+// Two reduction modes: the default combined configure+reduce above, and
+// `reuse_plans`, which fingerprints each step's {in, out} sets against a
+// PlanCache — a hit adopts the compiled CollectivePlan (no configuration
+// pass), a miss compiles and inserts. Fresh batches every step never repeat
+// a fingerprint, so `distinct_batches = B` cycles B pre-drawn batches per
+// machine to make the set sequence periodic and the cache actually hit.
 #pragma once
 
 #include <cmath>
@@ -26,6 +33,7 @@
 
 #include "cluster/timing.hpp"
 #include "core/allreduce.hpp"
+#include "core/plan_cache.hpp"
 #include "powerlaw/zipf.hpp"
 #include "sparse/ops.hpp"
 
@@ -42,11 +50,20 @@ class DistributedSgd {
     double learning_rate = 0.25;
     std::uint32_t steps = 20;
     std::uint64_t seed = 7;
+    /// Replay-mode switch: plan-cache lookup + reduce() instead of the
+    /// combined configure+reduce. Defaults off (the paper's minibatch mode).
+    bool reuse_plans = false;
+    /// 0 = draw a fresh batch every step (fingerprints never repeat);
+    /// B > 0 = cycle B pre-drawn batches per machine, so step t trains on
+    /// batch t mod B and plan fingerprints repeat with period B.
+    std::uint32_t distinct_batches = 0;
+    std::size_t plan_cache_capacity = 16;
   };
 
   struct StepStats {
     double loss = 0;    ///< mean logistic loss over the machines' batches
     double comm_s = 0;  ///< modeled combined configure+reduce time
+    bool plan_cache_hit = false;  ///< reuse_plans only: served from cache?
   };
 
   DistributedSgd(Engine* engine, Topology topology,
@@ -85,19 +102,34 @@ class DistributedSgd {
     for (rank_t r = 0; r < m; ++r) {
       machine_rngs_.push_back(rng_.fork(r + 1));
     }
+    if (options_.distinct_batches > 0) {
+      batch_pool_.resize(m);
+      for (rank_t r = 0; r < m; ++r) {
+        batch_pool_[r].reserve(options_.distinct_batches);
+        for (std::uint32_t b = 0; b < options_.distinct_batches; ++b) {
+          batch_pool_[r].push_back(draw_batch(r));
+        }
+      }
+    }
     // Bootstrap: every machine fetches weights for its first batch.
     batches_.resize(m);
     batch_weights_.resize(m);
     for (rank_t r = 0; r < m; ++r) {
-      batches_[r] = draw_batch(r);
+      batches_[r] = next_batch(r, 0);
       batch_weights_[r].assign(batches_[r].features.size(), 0.0f);
     }
   }
 
-  /// Run options.steps SGD steps; one combined allreduce per step.
+  /// Run options.steps SGD steps; one allreduce per step (combined mode by
+  /// default, plan-cache replay when reuse_plans is set).
   [[nodiscard]] std::vector<StepStats> run() {
     std::vector<StepStats> stats;
     const rank_t m = topology_.num_machines();
+    // Replay mode keeps one allreduce (and its executor buffers) warm
+    // across steps; the cache key is the fingerprint of each step's sets.
+    SparseAllreduce<real_t, OpSum, Engine> cached_ar(engine_, topology_,
+                                                     compute_);
+    PlanCache plan_cache(options_.plan_cache_capacity);
     for (std::uint32_t step = 0; step < options_.steps; ++step) {
       if (timing_ != nullptr) timing_->clear();
       StepStats s;
@@ -113,7 +145,7 @@ class DistributedSgd {
 
       // Next batches (their features form the in sets).
       std::vector<Batch> next(m);
-      for (rank_t r = 0; r < m; ++r) next[r] = draw_batch(r);
+      for (rank_t r = 0; r < m; ++r) next[r] = next_batch(r, step + 1);
 
       // Combined configure+reduce.
       std::vector<KeySet> in_sets(m);
@@ -140,10 +172,17 @@ class DistributedSgd {
         in_sets[r] = KeySet::from_sorted_keys(std::move(in_u.keys));
       }
 
-      SparseAllreduce<real_t, OpSum, Engine> allreduce(engine_, topology_,
-                                                       compute_);
-      auto fresh = allreduce.reduce_with_config(
-          std::move(in_sets), std::move(out_sets), std::move(out_values));
+      std::vector<std::vector<real_t>> fresh;
+      if (options_.reuse_plans) {
+        s.plan_cache_hit = cached_ar.configure_cached(
+            plan_cache, std::move(in_sets), std::move(out_sets));
+        fresh = cached_ar.reduce(std::move(out_values));
+      } else {
+        SparseAllreduce<real_t, OpSum, Engine> allreduce(engine_, topology_,
+                                                         compute_);
+        fresh = allreduce.reduce_with_config(
+            std::move(in_sets), std::move(out_sets), std::move(out_values));
+      }
 
       // Refresh home stores and stage the next batches' weights.
       for (rank_t r = 0; r < m; ++r) {
@@ -180,6 +219,13 @@ class DistributedSgd {
     KeySet features;
     std::vector<Sample> samples;
   };
+
+  /// Machine r's batch for training slot `slot`: a fresh draw by default,
+  /// or a copy from the machine's fixed pool when distinct_batches > 0.
+  [[nodiscard]] Batch next_batch(rank_t r, std::uint64_t slot) {
+    if (options_.distinct_batches == 0) return draw_batch(r);
+    return batch_pool_[r][slot % options_.distinct_batches];
+  }
 
   /// Draw a minibatch: Zipf feature sets, labels from the planted model.
   [[nodiscard]] Batch draw_batch(rank_t r) {
@@ -251,6 +297,7 @@ class DistributedSgd {
   std::vector<KeySet> home_sets_;
   std::vector<std::vector<real_t>> home_store_;
   std::vector<Rng> machine_rngs_;
+  std::vector<std::vector<Batch>> batch_pool_;  ///< distinct_batches > 0 only
   std::vector<Batch> batches_;
   std::vector<std::vector<real_t>> batch_weights_;
 };

@@ -24,6 +24,17 @@ struct Packet {
   std::vector<key_t> out_keys;  ///< configuration: indices contributed
   std::vector<V> values;        ///< reduction payload (aligned to out_keys
                                 ///< in combined mode)
+  /// Multi-payload stride: `stride` value vectors interleaved key-major, so
+  /// values carries stride x piece_elements() entries routed by one key set.
+  /// Keys are never repeated per payload — that is the amortization the
+  /// strided reduce exists for.
+  std::uint32_t stride = 1;
+
+  /// Logical piece length in key positions (what the configured piece sizes
+  /// are checked against, independent of how many payloads ride along).
+  [[nodiscard]] std::size_t piece_elements() const {
+    return stride <= 1 ? values.size() : values.size() / stride;
+  }
 
   [[nodiscard]] std::uint64_t wire_bytes() const {
     return kPacketHeaderBytes + 8 * (in_keys.size() + out_keys.size()) +

@@ -26,4 +26,10 @@ using pos_t = std::uint32_t;
 /// Default value type for reductions (models, PageRank mass, gradients).
 using real_t = float;
 
+/// Sentinel position for a requested key with no surviving contributor
+/// (degraded completion): positions holding it resolve to the reduction
+/// identity. Shared by KylixNode and the compiled-plan executor so a frozen
+/// bottom map means the same thing in both.
+inline constexpr pos_t kMissingPos = static_cast<pos_t>(-1);
+
 }  // namespace kylix

@@ -1,14 +1,24 @@
 // SparseAllreduce — the public orchestration API (§III).
 //
-// Drives a vector of KylixNodes through the configuration and reduction
-// rounds on any engine satisfying the comm/bsp.hpp concept. Supports the two
-// usage patterns from the paper:
+// Configuration is a *compiler*: configure()/compile() run the downward
+// configuration pass once and freeze every rank's routing state (unions,
+// positional maps, split boundaries, per-round piece sizes) into an
+// immutable CollectivePlan (core/plan.hpp). Value traffic is *replay*:
+// reduce() hands the plan to a ReduceExecutor (core/executor.hpp) that
+// re-runs the frozen schedule with fresh buffers — bit-identically to
+// driving the nodes directly, but touching no routing state. Usage patterns:
 //
 //   * configure() once, reduce() many times — graph algorithms whose in/out
-//     vertex sets are fixed across iterations (PageRank, §III).
+//     vertex sets are fixed across iterations (PageRank, §III). The first
+//     call compiles; every reduce is a plan replay.
+//   * configure(plan) / configure_cached() — adopt a previously compiled
+//     (possibly PlanCache-served) plan, skipping configuration entirely.
+//   * reduce_strided() — push k interleaved payload vectors through one
+//     replay, amortizing routing across payloads.
 //   * reduce_with_config() — minibatch workloads whose sets change every
 //     step; configuration and reduction share combined messages, saving a
-//     full downward pass.
+//     full downward pass. This path stays node-driven (no plan is frozen:
+//     the routing would be thrown away next step anyway).
 //
 // Modeled compute (tree merges, scatter-adds, gathers) is charged to the
 // engine per round when a ComputeModel is supplied, so timing reports
@@ -18,13 +28,18 @@
 #include <algorithm>
 #include <cmath>
 #include <concepts>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "cluster/netmodel.hpp"
+#include "core/autotune.hpp"
 #include "core/degraded.hpp"
+#include "core/executor.hpp"
 #include "core/node.hpp"
+#include "core/plan.hpp"
+#include "core/plan_cache.hpp"
 #include "core/topology.hpp"
 
 namespace kylix {
@@ -44,28 +59,95 @@ class SparseAllreduce {
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
-  /// Step 1, separate form: exchange and union index sets. `in_sets[r]` /
-  /// `out_sets[r]` are machine r's requested / contributed key sets.
+  /// Step 1, separate form: exchange and union index sets, compiling the
+  /// routing into a plan. `in_sets[r]` / `out_sets[r]` are machine r's
+  /// requested / contributed key sets.
   void configure(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
-    combined_mode_ = false;
+    (void)compile(std::move(in_sets), std::move(out_sets));
+  }
+
+  /// Run the configuration pass and freeze its result into a shareable
+  /// CollectivePlan; this allreduce is left configured against it (nodes
+  /// are retained for introspection). The plan is keyed by a fingerprint of
+  /// the input sets, so PlanCache can serve it to later iterations.
+  [[nodiscard]] std::shared_ptr<const CollectivePlan> compile(
+      std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    const std::uint64_t fp = fingerprint_key_sets(in_sets, out_sets);
+    mode_ = Mode::kNone;
     build_nodes(std::move(in_sets), std::move(out_sets));
     for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
       run_round(Phase::kConfig, layer, &Node::config_produce,
                 &Node::config_consume);
     }
     finish_configure();
+    auto plan = std::make_shared<CollectivePlan>(topo_, fp);
+    for (const Node& node : nodes_) {
+      if (node.configured()) {
+        node.freeze_into(plan->mutable_rank_plan(node.rank()));
+      }
+    }
+    freeze_union_kernels(*plan);
+    plan_ = std::move(plan);
+    if (plan_->any_configured()) {
+      executor_.bind(engine_, plan_, compute_);
+      mode_ = Mode::kPlan;
+    }
+    return plan_;
+  }
+
+  /// Adopt a previously compiled plan (e.g. a PlanCache hit), skipping the
+  /// configuration pass entirely. The plan's topology must match. node() is
+  /// unavailable on this path — the whole point is that no nodes exist.
+  void configure(std::shared_ptr<const CollectivePlan> plan) {
+    KYLIX_CHECK(plan != nullptr);
+    KYLIX_CHECK_MSG(
+        plan->topology().num_machines() == topo_.num_machines() &&
+            std::equal(plan->topology().degrees().begin(),
+                       plan->topology().degrees().end(),
+                       topo_.degrees().begin(), topo_.degrees().end()),
+        "adopted plan was compiled for a different topology");
+    mode_ = Mode::kNone;
+    nodes_.clear();
+    plan_ = std::move(plan);
+    executor_.bind(engine_, plan_, compute_);
+    mode_ = Mode::kPlan;
+  }
+
+  /// Cache-aware configure: fingerprint the sets, adopt on a hit, compile
+  /// and insert on a miss. Returns true iff the cache served the plan.
+  bool configure_cached(PlanCache& cache, std::vector<KeySet> in_sets,
+                        std::vector<KeySet> out_sets) {
+    const std::uint64_t fp = PlanCache::fingerprint(in_sets, out_sets);
+    if (std::shared_ptr<const CollectivePlan> plan = cache.find(fp)) {
+      configure(std::move(plan));
+      return true;
+    }
+    cache.insert(compile(std::move(in_sets), std::move(out_sets)));
+    return false;
+  }
+
+  /// The plan the last configure()/compile() produced or adopted (null
+  /// before any, and untouched by reduce_with_config()).
+  [[nodiscard]] const std::shared_ptr<const CollectivePlan>& plan() const {
+    return plan_;
   }
 
   /// Step 2: push contributions down and pull requested values back up.
   /// `out_values[r]` aligns with the key order of machine r's out set;
   /// the result[r] aligns with the key order of machine r's in set.
-  /// Reusable: call any number of times after one configure().
+  /// Reusable: call any number of times after one configure(). Plan-based
+  /// configurations replay the compiled schedule (no routing state is
+  /// touched); after reduce_with_config() the retained nodes re-reduce.
   [[nodiscard]] std::vector<std::vector<V>> reduce(
       std::vector<std::vector<V>> out_values) {
+    if (mode_ == Mode::kPlan) return executor_.reduce(std::move(out_values));
     // Dead ranks never configure (degraded completion), so the precondition
     // is that some alive node finished configuring.
-    KYLIX_CHECK_MSG(std::any_of(nodes_.begin(), nodes_.end(),
-                                [](const Node& n) { return n.configured(); }),
+    KYLIX_CHECK_MSG(mode_ == Mode::kCombined &&
+                        std::any_of(nodes_.begin(), nodes_.end(),
+                                    [](const Node& n) {
+                                      return n.configured();
+                                    }),
                     "reduce() before configure()");
     load_values(std::move(out_values));
     for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
@@ -75,12 +157,24 @@ class SparseAllreduce {
     return run_up_pass();
   }
 
+  /// Multi-payload replay: reduce `stride` value vectors through one pass.
+  /// `out_values[r]` interleaves the payloads key-major (the stride values
+  /// of contributed key p occupy [p*stride, (p+1)*stride)); results use the
+  /// same layout over requested keys. Bit-identical to `stride` independent
+  /// reduce() calls per component. Requires a plan-based configuration.
+  [[nodiscard]] std::vector<std::vector<V>> reduce_strided(
+      std::vector<std::vector<V>> out_values, std::uint32_t stride) {
+    KYLIX_CHECK_MSG(mode_ == Mode::kPlan,
+                    "reduce_strided() requires a compiled plan");
+    return executor_.reduce_strided(std::move(out_values), stride);
+  }
+
   /// Combined configuration + reduction (minibatch mode): config messages
   /// carry values, so the separate downward value pass disappears.
   [[nodiscard]] std::vector<std::vector<V>> reduce_with_config(
       std::vector<KeySet> in_sets, std::vector<KeySet> out_sets,
       std::vector<std::vector<V>> out_values) {
-    combined_mode_ = true;
+    mode_ = Mode::kCombined;
     build_nodes(std::move(in_sets), std::move(out_sets));
     load_values(std::move(out_values));
     for (Node& node : nodes_) node.set_combined(true);
@@ -94,8 +188,12 @@ class SparseAllreduce {
   }
 
   /// Machine r's node, for tests and volume introspection (Fig. 5 reads the
-  /// per-layer set sizes off these).
+  /// per-layer set sizes off these). Unavailable after adopting a
+  /// precompiled plan (no nodes exist on that path — read the plan instead).
   [[nodiscard]] const KylixNode<V, Op>& node(rank_t rank) const {
+    KYLIX_CHECK_MSG(rank < nodes_.size(),
+                    "node() unavailable: configuration was adopted from a "
+                    "precompiled plan");
     return nodes_[rank];
   }
 
@@ -103,8 +201,25 @@ class SparseAllreduce {
   /// measured per-node elements P_i entering communication layer i is
   /// entry i-1, and the last entry is the fully reduced bottom. This is the
   /// measured column of the run report's D_i / P_i comparison (src/obs).
+  /// Served from the nodes when they exist, from the adopted plan otherwise.
   [[nodiscard]] std::vector<double> measured_layer_elements() const {
-    KYLIX_CHECK_MSG(!nodes_.empty(), "no configured nodes to measure");
+    if (nodes_.empty()) {
+      KYLIX_CHECK_MSG(plan_ != nullptr, "no configured state to measure");
+      std::vector<double> mean(topo_.num_layers() + 1, 0.0);
+      rank_t alive = 0;
+      for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+        const RankPlan& rp = plan_->rank_plan(r);
+        if (!rp.configured || engine_->is_dead(r)) continue;
+        ++alive;
+        for (std::uint16_t i = 0; i <= topo_.num_layers(); ++i) {
+          mean[i] += static_cast<double>(rp.out_sizes[i]);
+        }
+      }
+      if (alive > 0) {
+        for (double& v : mean) v /= static_cast<double>(alive);
+      }
+      return mean;
+    }
     std::vector<double> mean(topo_.num_layers() + 1, 0.0);
     rank_t alive = 0;
     for (const Node& node : nodes_) {
@@ -162,11 +277,27 @@ class SparseAllreduce {
       std::sort(rep.inputs_lost.begin(), rep.inputs_lost.end());
       prune_ranges(rep.degraded_ranges);
       // Requested indices that resolved to no surviving contributor, per
-      // alive requester and globally (sorted, deduplicated).
-      rep.lost_keys_per_rank.resize(nodes_.size());
-      for (rank_t r = 0; r < nodes_.size(); ++r) {
-        if (engine_->is_dead(r) || !nodes_[r].configured()) continue;
-        for (const key_t key : nodes_[r].missing_bottom_keys()) {
+      // alive requester and globally (sorted, deduplicated). Per-rank state
+      // comes from the nodes when they exist, from the adopted plan's
+      // frozen copies otherwise.
+      const bool from_plan = nodes_.empty() && plan_ != nullptr;
+      const rank_t m = topo_.num_machines();
+      const auto rank_configured = [&](rank_t r) {
+        return from_plan ? plan_->rank_plan(r).configured
+                         : (r < nodes_.size() && nodes_[r].configured());
+      };
+      const auto rank_missing =
+          [&](rank_t r) -> const std::vector<key_t>& {
+        return from_plan ? plan_->rank_plan(r).missing_bottom
+                         : nodes_[r].missing_bottom_keys();
+      };
+      const auto rank_in0 = [&](rank_t r) -> const KeySet& {
+        return from_plan ? plan_->rank_plan(r).in0 : nodes_[r].in_set(0);
+      };
+      rep.lost_keys_per_rank.resize(m);
+      for (rank_t r = 0; r < m; ++r) {
+        if (engine_->is_dead(r) || !rank_configured(r)) continue;
+        for (const key_t key : rank_missing(r)) {
           rep.lost_keys.push_back(key);
         }
       }
@@ -174,9 +305,9 @@ class SparseAllreduce {
       rep.lost_keys.erase(
           std::unique(rep.lost_keys.begin(), rep.lost_keys.end()),
           rep.lost_keys.end());
-      for (rank_t r = 0; r < nodes_.size(); ++r) {
-        if (engine_->is_dead(r) || !nodes_[r].configured()) continue;
-        const KeySet& in0 = nodes_[r].in_set(0);
+      for (rank_t r = 0; r < m; ++r) {
+        if (engine_->is_dead(r) || !rank_configured(r)) continue;
+        const KeySet& in0 = rank_in0(r);
         for (std::size_t p = 0; p < in0.size(); ++p) {
           const key_t key = in0[p];
           if (rep.covers(key) ||
@@ -293,8 +424,23 @@ class SparseAllreduce {
   /// inputs_lost, not by a range).
   [[nodiscard]] std::uint16_t record_node_layer(const DeathRecord& d) const {
     if (d.phase == Phase::kReduceUp) return d.layer;
-    if (d.phase == Phase::kConfig && !combined_mode_) return d.layer;
+    if (d.phase == Phase::kConfig && mode_ != Mode::kCombined) return d.layer;
     return std::max<std::uint16_t>(d.layer, 2) - 1;
+  }
+
+  /// Freeze the union-kernel choices the configuration pass dispatched
+  /// with, sized by the measured per-layer union volume (autotune's
+  /// union_kernel_plan — the same heuristic union_into consults).
+  void freeze_union_kernels(CollectivePlan& plan) const {
+    const std::uint16_t l = topo_.num_layers();
+    if (l == 0 || nodes_.empty()) return;
+    const std::vector<double> mean = measured_layer_elements();
+    // Elements entering communication layer i — what one node unions there.
+    std::vector<double> layer_elements(l, 0.0);
+    for (std::uint16_t i = 1; i <= l; ++i) {
+      layer_elements[i - 1] = mean[i - 1];
+    }
+    plan.set_union_kernels(union_kernel_plan(topo_, layer_elements));
   }
 
   /// True iff `inner` ⊆ `outer` (hi == 0 with lo != 0 means "up to 2^64").
@@ -340,12 +486,18 @@ class SparseAllreduce {
     engine_->charge_compute(phase, layer, node.rank(), seconds);
   }
 
+  /// How the allreduce was last configured: plan-based configurations
+  /// replay through the executor; combined mode re-reduces the nodes.
+  enum class Mode { kNone, kPlan, kCombined };
+
   Engine* engine_;
   Topology topo_;
   const ComputeModel* compute_;
-  bool combined_mode_ = false;  ///< last run was reduce_with_config()
+  Mode mode_ = Mode::kNone;
   std::vector<Node> nodes_;
   std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes
+  std::shared_ptr<const CollectivePlan> plan_;
+  ReduceExecutor<V, Op, Engine> executor_;
 };
 
 }  // namespace kylix

@@ -1,0 +1,311 @@
+// ReduceExecutor — value-only replay of a compiled CollectivePlan.
+//
+// The executor is the mutable half of the plan/executor split: it binds an
+// engine and per-rank value buffers to an immutable plan and replays the
+// frozen schedule. A replayed reduce touches no routing state — no nodes are
+// rebuilt, no sets are unioned, no splits recomputed — and performs the
+// exact same kernel calls in the exact same order as the node-driven path
+// (slice by out_split, scatter_combine by out_maps in ascending sender
+// digit, bottom gather by bottom_map, gather by in_maps, concatenate by
+// in_split), so results, traces, and modeled timing are bit-identical to
+// configure()+reduce() on every engine.
+//
+// Multi-payload: reduce_strided() pushes `stride` value vectors, interleaved
+// key-major, through one replay. Every piece carries stride x the configured
+// elements; keys are never resent. The strided kernels apply the reduction
+// op per component in the same order a stride-1 replay would, so a strided
+// reduce of k payloads is bit-identical to k independent reduces.
+//
+// Allocation discipline: per-rank ExecState mirrors NodeScratch's buffer
+// economy (letter shells per layer, recycled value pools, ping-pong
+// merge/below buffers), so warm replays allocate nothing in the rounds and
+// stay within the same m+1 API-boundary budget as the node path
+// (tests/core/alloc_test).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cluster/netmodel.hpp"
+#include "comm/packet.hpp"
+#include "core/node.hpp"  // NodeWork + the kernels the replay must mirror
+#include "core/plan.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+template <typename V, typename Op = OpSum, typename Engine = void>
+class ReduceExecutor {
+ public:
+  ReduceExecutor() = default;
+
+  /// Bind to `engine` (not owned, must outlive the executor) and `plan`.
+  /// Rebinding to the same plan is a no-op; a different plan keeps the
+  /// warmed buffers (they only ever grow). `compute` is optional.
+  void bind(Engine* engine, std::shared_ptr<const CollectivePlan> plan,
+            const ComputeModel* compute = nullptr) {
+    KYLIX_CHECK(engine != nullptr && plan != nullptr);
+    KYLIX_CHECK_MSG(engine->num_ranks() == plan->topology().num_machines(),
+                    "engine/plan machine count mismatch");
+    KYLIX_CHECK_MSG(plan->any_configured(),
+                    "plan holds no configured rank to replay");
+    engine_ = engine;
+    compute_ = compute;
+    if (plan_ == plan) return;
+    plan_ = std::move(plan);
+    const std::uint16_t l = plan_->topology().num_layers();
+    if (state_.size() < plan_->num_ranks()) state_.resize(plan_->num_ranks());
+    for (ExecState& s : state_) {
+      if (s.letters.size() < l) s.letters.resize(l);
+    }
+  }
+
+  [[nodiscard]] bool bound() const { return plan_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<const CollectivePlan>& plan() const {
+    return plan_;
+  }
+
+  /// Replay one reduce. `out_values[r]` aligns with rank r's contributed
+  /// key order; result[r] aligns with its requested key order. Dead or
+  /// plan-unconfigured ranks yield empty results.
+  [[nodiscard]] std::vector<std::vector<V>> reduce(
+      std::vector<std::vector<V>> out_values) {
+    return reduce_strided(std::move(out_values), 1);
+  }
+
+  /// Replay one reduce moving `stride` payloads at once: `out_values[r]`
+  /// holds stride values per contributed key, interleaved key-major
+  /// (the stride values of key p occupy [p*stride, (p+1)*stride)); the
+  /// result uses the same layout over the requested keys.
+  [[nodiscard]] std::vector<std::vector<V>> reduce_strided(
+      std::vector<std::vector<V>> out_values, std::uint32_t stride) {
+    KYLIX_CHECK(bound());
+    KYLIX_CHECK(stride >= 1);
+    KYLIX_CHECK(out_values.size() == plan_->num_ranks());
+    stride_ = stride;
+    const Topology& topo = plan_->topology();
+    const std::uint16_t l = topo.num_layers();
+    for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+      // Recovery-capable engines price group deaths by input mass; noted
+      // for dead and unconfigured ranks too, exactly as the node path's
+      // load_values does — a dead-from-start group's mass IS the loss.
+      if constexpr (std::is_arithmetic_v<V> &&
+                    requires(Engine& e) { e.note_input_mass(r, 0.0); }) {
+        double mass = 0.0;
+        for (const V& v : out_values[r]) {
+          mass += std::abs(static_cast<double>(v));
+        }
+        engine_->note_input_mass(r, mass);
+      }
+      const RankPlan& rp = plan_->rank_plan(r);
+      if (!rp.configured) {
+        // A rank the plan does not cover died during compilation; it can
+        // only replay if it is still dead (same FaultPlan semantics as the
+        // node path, where an unconfigured node never produces).
+        KYLIX_CHECK_MSG(engine_->is_dead(r),
+                        "alive rank not covered by the bound plan");
+        continue;
+      }
+      KYLIX_CHECK_MSG(out_values[r].size() == rp.out0_size * stride_,
+                      "contribution length does not match plan out set");
+      ExecState& s = state_[r];
+      refill(s.value_pool, s.v);
+      s.v.assign(out_values[r].begin(), out_values[r].end());
+      recycle(s.value_pool, out_values[r]);
+    }
+    for (std::uint16_t layer = 1; layer <= l; ++layer) {
+      run_round(Phase::kReduceDown, layer,
+                &ReduceExecutor::down_produce, &ReduceExecutor::down_consume);
+    }
+    for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+      if (engine_->is_dead(r) || !plan_->rank_plan(r).configured) continue;
+      begin_up(r);
+      charge(Phase::kReduceDown, l, r);
+    }
+    for (std::uint16_t layer = l; layer >= 1; --layer) {
+      run_round(Phase::kReduceUp, layer,
+                &ReduceExecutor::up_produce, &ReduceExecutor::up_consume);
+    }
+    std::vector<std::vector<V>> results(plan_->num_ranks());
+    for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+      if (!engine_->is_dead(r) && plan_->rank_plan(r).configured) {
+        results[r] = std::move(state_[r].vin);
+      }
+    }
+    return results;
+  }
+
+ private:
+  /// Mutable per-rank replay state; same buffer economy as NodeScratch.
+  struct ExecState {
+    std::vector<std::vector<Letter<V>>> letters;  ///< per comm layer shells
+    std::vector<std::vector<V>> value_pool;       ///< recycled packet buffers
+    std::vector<V> v;       ///< downward (scatter-reduce) buffer
+    std::vector<V> vin;     ///< upward (allgather) buffer
+    std::vector<V> merged;  ///< ping-pong partner
+    NodeWork work;
+  };
+
+  std::vector<Letter<V>>& down_produce(rank_t r, std::uint16_t layer) {
+    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
+    ExecState& s = state_[r];
+    std::vector<Letter<V>>& letters = s.letters[layer - 1];
+    letters.resize(cfg.group.size());
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      Letter<V>& letter = letters[q];
+      letter.src = r;
+      letter.dst = cfg.group[q];
+      letter.packet.in_keys.clear();
+      letter.packet.out_keys.clear();
+      letter.packet.stride = stride_;
+      refill(s.value_pool, letter.packet.values);
+      letter.packet.values.assign(
+          s.v.begin() +
+              static_cast<std::ptrdiff_t>(cfg.out_split[q] * stride_),
+          s.v.begin() +
+              static_cast<std::ptrdiff_t>(cfg.out_split[q + 1] * stride_));
+      s.work.gather_elements +=
+          static_cast<double>(letter.packet.values.size());
+    }
+    return letters;
+  }
+
+  void down_consume(rank_t r, std::uint16_t layer,
+                    std::vector<Letter<V>>&& inbox) {
+    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
+    ExecState& s = state_[r];
+    std::vector<V>& merged = s.merged;
+    merged.assign(cfg.out_union_size * stride_, Op::template identity<V>());
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q =
+          plan_->topology().digit(layer, letter.src);
+      KYLIX_CHECK_MSG(
+          letter.packet.values.size() == cfg.recv_out_sizes[q] * stride_,
+          "reduce payload does not match planned piece size");
+      scatter_combine_strided<V, Op>(std::span<V>(merged),
+                                     std::span<const V>(letter.packet.values),
+                                     cfg.out_maps[q], stride_);
+      s.work.combine_elements +=
+          static_cast<double>(letter.packet.values.size());
+      recycle(s.value_pool, letter.packet.values);
+    }
+    std::swap(s.v, merged);
+  }
+
+  void begin_up(rank_t r) {
+    const RankPlan& rp = plan_->rank_plan(r);
+    ExecState& s = state_[r];
+    KYLIX_DCHECK(s.v.size() ==
+                 rp.out_sizes[plan_->topology().num_layers()] * stride_);
+    refill(s.value_pool, s.vin);
+    s.vin.reserve(std::max(rp.up_capacity, rp.bottom_map.size()) * stride_);
+    if (rp.missing_bottom.empty()) {
+      gather_strided_into(std::span<const V>(s.v), rp.bottom_map, stride_,
+                          s.vin);
+    } else {
+      // Degraded cold path: kMissingPos entries resolve to identity.
+      s.vin.clear();
+      for (const pos_t pos : rp.bottom_map) {
+        for (std::uint32_t c = 0; c < stride_; ++c) {
+          s.vin.push_back(pos == kMissingPos
+                              ? Op::template identity<V>()
+                              : s.v[pos * stride_ + c]);
+        }
+      }
+    }
+    s.work.gather_elements += static_cast<double>(rp.bottom_map.size());
+  }
+
+  std::vector<Letter<V>>& up_produce(rank_t r, std::uint16_t layer) {
+    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
+    ExecState& s = state_[r];
+    std::vector<Letter<V>>& letters = s.letters[layer - 1];
+    letters.resize(cfg.group.size());
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      Letter<V>& letter = letters[q];
+      letter.src = r;
+      letter.dst = cfg.group[q];
+      letter.packet.in_keys.clear();
+      letter.packet.out_keys.clear();
+      letter.packet.stride = stride_;
+      refill(s.value_pool, letter.packet.values);
+      gather_strided_into(std::span<const V>(s.vin), cfg.in_maps[q], stride_,
+                          letter.packet.values);
+      s.work.gather_elements +=
+          static_cast<double>(letter.packet.values.size());
+    }
+    return letters;
+  }
+
+  void up_consume(rank_t r, std::uint16_t layer,
+                  std::vector<Letter<V>>&& inbox) {
+    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
+    ExecState& s = state_[r];
+    std::vector<V>& below = s.merged;
+    below.assign(cfg.in_prev_size * stride_, Op::template identity<V>());
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q =
+          plan_->topology().digit(layer, letter.src);
+      const std::size_t first = cfg.in_split[q] * stride_;
+      KYLIX_CHECK_MSG(letter.packet.values.size() ==
+                          (cfg.in_split[q + 1] - cfg.in_split[q]) * stride_,
+                      "allgather payload does not match planned piece size");
+      std::copy(letter.packet.values.begin(), letter.packet.values.end(),
+                below.begin() + static_cast<std::ptrdiff_t>(first));
+      recycle(s.value_pool, letter.packet.values);
+    }
+    std::swap(s.vin, below);
+  }
+
+  template <typename ProduceFn, typename ConsumeFn>
+  void run_round(Phase phase, std::uint16_t layer, ProduceFn produce,
+                 ConsumeFn consume) {
+    engine_->round(
+        phase, layer,
+        [&](rank_t r) -> std::vector<Letter<V>>& {
+          return (this->*produce)(r, layer);
+        },
+        [&](rank_t r) -> const std::vector<rank_t>& {
+          return plan_->rank_plan(r).layers[layer - 1].group;
+        },
+        [&](rank_t r, std::vector<Letter<V>>&& inbox) {
+          (this->*consume)(r, layer, std::move(inbox));
+          charge(phase, layer, r);
+        });
+  }
+
+  void charge(Phase phase, std::uint16_t layer, rank_t r) {
+    const NodeWork work = std::exchange(state_[r].work, NodeWork{});
+    if (compute_ == nullptr || layer == 0) return;
+    const double seconds =
+        compute_->merge_time(work.merge_elements, work.merge_ways) +
+        compute_->combine_time(work.combine_elements) +
+        compute_->gather_time(work.gather_elements);
+    engine_->charge_compute(phase, layer, r, seconds);
+  }
+
+  template <typename T>
+  static void refill(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() == 0 && !pool.empty()) {
+      buf = std::move(pool.back());
+      pool.pop_back();
+      buf.clear();
+    }
+  }
+  template <typename T>
+  static void recycle(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() > 0) pool.push_back(std::move(buf));
+  }
+
+  Engine* engine_ = nullptr;
+  const ComputeModel* compute_ = nullptr;
+  std::shared_ptr<const CollectivePlan> plan_;
+  std::uint32_t stride_ = 1;
+  std::vector<ExecState> state_;
+};
+
+}  // namespace kylix

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "comm/packet.hpp"
+#include "core/plan.hpp"
 #include "core/topology.hpp"
 #include "sparse/merge.hpp"
 #include "sparse/ops.hpp"
@@ -395,6 +396,39 @@ class KylixNode {
     return std::exchange(work_, NodeWork{});
   }
 
+  /// Freeze this node's configured routing state into a plan slot
+  /// (core/plan.hpp). Copies — the node stays usable for introspection and
+  /// further reduces. Requires finish_configure() to have run.
+  void freeze_into(RankPlan& out) const {
+    KYLIX_CHECK(configured_);
+    const std::uint16_t l = topo_->num_layers();
+    out.configured = true;
+    out.in0 = in_sets_[0];
+    out.out0_size = out_sets_[0].size();
+    out.in_sizes.resize(l + 1);
+    out.out_sizes.resize(l + 1);
+    for (std::uint16_t i = 0; i <= l; ++i) {
+      out.in_sizes[i] = in_sets_[i].size();
+      out.out_sizes[i] = out_sets_[i].size();
+    }
+    out.layers.resize(l);
+    for (std::uint16_t i = 1; i <= l; ++i) {
+      const LayerCfg& cfg = layers_[i - 1];
+      PlanLayer& frozen = out.layers[i - 1];
+      frozen.group = cfg.group;
+      frozen.in_split = cfg.in_split;
+      frozen.out_split = cfg.out_split;
+      frozen.in_maps = cfg.in_maps;
+      frozen.out_maps = cfg.out_maps;
+      frozen.recv_out_sizes = cfg.recv_out_sizes;
+      frozen.out_union_size = out_sets_[i].size();
+      frozen.in_prev_size = in_sets_[i - 1].size();
+    }
+    out.bottom_map = bottom_map_;
+    out.missing_bottom = missing_bottom_;
+    out.up_capacity = up_capacity_;
+  }
+
  private:
   struct LayerCfg {
     std::vector<rank_t> group;  ///< group members == expected senders
@@ -434,8 +468,8 @@ class KylixNode {
     return spans;
   }
 
-  /// Sentinel in bottom_map_ for an in-key with no surviving contributor.
-  static constexpr pos_t kMissingPos = std::numeric_limits<pos_t>::max();
+  // kMissingPos (common/types.hpp) marks bottom_map_ entries for in-keys
+  // with no surviving contributor; the plan executor shares the sentinel.
 
   const Topology* topo_;
   rank_t rank_;

@@ -1,0 +1,105 @@
+#include "core/plan.hpp"
+
+#include "comm/packet.hpp"
+#include "common/hash.hpp"
+
+namespace kylix {
+
+std::vector<double> CollectivePlan::mean_layer_elements() const {
+  std::vector<double> mean(topo_.num_layers() + 1, 0.0);
+  rank_t alive = 0;
+  for (const RankPlan& r : ranks_) {
+    if (!r.configured) continue;
+    ++alive;
+    for (std::size_t i = 0; i < r.out_sizes.size() && i < mean.size(); ++i) {
+      mean[i] += static_cast<double>(r.out_sizes[i]);
+    }
+  }
+  if (alive > 0) {
+    for (double& v : mean) v /= static_cast<double>(alive);
+  }
+  return mean;
+}
+
+std::vector<ScheduledMessage> CollectivePlan::message_schedule() const {
+  std::vector<ScheduledMessage> schedule;
+  const std::uint16_t l = topo_.num_layers();
+  // Downward phases in round order, then the upward retrace, matching the
+  // order SparseAllreduce/ReduceExecutor drive the engine.
+  for (std::uint16_t layer = 1; layer <= l; ++layer) {
+    for (rank_t r = 0; r < ranks_.size(); ++r) {
+      const RankPlan& rp = ranks_[r];
+      if (!rp.configured) continue;
+      const PlanLayer& cfg = rp.layers[layer - 1];
+      for (std::size_t q = 0; q < cfg.group.size(); ++q) {
+        schedule.push_back(
+            {Phase::kConfig, layer, r, cfg.group[q],
+             (cfg.in_split[q + 1] - cfg.in_split[q]) +
+                 (cfg.out_split[q + 1] - cfg.out_split[q])});
+      }
+    }
+  }
+  for (std::uint16_t layer = 1; layer <= l; ++layer) {
+    for (rank_t r = 0; r < ranks_.size(); ++r) {
+      const RankPlan& rp = ranks_[r];
+      if (!rp.configured) continue;
+      const PlanLayer& cfg = rp.layers[layer - 1];
+      for (std::size_t q = 0; q < cfg.group.size(); ++q) {
+        schedule.push_back({Phase::kReduceDown, layer, r, cfg.group[q],
+                            cfg.out_split[q + 1] - cfg.out_split[q]});
+      }
+    }
+  }
+  for (std::uint16_t layer = l; layer >= 1; --layer) {
+    for (rank_t r = 0; r < ranks_.size(); ++r) {
+      const RankPlan& rp = ranks_[r];
+      if (!rp.configured) continue;
+      const PlanLayer& cfg = rp.layers[layer - 1];
+      for (std::size_t q = 0; q < cfg.group.size(); ++q) {
+        schedule.push_back({Phase::kReduceUp, layer, r, cfg.group[q],
+                            cfg.in_maps[q].size()});
+      }
+    }
+  }
+  return schedule;
+}
+
+std::uint64_t CollectivePlan::reduce_wire_bytes(std::size_t value_bytes,
+                                                std::uint32_t stride) const {
+  std::uint64_t bytes = 0;
+  const std::uint16_t l = topo_.num_layers();
+  for (const RankPlan& rp : ranks_) {
+    if (!rp.configured) continue;
+    for (std::uint16_t layer = 1; layer <= l; ++layer) {
+      const PlanLayer& cfg = rp.layers[layer - 1];
+      for (std::size_t q = 0; q < cfg.group.size(); ++q) {
+        const std::uint64_t down = cfg.out_split[q + 1] - cfg.out_split[q];
+        const std::uint64_t up = cfg.in_maps[q].size();
+        bytes += 2 * kPacketHeaderBytes +
+                 (down + up) * value_bytes * std::uint64_t{stride};
+      }
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t fingerprint_key_sets(std::span<const KeySet> in_sets,
+                                   std::span<const KeySet> out_sets) {
+  // Seed separates role and shape: a workload where some rank's in and out
+  // sets swap must not collide. Keys are already well-mixed (splitmix64
+  // outputs), so one mix per key suffices to make the chain order-sensitive.
+  std::uint64_t h = mix64(0x6b796c6978ULL ^ (in_sets.size() << 1) ^
+                          out_sets.size());
+  for (const KeySet& set : in_sets) {
+    h = mix64(h ^ set.size());
+    for (const key_t key : set) h = mix64(h ^ key);
+  }
+  h = mix64(h ^ 0x9e3779b97f4a7c15ULL);
+  for (const KeySet& set : out_sets) {
+    h = mix64(h ^ set.size());
+    for (const key_t key : set) h = mix64(h ^ key);
+  }
+  return h == 0 ? 1 : h;  // reserve 0 for "no fingerprint"
+}
+
+}  // namespace kylix

@@ -1,0 +1,51 @@
+#include "core/plan_cache.hpp"
+
+namespace kylix {
+
+PlanCache::PlanCache(std::size_t capacity, obs::MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (metrics != nullptr) {
+    hit_counter_ = &metrics->counter("plan_cache.hits");
+    miss_counter_ = &metrics->counter("plan_cache.misses");
+    evict_counter_ = &metrics->counter("plan_cache.evictions");
+  }
+  // Reserve the map up front so warm-path inserts up to capacity don't
+  // rehash (and hits never touch the allocator at all).
+  entries_.reserve(capacity_ + 1);
+}
+
+std::shared_ptr<const CollectivePlan> PlanCache::find(
+    std::uint64_t fingerprint) {
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->add();
+    return nullptr;
+  }
+  ++hits_;
+  if (hit_counter_ != nullptr) hit_counter_->add();
+  lru_.splice(lru_.begin(), lru_, it->second);  // relink only, no allocation
+  return it->second->plan;
+}
+
+void PlanCache::insert(std::shared_ptr<const CollectivePlan> plan) {
+  KYLIX_CHECK(plan != nullptr);
+  const std::uint64_t fp = plan->fingerprint();
+  if (fp == 0) return;  // anonymous plans are not addressable by key
+  const auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fp, std::move(plan)});
+  entries_[fp] = lru_.begin();
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+    if (evict_counter_ != nullptr) evict_counter_->add();
+  }
+}
+
+}  // namespace kylix

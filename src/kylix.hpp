@@ -35,7 +35,10 @@
 #include "core/allreduce.hpp"       // IWYU pragma: export
 #include "core/autotune.hpp"        // IWYU pragma: export
 #include "core/degraded.hpp"        // IWYU pragma: export
+#include "core/executor.hpp"        // IWYU pragma: export
 #include "core/node.hpp"            // IWYU pragma: export
+#include "core/plan.hpp"            // IWYU pragma: export
+#include "core/plan_cache.hpp"      // IWYU pragma: export
 #include "core/topology.hpp"        // IWYU pragma: export
 #include "obs/engine_obs.hpp"       // IWYU pragma: export
 #include "obs/json_writer.hpp"      // IWYU pragma: export

@@ -101,6 +101,86 @@ void gather(std::span<const V> values, std::span<const pos_t> map, V* out) {
   }
 }
 
+// ---- strided (multi-payload) forms ----------------------------------------
+//
+// A strided buffer interleaves `stride` payload vectors key-major: the
+// stride values of key position p occupy [p*stride, (p+1)*stride). One map
+// entry then routes a whole block, so k payloads share one positional
+// lookup (and, one level up, one set of routing keys on the wire). The
+// per-component op order is exactly the order a stride-1 call would apply
+// for that component, so a strided reduce is bit-identical to k independent
+// reduces. stride == 1 degrades to the plain kernels above.
+
+/// acc[map[p]*stride + c] = op(acc[map[p]*stride + c], values[p*stride + c])
+/// for all p in ascending order and all c < stride.
+template <typename V, typename Op>
+void scatter_combine_strided(std::span<V> acc, std::span<const V> values,
+                             std::span<const pos_t> map, std::size_t stride,
+                             Op op = {}) {
+  if (stride == 1) {
+    scatter_combine<V, Op>(acc, values, map, op);
+    return;
+  }
+  KYLIX_CHECK(values.size() == map.size() * stride);
+  const std::size_t n = map.size();
+  const pos_t* m = map.data();
+  const V* v = values.data();
+  V* a = acc.data();
+  std::size_t p = 0;
+  if (n > kPrefetchAhead) {
+    const std::size_t fenced = n - kPrefetchAhead;
+    for (; p < fenced; ++p) {
+      KYLIX_PREFETCH_WRITE(a + static_cast<std::size_t>(m[p + kPrefetchAhead]) *
+                                   stride);
+      KYLIX_DCHECK((static_cast<std::size_t>(m[p]) + 1) * stride <=
+                   acc.size());
+      V* block = a + static_cast<std::size_t>(m[p]) * stride;
+      const V* src = v + p * stride;
+      for (std::size_t c = 0; c < stride; ++c) op(block[c], src[c]);
+    }
+  }
+  for (; p < n; ++p) {
+    KYLIX_DCHECK((static_cast<std::size_t>(m[p]) + 1) * stride <= acc.size());
+    V* block = a + static_cast<std::size_t>(m[p]) * stride;
+    const V* src = v + p * stride;
+    for (std::size_t c = 0; c < stride; ++c) op(block[c], src[c]);
+  }
+}
+
+/// out[p*stride + c] = values[map[p]*stride + c]; `out` must already have
+/// map.size() * stride elements.
+template <typename V>
+void gather_strided(std::span<const V> values, std::span<const pos_t> map,
+                    std::size_t stride, V* out) {
+  if (stride == 1) {
+    gather<V>(values, map, out);
+    return;
+  }
+  const std::size_t n = map.size();
+  const pos_t* m = map.data();
+  const V* v = values.data();
+  std::size_t p = 0;
+  if (n > kPrefetchAhead) {
+    const std::size_t fenced = n - kPrefetchAhead;
+    for (; p < fenced; ++p) {
+      KYLIX_PREFETCH_READ(v + static_cast<std::size_t>(m[p + kPrefetchAhead]) *
+                                  stride);
+      KYLIX_DCHECK((static_cast<std::size_t>(m[p]) + 1) * stride <=
+                   values.size());
+      const V* block = v + static_cast<std::size_t>(m[p]) * stride;
+      V* dst = out + p * stride;
+      for (std::size_t c = 0; c < stride; ++c) dst[c] = block[c];
+    }
+  }
+  for (; p < n; ++p) {
+    KYLIX_DCHECK((static_cast<std::size_t>(m[p]) + 1) * stride <=
+                 values.size());
+    const V* block = v + static_cast<std::size_t>(m[p]) * stride;
+    V* dst = out + p * stride;
+    for (std::size_t c = 0; c < stride; ++c) dst[c] = block[c];
+  }
+}
+
 /// Scalar reference forms, kept for bench/micro_kernels to measure the
 /// prefetched kernels against (and for tests to assert equivalence).
 template <typename V, typename Op>

@@ -84,6 +84,23 @@ std::vector<V> gather(std::span<const V> values, const PosMap& map) {
   return out;
 }
 
+/// Strided multi-payload forms: `stride` value vectors interleaved key-major
+/// share one positional map (kernels/scatter_gather.hpp; bit-identical to
+/// `stride` independent stride-1 calls per component).
+template <typename V, typename Op>
+void scatter_combine_strided(std::span<V> acc, std::span<const V> values,
+                             const PosMap& map, std::size_t stride,
+                             Op op = {}) {
+  kernels::scatter_combine_strided<V, Op>(acc, values, map, stride, op);
+}
+
+template <typename V>
+void gather_strided_into(std::span<const V> values, const PosMap& map,
+                         std::size_t stride, std::vector<V>& out) {
+  out.resize(map.size() * stride);
+  kernels::gather_strided<V>(values, map, stride, out.data());
+}
+
 /// A sparse vector at the API boundary: aligned (sorted keys, values).
 template <typename V>
 struct SparseVector {

@@ -69,6 +69,41 @@ INSTANTIATE_TEST_SUITE_P(
                       std::vector<std::uint32_t>{4, 2},  // kylix shape
                       std::vector<std::uint32_t>{2, 2, 2}));
 
+TEST(PageRank, SecondRunAdoptsCachedPlanAndMatchesBitForBit) {
+  // Same partitions => same {in, out} fingerprint: run 1 compiles and
+  // inserts, run 2 adopts the plan (skipping configuration) and must
+  // produce identical ranks to a cache-less run.
+  const Topology topo({4, 2});
+  const auto edges = generate_rmat(10, 12000, 61);
+  const auto parts = random_edge_partition(edges, 8, 62);
+  PlanCache cache(4);
+
+  Engine plain_engine(8);
+  DistributedPageRank<Engine> plain(&plain_engine, topo, parts, 1u << 10);
+  (void)plain.run({.damping = 0.85, .iterations = 5});
+
+  Engine miss_engine(8);
+  DistributedPageRank<Engine> first(&miss_engine, topo, parts, 1u << 10,
+                                    nullptr, nullptr, &cache);
+  EXPECT_FALSE(first.plan_cache_hit());
+  (void)first.run({.damping = 0.85, .iterations = 5});
+  EXPECT_EQ(cache.size(), 1u);
+
+  Engine hit_engine(8);
+  DistributedPageRank<Engine> second(&hit_engine, topo, parts, 1u << 10,
+                                     nullptr, nullptr, &cache);
+  EXPECT_TRUE(second.plan_cache_hit());
+  (void)second.run({.damping = 0.85, .iterations = 5});
+  for (rank_t r = 0; r < 8; ++r) {
+    const auto expected = plain.machine_values(r);
+    const auto cached = second.machine_values(r);
+    ASSERT_EQ(cached.size(), expected.size());
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+      EXPECT_EQ(cached[p], expected[p]) << "machine " << r << " pos " << p;
+    }
+  }
+}
+
 TEST(PageRank, ResidualShrinksAcrossIterations) {
   const Topology topo({4, 2});
   const auto edges = generate_rmat(11, 20000, 55);

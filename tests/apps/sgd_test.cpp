@@ -54,6 +54,40 @@ TEST(DistributedSgd, DeterministicAcrossRuns) {
   EXPECT_EQ(first, second);
 }
 
+TEST(DistributedSgd, PlanReuseWithCyclingBatchesHitsCacheAndStillLearns) {
+  // With distinct_batches = 4, step t's {in, out} fingerprint repeats with
+  // period 4: the first cycle misses, every later step replays a cached
+  // plan — and training still converges like the combined mode.
+  const Topology topo({4, 2});
+  Engine engine(topo.num_machines());
+  auto options = small_options();
+  options.reuse_plans = true;
+  options.distinct_batches = 4;
+  DistributedSgd<Engine> sgd(&engine, topo, options);
+  const auto stats = sgd.run();
+  ASSERT_EQ(stats.size(), 25u);
+  for (std::size_t step = 0; step < stats.size(); ++step) {
+    EXPECT_EQ(stats[step].plan_cache_hit, step >= 4) << "step " << step;
+  }
+  double early = 0;
+  double late = 0;
+  for (int i = 0; i < 5; ++i) early += stats[i].loss;
+  for (int i = 20; i < 25; ++i) late += stats[i].loss;
+  EXPECT_LT(late / 5, early / 5 * 0.9);
+}
+
+TEST(DistributedSgd, PlanReuseWithFreshBatchesNeverHits) {
+  const Topology topo({2, 2});
+  Engine engine(4);
+  auto options = small_options();
+  options.steps = 5;
+  options.reuse_plans = true;  // distinct_batches stays 0: fresh sets
+  DistributedSgd<Engine> sgd(&engine, topo, options);
+  for (const auto& step : sgd.run()) {
+    EXPECT_FALSE(step.plan_cache_hit);
+  }
+}
+
 TEST(DistributedSgd, HomeStoresStayConsistentWithTraining) {
   // After training, hot (head) features should have moved away from zero
   // toward the planted signal; weight() reads the authoritative store.

@@ -17,6 +17,7 @@
 #include "comm/replicated.hpp"
 #include "core/allreduce.hpp"
 #include "core/node.hpp"
+#include "core/plan_cache.hpp"
 #include "obs/engine_obs.hpp"
 #include "obs/span_tracer.hpp"
 #include "sparse/merge.hpp"
@@ -366,6 +367,107 @@ TEST(AllocHotPath, ReplicatedSteadyStateReduceStaysWithinBudget) {
   EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
 #endif
   EXPECT_EQ(first, second) << "steady-state replicated reduce not steady";
+}
+
+// Plan replay through an *adopted* plan (no nodes exist at all) obeys the
+// same API-boundary budget as the compiling allreduce: only the result
+// buffers that leave with the caller.
+TEST(AllocHotPath, AdoptedPlanReplayStaysWithinBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 17);
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&engine, topo);
+  const auto plan = compiler.compile(w.in_sets, w.out_sets);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> replayer(&engine, topo);
+  replayer.configure(plan);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)replayer.reduce(w.out_values);  // warm
+  }
+
+  const auto measure = [&] {
+    auto values = w.out_values;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = replayer.reduce(std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "adopted-plan replay is not steady";
+}
+
+// Multi-payload replay moves stride x the values through the same frozen
+// schedule; warm iterations must stay within the identical budget — the
+// payload count changes buffer sizes, never buffer counts.
+TEST(AllocHotPath, StridedPlanReplayStaysWithinBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const std::uint32_t stride = 3;
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 19);
+  std::vector<std::vector<float>> interleaved(m);
+  for (rank_t r = 0; r < m; ++r) {
+    interleaved[r].resize(w.out_values[r].size() * stride);
+    for (std::size_t p = 0; p < w.out_values[r].size(); ++p) {
+      for (std::uint32_t c = 0; c < stride; ++c) {
+        interleaved[r][p * stride + c] =
+            w.out_values[r][p] + static_cast<float>(c);
+      }
+    }
+  }
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce_strided(interleaved, stride);  // warm
+  }
+
+  const auto measure = [&] {
+    auto values = interleaved;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = allreduce.reduce_strided(std::move(values), stride);
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "strided replay is not steady";
+}
+
+// Serving a plan from the cache is pointer traffic only: the LRU refresh is
+// a list splice and the lookup a hash probe — no allocator contact. Nor
+// does re-adopting the plan an allreduce is already bound to.
+TEST(AllocHotPath, PlanCacheHitsAllocateNothing) {
+  const Topology topo({2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 500, 0.2, 0.3, 23);
+
+  BspEngine<float> engine(m);
+  PlanCache cache(4);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  const std::uint64_t fp = PlanCache::fingerprint(w.in_sets, w.out_sets);
+  cache.insert(allreduce.compile(w.in_sets, w.out_sets));
+
+  AllocGauge gauge;
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto plan = cache.find(fp);
+    ASSERT_NE(plan, nullptr);
+  }
+  auto plan = cache.find(fp);
+  allreduce.configure(std::move(plan));  // same-plan rebind: a no-op
+  EXPECT_EQ(gauge.count(), 0u) << "plan-cache hits hit the allocator";
+  EXPECT_EQ(cache.hits(), 101u);
 }
 
 TEST(AllocHotPath, RepeatedCombinedConfigReduceStabilizes) {

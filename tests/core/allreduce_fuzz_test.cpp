@@ -1,11 +1,14 @@
 // Randomized end-to-end fuzzing of the sparse allreduce: arbitrary degree
 // schedules, skewed and degenerate workloads, all reduction ops, both
 // separate and combined modes — every run checked against the brute-force
-// oracle.
+// oracle. The mode-equivalence suite additionally pins the three execution
+// paths to each other: reduce_with_config() == configure()+reduce() ==
+// cached-plan replay, bit for bit, across iterations.
 #include <gtest/gtest.h>
 
 #include "comm/bsp.hpp"
 #include "core/allreduce.hpp"
+#include "core/plan_cache.hpp"
 #include "powerlaw/zipf.hpp"
 #include "test_util.hpp"
 
@@ -47,6 +50,59 @@ TEST_P(AllreduceFuzzTest, RandomTopologyAndWorkloadMatchesOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllreduceFuzzTest,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+class ModeEquivalenceFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModeEquivalenceFuzzTest, AllThreePathsAgreeBitForBitAcrossIterations) {
+  // Per seed: random topology, then 4 iterations of changing values over
+  // changing set sequences. Iterations alternate between two workloads, so
+  // the cached-plan path sees misses (fresh sets) and real hits (repeats);
+  // every iteration asserts reduce_with_config == configure+reduce ==
+  // cached replay, element for element.
+  Rng rng(mix64(GetParam() + 5000));
+  const Topology topo(random_schedule(rng));
+  const rank_t m = topo.num_machines();
+  auto wa = testing::random_workload<float>(m, 20 + rng.below(200),
+                                            0.05 + rng.uniform() * 0.5,
+                                            0.05 + rng.uniform() * 0.7,
+                                            rng());
+  auto wb = testing::random_workload<float>(m, 20 + rng.below(200),
+                                            0.05 + rng.uniform() * 0.5,
+                                            0.05 + rng.uniform() * 0.7,
+                                            rng());
+  BspEngine<float> engine(m);
+  PlanCache cache(4);
+  SparseAllreduce<float, OpSum, BspEngine<float>> cached(&engine, topo);
+  std::uint64_t expected_hits = 0;
+  for (int iter = 0; iter < 4; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    auto& w = iter % 2 == 0 ? wa : wb;
+    for (auto& values : w.out_values) {
+      for (auto& v : values) v += static_cast<float>(iter);
+    }
+
+    SparseAllreduce<float, OpSum, BspEngine<float>> fresh(&engine, topo);
+    fresh.configure(w.in_sets, w.out_sets);
+    const auto separate = fresh.reduce(w.out_values);
+    testing::expect_matches_oracle<float>(w, separate);
+
+    SparseAllreduce<float, OpSum, BspEngine<float>> combined(&engine, topo);
+    EXPECT_EQ(
+        combined.reduce_with_config(w.in_sets, w.out_sets, w.out_values),
+        separate);
+
+    const bool hit = cached.configure_cached(cache, w.in_sets, w.out_sets);
+    EXPECT_EQ(hit, iter >= 2) << "set sequence repeats with period 2";
+    if (hit) ++expected_hits;
+    EXPECT_EQ(cached.reduce(w.out_values), separate);
+  }
+  EXPECT_EQ(cache.hits(), expected_hits);
+  EXPECT_EQ(cache.misses(), 4 - expected_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalenceFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
 
 class ZipfWorkloadFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
 };

@@ -96,6 +96,23 @@ TEST(Allreduce, BitOrOperatorMatchesOracle) {
   testing::expect_matches_oracle<std::uint64_t, OpBitOr>(w, results);
 }
 
+TEST(Allreduce, DoubleValuesMatchOracleAcrossModes) {
+  // V = double instantiation coverage: the plan, executor, and node paths
+  // are value-type templated and must agree with the oracle beyond float.
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<double>(m, 150, 0.2, 0.4, 60);
+  BspEngine<double> engine(m);
+  SparseAllreduce<double, OpSum, BspEngine<double>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto separate = allreduce.reduce(w.out_values);
+  testing::expect_matches_oracle<double>(w, separate);
+  SparseAllreduce<double, OpSum, BspEngine<double>> combined(&engine, topo);
+  EXPECT_EQ(
+      combined.reduce_with_config(w.in_sets, w.out_sets, w.out_values),
+      separate);
+}
+
 TEST(Allreduce, SingleMachineIsALocalReduction) {
   const Topology topo({});
   Workload<float> w;

@@ -1,0 +1,388 @@
+// Plan/executor split (ISSUE: compiled CollectivePlan). Covers the three
+// contracts the refactor promises:
+//
+//   1. Replaying a compiled plan — in the compiling allreduce or adopted by
+//      another (even across engines and value types) — is bit-identical to
+//      configure()+reduce(), including under FaultPlan schedules with
+//      surviving replicas.
+//   2. reduce_strided(k) is bit-identical to k independent reduce() calls,
+//      component by component.
+//   3. PlanCache keys plans by fingerprint with LRU eviction and exact
+//      hit/miss/evict accounting.
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "comm/bsp.hpp"
+#include "comm/fault_channel.hpp"
+#include "comm/parallel.hpp"
+#include "comm/replicated.hpp"
+#include "comm/threaded.hpp"
+#include "common/check.hpp"
+#include "core/allreduce.hpp"
+#include "core/plan_cache.hpp"
+#include "test_util.hpp"
+
+namespace kylix {
+namespace {
+
+using testing::random_workload;
+using testing::Workload;
+
+const std::vector<std::vector<std::uint32_t>> kSchedules = {
+    {}, {2}, {8}, {2, 2, 2}, {4, 2}, {3, 5}, {4, 1, 2},
+};
+
+class PlanScheduleTest
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(PlanScheduleTest, AdoptedPlanReplayMatchesCompilingAllreduce) {
+  const Topology topo(GetParam());
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 150, 0.2, 0.4, 6000 + m);
+  BspEngine<float> engine(m);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&engine, topo);
+  auto plan = compiler.compile(w.in_sets, w.out_sets);
+  ASSERT_NE(plan, nullptr);
+  const auto reference = compiler.reduce(w.out_values);
+  testing::expect_matches_oracle<float>(w, reference);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> replayer(&engine, topo);
+  replayer.configure(plan);
+  EXPECT_EQ(replayer.reduce(w.out_values), reference);
+
+  // New values, same plan: repeated replays track the oracle.
+  for (int round = 1; round <= 3; ++round) {
+    for (auto& values : w.out_values) {
+      for (auto& v : values) v += static_cast<float>(round);
+    }
+    const auto again = replayer.reduce(w.out_values);
+    EXPECT_EQ(again, compiler.reduce(w.out_values));
+    testing::expect_matches_oracle<float>(w, again);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, PlanScheduleTest,
+                         ::testing::ValuesIn(kSchedules));
+
+TEST(Plan, ReplayIsBitIdenticalAcrossAllFourEngines) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 200, 0.15, 0.3, 42);
+
+  std::vector<std::vector<float>> reference;
+  std::shared_ptr<const CollectivePlan> plan;
+  {
+    BspEngine<float> engine(m);
+    SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+    plan = ar.compile(w.in_sets, w.out_sets);
+    reference = ar.reduce(w.out_values);
+  }
+  testing::expect_matches_oracle<float>(w, reference);
+  {
+    ParallelBspEngine<float> engine(m);
+    SparseAllreduce<float, OpSum, ParallelBspEngine<float>> ar(&engine, topo);
+    ar.configure(plan);
+    EXPECT_EQ(ar.reduce(w.out_values), reference) << "parallel replay";
+  }
+  {
+    ThreadedBsp<float> engine(m);
+    SparseAllreduce<float, OpSum, ThreadedBsp<float>> ar(&engine, topo);
+    ar.configure(plan);
+    EXPECT_EQ(ar.reduce(w.out_values), reference) << "threaded replay";
+  }
+  {
+    ReplicatedBsp<float> engine(m, 2);
+    SparseAllreduce<float, OpSum, ReplicatedBsp<float>> ar(&engine, topo);
+    ar.configure(plan);
+    EXPECT_EQ(ar.reduce(w.out_values), reference) << "replicated replay";
+  }
+}
+
+TEST(Plan, IsValueTypeIndependent) {
+  // One plan compiled through the float allreduce drives a double reduce:
+  // routing state never touches V.
+  const Topology topo({3, 2});
+  const rank_t m = topo.num_machines();
+  const auto wf = random_workload<float>(m, 120, 0.25, 0.4, 77);
+  BspEngine<float> fengine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&fengine, topo);
+  const auto plan = compiler.compile(wf.in_sets, wf.out_sets);
+
+  Workload<double> wd;
+  wd.in_sets = wf.in_sets;
+  wd.out_sets = wf.out_sets;
+  for (const auto& values : wf.out_values) {
+    wd.out_values.emplace_back(values.begin(), values.end());
+  }
+  BspEngine<double> dengine(m);
+  SparseAllreduce<double, OpSum, BspEngine<double>> replayer(&dengine, topo);
+  replayer.configure(plan);
+  testing::expect_matches_oracle<double>(wd, replayer.reduce(wd.out_values));
+}
+
+TEST(Plan, AdoptedReplayUnderSurvivableFaultsMatchesCleanRun) {
+  // Invariant: with replication 2 and no whole group dead, transient faults
+  // and single-replica crashes are invisible — so an adopted-plan replay on
+  // a faulty engine must still be bit-identical to the clean run.
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto w = random_workload<float>(m, 100, 0.2, 0.4, 7000 + seed);
+
+    ReplicatedBsp<float> clean(m, 2);
+    SparseAllreduce<float, OpSum, ReplicatedBsp<float>> clean_ar(&clean,
+                                                                 topo);
+    const auto plan = clean_ar.compile(w.in_sets, w.out_sets);
+    const auto reference = clean_ar.reduce(w.out_values);
+
+    FaultPlan faults(m * 2, seed);
+    FaultPlan::TransientRates rates;
+    rates.drop = 0.08;
+    rates.duplicate = 0.05;
+    rates.delay = 0.05;
+    faults.set_transient_rates(rates);
+    const rank_t crashes = seed % 3;
+    for (rank_t c = 0; c < crashes; ++c) {
+      // Distinct logical groups, one replica each: no group dies.
+      faults.crash_at_round((seed + 2 * c) % m + ((seed + c) % 2) * m,
+                            (seed + c) % 4);
+    }
+    FaultChannel<float> channel(&faults);
+    ReplicatedBsp<float> engine(m, 2);
+    engine.set_fault_channel(&channel);
+    SparseAllreduce<float, OpSum, ReplicatedBsp<float>> ar(&engine, topo);
+    ar.configure(plan);
+    ASSERT_FALSE(engine.has_failed());
+    EXPECT_EQ(ar.reduce(w.out_values), reference);
+  }
+}
+
+// ---- Multi-payload: strided == k independent reduces ----
+
+template <typename V>
+std::vector<std::vector<V>> interleave(
+    const std::vector<std::vector<std::vector<V>>>& per_payload) {
+  const std::size_t k = per_payload.size();
+  std::vector<std::vector<V>> out(per_payload[0].size());
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r].resize(per_payload[0][r].size() * k);
+    for (std::size_t p = 0; p < per_payload[0][r].size(); ++p) {
+      for (std::size_t c = 0; c < k; ++c) {
+        out[r][p * k + c] = per_payload[c][r][p];
+      }
+    }
+  }
+  return out;
+}
+
+template <typename V>
+void expect_strided_matches_independent(std::uint32_t k, std::uint64_t seed) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<V>(m, 150, 0.2, 0.4, seed);
+  BspEngine<V> engine(m);
+  SparseAllreduce<V, OpSum, BspEngine<V>> ar(&engine, topo);
+  ar.configure(w.in_sets, w.out_sets);
+
+  // Payload c = base values shifted by c (still exact small integers).
+  std::vector<std::vector<std::vector<V>>> payloads(k);
+  std::vector<std::vector<std::vector<V>>> independent(k);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    payloads[c] = w.out_values;
+    for (auto& values : payloads[c]) {
+      for (auto& v : values) v += static_cast<V>(c);
+    }
+    independent[c] = ar.reduce(payloads[c]);
+  }
+
+  const auto strided = ar.reduce_strided(interleave(payloads), k);
+  ASSERT_EQ(strided.size(), m);
+  for (rank_t r = 0; r < m; ++r) {
+    ASSERT_EQ(strided[r].size(), independent[0][r].size() * k);
+    for (std::size_t p = 0; p < independent[0][r].size(); ++p) {
+      for (std::uint32_t c = 0; c < k; ++c) {
+        EXPECT_EQ(strided[r][p * k + c], independent[c][r][p])
+            << "rank " << r << " key " << p << " payload " << c;
+      }
+    }
+  }
+  // The executor resets to stride 1 cleanly.
+  EXPECT_EQ(ar.reduce(payloads[0]), independent[0]);
+}
+
+TEST(PlanStrided, MatchesIndependentReducesFloat) {
+  expect_strided_matches_independent<float>(3, 21);
+}
+
+TEST(PlanStrided, MatchesIndependentReducesDouble) {
+  expect_strided_matches_independent<double>(4, 22);
+}
+
+TEST(PlanStrided, StrideOneIsPlainReduce) {
+  const Topology topo({2, 2});
+  const auto w = random_workload<float>(4, 80, 0.3, 0.5, 23);
+  BspEngine<float> engine(4);
+  SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+  ar.configure(w.in_sets, w.out_sets);
+  EXPECT_EQ(ar.reduce_strided(w.out_values, 1), ar.reduce(w.out_values));
+}
+
+TEST(PlanStrided, WrongLengthOrModeThrows) {
+  const Topology topo({2});
+  const auto w = random_workload<float>(2, 30, 0.5, 0.5, 24);
+  BspEngine<float> engine(2);
+  SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+  // Before any configure: no plan to replay.
+  EXPECT_THROW((void)ar.reduce_strided({{1.0f}, {2.0f}}, 2), check_error);
+  ar.configure(w.in_sets, w.out_sets);
+  auto bad = w.out_values;  // not multiplied by the stride
+  EXPECT_THROW((void)ar.reduce_strided(std::move(bad), 2), check_error);
+  EXPECT_THROW((void)ar.reduce_strided(w.out_values, 0), check_error);
+  // Combined mode retains nodes, not a plan.
+  SparseAllreduce<float, OpSum, BspEngine<float>> combined(&engine, topo);
+  (void)combined.reduce_with_config(w.in_sets, w.out_sets, w.out_values);
+  EXPECT_THROW((void)combined.reduce_strided(w.out_values, 1), check_error);
+}
+
+// ---- Fingerprints and the PlanCache ----
+
+TEST(PlanFingerprint, IsDeterministicRoleAndSetSensitive) {
+  const auto w = random_workload<float>(4, 60, 0.3, 0.5, 31);
+  const auto base = fingerprint_key_sets(w.in_sets, w.out_sets);
+  EXPECT_NE(base, 0u);
+  EXPECT_EQ(base, fingerprint_key_sets(w.in_sets, w.out_sets));
+  // Swapping roles must not collide.
+  EXPECT_NE(base, fingerprint_key_sets(w.out_sets, w.in_sets));
+  // Any set change must not collide.
+  auto other = w.in_sets;
+  other[0] = KeySet::from_indices(std::vector<index_t>{1, 2, 3});
+  EXPECT_NE(base, fingerprint_key_sets(other, w.out_sets));
+}
+
+TEST(PlanCacheTest, ConfigureCachedHitsAfterMissAndTracksCounters) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 100, 0.25, 0.4, 32);
+  BspEngine<float> engine(m);
+  PlanCache cache(4);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+  EXPECT_FALSE(ar.configure_cached(cache, w.in_sets, w.out_sets));
+  const auto reference = ar.reduce(w.out_values);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same sets from a fresh allreduce: served from cache, same results.
+  SparseAllreduce<float, OpSum, BspEngine<float>> again(&engine, topo);
+  EXPECT_TRUE(again.configure_cached(cache, w.in_sets, w.out_sets));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(again.reduce(w.out_values), reference);
+
+  // Different sets: miss, second entry.
+  const auto w2 = random_workload<float>(m, 100, 0.25, 0.4, 33);
+  EXPECT_FALSE(again.configure_cached(cache, w2.in_sets, w2.out_sets));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  testing::expect_matches_oracle<float>(w2, again.reduce(w2.out_values));
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  const Topology topo({2});
+  BspEngine<float> engine(2);
+  PlanCache cache(2);
+  std::vector<std::uint64_t> fps;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto w = random_workload<float>(2, 40, 0.4, 0.5, 40 + seed);
+    SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+    fps.push_back(PlanCache::fingerprint(w.in_sets, w.out_sets));
+    if (seed == 2) {
+      // Touch the oldest entry first so the middle one becomes LRU.
+      EXPECT_NE(cache.find(fps[0]), nullptr);
+    }
+    cache.insert(ar.compile(w.in_sets, w.out_sets));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(fps[0]), nullptr) << "recently-touched entry evicted";
+  EXPECT_EQ(cache.find(fps[1]), nullptr) << "LRU entry survived";
+  EXPECT_NE(cache.find(fps[2]), nullptr);
+}
+
+TEST(PlanCacheTest, AnonymousPlansAreNotCached) {
+  PlanCache cache(2);
+  cache.insert(std::make_shared<CollectivePlan>(Topology({2}), 0));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- Plan introspection ----
+
+TEST(Plan, ExposesScheduleAndAmortizedWireBytes) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 120, 0.25, 0.4, 50);
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+  const auto plan = ar.compile(w.in_sets, w.out_sets);
+
+  EXPECT_EQ(plan->fingerprint(),
+            fingerprint_key_sets(w.in_sets, w.out_sets));
+  EXPECT_FALSE(plan->degraded());
+  ASSERT_TRUE(plan->any_configured());
+
+  const auto schedule = plan->message_schedule();
+  ASSERT_FALSE(schedule.empty());
+  bool saw_config = false, saw_down = false, saw_up = false;
+  for (const ScheduledMessage& msg : schedule) {
+    saw_config |= msg.phase == Phase::kConfig;
+    saw_down |= msg.phase == Phase::kReduceDown;
+    saw_up |= msg.phase == Phase::kReduceUp;
+    EXPECT_GE(msg.layer, 1u);
+    EXPECT_LE(msg.layer, topo.num_layers());
+  }
+  EXPECT_TRUE(saw_config && saw_down && saw_up);
+
+  // Keys are never resent, so doubling the payload count less than doubles
+  // the wire bytes — the whole point of multi-payload replay.
+  const auto one = plan->reduce_wire_bytes(sizeof(float), 1);
+  const auto two = plan->reduce_wire_bytes(sizeof(float), 2);
+  EXPECT_GT(one, 0u);
+  EXPECT_GT(two, one);
+  EXPECT_LT(two, 2 * one);
+}
+
+TEST(Plan, NodeIntrospectionUnavailableAfterAdoption) {
+  const Topology topo({2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 80, 0.3, 0.5, 51);
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&engine, topo);
+  const auto plan = compiler.compile(w.in_sets, w.out_sets);
+
+  SparseAllreduce<float, OpSum, BspEngine<float>> adopted(&engine, topo);
+  adopted.configure(plan);
+  EXPECT_THROW((void)adopted.node(0), check_error);
+  // Layer measurements still work, served off the frozen plan.
+  EXPECT_EQ(adopted.measured_layer_elements(),
+            compiler.measured_layer_elements());
+}
+
+TEST(Plan, AdoptionRequiresMatchingTopology) {
+  const auto w = random_workload<float>(4, 60, 0.3, 0.5, 52);
+  BspEngine<float> engine(4);
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&engine,
+                                                           Topology({4}));
+  const auto plan = compiler.compile(w.in_sets, w.out_sets);
+  SparseAllreduce<float, OpSum, BspEngine<float>> other(&engine,
+                                                        Topology({2, 2}));
+  EXPECT_THROW(other.configure(plan), check_error);
+}
+
+}  // namespace
+}  // namespace kylix

@@ -315,6 +315,86 @@ TEST(ScatterGather, StrictlyIncreasingMapsStayBitIdentical) {
   EXPECT_EQ(acc_fast, acc_ref);
 }
 
+// A strided scatter/gather over k interleaved payloads must equal k
+// independent stride-1 calls, component by component — for float and
+// double alike (the plan executor's multi-payload contract).
+template <typename V>
+void expect_strided_matches_per_component(std::size_t n, std::size_t stride,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t acc_size = n + 1;
+  PosMap map(n);
+  std::vector<V> values(n * stride);
+  for (std::size_t p = 0; p < n; ++p) {
+    map[p] = static_cast<pos_t>(rng.below(acc_size));
+    for (std::size_t c = 0; c < stride; ++c) {
+      values[p * stride + c] = static_cast<V>(rng.uniform());
+    }
+  }
+  std::vector<V> acc_strided(acc_size * stride, V{1});
+  kernels::scatter_combine_strided<V, OpSum>(std::span<V>(acc_strided),
+                                             values, map, stride, {});
+  for (std::size_t c = 0; c < stride; ++c) {
+    std::vector<V> component(n);
+    for (std::size_t p = 0; p < n; ++p) component[p] = values[p * stride + c];
+    std::vector<V> acc(acc_size, V{1});
+    kernels::scatter_combine_scalar<V, OpSum>(std::span<V>(acc), component,
+                                              map, {});
+    for (std::size_t a = 0; a < acc_size; ++a) {
+      ASSERT_EQ(acc_strided[a * stride + c], acc[a])
+          << "scatter slot " << a << " component " << c;
+    }
+  }
+
+  std::vector<V> out_strided(n * stride);
+  kernels::gather_strided<V>(std::span<const V>(acc_strided), map, stride,
+                             out_strided.data());
+  for (std::size_t c = 0; c < stride; ++c) {
+    for (std::size_t p = 0; p < n; ++p) {
+      ASSERT_EQ(out_strided[p * stride + c],
+                acc_strided[map[p] * stride + c])
+          << "gather position " << p << " component " << c;
+    }
+  }
+}
+
+TEST(ScatterGatherStrided, MatchesPerComponentFloat) {
+  for (const std::size_t n : {0u, 1u, 19u, 1000u, 20000u}) {
+    expect_strided_matches_per_component<float>(n, 3, 801 + n);
+  }
+}
+
+TEST(ScatterGatherStrided, MatchesPerComponentDouble) {
+  for (const std::size_t stride : {1u, 2u, 4u, 8u}) {
+    expect_strided_matches_per_component<double>(5000, stride, 802 + stride);
+  }
+}
+
+TEST(ScatterGatherStrided, StrideOneDelegatesToUnstridedKernels) {
+  Rng rng(803);
+  const std::size_t n = 10000;
+  std::vector<double> values(n);
+  PosMap map(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    values[p] = rng.uniform();
+    map[p] = static_cast<pos_t>(rng.below(n + 1));
+  }
+  std::vector<double> acc_strided(n + 1, 0.5);
+  std::vector<double> acc_plain(n + 1, 0.5);
+  kernels::scatter_combine_strided<double, OpSum>(
+      std::span<double>(acc_strided), values, map, 1, {});
+  kernels::scatter_combine<double, OpSum>(std::span<double>(acc_plain),
+                                          values, map, {});
+  EXPECT_EQ(acc_strided, acc_plain);
+
+  std::vector<double> out_strided(n), out_plain(n);
+  kernels::gather_strided<double>(std::span<const double>(acc_plain), map, 1,
+                                  out_strided.data());
+  kernels::gather<double>(std::span<const double>(acc_plain), map,
+                          out_plain.data());
+  EXPECT_EQ(out_strided, out_plain);
+}
+
 // --- split_points monotone sweep -------------------------------------------
 
 TEST(SplitPoints, SweepMatchesPerPartSlices) {

@@ -28,3 +28,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
 # degraded teardown), so run them again by label — this keeps them covered
 # even when extra ctest args above filtered the full suite down.
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L chaos
+
+# Focused plan pass: the compiled-plan suite stresses shared-ownership
+# lifetimes ASan is good at — plans outliving their compiler, adoption
+# across allreduce instances and value types, executor scratch reuse, and
+# LRU eviction dropping the last reference mid-replay sequence.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L plan

@@ -16,6 +16,11 @@
 # nothing, so the engine wall-clock bench (BENCH_engines.json) is
 # re-measured and compared too — see the second gate below.
 #
+# A third gate covers plan reuse: the same fresh wall_engines run records a
+# plan_reuse block per preset, and cached-plan replay must beat running
+# configuration every iteration (with strided replay bit-identical to
+# independent reduces) — see the plan-reuse gate at the bottom.
+#
 # Usage: tools/bench_check.sh [build-dir] [tolerance] [engine-tolerance]
 #   build-dir defaults to build-bench (separate tree pinned to Release so a
 #   Debug working tree never produces bogus regressions).
@@ -138,4 +143,42 @@ if failed:
     sys.exit(1)
 print(f"\nall {len(old)} engine rows within {tol:.0%} of the baseline: "
       "fault hooks are free when disabled")
+EOF
+
+# ---- Plan-reuse gate -------------------------------------------------------
+# The plan/executor split exists to make recurring sparsity patterns cheap:
+# a warm cached replay (configure_cached hit + reduce) must beat running
+# configuration every iteration (reduce_with_config), or the cache is dead
+# weight. The margin is deliberately modest (1.2x) — the measured advantage
+# is 2-4x, dominated by the skipped config rounds — and the strided path
+# must stay bit-identical to independent replays.
+python3 - "${engines_fresh}" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+min_speedup = 1.2
+
+print(f"\n{'preset':<14}{'combined s/it':>14}{'replay s/it':>13}"
+      f"{'speedup':>9}  status")
+failed = 0
+for preset in doc["presets"]:
+    reuse = preset["plan_reuse"]
+    ok = reuse["cached_replay_speedup"] >= min_speedup
+    identical = reuse["strided_bit_identical"]
+    failed += (not ok) + (not identical)
+    status = "ok" if ok else "REGRESS"
+    if not identical:
+        status += " STRIDED-MISMATCH"
+    print(f"{preset['name']:<14}{reuse['combined_per_iter_s']:>14.4f}"
+          f"{reuse['cached_replay_per_iter_s']:>13.4f}"
+          f"{reuse['cached_replay_speedup']:>8.2f}x  {status}")
+
+if failed:
+    print(f"\nplan-reuse gate FAILED: cached replay must beat per-iteration "
+          f"configure+reduce by {min_speedup}x and strided replay must be "
+          f"bit-identical")
+    sys.exit(1)
+print(f"\nplan-reuse gate passed: cached replay >= {min_speedup}x on every "
+      "preset, strided replay bit-identical")
 EOF

@@ -29,6 +29,13 @@
 // reports how many runs completed exactly, how many completed degraded but
 // sound (values outside the reported degraded ranges match the oracle), and
 // how many violated the contract (the gate: any "bad" run exits nonzero).
+//
+// The `plan` subcommand demonstrates the compiled-plan workflow: it
+// compiles a CollectivePlan once, prints the frozen message schedule and
+// the wire-byte amortization of multi-payload replay, exercises the
+// fingerprint-keyed PlanCache (miss, then hit), wall-clocks cached replay
+// against per-iteration configure+reduce, and verifies that a strided
+// reduce of k payloads is bit-identical to k independent reduces.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +53,7 @@ using namespace kylix;
 struct Cli {
   bool report = false;
   bool chaos = false;
+  bool plan = false;
   rank_t machines = 64;
   std::uint64_t features = 1u << 18;
   double density = 0.21;
@@ -63,12 +71,15 @@ struct Cli {
   double drop_rate = 0.02;
   double dup_rate = 0.01;
   double delay_rate = 0.01;
+  // plan mode: replay iterations and interleaved payload count.
+  std::uint32_t plan_iters = 20;
+  std::uint32_t payloads = 4;
 };
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
-      "usage: kylix_cli [report|chaos] [options]\n"
+      "usage: kylix_cli [report|chaos|plan] [options]\n"
       "  --machines M      logical machine count (default 64)\n"
       "  --features N      index-space size (default 262144)\n"
       "  --density D       target partition density (default 0.21)\n"
@@ -86,7 +97,11 @@ struct Cli {
       "  --max-failures K  sweep 0..K scripted crashes (default 8)\n"
       "  --drop-rate P     per-copy drop probability (default 0.02)\n"
       "  --dup-rate P      per-copy duplicate probability (default 0.01)\n"
-      "  --delay-rate P    per-copy delay probability (default 0.01)\n");
+      "  --delay-rate P    per-copy delay probability (default 0.01)\n"
+      "plan mode only (compiled-plan workflow demo):\n"
+      "  --iters N         replay iterations to wall-clock (default 20)\n"
+      "  --payloads K      interleaved payloads per strided reduce "
+      "(default 4)\n");
   std::exit(2);
 }
 
@@ -111,6 +126,9 @@ Cli parse(int argc, char** argv) {
     ++i;
   } else if (i < argc && std::strcmp(argv[i], "chaos") == 0) {
     cli.chaos = true;
+    ++i;
+  } else if (i < argc && std::strcmp(argv[i], "plan") == 0) {
+    cli.plan = true;
     ++i;
   }
   for (; i < argc; ++i) {
@@ -151,6 +169,10 @@ Cli parse(int argc, char** argv) {
       cli.dup_rate = std::stod(value());
     } else if (flag == "--delay-rate" && cli.chaos) {
       cli.delay_rate = std::stod(value());
+    } else if (flag == "--iters" && cli.plan) {
+      cli.plan_iters = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--payloads" && cli.plan) {
+      cli.payloads = static_cast<std::uint32_t>(std::stoul(value()));
     } else {
       usage_and_exit();
     }
@@ -623,10 +645,138 @@ int run_chaos(const Cli& cli) {
   return total_bad == 0 ? 0 : 1;
 }
 
+/// The compiled-plan workflow demo: compile once, print the frozen message
+/// schedule and the multi-payload wire amortization, exercise the
+/// fingerprint-keyed cache (miss, then hit), wall-clock cached replay
+/// against per-iteration configure+reduce, and gate the exit code on both
+/// oracle correctness and strided-vs-independent bit-identity.
+int run_plan(const Cli& cli) {
+  const NetworkModel net = scaled_network();
+  KYLIX_CHECK_MSG(cli.payloads >= 1, "--payloads must be >= 1");
+  KYLIX_CHECK_MSG(cli.plan_iters >= 1, "--iters must be >= 1");
+
+  Workload w = synthesize(cli);
+  std::printf("workload: n = %llu, m = %u, measured density %.4f\n",
+              static_cast<unsigned long long>(cli.features), cli.machines,
+              w.measured_density);
+  const Topology topo = pick_topology(cli, w, net, /*verbose=*/false);
+
+  // Compile: run the configuration rounds once and freeze the plan.
+  BspEngine<real_t> engine(cli.machines);
+  SparseAllreduce<real_t, OpSum, BspEngine<real_t>> allreduce(&engine, topo);
+  Timer timer;
+  const auto plan = allreduce.compile(w.in_sets, w.out_sets);
+  const double compile_s = timer.seconds();
+
+  const auto schedule = plan->message_schedule();
+  std::size_t msgs[3] = {0, 0, 0};
+  std::uint64_t elements[3] = {0, 0, 0};
+  for (const ScheduledMessage& msg : schedule) {
+    const auto phase = static_cast<std::size_t>(msg.phase);
+    ++msgs[phase];
+    elements[phase] += msg.elements;
+  }
+  std::printf("\nplan: fingerprint %016llx, compiled in %s\n",
+              static_cast<unsigned long long>(plan->fingerprint()),
+              format_seconds(compile_s).c_str());
+  static const char* const kPhaseNames[3] = {"config-down", "reduce-down",
+                                             "reduce-up"};
+  std::printf("frozen schedule (%zu messages):\n", schedule.size());
+  for (std::size_t phase = 0; phase < 3; ++phase) {
+    std::printf("  %-12s %6zu messages, %llu key positions\n",
+                kPhaseNames[phase], msgs[phase],
+                static_cast<unsigned long long>(elements[phase]));
+  }
+
+  // Multi-payload amortization: piece keys are sent once per replay, so k
+  // interleaved payloads cost less than k separate reduces.
+  const auto one = plan->reduce_wire_bytes(sizeof(real_t), 1);
+  std::printf("reduce wire bytes by payload count (vs k separate replays):\n");
+  for (std::uint32_t k = 1; k <= cli.payloads; ++k) {
+    const auto bytes = plan->reduce_wire_bytes(sizeof(real_t), k);
+    std::printf("  k=%-2u %12s  %.3fx\n", k,
+                format_bytes(static_cast<double>(bytes)).c_str(),
+                static_cast<double>(bytes) /
+                    (static_cast<double>(k) * static_cast<double>(one)));
+  }
+
+  // Cache demo: the first configure compiles and inserts, the second hashes
+  // the same sets and adopts the stored plan without any config rounds.
+  PlanCache cache(4);
+  SparseAllreduce<real_t, OpSum, BspEngine<real_t>> cached(&engine, topo);
+  const bool first = cached.configure_cached(cache, w.in_sets, w.out_sets);
+  const bool second = cached.configure_cached(cache, w.in_sets, w.out_sets);
+  std::printf("plan cache: first configure %s, second %s "
+              "(hits %llu, misses %llu, size %zu)\n",
+              first ? "HIT" : "miss", second ? "HIT" : "miss",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()), cache.size());
+
+  // Wall-clock: warm cached replay vs per-iteration configure+reduce.
+  const auto reference = cached.reduce(w.values);
+  std::size_t errors = verify(cli, w, reference);
+
+  timer.reset();
+  for (std::uint32_t it = 0; it < cli.plan_iters; ++it) {
+    (void)cached.configure_cached(cache, w.in_sets, w.out_sets);
+    (void)cached.reduce(w.values);
+  }
+  const double replay_s = timer.seconds();
+  timer.reset();
+  for (std::uint32_t it = 0; it < cli.plan_iters; ++it) {
+    SparseAllreduce<real_t, OpSum, BspEngine<real_t>> fresh(&engine, topo);
+    (void)fresh.reduce_with_config(w.in_sets, w.out_sets, w.values);
+  }
+  const double combined_s = timer.seconds();
+  std::printf("\nwall clock over %u iterations:\n", cli.plan_iters);
+  std::printf("  configure+reduce each iteration: %s\n",
+              format_seconds(combined_s).c_str());
+  std::printf("  cached plan replay:              %s  (%.2fx)\n",
+              format_seconds(replay_s).c_str(),
+              replay_s > 0 ? combined_s / replay_s : 0.0);
+
+  // Strided verification: k payloads through one plan must be bit-identical
+  // to k independent reduces of the same payloads.
+  const std::uint32_t k = cli.payloads;
+  std::vector<std::vector<real_t>> strided_in(cli.machines);
+  std::vector<std::vector<std::vector<real_t>>> independent(k);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    auto payload = w.values;  // payload j shifts every value by j
+    for (auto& values : payload) {
+      for (auto& v : values) v += static_cast<real_t>(j);
+    }
+    independent[j] = allreduce.reduce(payload);
+    for (rank_t r = 0; r < cli.machines; ++r) {
+      auto& interleaved = strided_in[r];
+      interleaved.resize(payload[r].size() * k);
+      for (std::size_t p = 0; p < payload[r].size(); ++p) {
+        interleaved[p * k + j] = payload[r][p];
+      }
+    }
+  }
+  const auto strided = allreduce.reduce_strided(std::move(strided_in), k);
+  std::size_t strided_errors = 0;
+  for (rank_t r = 0; r < cli.machines; ++r) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      for (std::size_t p = 0; p < independent[j][r].size(); ++p) {
+        if (strided[r][p * k + j] != independent[j][r][p]) ++strided_errors;
+      }
+    }
+  }
+  std::printf("strided replay: %u payloads interleaved, %zu mismatches vs "
+              "independent reduces (%s)\n",
+              k, strided_errors, strided_errors == 0 ? "PASS" : "FAIL");
+  std::printf("verification: %zu mismatches against the single-node "
+              "reference (%s)\n",
+              errors, errors == 0 ? "PASS" : "FAIL");
+  return errors == 0 && strided_errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parse(argc, argv);
   if (cli.chaos) return run_chaos(cli);
+  if (cli.plan) return run_plan(cli);
   return cli.report ? run_report(cli) : run_default(cli);
 }
