@@ -126,6 +126,94 @@ PlanReuseStats run_plan_reuse(BspEngine<real_t>& engine,
   return stats;
 }
 
+struct StreamingStats {
+  std::uint64_t chunk_bytes = 0;
+  std::uint32_t stride = 1;          ///< payloads interleaved per position
+  std::uint32_t max_chunks = 1;      ///< chunks per letter at the widest edge
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t blocks_flushed = 0;
+  double overlap_ratio = 0;
+  double letter_modeled_s = 0;       ///< barriered letter-at-once reduce
+  double streamed_modeled_s = 0;     ///< pipelined chunked reduce
+  std::uint64_t peak_stream_bytes = 0;
+  std::uint64_t peak_letter_bytes = 0;
+  bool identical = false;            ///< streamed results == letter results
+};
+
+/// Streaming pays off in the big-letter regime: chunks must stay at or
+/// above the Fig. 2 efficiency knee, so the letters being split have to be
+/// several knees wide. The presets' single-payload letters are *below* the
+/// scaled knee (that is the autotuner's packet-floor operating point), so
+/// the ablation drives the multi-payload strided replay — the repo's
+/// natural large-payload mode — whose letters scale with the stride.
+constexpr std::uint32_t kStreamStride = 16;
+
+/// The streaming ablation (DESIGN §9), on the modeled network clock: replay
+/// the stride-16 reduce letter-at-once and streamed, compare the barriered
+/// time against the pipelined one, and check the streamed results are
+/// bit-identical. The chunk size sweeps the knee's neighborhood and keeps
+/// the best pipelined speedup — splitting finer multiplies the unhideable
+/// per-chunk stack overhead, splitting coarser starves the pipeline, so
+/// the sweep is U-shaped with an interior optimum.
+StreamingStats run_streaming(const bench::Dataset& data,
+                             const Topology& topology) {
+  const NetworkModel net = bench::scaled_network();
+  std::vector<std::vector<real_t>> interleaved(data.out_values.size());
+  for (std::size_t r = 0; r < data.out_values.size(); ++r) {
+    interleaved[r].resize(data.out_values[r].size() * kStreamStride);
+    for (std::size_t p = 0; p < data.out_values[r].size(); ++p) {
+      for (std::uint32_t c = 0; c < kStreamStride; ++c) {
+        interleaved[r][p * kStreamStride + c] =
+            data.out_values[r][p] + static_cast<real_t>(c);
+      }
+    }
+  }
+  const auto reduce_once = [&](std::uint64_t chunk_bytes,
+                               TimingAccumulator& timing, StreamStats& stats) {
+    BspEngine<real_t> engine(topology.num_machines(), nullptr, nullptr,
+                             &timing);
+    SparseAllreduce<real_t, OpSum, BspEngine<real_t>> allreduce(&engine,
+                                                                topology);
+    allreduce.set_streaming(chunk_bytes != 0);
+    allreduce.set_chunk_bytes(chunk_bytes);
+    allreduce.configure(data.in_sets, data.out_sets);
+    auto results = allreduce.reduce_strided(interleaved, kStreamStride);
+    stats = allreduce.stream_stats();
+    return results;
+  };
+
+  StreamingStats out;
+  out.stride = kStreamStride;
+  TimingAccumulator letter_timing(topology.num_machines(), net,
+                                  ComputeModel{}, /*threads=*/1);
+  StreamStats letter_stats;
+  const auto letter_results = reduce_once(0, letter_timing, letter_stats);
+  out.letter_modeled_s = letter_timing.pipelined_reduce_time(1);
+  out.peak_letter_bytes = letter_stats.peak_letter_buffer_bytes;
+
+  for (std::uint64_t chunk = 512u << 10; chunk >= 32u << 10; chunk /= 2) {
+    TimingAccumulator timing(topology.num_machines(), net, ComputeModel{},
+                             /*threads=*/1);
+    StreamStats stats;
+    const auto streamed_results = reduce_once(chunk, timing, stats);
+    const std::uint32_t k = std::max(1u, stats.max_chunks_per_letter);
+    if (k < 2) continue;  // nothing split: not a streamed data point
+    const double streamed_s = timing.pipelined_reduce_time(k);
+    if (out.chunk_bytes != 0 && streamed_s >= out.streamed_modeled_s) {
+      continue;
+    }
+    out.chunk_bytes = chunk;
+    out.max_chunks = k;
+    out.chunks_sent = stats.chunks;
+    out.blocks_flushed = stats.blocks_flushed;
+    out.overlap_ratio = stats.overlap_ratio();
+    out.streamed_modeled_s = streamed_s;
+    out.peak_stream_bytes = stats.peak_stream_buffer_bytes;
+    out.identical = streamed_results == letter_results;
+  }
+  return out;
+}
+
 template <typename Engine>
 ReduceStats run_engine(Engine& engine, const bench::Dataset& data,
                        const Topology& topology) {
@@ -280,6 +368,19 @@ int main(int argc, char** argv) {
                 data.name.c_str(), fresh_s, warm_s,
                 warm_s > 0 ? fresh_s / warm_s : 0);
 
+    const StreamingStats stream = run_streaming(data, topology);
+    const double stream_speedup =
+        stream.streamed_modeled_s > 0
+            ? stream.letter_modeled_s / stream.streamed_modeled_s
+            : 0;
+    std::printf("%-14s streamed stride-%u, %s chunks (k=%u): modeled %.4fs "
+                "vs %.4fs letter (%.2fx), overlap %.2f, identical %s\n",
+                data.name.c_str(), stream.stride,
+                format_bytes(static_cast<double>(stream.chunk_bytes)).c_str(),
+                stream.max_chunks, stream.streamed_modeled_s,
+                stream.letter_modeled_s, stream_speedup,
+                stream.overlap_ratio, stream.identical ? "yes" : "NO");
+
     const PlanReuseStats reuse = run_plan_reuse(seq_engine, data, topology);
     const double replay_speedup =
         reuse.replay_per_iter_s > 0
@@ -324,6 +425,22 @@ int main(int argc, char** argv) {
     json.key_value("strided_reduce_s", reuse.strided_reduce_s);
     json.key_value("payload_amortization", amortization);
     json.key_value("strided_bit_identical", reuse.strided_identical);
+    json.end_object();
+    json.key("streaming");
+    json.begin_object();
+    json.key_value("chunk_bytes", stream.chunk_bytes);
+    json.key_value("stride", static_cast<int>(stream.stride));
+    json.key_value("max_chunks_per_letter",
+                   static_cast<int>(stream.max_chunks));
+    json.key_value("chunks_sent", stream.chunks_sent);
+    json.key_value("blocks_flushed", stream.blocks_flushed);
+    json.key_value("overlap_ratio", stream.overlap_ratio);
+    json.key_value("letter_modeled_s", stream.letter_modeled_s);
+    json.key_value("streamed_modeled_s", stream.streamed_modeled_s);
+    json.key_value("modeled_speedup", stream_speedup);
+    json.key_value("peak_stream_buffer_bytes", stream.peak_stream_bytes);
+    json.key_value("peak_letter_buffer_bytes", stream.peak_letter_bytes);
+    json.key_value("stream_bit_identical", stream.identical);
     json.end_object();
     json.key("telemetry");
     registry.write_json(json);

@@ -105,6 +105,23 @@ std::vector<TimingAccumulator::RoundTime> TimingAccumulator::per_round_times()
   return result;
 }
 
+double TimingAccumulator::pipelined_reduce_time(
+    std::uint32_t chunks_per_letter) const {
+  const double k = static_cast<double>(std::max(1u, chunks_per_letter));
+  double sum = 0.0;
+  double bottleneck = 0.0;
+  std::size_t stages = 0;
+  for (const auto& [key, r] : rounds_) {
+    if (static_cast<Phase>(key.first) == Phase::kConfig) continue;
+    const double t = eval_round(r) - net_.base_latency_s;
+    sum += t;
+    bottleneck = std::max(bottleneck, t);
+    ++stages;
+  }
+  if (stages == 0) return 0.0;
+  return sum / k + (k - 1.0) / k * bottleneck + net_.base_latency_s;
+}
+
 TimingAccumulator::PhaseTimes TimingAccumulator::times() const {
   PhaseTimes result;
   for (const auto& [key, r] : rounds_) {

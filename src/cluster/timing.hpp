@@ -57,6 +57,22 @@ class TimingAccumulator {
   };
   [[nodiscard]] PhaseTimes times() const;
 
+  /// Modeled wall time of the reduce phases if the recorded reduce rounds
+  /// ran as a chunk pipeline instead of barriering (DESIGN §9): with R
+  /// stages of barriered time T_r (base latency excluded) and k chunks per
+  /// letter, stage r forwards each flushed block after T_r/k, so
+  ///
+  ///   T_stream(k) = sum_r T_r / k + (k-1)/k * max_r T_r + base_latency
+  ///
+  /// — the first chunk ripples through every stage while the bottleneck
+  /// stage spaces the remaining k-1. k = 1 degenerates to the barriered sum
+  /// and k -> inf approaches the bottleneck stage alone; per-chunk message
+  /// overheads are already inside the recorded T_r, which is what makes the
+  /// chunk-size sweep U-shaped (bench/fig2_packet_size). Config rounds are
+  /// not pipelined and are excluded.
+  [[nodiscard]] double pipelined_reduce_time(
+      std::uint32_t chunks_per_letter) const;
+
   /// Every recorded round with its modeled wall time, in (phase, layer)
   /// order — the run report's per-round timing table.
   struct RoundTime {

@@ -103,10 +103,7 @@ class BspEngine {
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       if (is_dead(rank)) continue;
       auto& inbox = inboxes_[rank];
-      std::sort(inbox.begin(), inbox.end(),
-                [](const Letter<V>& a, const Letter<V>& b) {
-                  return a.src < b.src;
-                });
+      std::sort(inbox.begin(), inbox.end(), letter_before<V>);
 #ifndef NDEBUG
       if (!inbox.empty()) {
         // Sanity: only expected senders may appear. Sort a copy once and
@@ -161,7 +158,8 @@ class BspEngine {
 
   /// Move delayed letters that are due this round into their inboxes. A
   /// letter is discarded as stale when its destination died meanwhile or a
-  /// fresh letter from the same sender already arrived this round.
+  /// fresh letter for the same (sender, chunk) slot already arrived this
+  /// round — sibling chunks of the same logical letter never supersede.
   void drain_due() {
     for (Letter<V>& letter : channel_->due()) {
       if (letter.dst >= num_nodes_ ||
@@ -172,7 +170,7 @@ class BspEngine {
       auto& inbox = inboxes_[letter.dst];
       const bool superseded =
           std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
-            return l.src == letter.src;
+            return same_slot(l, letter);
           });
       if (superseded) {
         channel_->note_stale();

@@ -86,15 +86,23 @@ class Mailbox {
   }
 
  private:
+  /// Pop the matching letter with the smallest chunk_index (FIFO among
+  /// equals). Senders emit chunks in ascending order, so per-src FIFO would
+  /// already yield them sorted — this makes ascending chunk delivery a
+  /// mailbox invariant instead of a sender-discipline assumption.
   bool try_pop(rank_t src, Letter<V>* out) {
+    auto best = letters_.end();
     for (auto it = letters_.begin(); it != letters_.end(); ++it) {
-      if (it->src == src) {
-        *out = std::move(*it);
-        letters_.erase(it);
-        return true;
+      if (it->src != src) continue;
+      if (best == letters_.end() ||
+          it->packet.chunk_index < best->packet.chunk_index) {
+        best = it;
       }
     }
-    return false;
+    if (best == letters_.end()) return false;
+    *out = std::move(*best);
+    letters_.erase(best);
+    return true;
   }
 
   bool canceled(rank_t src) const {

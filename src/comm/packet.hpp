@@ -3,8 +3,16 @@
 // A Packet carries index keys (configuration), values (reduction), or both
 // (the combined configure+reduce mode used for minibatch workloads, §III).
 // wire_bytes() is what the timing model charges: 8 bytes per key, sizeof(V)
-// per value, plus a small fixed header — matching the paper's 12
-// bytes-per-element accounting for key+float traffic.
+// per value, plus a fixed header per wire frame — matching the paper's 12
+// bytes-per-element accounting for key+float traffic. A payload larger than
+// one frame pays one header per frame, so oversized letters no longer ride
+// on a single header (exactly the regime Fig. 2's utilization curve models).
+//
+// Streaming (DESIGN §9): a letter may be one chunk of a larger logical
+// letter. chunk_index/chunk_count frame the split; every chunk is its own
+// Packet and therefore pays its own header(s). Engines order inboxes by
+// (src, chunk_index), never by arrival, so eager per-chunk combining stays
+// bit-identical to letter-at-once delivery.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +23,19 @@
 
 namespace kylix {
 
-/// Fixed framing cost per message on the wire.
+/// Fixed framing cost per wire frame.
 inline constexpr std::uint64_t kPacketHeaderBytes = 32;
+
+/// Payload bytes one header covers. A packet of P payload bytes occupies
+/// ceil(P / kWireFrameBytes) frames (min 1) and is charged a header each.
+inline constexpr std::uint64_t kWireFrameBytes = 256 * 1024;
+
+/// Frames (== headers charged) for a payload of `payload_bytes`.
+[[nodiscard]] inline std::uint64_t wire_frames(std::uint64_t payload_bytes) {
+  return payload_bytes <= kWireFrameBytes
+             ? 1
+             : (payload_bytes + kWireFrameBytes - 1) / kWireFrameBytes;
+}
 
 template <typename V>
 struct Packet {
@@ -29,6 +48,11 @@ struct Packet {
   /// Keys are never repeated per payload — that is the amortization the
   /// strided reduce exists for.
   std::uint32_t stride = 1;
+  /// Streaming chunk framing: this packet is chunk `chunk_index` of
+  /// `chunk_count` the logical letter was split into. Letter-at-once
+  /// packets are the degenerate 1-chunk split (0 of 1).
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 1;
 
   /// Logical piece length in key positions (what the configured piece sizes
   /// are checked against, independent of how many payloads ride along).
@@ -36,9 +60,13 @@ struct Packet {
     return stride <= 1 ? values.size() : values.size() / stride;
   }
 
+  [[nodiscard]] std::uint64_t payload_bytes() const {
+    return 8 * (in_keys.size() + out_keys.size()) + sizeof(V) * values.size();
+  }
+
   [[nodiscard]] std::uint64_t wire_bytes() const {
-    return kPacketHeaderBytes + 8 * (in_keys.size() + out_keys.size()) +
-           sizeof(V) * values.size();
+    const std::uint64_t payload = payload_bytes();
+    return wire_frames(payload) * kPacketHeaderBytes + payload;
   }
 };
 
@@ -50,9 +78,30 @@ struct Letter {
   rank_t dst = 0;
   /// Tombstone flag: the payload was lost to an injected fault. Engines
   /// with blocking receives (ThreadedBsp) deliver an empty tombstone so
-  /// the receiver unblocks, then discard it before consume.
+  /// the receiver unblocks, then discard it before consume. Tombstones keep
+  /// the lost packet's chunk framing so receivers still know how many
+  /// letters the edge carries.
   bool faulted = false;
   Packet<V> packet;
 };
+
+/// Canonical inbox order: ascending (src, chunk_index). Every engine sorts
+/// with this before consume, so the per-position combine order — and hence
+/// every floating-point sum — is independent of delivery interleaving and
+/// of whether letters were chunked at all.
+template <typename V>
+[[nodiscard]] inline bool letter_before(const Letter<V>& a,
+                                        const Letter<V>& b) {
+  if (a.src != b.src) return a.src < b.src;
+  return a.packet.chunk_index < b.packet.chunk_index;
+}
+
+/// True when two letters occupy the same delivery slot (same logical letter
+/// chunk): the supersede rule for delayed-letter redelivery — a delayed
+/// chunk is stale only if a fresh copy of the *same chunk* already arrived.
+template <typename V>
+[[nodiscard]] inline bool same_slot(const Letter<V>& a, const Letter<V>& b) {
+  return a.src == b.src && a.packet.chunk_index == b.packet.chunk_index;
+}
 
 }  // namespace kylix

@@ -173,10 +173,7 @@ class ParallelBspEngine {
       const rank_t rank = static_cast<rank_t>(r);
       if (is_dead(rank)) return;
       auto& inbox = inboxes_[rank];
-      std::sort(inbox.begin(), inbox.end(),
-                [](const Letter<V>& a, const Letter<V>& b) {
-                  return a.src < b.src;
-                });
+      std::sort(inbox.begin(), inbox.end(), letter_before<V>);
 #ifndef NDEBUG
       if (!inbox.empty()) {
         // Sanity: only expected senders may appear (sorted + binary search).
@@ -216,7 +213,7 @@ class ParallelBspEngine {
   };
 
   /// Same redelivery rules as BspEngine::drain_due (stale when the dst died
-  /// or a fresh same-src letter already arrived).
+  /// or a fresh letter for the same (sender, chunk) slot already arrived).
   void drain_due() {
     for (Letter<V>& letter : channel_->due()) {
       if (letter.dst >= num_nodes_ ||
@@ -227,7 +224,7 @@ class ParallelBspEngine {
       auto& inbox = inboxes_[letter.dst];
       const bool superseded =
           std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
-            return l.src == letter.src;
+            return same_slot(l, letter);
           });
       if (superseded) {
         channel_->note_stale();

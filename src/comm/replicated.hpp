@@ -236,10 +236,7 @@ class ReplicatedBsp {
     for (rank_t j = 0; j < logical_; ++j) {
       if (alive_count_[j] == 0) continue;
       auto& inbox = inboxes_[j];
-      std::sort(inbox.begin(), inbox.end(),
-                [](const Letter<V>& a, const Letter<V>& b) {
-                  return a.src < b.src;
-                });
+      std::sort(inbox.begin(), inbox.end(), letter_before<V>);
 #ifndef NDEBUG
       if (!inbox.empty()) {
         // Sanity: only expected senders may appear (sorted + binary search).

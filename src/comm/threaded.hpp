@@ -134,16 +134,23 @@ class ThreadedBsp {
       std::vector<Letter<V>> inbox;
       for (rank_t src : expected(rank)) {
         if (is_dead(src)) continue;  // an unreplicated dead sender: no letter
-        Letter<V> letter = mailboxes_[rank].take(src);
-        // Tombstones stand in for dropped/delayed copies (the sender still
-        // paid); they only exist to unblock this take.
-        if (!letter.faulted) inbox.push_back(std::move(letter));
+        // A streamed edge carries chunk_count letters; how many is learned
+        // from the first arrival (every chunk — tombstones included —
+        // carries the full framing), so the receiver keeps taking until the
+        // edge is drained. Letter-at-once edges degenerate to one take.
+        std::uint32_t want = 1;
+        for (std::uint32_t got = 0; got < want; ++got) {
+          Letter<V> letter = mailboxes_[rank].take(src);
+          want = std::max(want,
+                          std::max<std::uint32_t>(
+                              1, letter.packet.chunk_count));
+          // Tombstones stand in for dropped/delayed copies (the sender
+          // still paid); they only exist to unblock this take.
+          if (!letter.faulted) inbox.push_back(std::move(letter));
+        }
       }
       if (channel_ != nullptr) drain_due(rank, inbox);
-      std::sort(inbox.begin(), inbox.end(),
-                [](const Letter<V>& a, const Letter<V>& b) {
-                  return a.src < b.src;
-                });
+      std::sort(inbox.begin(), inbox.end(), letter_before<V>);
       consume(rank, std::move(inbox));
     };
     run_task();
@@ -191,10 +198,14 @@ class ThreadedBsp {
     if (action == FaultAction::kDrop || action == FaultAction::kDelay) {
       // The payload is gone (lost or stashed in the channel), but the
       // receiver blocks on take(src) — deliver a tombstone to unblock it.
+      // The tombstone keeps the chunk framing so the receiver still counts
+      // it toward the edge's chunk_count letters.
       Letter<V> tombstone;
       tombstone.src = src;
       tombstone.dst = dst;
       tombstone.faulted = true;
+      tombstone.packet.chunk_index = letter.packet.chunk_index;
+      tombstone.packet.chunk_count = letter.packet.chunk_count;
       mailboxes_[dst].put(std::move(tombstone));
       return;
     }
@@ -202,9 +213,9 @@ class ThreadedBsp {
   }
 
   /// Merge this rank's staged due letters into its inbox: a fresh letter
-  /// from the same sender supersedes the stale delayed copy. Channel
-  /// counters are bumped under the observer mutex (the channel itself is
-  /// not thread-safe).
+  /// for the same (sender, chunk) slot supersedes the stale delayed copy
+  /// (sibling chunks never do). Channel counters are bumped under the
+  /// observer mutex (the channel itself is not thread-safe).
   void drain_due(rank_t rank, std::vector<Letter<V>>& inbox) {
     auto& due = due_by_rank_[rank];
     if (due.empty()) return;
@@ -213,7 +224,7 @@ class ThreadedBsp {
     for (Letter<V>& letter : due) {
       const bool superseded =
           std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
-            return l.src == letter.src;
+            return same_slot(l, letter);
           });
       if (superseded) {
         ++stale;

@@ -59,6 +59,32 @@ class SparseAllreduce {
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
+  /// Tell the compiler what network it is scheduling for (optional, not
+  /// owned, must outlive the allreduce): compile() then stamps the plan's
+  /// streaming chunk size with NetworkModel::min_efficient_packet — the
+  /// Fig. 2 knee, the smallest chunk that still runs the wire efficiently.
+  void set_network(const NetworkModel* net) { net_ = net; }
+
+  /// Tuning override for the streaming chunk size in payload bytes: applies
+  /// to plans compiled afterwards AND to replays of already-adopted plans
+  /// (0 clears both, restoring the compiled value).
+  void set_chunk_bytes(std::uint64_t bytes) {
+    chunk_bytes_ = bytes;
+    executor_.set_chunk_bytes_override(bytes);
+  }
+
+  /// Toggle streamed replay (chunked letters, eager per-chunk combining —
+  /// DESIGN §9). Applies to plan-based reduces; the combined node-driven
+  /// path ignores it. Bit-identical to letter-at-once on every engine.
+  void set_streaming(bool on) { executor_.set_streaming(on); }
+  [[nodiscard]] bool streaming() const { return executor_.streaming(); }
+
+  /// Telemetry of the last plan-based reduce (chunks, block flushes,
+  /// buffer envelopes, overlap ratio).
+  [[nodiscard]] const StreamStats& stream_stats() const {
+    return executor_.stream_stats();
+  }
+
   /// Step 1, separate form: exchange and union index sets, compiling the
   /// routing into a plan. `in_sets[r]` / `out_sets[r]` are machine r's
   /// requested / contributed key sets.
@@ -87,6 +113,12 @@ class SparseAllreduce {
       }
     }
     freeze_union_kernels(*plan);
+    plan->set_chunk_bytes(
+        chunk_bytes_ != 0
+            ? chunk_bytes_
+            : (net_ != nullptr
+                   ? static_cast<std::uint64_t>(net_->min_efficient_packet())
+                   : 0));
     plan_ = std::move(plan);
     if (plan_->any_configured()) {
       executor_.bind(engine_, plan_, compute_);
@@ -493,6 +525,8 @@ class SparseAllreduce {
   Engine* engine_;
   Topology topo_;
   const ComputeModel* compute_;
+  const NetworkModel* net_ = nullptr;  ///< chunk-size compiler input
+  std::uint64_t chunk_bytes_ = 0;      ///< tuning override (0 = compiled)
   Mode mode_ = Mode::kNone;
   std::vector<Node> nodes_;
   std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes

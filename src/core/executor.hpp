@@ -16,16 +16,29 @@
 // op per component in the same order a stride-1 replay would, so a strided
 // reduce of k payloads is bit-identical to k independent reduces.
 //
+// Streaming mode (DESIGN §9): set_streaming(true) splits every reduce
+// letter into chunks of the plan's compiled chunk_bytes (overridable via
+// set_chunk_bytes_override), one Letter per chunk, and scatter-combines each
+// chunk into the rank's union through a PosMap subspan as it is consumed.
+// Chunks are processed in ascending (src, chunk_index) order — the exact
+// per-position op order of letter-at-once delivery, since each sender
+// touches each union position at most once — so streamed results are
+// bit-identical on every engine. Block watermarks (blocks of chunk-size
+// key ranges, flushed once their last contributing chunk lands) and the
+// letter/stream buffer envelopes are accumulated into StreamStats; the
+// pipelining payoff is priced by TimingAccumulator::pipelined_reduce_time.
+//
 // Allocation discipline: per-rank ExecState mirrors NodeScratch's buffer
 // economy (letter shells per layer, recycled value pools, ping-pong
-// merge/below buffers), so warm replays allocate nothing in the rounds and
-// stay within the same m+1 API-boundary budget as the node path
-// (tests/core/alloc_test).
+// merge/below buffers, pooled block-watermark scratch), so warm replays —
+// streamed or not — allocate nothing in the rounds and stay within the same
+// m+1 API-boundary budget as the node path (tests/core/alloc_test).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -34,6 +47,7 @@
 #include "comm/packet.hpp"
 #include "core/node.hpp"  // NodeWork + the kernels the replay must mirror
 #include "core/plan.hpp"
+#include "core/stream_stats.hpp"
 #include "sparse/ops.hpp"
 
 namespace kylix {
@@ -69,6 +83,24 @@ class ReduceExecutor {
     return plan_;
   }
 
+  /// Toggle streamed replay. Takes effect on the next reduce; a streamed
+  /// reduce with no chunk size (plan compiled without a network model and
+  /// no override) degenerates to letter-at-once.
+  void set_streaming(bool on) { streaming_ = on; }
+  [[nodiscard]] bool streaming() const { return streaming_; }
+
+  /// Tuning override for the plan's compiled chunk size, in payload bytes
+  /// (0 restores the plan's value).
+  void set_chunk_bytes_override(std::uint64_t bytes) {
+    chunk_bytes_override_ = bytes;
+  }
+
+  /// Telemetry of the last reduce (valid after reduce()/reduce_strided()
+  /// returns; merged over ranks in ascending order, so deterministic).
+  [[nodiscard]] const StreamStats& stream_stats() const {
+    return stream_stats_;
+  }
+
   /// Replay one reduce. `out_values[r]` aligns with rank r's contributed
   /// key order; result[r] aligns with its requested key order. Dead or
   /// plan-unconfigured ranks yield empty results.
@@ -87,8 +119,27 @@ class ReduceExecutor {
     KYLIX_CHECK(stride >= 1);
     KYLIX_CHECK(out_values.size() == plan_->num_ranks());
     stride_ = stride;
+    // Freeze this reduce's chunk schedule: payload bytes -> key positions.
+    // One plan serves every value type and stride because the conversion
+    // happens here, not at compile time.
+    const std::uint64_t chunk_bytes = chunk_bytes_override_ != 0
+                                          ? chunk_bytes_override_
+                                          : plan_->chunk_bytes();
+    chunk_positions_ =
+        streaming_ && chunk_bytes != 0
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         chunk_bytes / (sizeof(V) * std::uint64_t{stride_})))
+            : 0;
+    stream_stats_ = StreamStats{};
+    stream_stats_.streamed = chunk_positions_ != 0;
+    stream_stats_.chunk_bytes =
+        chunk_positions_ == 0
+            ? 0
+            : std::uint64_t{chunk_positions_} * sizeof(V) * stride_;
     const Topology& topo = plan_->topology();
     const std::uint16_t l = topo.num_layers();
+    for (ExecState& s : state_) s.stream = StreamStats{};
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       // Recovery-capable engines price group deaths by input mass; noted
       // for dead and unconfigured ranks too, exactly as the node path's
@@ -120,6 +171,7 @@ class ReduceExecutor {
     for (std::uint16_t layer = 1; layer <= l; ++layer) {
       run_round(Phase::kReduceDown, layer,
                 &ReduceExecutor::down_produce, &ReduceExecutor::down_consume);
+      collect_spent();
     }
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       if (engine_->is_dead(r) || !plan_->rank_plan(r).configured) continue;
@@ -129,6 +181,7 @@ class ReduceExecutor {
     for (std::uint16_t layer = l; layer >= 1; --layer) {
       run_round(Phase::kReduceUp, layer,
                 &ReduceExecutor::up_produce, &ReduceExecutor::up_consume);
+      collect_spent();
     }
     std::vector<std::vector<V>> results(plan_->num_ranks());
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
@@ -136,6 +189,10 @@ class ReduceExecutor {
         results[r] = std::move(state_[r].vin);
       }
     }
+    // Per-rank round stats were written by whichever thread consumed that
+    // rank; merging here, after every round barrier, in ascending rank
+    // order keeps the aggregate deterministic across engines.
+    for (const ExecState& s : state_) stream_stats_.merge(s.stream);
     return results;
   }
 
@@ -147,29 +204,72 @@ class ReduceExecutor {
     std::vector<V> v;       ///< downward (scatter-reduce) buffer
     std::vector<V> vin;     ///< upward (allgather) buffer
     std::vector<V> merged;  ///< ping-pong partner
+    std::vector<std::uint32_t> last_touch;  ///< block-watermark scratch
+    /// Consumed value buffers awaiting return to their sender's pool. Only
+    /// the buffers move here — the inbox vector and its letter shells stay
+    /// with the engine, which pools them round to round.
+    std::vector<std::pair<rank_t, std::vector<V>>> spent;
     NodeWork work;
+    StreamStats stream;  ///< this rank's round-local telemetry
   };
+
+  /// Chunks a piece of `positions` key positions splits into (>= 1: empty
+  /// pieces still send one letter so blocking receives stay balanced).
+  [[nodiscard]] std::uint32_t chunks_for(std::size_t positions) const {
+    if (chunk_positions_ == 0 || positions <= chunk_positions_) return 1;
+    return static_cast<std::uint32_t>(
+        (positions + chunk_positions_ - 1) / chunk_positions_);
+  }
+
+  /// Resize a letter-shell vector, recycling the value buffers of shells
+  /// about to be destroyed (mode switches shrink the chunk count; their
+  /// capacity must flow back to the pool, not to the heap).
+  void resize_letters(ExecState& s, std::vector<Letter<V>>& letters,
+                      std::size_t count) {
+    for (std::size_t i = count; i < letters.size(); ++i) {
+      recycle(s.value_pool, letters[i].packet.values);
+    }
+    letters.resize(count);
+  }
 
   std::vector<Letter<V>>& down_produce(rank_t r, std::uint16_t layer) {
     const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
     ExecState& s = state_[r];
     std::vector<Letter<V>>& letters = s.letters[layer - 1];
-    letters.resize(cfg.group.size());
+    std::size_t total = 0;
     for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      Letter<V>& letter = letters[q];
-      letter.src = r;
-      letter.dst = cfg.group[q];
-      letter.packet.in_keys.clear();
-      letter.packet.out_keys.clear();
-      letter.packet.stride = stride_;
-      refill(s.value_pool, letter.packet.values);
-      letter.packet.values.assign(
-          s.v.begin() +
-              static_cast<std::ptrdiff_t>(cfg.out_split[q] * stride_),
-          s.v.begin() +
-              static_cast<std::ptrdiff_t>(cfg.out_split[q + 1] * stride_));
-      s.work.gather_elements +=
-          static_cast<double>(letter.packet.values.size());
+      total += chunks_for(cfg.out_split[q + 1] - cfg.out_split[q]);
+    }
+    resize_letters(s, letters, total);
+    std::size_t slot = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      const std::size_t piece = cfg.out_split[q + 1] - cfg.out_split[q];
+      const std::uint32_t k = chunks_for(piece);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        Letter<V>& letter = letters[slot++];
+        letter.src = r;
+        letter.dst = cfg.group[q];
+        letter.packet.in_keys.clear();
+        letter.packet.out_keys.clear();
+        letter.packet.stride = stride_;
+        letter.packet.chunk_index = c;
+        letter.packet.chunk_count = k;
+        const std::size_t lo =
+            cfg.out_split[q] + std::size_t{c} * chunk_positions_;
+        const std::size_t hi =
+            k == 1 ? cfg.out_split[q + 1]
+                   : std::min(cfg.out_split[q + 1], lo + chunk_positions_);
+        refill(s.value_pool, letter.packet.values);
+        letter.packet.values.assign(
+            s.v.begin() + static_cast<std::ptrdiff_t>(lo * stride_),
+            s.v.begin() + static_cast<std::ptrdiff_t>(hi * stride_));
+        s.work.gather_elements +=
+            static_cast<double>(letter.packet.values.size());
+      }
+      ++s.stream.letters;
+      s.stream.chunks += k;
+      s.stream.max_chunks_per_letter =
+          std::max(s.stream.max_chunks_per_letter, k);
     }
     return letters;
   }
@@ -178,20 +278,37 @@ class ReduceExecutor {
                     std::vector<Letter<V>>&& inbox) {
     const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
     ExecState& s = state_[r];
+    note_buffer_envelopes(s, inbox);
+    note_block_flushes(s, inbox, cfg.out_union_size,
+                       [&](const Letter<V>& letter, std::size_t offset,
+                           std::size_t positions) {
+                         const std::uint32_t q =
+                             plan_->topology().digit(layer, letter.src);
+                         const std::span<const pos_t> map(cfg.out_maps[q]);
+                         // Maps are strictly increasing within one piece,
+                         // so the chunk's union footprint is [front, back].
+                         return std::pair<std::size_t, std::size_t>(
+                             map[offset], map[offset + positions - 1]);
+                       });
     std::vector<V>& merged = s.merged;
     merged.assign(cfg.out_union_size * stride_, Op::template identity<V>());
+    // Inbox is sorted by (src, chunk): ascending sender digit, ascending
+    // chunk within a sender — the letter-at-once per-position combine order
+    // exactly, so eager chunk scatters are bit-identical.
     for (Letter<V>& letter : inbox) {
       const std::uint32_t q =
           plan_->topology().digit(layer, letter.src);
-      KYLIX_CHECK_MSG(
-          letter.packet.values.size() == cfg.recv_out_sizes[q] * stride_,
-          "reduce payload does not match planned piece size");
-      scatter_combine_strided<V, Op>(std::span<V>(merged),
-                                     std::span<const V>(letter.packet.values),
-                                     cfg.out_maps[q], stride_);
+      const std::size_t piece = cfg.recv_out_sizes[q];
+      const auto [offset, positions] =
+          chunk_slice(letter.packet, piece,
+                      "reduce payload does not match planned piece size");
+      scatter_combine_strided<V, Op>(
+          std::span<V>(merged), std::span<const V>(letter.packet.values),
+          std::span<const pos_t>(cfg.out_maps[q]).subspan(offset, positions),
+          stride_);
       s.work.combine_elements +=
           static_cast<double>(letter.packet.values.size());
-      recycle(s.value_pool, letter.packet.values);
+      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
     }
     std::swap(s.v, merged);
   }
@@ -224,19 +341,39 @@ class ReduceExecutor {
     const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
     ExecState& s = state_[r];
     std::vector<Letter<V>>& letters = s.letters[layer - 1];
-    letters.resize(cfg.group.size());
+    std::size_t total = 0;
     for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      Letter<V>& letter = letters[q];
-      letter.src = r;
-      letter.dst = cfg.group[q];
-      letter.packet.in_keys.clear();
-      letter.packet.out_keys.clear();
-      letter.packet.stride = stride_;
-      refill(s.value_pool, letter.packet.values);
-      gather_strided_into(std::span<const V>(s.vin), cfg.in_maps[q], stride_,
-                          letter.packet.values);
-      s.work.gather_elements +=
-          static_cast<double>(letter.packet.values.size());
+      total += chunks_for(cfg.in_maps[q].size());
+    }
+    resize_letters(s, letters, total);
+    std::size_t slot = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      const std::size_t piece = cfg.in_maps[q].size();
+      const std::uint32_t k = chunks_for(piece);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        Letter<V>& letter = letters[slot++];
+        letter.src = r;
+        letter.dst = cfg.group[q];
+        letter.packet.in_keys.clear();
+        letter.packet.out_keys.clear();
+        letter.packet.stride = stride_;
+        letter.packet.chunk_index = c;
+        letter.packet.chunk_count = k;
+        const std::size_t lo = std::size_t{c} * chunk_positions_;
+        const std::size_t hi =
+            k == 1 ? piece : std::min(piece, lo + chunk_positions_);
+        refill(s.value_pool, letter.packet.values);
+        gather_strided_into(
+            std::span<const V>(s.vin),
+            std::span<const pos_t>(cfg.in_maps[q]).subspan(lo, hi - lo),
+            stride_, letter.packet.values);
+        s.work.gather_elements +=
+            static_cast<double>(letter.packet.values.size());
+      }
+      ++s.stream.letters;
+      s.stream.chunks += k;
+      s.stream.max_chunks_per_letter =
+          std::max(s.stream.max_chunks_per_letter, k);
     }
     return letters;
   }
@@ -245,20 +382,120 @@ class ReduceExecutor {
                   std::vector<Letter<V>>&& inbox) {
     const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
     ExecState& s = state_[r];
+    note_buffer_envelopes(s, inbox);
+    note_block_flushes(s, inbox, cfg.in_prev_size,
+                       [&](const Letter<V>& letter, std::size_t offset,
+                           std::size_t positions) {
+                         const std::uint32_t q =
+                             plan_->topology().digit(layer, letter.src);
+                         // Allgather chunks land contiguously at the piece's
+                         // split boundary.
+                         const std::size_t lo = cfg.in_split[q] + offset;
+                         return std::pair<std::size_t, std::size_t>(
+                             lo, lo + positions - 1);
+                       });
     std::vector<V>& below = s.merged;
     below.assign(cfg.in_prev_size * stride_, Op::template identity<V>());
     for (Letter<V>& letter : inbox) {
       const std::uint32_t q =
           plan_->topology().digit(layer, letter.src);
-      const std::size_t first = cfg.in_split[q] * stride_;
-      KYLIX_CHECK_MSG(letter.packet.values.size() ==
-                          (cfg.in_split[q + 1] - cfg.in_split[q]) * stride_,
+      const std::size_t piece = cfg.in_split[q + 1] - cfg.in_split[q];
+      const auto [offset, positions] =
+          chunk_slice(letter.packet, piece,
                       "allgather payload does not match planned piece size");
+      const std::size_t first = (cfg.in_split[q] + offset) * stride_;
       std::copy(letter.packet.values.begin(), letter.packet.values.end(),
                 below.begin() + static_cast<std::ptrdiff_t>(first));
-      recycle(s.value_pool, letter.packet.values);
+      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
     }
     std::swap(s.vin, below);
+  }
+
+  /// Validate one letter's chunk framing against the planned piece length
+  /// and return its {position offset, position count} within the piece.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_slice(
+      const Packet<V>& packet, std::size_t piece, const char* what) const {
+    std::size_t offset = 0;
+    std::size_t positions = piece;
+    if (packet.chunk_count > 1) {
+      KYLIX_CHECK_MSG(chunk_positions_ != 0 &&
+                          packet.chunk_count == chunks_for(piece) &&
+                          packet.chunk_index < packet.chunk_count,
+                      "chunk framing does not match the plan's schedule");
+      offset = std::size_t{packet.chunk_index} * chunk_positions_;
+      positions = std::min(chunk_positions_, piece - offset);
+    }
+    KYLIX_CHECK_MSG(packet.values.size() == positions * stride_, what);
+    return {offset, positions};
+  }
+
+  /// Record what this consume had to buffer: the whole inbox (letter-at-once
+  /// envelope) vs. one in-flight chunk per sender (streamed envelope, the
+  /// O(chunk x in-degree) cap eager combining buys). Requires the inbox to
+  /// be (src, chunk)-sorted, which every engine guarantees.
+  void note_buffer_envelopes(ExecState& s,
+                             const std::vector<Letter<V>>& inbox) const {
+    std::uint64_t letter_bytes = 0;
+    std::uint64_t stream_bytes = 0;
+    std::uint64_t src_max = 0;
+    rank_t src = 0;
+    bool first = true;
+    for (const Letter<V>& letter : inbox) {
+      const std::uint64_t bytes =
+          sizeof(V) * std::uint64_t{letter.packet.values.size()};
+      letter_bytes += bytes;
+      if (first || letter.src != src) {
+        stream_bytes += src_max;
+        src_max = 0;
+        src = letter.src;
+        first = false;
+      }
+      src_max = std::max(src_max, bytes);
+    }
+    stream_bytes += src_max;
+    s.stream.peak_letter_buffer_bytes =
+        std::max(s.stream.peak_letter_buffer_bytes, letter_bytes);
+    s.stream.peak_stream_buffer_bytes =
+        std::max(s.stream.peak_stream_buffer_bytes,
+                 chunk_positions_ == 0 ? letter_bytes : stream_bytes);
+  }
+
+  /// Block watermarks: the round's target buffer is partitioned into blocks
+  /// of chunk_positions_ key positions; block b flushes downstream after the
+  /// last chunk touching it (index t_b in the deterministic processing
+  /// order) combines. `range` maps (letter, piece offset, positions) to the
+  /// inclusive target-position range the chunk writes. The flush timeline is
+  /// what pipelined_reduce_time prices; here it feeds blocks_flushed and the
+  /// overlap ratio. Scratch is pooled (last_touch keeps capacity), so warm
+  /// streamed rounds allocate nothing.
+  template <typename RangeFn>
+  void note_block_flushes(ExecState& s, const std::vector<Letter<V>>& inbox,
+                          std::size_t target_positions,
+                          RangeFn&& range) const {
+    const std::size_t span = chunk_positions_;
+    if (span == 0 || target_positions == 0 || inbox.empty()) return;
+    const std::size_t blocks = (target_positions + span - 1) / span;
+    s.last_touch.assign(blocks, 0);
+    for (std::uint32_t i = 0; i < inbox.size(); ++i) {
+      const Letter<V>& letter = inbox[i];
+      if (letter.packet.values.empty()) continue;
+      const std::size_t positions = letter.packet.values.size() / stride_;
+      const std::size_t offset =
+          std::size_t{letter.packet.chunk_index} * span;
+      const auto [lo, hi] = range(letter, offset, positions);
+      for (std::size_t b = lo / span; b <= hi / span; ++b) {
+        s.last_touch[b] = i;
+      }
+    }
+    const double last = static_cast<double>(inbox.size()) - 1.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      ++s.stream.blocks_flushed;
+      ++s.stream.overlap_blocks;
+      if (last > 0.0) {
+        s.stream.overlap_weight +=
+            (last - static_cast<double>(s.last_touch[b])) / last;
+      }
+    }
   }
 
   template <typename ProduceFn, typename ConsumeFn>
@@ -288,6 +525,24 @@ class ReduceExecutor {
     engine_->charge_compute(phase, layer, r, seconds);
   }
 
+  /// Chunked schedules are asymmetric — a rank rarely receives as many
+  /// chunks as it sends — so recycling a spent buffer into the consumer's
+  /// pool would slowly drain producer pools and hit the allocator on every
+  /// warm replay. Consumers instead park their consumed inbox in `spent`;
+  /// at the single-threaded barrier after each round the value buffers go
+  /// back to the pool of the rank that sent them, so every producer opens
+  /// the next round holding exactly the buffers (and capacities) it used
+  /// last time.
+  void collect_spent() {
+    for (ExecState& s : state_) {
+      for (auto& [src, buf] : s.spent) {
+        KYLIX_DCHECK(src < state_.size());
+        recycle(state_[src].value_pool, buf);
+      }
+      s.spent.clear();
+    }
+  }
+
   template <typename T>
   static void refill(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
     if (buf.capacity() == 0 && !pool.empty()) {
@@ -305,6 +560,12 @@ class ReduceExecutor {
   const ComputeModel* compute_ = nullptr;
   std::shared_ptr<const CollectivePlan> plan_;
   std::uint32_t stride_ = 1;
+  bool streaming_ = false;
+  std::uint64_t chunk_bytes_override_ = 0;
+  /// Chunk length in key positions for the reduce in flight (0 means
+  /// letter-at-once); frozen at the top of reduce_strided.
+  std::size_t chunk_positions_ = 0;
+  StreamStats stream_stats_;
   std::vector<ExecState> state_;
 };
 

@@ -73,10 +73,17 @@ std::uint64_t CollectivePlan::reduce_wire_bytes(std::size_t value_bytes,
     for (std::uint16_t layer = 1; layer <= l; ++layer) {
       const PlanLayer& cfg = rp.layers[layer - 1];
       for (std::size_t q = 0; q < cfg.group.size(); ++q) {
-        const std::uint64_t down = cfg.out_split[q + 1] - cfg.out_split[q];
-        const std::uint64_t up = cfg.in_maps[q].size();
-        bytes += 2 * kPacketHeaderBytes +
-                 (down + up) * value_bytes * std::uint64_t{stride};
+        const std::uint64_t down = (cfg.out_split[q + 1] - cfg.out_split[q]) *
+                                   value_bytes * std::uint64_t{stride};
+        const std::uint64_t up =
+            cfg.in_maps[q].size() * value_bytes * std::uint64_t{stride};
+        // Letter-at-once accounting with per-frame headers: an oversized
+        // piece pays one header per wire frame, matching
+        // Packet::wire_bytes(). (A streamed replay pays at least this much;
+        // its exact header count depends on the chunk schedule and is read
+        // off the Trace instead.)
+        bytes += (wire_frames(down) + wire_frames(up)) * kPacketHeaderBytes +
+                 down + up;
       }
     }
   }

@@ -113,6 +113,16 @@ class CollectivePlan {
     return false;
   }
 
+  /// Streaming chunk size in payload bytes, compiled from
+  /// NetworkModel::min_efficient_packet when the allreduce knows its network
+  /// (SparseAllreduce::set_network) and overridable via tuning before the
+  /// plan is shared. 0 means "no chunk schedule": a streamed executor falls
+  /// back to letter-at-once. The executor converts bytes to key positions
+  /// per reduce (max(1, chunk_bytes / (sizeof(V) * stride))), so one plan
+  /// still serves every value type and stride.
+  [[nodiscard]] std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  void set_chunk_bytes(std::uint64_t bytes) { chunk_bytes_ = bytes; }
+
   /// Union kernel frozen per communication layer at compile time (the
   /// autotune choice the configuration pass actually ran with).
   [[nodiscard]] const std::vector<kernels::UnionKernel>& union_kernels()
@@ -141,6 +151,7 @@ class CollectivePlan {
  private:
   Topology topo_;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t chunk_bytes_ = 0;
   std::vector<RankPlan> ranks_;
   std::vector<kernels::UnionKernel> union_kernels_;
 };

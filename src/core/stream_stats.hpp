@@ -1,0 +1,63 @@
+// Aggregate telemetry of one streamed (or letter-at-once) executor reduce.
+//
+// The executor accumulates one StreamStats per rank during the rounds and
+// merges them in ascending rank order after the reduce, so the struct is
+// deterministic across engines and runs. It is a plain value type with no
+// obs dependency: core fills it in, and the obs/CLI/bench layers publish it
+// into a MetricsRegistry (obs::publish_stream_stats) or JSON.
+//
+// Buffer envelopes: `peak_letter_buffer_bytes` is the largest inbox any
+// rank held for a single consume — what letter-at-once delivery must buffer.
+// `peak_stream_buffer_bytes` prices the streamed discipline instead: eager
+// per-chunk combining frees each chunk after its scatter, so at most one
+// chunk per in-edge is in flight and the envelope is O(chunk x in-degree).
+//
+// Overlap: block b of a round's key range flushes downstream after the last
+// chunk touching it (position t_b in the deterministic (src, chunk) order)
+// has combined. overlap_ratio() averages the normalized earliness
+// (T-1-t_b)/(T-1) over all blocks — 0 means every block waited for the
+// whole inbox (no overlap to exploit), 1 means everything flushed at the
+// first chunk.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace kylix {
+
+struct StreamStats {
+  bool streamed = false;          ///< chunked replay (vs letter-at-once)
+  std::uint64_t chunk_bytes = 0;  ///< effective chunk payload bytes (0: off)
+  std::uint64_t letters = 0;      ///< logical letters (edges) carried
+  std::uint64_t chunks = 0;       ///< chunk packets sent
+  std::uint64_t blocks_flushed = 0;  ///< key-range blocks flushed downstream
+  std::uint32_t max_chunks_per_letter = 1;
+  std::uint64_t peak_letter_buffer_bytes = 0;
+  std::uint64_t peak_stream_buffer_bytes = 0;
+  double overlap_weight = 0.0;       ///< sum of per-block flush earliness
+  std::uint64_t overlap_blocks = 0;  ///< blocks the weight averages over
+
+  [[nodiscard]] double overlap_ratio() const {
+    return overlap_blocks == 0
+               ? 0.0
+               : overlap_weight / static_cast<double>(overlap_blocks);
+  }
+
+  /// Fold another rank's round-local stats into this one (rank order is
+  /// fixed by the caller, so merged sums are deterministic).
+  void merge(const StreamStats& other) {
+    letters += other.letters;
+    chunks += other.chunks;
+    blocks_flushed += other.blocks_flushed;
+    max_chunks_per_letter =
+        std::max(max_chunks_per_letter, other.max_chunks_per_letter);
+    peak_letter_buffer_bytes =
+        std::max(peak_letter_buffer_bytes, other.peak_letter_buffer_bytes);
+    peak_stream_buffer_bytes =
+        std::max(peak_stream_buffer_bytes, other.peak_stream_buffer_bytes);
+    overlap_weight += other.overlap_weight;
+    overlap_blocks += other.overlap_blocks;
+  }
+};
+
+}  // namespace kylix

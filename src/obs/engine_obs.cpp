@@ -157,4 +157,24 @@ void TelemetryObserver::on_round_end(Phase phase, std::uint16_t layer) {
   }
 }
 
+void publish_stream_stats(MetricsRegistry& metrics, const StreamStats& stats) {
+  metrics.counter("engine.stream.letters").add(stats.letters);
+  metrics.counter("engine.stream.chunks_sent").add(stats.chunks);
+  metrics.counter("engine.stream.blocks_flushed").add(stats.blocks_flushed);
+  metrics.gauge("engine.stream.enabled").set(stats.streamed ? 1.0 : 0.0);
+  metrics.gauge("engine.stream.chunk_bytes")
+      .set(static_cast<double>(stats.chunk_bytes));
+  metrics.gauge("engine.stream.max_chunks_per_letter")
+      .set(static_cast<double>(stats.max_chunks_per_letter));
+  metrics.gauge("engine.stream.overlap_ratio").set(stats.overlap_ratio());
+  // The envelope the run actually needed: streamed replays are capped at
+  // one in-flight chunk per in-edge, letter-at-once holds whole inboxes.
+  metrics.gauge("engine.peak_buffer_bytes")
+      .set(static_cast<double>(stats.streamed
+                                   ? stats.peak_stream_buffer_bytes
+                                   : stats.peak_letter_buffer_bytes));
+  metrics.gauge("engine.stream.peak_letter_buffer_bytes")
+      .set(static_cast<double>(stats.peak_letter_buffer_bytes));
+}
+
 }  // namespace kylix::obs

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/stream_stats.hpp"
 #include "core/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -101,5 +102,13 @@ class TelemetryObserver : public EngineObserver {
   Counter* rec_forced_ = nullptr;
   Counter* rec_group_deaths_ = nullptr;
 };
+
+/// Publish one reduce's StreamStats (core/stream_stats.hpp) into a registry:
+/// `engine.stream.*` counters (chunks sent, letters, blocks flushed) plus
+/// the `engine.stream.overlap_ratio` and buffer-envelope gauges — notably
+/// `engine.peak_buffer_bytes`, the streamed envelope when streaming was on
+/// and the letter envelope otherwise. Counters accumulate across calls (one
+/// call per reduce); gauges are last-write-wins.
+void publish_stream_stats(MetricsRegistry& metrics, const StreamStats& stats);
 
 }  // namespace kylix::obs

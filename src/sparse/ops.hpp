@@ -101,6 +101,24 @@ void gather_strided_into(std::span<const V> values, const PosMap& map,
   kernels::gather_strided<V>(values, map, stride, out.data());
 }
 
+/// Map-slice forms: the streamed executor routes each chunk through a
+/// subspan of the piece's positional map, so a chunked scatter/gather is
+/// the same kernel over the same positions in the same order as one
+/// whole-piece call — which is the bit-identity argument for streaming.
+template <typename V, typename Op>
+void scatter_combine_strided(std::span<V> acc, std::span<const V> values,
+                             std::span<const pos_t> map, std::size_t stride,
+                             Op op = {}) {
+  kernels::scatter_combine_strided<V, Op>(acc, values, map, stride, op);
+}
+
+template <typename V>
+void gather_strided_into(std::span<const V> values, std::span<const pos_t> map,
+                         std::size_t stride, std::vector<V>& out) {
+  out.resize(map.size() * stride);
+  kernels::gather_strided<V>(values, map, stride, out.data());
+}
+
 /// A sparse vector at the API boundary: aligned (sorted keys, values).
 template <typename V>
 struct SparseVector {

@@ -445,6 +445,53 @@ TEST(AllocHotPath, StridedPlanReplayStaysWithinBudget) {
   EXPECT_EQ(first, second) << "strided replay is not steady";
 }
 
+// Streaming splits every letter into chunk-sized frames, but the chunk
+// shells and the block-watermark scratch are pooled like everything else:
+// warm streamed replay obeys the identical API-boundary budget — only the
+// result buffers that leave with the caller.
+TEST(AllocHotPath, StreamedStridedReplayStaysWithinBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const std::uint32_t stride = 3;
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 29);
+  std::vector<std::vector<float>> interleaved(m);
+  for (rank_t r = 0; r < m; ++r) {
+    interleaved[r].resize(w.out_values[r].size() * stride);
+    for (std::size_t p = 0; p < w.out_values[r].size(); ++p) {
+      for (std::uint32_t c = 0; c < stride; ++c) {
+        interleaved[r][p * stride + c] =
+            w.out_values[r][p] + static_cast<float>(c);
+      }
+    }
+  }
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.set_streaming(true);
+  allreduce.set_chunk_bytes(512);  // small chunks: every letter splits
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce_strided(interleaved, stride);  // warm
+  }
+  EXPECT_GT(allreduce.stream_stats().max_chunks_per_letter, 1u)
+      << "chunk size too large to exercise streaming";
+
+  const auto measure = [&] {
+    auto values = interleaved;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = allreduce.reduce_strided(std::move(values), stride);
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "streamed strided replay is not steady";
+}
+
 // Serving a plan from the cache is pointer traffic only: the LRU refresh is
 // a list splice and the lookup a hash probe — no allocator contact. Nor
 // does re-adopting the plan an allreduce is already bound to.

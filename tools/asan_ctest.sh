@@ -34,3 +34,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L chaos
 # across allreduce instances and value types, executor scratch reuse, and
 # LRU eviction dropping the last reference mid-replay sequence.
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L plan
+
+# Focused stream pass: the chunked produce/consume paths slice PosMaps into
+# subspans and recycle chunk-sized value buffers through the pool — exactly
+# the off-by-one-span and use-after-recycle bugs ASan exists to catch, plus
+# the threaded engine's multi-letter-per-edge receive loop.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L stream

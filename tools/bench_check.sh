@@ -21,6 +21,10 @@
 # configuration every iteration (with strided replay bit-identical to
 # independent reduces) — see the plan-reuse gate at the bottom.
 #
+# A fourth gate covers streaming: each preset's streaming block must show
+# the pipelined chunked reduce beating barriered letter-at-once by 1.15x on
+# the modeled clock, with streamed results bit-identical.
+#
 # Usage: tools/bench_check.sh [build-dir] [tolerance] [engine-tolerance]
 #   build-dir defaults to build-bench (separate tree pinned to Release so a
 #   Debug working tree never produces bogus regressions).
@@ -181,4 +185,46 @@ if failed:
     sys.exit(1)
 print(f"\nplan-reuse gate passed: cached replay >= {min_speedup}x on every "
       "preset, strided replay bit-identical")
+EOF
+
+# ---- Streaming gate --------------------------------------------------------
+# The streaming executor (DESIGN §9) exists to overlap scatter-reduce with
+# allgather: on the modeled network clock, the pipelined chunked reduce must
+# beat the barriered letter-at-once reduce by at least 1.15x on every
+# preset, and the streamed results must be bit-identical to letter-at-once
+# (the determinism contract — same combine order, not just same sums). The
+# ablation runs the stride-16 big-letter regime and sweeps chunk sizes
+# around the efficiency knee (the optimum lands on min_efficient_packet at
+# k = 3-4, measured 1.35-1.50x); dipping below 1.15x means per-chunk
+# overheads ate the overlap.
+python3 - "${engines_fresh}" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+min_speedup = 1.15
+
+print(f"\n{'preset':<14}{'letter s':>10}{'streamed s':>12}{'speedup':>9}"
+      f"{'k':>4}{'overlap':>9}  status")
+failed = 0
+for preset in doc["presets"]:
+    s = preset["streaming"]
+    ok = s["modeled_speedup"] >= min_speedup
+    identical = s["stream_bit_identical"]
+    failed += (not ok) + (not identical)
+    status = "ok" if ok else "REGRESS"
+    if not identical:
+        status += " STREAM-MISMATCH"
+    print(f"{preset['name']:<14}{s['letter_modeled_s']:>10.4f}"
+          f"{s['streamed_modeled_s']:>12.4f}{s['modeled_speedup']:>8.2f}x"
+          f"{s['max_chunks_per_letter']:>4}{s['overlap_ratio']:>9.2f}"
+          f"  {status}")
+
+if failed:
+    print(f"\nstreaming gate FAILED: pipelined chunked reduce must beat "
+          f"letter-at-once by {min_speedup}x on the modeled clock and stay "
+          f"bit-identical")
+    sys.exit(1)
+print(f"\nstreaming gate passed: streamed reduce >= {min_speedup}x letter-"
+      "at-once on every preset, results bit-identical")
 EOF

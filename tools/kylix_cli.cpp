@@ -65,6 +65,9 @@ struct Cli {
   std::vector<std::uint32_t> degrees;  // empty -> autotune
   std::string trace_out;               // report mode: Chrome trace JSON
   std::string report_out;              // report mode: run-report JSON
+  // report mode: streaming packetized reduction (DESIGN §9).
+  bool stream = false;
+  std::uint64_t chunk_bytes = 0;  // 0 -> compiled from min_efficient_packet
   // chaos mode: sweep shape and background fault rates.
   std::uint64_t chaos_seeds = 16;
   rank_t max_failures = 8;
@@ -92,6 +95,9 @@ struct Cli {
       "report mode only:\n"
       "  --trace-out F     write Chrome trace-event JSON (Perfetto) to F\n"
       "  --report-out F    write the run-report JSON to F\n"
+      "  --stream          stream MTU-sized chunks through the reduce\n"
+      "  --chunk-bytes B   streaming chunk payload bytes (default: compiled\n"
+      "                    from the network model's min efficient packet)\n"
       "chaos mode only (seeded fault sweep, survival table):\n"
       "  --seeds S         schedules per failure count (default 16)\n"
       "  --max-failures K  sweep 0..K scripted crashes (default 8)\n"
@@ -159,6 +165,10 @@ Cli parse(int argc, char** argv) {
       cli.trace_out = value();
     } else if (flag == "--report-out" && cli.report) {
       cli.report_out = value();
+    } else if (flag == "--stream" && cli.report) {
+      cli.stream = true;
+    } else if (flag == "--chunk-bytes" && cli.report) {
+      cli.chunk_bytes = std::stoull(value());
     } else if (flag == "--seeds" && cli.chaos) {
       cli.chaos_seeds = std::stoull(value());
     } else if (flag == "--max-failures" && cli.chaos) {
@@ -459,6 +469,7 @@ int run_report(const Cli& cli) {
   std::vector<std::vector<real_t>> results;
   DegradedReport degraded;
   std::vector<rank_t> dead_ranks;
+  StreamStats sstats;
   if (cli.replication == 1) {
     KYLIX_CHECK_MSG(cli.failures == 0,
                     "failures need --replication >= 2 to stay correct");
@@ -467,8 +478,12 @@ int run_report(const Cli& cli) {
     engine.set_observer(&observer);
     SparseAllreduce<real_t, OpSum, ParallelBspEngine<real_t>> allreduce(
         &engine, topo, &compute);
+    allreduce.set_network(&net);
+    allreduce.set_streaming(cli.stream);
+    if (cli.chunk_bytes != 0) allreduce.set_chunk_bytes(cli.chunk_bytes);
     allreduce.configure(w.in_sets, w.out_sets);
     results = allreduce.reduce(w.values);
+    sstats = allreduce.stream_stats();
     inputs.measured_elements = allreduce.measured_layer_elements();
     inputs.dropped_messages = engine.dropped_messages();
     std::printf("engine: parallel (%u threads)\n", engine.num_threads());
@@ -484,8 +499,12 @@ int run_report(const Cli& cli) {
     engine.set_observer(&observer);
     SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
         &engine, topo, &compute);
+    allreduce.set_network(&net);
+    allreduce.set_streaming(cli.stream);
+    if (cli.chunk_bytes != 0) allreduce.set_chunk_bytes(cli.chunk_bytes);
     allreduce.configure(w.in_sets, w.out_sets);
     results = allreduce.reduce(w.values);
+    sstats = allreduce.stream_stats();
     degraded = allreduce.degraded_report();
     dead_ranks = engine.dead_logical_ranks();
     inputs.measured_elements = allreduce.measured_layer_elements();
@@ -495,6 +514,7 @@ int run_report(const Cli& cli) {
     std::printf("engine: replicated x%u, %u failures injected\n",
                 cli.replication, cli.failures);
   }
+  obs::publish_stream_stats(metrics, sstats);
 
   std::size_t errors;
   std::size_t checked;
@@ -531,6 +551,23 @@ int run_report(const Cli& cli) {
   std::printf("\nmodeled config time: %s\nmodeled reduce time: %s\n",
               format_seconds(report.time_config_s).c_str(),
               format_seconds(report.time_reduce_s).c_str());
+  if (sstats.streamed) {
+    const double streamed_s =
+        timing.pipelined_reduce_time(sstats.max_chunks_per_letter);
+    std::printf(
+        "streaming: chunk %s, %llu chunks over %llu letters (max %u/letter)\n"
+        "  modeled streamed reduce time: %s (pipeline overlap %.2f)\n"
+        "  peak buffer: %s streamed vs %s letter-at-once\n",
+        format_bytes(static_cast<double>(sstats.chunk_bytes)).c_str(),
+        static_cast<unsigned long long>(sstats.chunks),
+        static_cast<unsigned long long>(sstats.letters),
+        sstats.max_chunks_per_letter, format_seconds(streamed_s).c_str(),
+        sstats.overlap_ratio(),
+        format_bytes(static_cast<double>(sstats.peak_stream_buffer_bytes))
+            .c_str(),
+        format_bytes(static_cast<double>(sstats.peak_letter_buffer_bytes))
+            .c_str());
+  }
 
   if (!cli.trace_out.empty()) {
     std::ofstream out(cli.trace_out);
