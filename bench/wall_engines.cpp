@@ -214,6 +214,93 @@ StreamingStats run_streaming(const bench::Dataset& data,
   return out;
 }
 
+struct ObservabilityStats {
+  double bare_min_s = 0;          ///< warm replay, no observer attached
+  double instrumented_min_s = 0;  ///< metrics + recorder + watchdog, no tracer
+  double disabled_min_s = 0;      ///< observer attached, every sink dark
+  double overhead_instrumented = 0;  ///< instrumented/bare - 1
+  double overhead_disabled = 0;      ///< disabled/bare - 1
+  double p50_round_s = 0;
+  double p99_round_s = 0;
+  double p999_round_s = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t slow_rounds = 0;
+  std::uint64_t stragglers = 0;
+};
+
+/// More samples than the throughput loops: the overhead gate compares two
+/// warm minima, so each side gets enough draws to shake scheduler noise.
+constexpr int kObsTimed = 7;
+
+/// The observability-overhead ablation (gated <3% by tools/bench_check.sh):
+/// the same warm reduce replayed bare, fully instrumented (flight recorder +
+/// percentile histograms + anomaly watchdog; no span tracer), and with the
+/// observer attached but every sink disabled. The instrumented pass also
+/// yields the round-latency percentiles via the histogram quantile API.
+ObservabilityStats run_observability(const bench::Dataset& data,
+                                     const Topology& topology,
+                                     unsigned threads) {
+  ObservabilityStats out;
+  ParallelBspEngine<real_t> engine(bench::kMachines, threads);
+  SparseAllreduce<real_t, OpSum, ParallelBspEngine<real_t>> allreduce(
+      &engine, topology);
+  allreduce.configure(data.in_sets, data.out_sets);
+  const auto warm_min = [&]() {
+    for (int i = 0; i < kWarmups; ++i) (void)allreduce.reduce(data.out_values);
+    double best = 1e30;
+    for (int i = 0; i < kObsTimed; ++i) {
+      bench::WallTimer t;
+      (void)allreduce.reduce(data.out_values);
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+  out.bare_min_s = warm_min();
+
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder(bench::kMachines, /*per_rank_capacity=*/256,
+                               /*global_capacity=*/1024);
+  obs::AnomalyWatchdog::Options wopt;
+  wopt.metrics = &registry;
+  wopt.recorder = &recorder;
+  obs::AnomalyWatchdog watchdog(bench::kMachines, wopt);
+  obs::TelemetryObserver::Options opt;
+  opt.metrics = &registry;
+  opt.recorder = &recorder;
+  opt.watchdog = &watchdog;
+  obs::TelemetryObserver observer(/*tracer=*/nullptr, bench::kMachines, opt);
+  engine.set_observer(&observer);
+  out.instrumented_min_s = warm_min();
+  const obs::Histogram::Snapshot rounds =
+      registry
+          .histogram("engine.round_seconds",
+                     obs::exponential_bounds(1e-6, 10, 8))
+          .snapshot();
+  out.p50_round_s = rounds.quantile(0.5);
+  out.p99_round_s = rounds.quantile(0.99);
+  out.p999_round_s = rounds.quantile(0.999);
+  out.events_recorded = recorder.recorded();
+  out.slow_rounds = watchdog.slow_rounds();
+  out.stragglers = watchdog.stragglers();
+
+  // Sinks dark: the observer still rides along, but the recorder is
+  // switched off and no metrics/watchdog are attached — the cost of having
+  // the seam at all.
+  recorder.set_enabled(false);
+  obs::TelemetryObserver::Options dark_opt;
+  dark_opt.recorder = &recorder;
+  obs::TelemetryObserver dark(/*tracer=*/nullptr, bench::kMachines, dark_opt);
+  engine.set_observer(&dark);
+  out.disabled_min_s = warm_min();
+  engine.set_observer(nullptr);
+
+  out.overhead_instrumented =
+      out.bare_min_s > 0 ? out.instrumented_min_s / out.bare_min_s - 1.0 : 0;
+  out.overhead_disabled =
+      out.bare_min_s > 0 ? out.disabled_min_s / out.bare_min_s - 1.0 : 0;
+  return out;
+}
+
 template <typename Engine>
 ReduceStats run_engine(Engine& engine, const bench::Dataset& data,
                        const Topology& topology) {
@@ -381,6 +468,15 @@ int main(int argc, char** argv) {
                 stream.letter_modeled_s, stream_speedup,
                 stream.overlap_ratio, stream.identical ? "yes" : "NO");
 
+    const ObservabilityStats obs_stats =
+        run_observability(data, topology, threads);
+    std::printf("%-14s obs overhead: instrumented %+.2f%%  disabled %+.2f%%  "
+                "round p50 %.4gs p99 %.4gs p999 %.4gs  (%llu events)\n",
+                data.name.c_str(), obs_stats.overhead_instrumented * 100,
+                obs_stats.overhead_disabled * 100, obs_stats.p50_round_s,
+                obs_stats.p99_round_s, obs_stats.p999_round_s,
+                static_cast<unsigned long long>(obs_stats.events_recorded));
+
     const PlanReuseStats reuse = run_plan_reuse(seq_engine, data, topology);
     const double replay_speedup =
         reuse.replay_per_iter_s > 0
@@ -441,6 +537,20 @@ int main(int argc, char** argv) {
     json.key_value("peak_stream_buffer_bytes", stream.peak_stream_bytes);
     json.key_value("peak_letter_buffer_bytes", stream.peak_letter_bytes);
     json.key_value("stream_bit_identical", stream.identical);
+    json.end_object();
+    json.key("observability");
+    json.begin_object();
+    json.key_value("bare_warm_min_s", obs_stats.bare_min_s);
+    json.key_value("instrumented_warm_min_s", obs_stats.instrumented_min_s);
+    json.key_value("disabled_warm_min_s", obs_stats.disabled_min_s);
+    json.key_value("overhead_instrumented", obs_stats.overhead_instrumented);
+    json.key_value("overhead_disabled", obs_stats.overhead_disabled);
+    json.key_value("round_latency_p50_s", obs_stats.p50_round_s);
+    json.key_value("round_latency_p99_s", obs_stats.p99_round_s);
+    json.key_value("round_latency_p999_s", obs_stats.p999_round_s);
+    json.key_value("events_recorded", obs_stats.events_recorded);
+    json.key_value("slow_rounds", obs_stats.slow_rounds);
+    json.key_value("stragglers", obs_stats.stragglers);
     json.end_object();
     json.key("telemetry");
     registry.write_json(json);

@@ -105,6 +105,43 @@ std::vector<TimingAccumulator::RoundTime> TimingAccumulator::per_round_times()
   return result;
 }
 
+namespace {
+
+// Quantile with linear interpolation between order statistics over an
+// unsorted sample; sorts a copy.
+double sample_quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sample.size()) return sample.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
+}
+
+}  // namespace
+
+double TimingAccumulator::round_time_quantile(double q) const {
+  std::vector<double> sample;
+  sample.reserve(rounds_.size());
+  for (const auto& [key, r] : rounds_) sample.push_back(eval_round(r));
+  return sample_quantile(std::move(sample), q);
+}
+
+void TimingAccumulator::mark_reduce_complete() {
+  const double reduce_total = times().reduce();
+  // Concurrent engines can make the modeled total non-monotone across
+  // clears; clamp so a reordered mark never records a negative latency.
+  const double latency = std::max(0.0, reduce_total - last_reduce_mark_);
+  last_reduce_mark_ = reduce_total;
+  reduce_latencies_.push_back(latency);
+}
+
+double TimingAccumulator::reduce_latency_quantile(double q) const {
+  return sample_quantile(reduce_latencies_, q);
+}
+
 double TimingAccumulator::pipelined_reduce_time(
     std::uint32_t chunks_per_letter) const {
   const double k = static_cast<double>(std::max(1u, chunks_per_letter));

@@ -82,10 +82,32 @@ class TimingAccumulator {
   };
   [[nodiscard]] std::vector<RoundTime> per_round_times() const;
 
+  /// Quantile (q in [0, 1]) over the modeled wall times of every recorded
+  /// round — p50/p99 of round latency for the run report. Linear
+  /// interpolation between order statistics; 0 when no rounds exist.
+  [[nodiscard]] double round_time_quantile(double q) const;
+
+  /// Close out one reduce: records times().reduce() minus the previous
+  /// mark as the latency of the reduce that just completed. Call once per
+  /// allreduce when the accumulator spans multiple reduces.
+  void mark_reduce_complete();
+
+  /// Quantile over the per-reduce latencies recorded by
+  /// mark_reduce_complete(); 0 when no reduce has been marked.
+  [[nodiscard]] double reduce_latency_quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& reduce_latencies() const {
+    return reduce_latencies_;
+  }
+
   [[nodiscard]] std::uint32_t threads() const { return threads_; }
   void set_threads(std::uint32_t threads);
 
-  void clear() { rounds_.clear(); }
+  void clear() {
+    rounds_.clear();
+    reduce_latencies_.clear();
+    last_reduce_mark_ = 0.0;
+  }
 
  private:
   struct Round {
@@ -104,6 +126,8 @@ class TimingAccumulator {
   ComputeModel compute_;
   std::uint32_t threads_;
   std::map<std::pair<std::uint8_t, std::uint16_t>, Round> rounds_;
+  std::vector<double> reduce_latencies_;
+  double last_reduce_mark_ = 0.0;
 };
 
 }  // namespace kylix

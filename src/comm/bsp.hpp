@@ -99,7 +99,7 @@ class BspEngine {
         deliver(phase, layer, std::move(letter), inboxes_);
       }
     }
-    if (channel_ != nullptr) drain_due();
+    if (channel_ != nullptr) drain_due(phase, layer);
     for (rank_t rank = 0; rank < num_nodes_; ++rank) {
       if (is_dead(rank)) continue;
       auto& inbox = inboxes_[rank];
@@ -160,11 +160,14 @@ class BspEngine {
   /// letter is discarded as stale when its destination died meanwhile or a
   /// fresh letter for the same (sender, chunk) slot already arrived this
   /// round — sibling chunks of the same logical letter never supersede.
-  void drain_due() {
+  void drain_due(Phase phase, std::uint16_t layer) {
     for (Letter<V>& letter : channel_->due()) {
+      const MsgEvent event{phase, layer, letter.src, letter.dst,
+                           letter.packet.wire_bytes()};
       if (letter.dst >= num_nodes_ ||
           (failures_ != nullptr && failures_->is_dead(letter.dst))) {
         channel_->note_stale();
+        if (observer_ != nullptr) observer_->on_redelivery(event, true);
         continue;
       }
       auto& inbox = inboxes_[letter.dst];
@@ -174,10 +177,12 @@ class BspEngine {
           });
       if (superseded) {
         channel_->note_stale();
+        if (observer_ != nullptr) observer_->on_redelivery(event, true);
         continue;
       }
       inbox.push_back(std::move(letter));
       channel_->note_redelivered();
+      if (observer_ != nullptr) observer_->on_redelivery(event, false);
     }
     channel_->due().clear();
   }

@@ -164,7 +164,7 @@ class ParallelBspEngine {
         inboxes_[letter.dst].push_back(std::move(letter));
       }
     }
-    if (channel_ != nullptr) drain_due();
+    if (channel_ != nullptr) drain_due(phase, layer);
 
     // 3. Parallel consume; compute charges buffer per rank (one consumer
     // per rank, so the buffers are contention-free).
@@ -214,11 +214,14 @@ class ParallelBspEngine {
 
   /// Same redelivery rules as BspEngine::drain_due (stale when the dst died
   /// or a fresh letter for the same (sender, chunk) slot already arrived).
-  void drain_due() {
+  void drain_due(Phase phase, std::uint16_t layer) {
     for (Letter<V>& letter : channel_->due()) {
+      const MsgEvent event{phase, layer, letter.src, letter.dst,
+                           letter.packet.wire_bytes()};
       if (letter.dst >= num_nodes_ ||
           (failures_ != nullptr && failures_->is_dead(letter.dst))) {
         channel_->note_stale();
+        if (observer_ != nullptr) observer_->on_redelivery(event, true);
         continue;
       }
       auto& inbox = inboxes_[letter.dst];
@@ -228,10 +231,12 @@ class ParallelBspEngine {
           });
       if (superseded) {
         channel_->note_stale();
+        if (observer_ != nullptr) observer_->on_redelivery(event, true);
         continue;
       }
       inbox.push_back(std::move(letter));
       channel_->note_redelivered();
+      if (observer_ != nullptr) observer_->on_redelivery(event, false);
     }
     channel_->due().clear();
   }

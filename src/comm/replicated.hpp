@@ -383,6 +383,13 @@ class ReplicatedBsp {
         if (channel_ != nullptr) {
           const FaultAction a = channel_->classify_copy(src_phys, dst_phys);
           ok = a == FaultAction::kDeliver || a == FaultAction::kDuplicate;
+          if (!ok && observer_ != nullptr) {
+            // A fault ate this retry copy too — without this hook the
+            // black box would show retries that silently went nowhere.
+            observer_->on_fault(MsgEvent{phase, layer, src_phys, dst_phys,
+                                         bytes},
+                                a);
+          }
         }
         if (!ok && attempt == policy_.max_attempts) {
           // Retries exhausted: fall back to the reliable path (the

@@ -108,6 +108,7 @@ class ThreadedBsp {
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {
+    stale_at_staging_.clear();
     if (channel_ != nullptr) {
       // Scripted crashes fire on the calling thread before workers start, so
       // is_dead() is stable for the whole round. Due delayed letters are
@@ -117,13 +118,22 @@ class ThreadedBsp {
       for (Letter<V>& letter : channel_->due()) {
         if (letter.dst >= num_nodes_ || is_dead(letter.dst)) {
           channel_->note_stale();
+          // Defer the observer hook: it must fire inside the round.
+          stale_at_staging_.push_back(MsgEvent{phase, layer, letter.src,
+                                               letter.dst,
+                                               letter.packet.wire_bytes()});
           continue;
         }
         due_by_rank_[letter.dst].push_back(std::move(letter));
       }
       channel_->due().clear();
     }
-    if (observer_ != nullptr) observer_->on_round_begin(phase, layer);
+    if (observer_ != nullptr) {
+      observer_->on_round_begin(phase, layer);
+      for (const MsgEvent& event : stale_at_staging_) {
+        observer_->on_redelivery(event, true);
+      }
+    }
     // Type-erase this round's work; each worker runs it for its own rank.
     task_ = [&, phase, layer](rank_t rank) {
       if (is_dead(rank)) return;
@@ -149,7 +159,7 @@ class ThreadedBsp {
           if (!letter.faulted) inbox.push_back(std::move(letter));
         }
       }
-      if (channel_ != nullptr) drain_due(rank, inbox);
+      if (channel_ != nullptr) drain_due(rank, phase, layer, inbox);
       std::sort(inbox.begin(), inbox.end(), letter_before<V>);
       consume(rank, std::move(inbox));
     };
@@ -216,27 +226,27 @@ class ThreadedBsp {
   /// for the same (sender, chunk) slot supersedes the stale delayed copy
   /// (sibling chunks never do). Channel counters are bumped under the
   /// observer mutex (the channel itself is not thread-safe).
-  void drain_due(rank_t rank, std::vector<Letter<V>>& inbox) {
+  void drain_due(rank_t rank, Phase phase, std::uint16_t layer,
+                 std::vector<Letter<V>>& inbox) {
     auto& due = due_by_rank_[rank];
     if (due.empty()) return;
-    std::uint64_t redelivered = 0;
-    std::uint64_t stale = 0;
+    std::lock_guard<std::mutex> lock(observer_mutex_);
     for (Letter<V>& letter : due) {
+      const MsgEvent event{phase, layer, letter.src, letter.dst,
+                           letter.packet.wire_bytes()};
       const bool superseded =
           std::any_of(inbox.begin(), inbox.end(), [&](const Letter<V>& l) {
             return same_slot(l, letter);
           });
       if (superseded) {
-        ++stale;
+        channel_->note_stale();
       } else {
         inbox.push_back(std::move(letter));
-        ++redelivered;
+        channel_->note_redelivered();
       }
+      if (observer_ != nullptr) observer_->on_redelivery(event, superseded);
     }
     due.clear();
-    std::lock_guard<std::mutex> lock(observer_mutex_);
-    for (; redelivered > 0; --redelivered) channel_->note_redelivered();
-    for (; stale > 0; --stale) channel_->note_stale();
   }
 
   void run_task() {
@@ -294,6 +304,9 @@ class ThreadedBsp {
   /// thread before the workers are released (run_task's mutex handshake
   /// publishes the staging); each worker drains only its own slot.
   std::vector<std::vector<Letter<V>>> due_by_rank_;
+  /// Delayed copies discarded at staging (dead/invalid destination); their
+  /// on_redelivery hooks fire right after on_round_begin.
+  std::vector<MsgEvent> stale_at_staging_;
   std::vector<std::thread> workers_;
   std::function<void(rank_t)> task_;
 

@@ -85,6 +85,12 @@ class SparseAllreduce {
     return executor_.stream_stats();
   }
 
+  /// Attach a flight recorder to plan-based replays (optional, not owned):
+  /// replay markers plus per-round stream-flush/watermark events.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    executor_.set_flight_recorder(recorder);
+  }
+
   /// Step 1, separate form: exchange and union index sets, compiling the
   /// routing into a plan. `in_sets[r]` / `out_sets[r]` are machine r's
   /// requested / contributed key sets.

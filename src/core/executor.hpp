@@ -48,6 +48,7 @@
 #include "core/node.hpp"  // NodeWork + the kernels the replay must mirror
 #include "core/plan.hpp"
 #include "core/stream_stats.hpp"
+#include "obs/flight_recorder.hpp"  // header-only; no kylix_obs link needed
 #include "sparse/ops.hpp"
 
 namespace kylix {
@@ -101,6 +102,14 @@ class ReduceExecutor {
     return stream_stats_;
   }
 
+  /// Attach a flight recorder (optional, not owned): replay begin/end
+  /// markers (plan fingerprint in `bytes`) plus per-round stream-flush and
+  /// buffer-watermark events, all recorded from the driving thread at the
+  /// round barrier — allocation-free on warm replays.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   /// Replay one reduce. `out_values[r]` aligns with rank r's contributed
   /// key order; result[r] aligns with its requested key order. Dead or
   /// plan-unconfigured ranks yield empty results.
@@ -137,6 +146,17 @@ class ReduceExecutor {
         chunk_positions_ == 0
             ? 0
             : std::uint64_t{chunk_positions_} * sizeof(V) * stride_;
+    double replay_start_us = 0;
+    round_blocks_flushed_ = 0;
+    round_peak_stream_bytes_ = 0;
+    if (recorder_ != nullptr) {
+      replay_start_us = recorder_->now_us();
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kReplayBegin;
+      e.value = stride_;
+      e.bytes = plan_->fingerprint();
+      recorder_->record(e);
+    }
     const Topology& topo = plan_->topology();
     const std::uint16_t l = topo.num_layers();
     for (ExecState& s : state_) s.stream = StreamStats{};
@@ -172,6 +192,7 @@ class ReduceExecutor {
       run_round(Phase::kReduceDown, layer,
                 &ReduceExecutor::down_produce, &ReduceExecutor::down_consume);
       collect_spent();
+      record_stream_round(Phase::kReduceDown, layer);
     }
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       if (engine_->is_dead(r) || !plan_->rank_plan(r).configured) continue;
@@ -182,6 +203,7 @@ class ReduceExecutor {
       run_round(Phase::kReduceUp, layer,
                 &ReduceExecutor::up_produce, &ReduceExecutor::up_consume);
       collect_spent();
+      record_stream_round(Phase::kReduceUp, layer);
     }
     std::vector<std::vector<V>> results(plan_->num_ranks());
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
@@ -193,6 +215,13 @@ class ReduceExecutor {
     // rank; merging here, after every round barrier, in ascending rank
     // order keeps the aggregate deterministic across engines.
     for (const ExecState& s : state_) stream_stats_.merge(s.stream);
+    if (recorder_ != nullptr) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kReplayEnd;
+      e.value = (recorder_->now_us() - replay_start_us) * 1e-6;
+      e.bytes = plan_->fingerprint();
+      recorder_->record(e);
+    }
     return results;
   }
 
@@ -498,6 +527,38 @@ class ReduceExecutor {
     }
   }
 
+  /// After each round barrier, diff the summed per-rank stream telemetry
+  /// against the reduce-so-far totals and turn the deltas into flight
+  /// events: one kStreamFlush per round that flushed blocks, one kWatermark
+  /// whenever the peak stream-buffer envelope grew. Driving thread only.
+  void record_stream_round(Phase phase, std::uint16_t layer) {
+    if (recorder_ == nullptr || chunk_positions_ == 0) return;
+    std::uint64_t blocks = 0;
+    std::uint64_t peak = 0;
+    for (const ExecState& s : state_) {
+      blocks += s.stream.blocks_flushed;
+      peak = std::max(peak, s.stream.peak_stream_buffer_bytes);
+    }
+    if (blocks > round_blocks_flushed_) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kStreamFlush;
+      e.phase = phase;
+      e.layer = layer;
+      e.value = static_cast<double>(blocks - round_blocks_flushed_);
+      recorder_->record(e);
+      round_blocks_flushed_ = blocks;
+    }
+    if (peak > round_peak_stream_bytes_) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kWatermark;
+      e.phase = phase;
+      e.layer = layer;
+      e.bytes = peak;
+      recorder_->record(e);
+      round_peak_stream_bytes_ = peak;
+    }
+  }
+
   template <typename ProduceFn, typename ConsumeFn>
   void run_round(Phase phase, std::uint16_t layer, ProduceFn produce,
                  ConsumeFn consume) {
@@ -566,6 +627,9 @@ class ReduceExecutor {
   /// letter-at-once); frozen at the top of reduce_strided.
   std::size_t chunk_positions_ = 0;
   StreamStats stream_stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint64_t round_blocks_flushed_ = 0;   ///< reduce-so-far flush total
+  std::uint64_t round_peak_stream_bytes_ = 0;  ///< reduce-so-far watermark
   std::vector<ExecState> state_;
 };
 

@@ -2,6 +2,19 @@
 
 namespace kylix {
 
+namespace {
+
+void record_cache_event(obs::FlightRecorder* recorder,
+                        obs::FlightEventKind kind, std::uint64_t fp) {
+  if (recorder == nullptr) return;
+  obs::FlightEvent e;
+  e.kind = kind;
+  e.bytes = fp;
+  recorder->record(e);
+}
+
+}  // namespace
+
 PlanCache::PlanCache(std::size_t capacity, obs::MetricsRegistry* metrics)
     : capacity_(capacity == 0 ? 1 : capacity) {
   if (metrics != nullptr) {
@@ -20,10 +33,14 @@ std::shared_ptr<const CollectivePlan> PlanCache::find(
   if (it == entries_.end()) {
     ++misses_;
     if (miss_counter_ != nullptr) miss_counter_->add();
+    record_cache_event(recorder_, obs::FlightEventKind::kPlanCacheMiss,
+                       fingerprint);
     return nullptr;
   }
   ++hits_;
   if (hit_counter_ != nullptr) hit_counter_->add();
+  record_cache_event(recorder_, obs::FlightEventKind::kPlanCacheHit,
+                     fingerprint);
   lru_.splice(lru_.begin(), lru_, it->second);  // relink only, no allocation
   return it->second->plan;
 }

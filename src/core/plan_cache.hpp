@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "core/plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace kylix {
@@ -58,6 +59,12 @@ class PlanCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// Attach a flight recorder (optional, not owned): every find() records a
+  /// kPlanCacheHit/kPlanCacheMiss event carrying the fingerprint.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   struct Entry {
     std::uint64_t fingerprint = 0;
@@ -74,6 +81,7 @@ class PlanCache {
   obs::Counter* hit_counter_ = nullptr;    ///< registry-owned, may be null
   obs::Counter* miss_counter_ = nullptr;
   obs::Counter* evict_counter_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kylix

@@ -41,11 +41,14 @@
 #include "core/plan_cache.hpp"      // IWYU pragma: export
 #include "core/topology.hpp"        // IWYU pragma: export
 #include "obs/engine_obs.hpp"       // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
 #include "obs/json_writer.hpp"      // IWYU pragma: export
 #include "obs/metrics.hpp"          // IWYU pragma: export
 #include "obs/observer.hpp"         // IWYU pragma: export
+#include "obs/postmortem.hpp"       // IWYU pragma: export
 #include "obs/run_report.hpp"       // IWYU pragma: export
 #include "obs/span_tracer.hpp"      // IWYU pragma: export
+#include "obs/watchdog.hpp"         // IWYU pragma: export
 #include "powerlaw/alpha_fit.hpp"   // IWYU pragma: export
 #include "powerlaw/design.hpp"      // IWYU pragma: export
 #include "powerlaw/graphgen.hpp"    // IWYU pragma: export

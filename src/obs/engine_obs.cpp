@@ -20,7 +20,9 @@ TelemetryObserver::TelemetryObserver(SpanTracer* tracer, rank_t num_ranks,
       opts_(options),
       send_bytes_(num_ranks, 0),
       send_msgs_(num_ranks, 0),
-      recv_bytes_(num_ranks, 0) {
+      recv_bytes_(num_ranks, 0),
+      last_send_us_(num_ranks, 0),
+      offsets_us_(num_ranks, 0) {
   KYLIX_CHECK(num_ranks >= 1);
   if (tracer_ != nullptr) {
     for (rank_t r = 0; r < num_ranks_; ++r) {
@@ -46,18 +48,26 @@ TelemetryObserver::TelemetryObserver(SpanTracer* tracer, rank_t num_ranks,
     rec_promotions_ = &m.counter("engine.recovery.promotions");
     rec_forced_ = &m.counter("engine.recovery.forced");
     rec_group_deaths_ = &m.counter("engine.recovery.group_deaths");
+    redeliv_merged_ = &m.counter("engine.redelivery.merged");
+    redeliv_stale_ = &m.counter("engine.redelivery.stale");
   }
 }
 
 void TelemetryObserver::on_round_begin(Phase phase, std::uint16_t layer) {
-  (void)phase;
-  (void)layer;
   round_bytes_ = 0;
   round_msgs_ = 0;
   std::fill(send_bytes_.begin(), send_bytes_.end(), 0);
   std::fill(send_msgs_.begin(), send_msgs_.end(), 0);
   std::fill(recv_bytes_.begin(), recv_bytes_.end(), 0);
-  if (tracer_ != nullptr) round_start_us_ = tracer_->now_us();
+  std::fill(last_send_us_.begin(), last_send_us_.end(), 0.0);
+  round_start_us_ = now_us();
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = FlightEventKind::kRoundBegin;
+    e.phase = phase;
+    e.layer = layer;
+    opts_.recorder->record(e);
+  }
 }
 
 void TelemetryObserver::on_message(const MsgEvent& event) {
@@ -68,6 +78,7 @@ void TelemetryObserver::on_message(const MsgEvent& event) {
   if (event.src < num_ranks_) {
     send_bytes_[event.src] += event.bytes;
     send_msgs_[event.src] += 1;
+    if (opts_.watchdog != nullptr) last_send_us_[event.src] = now_us();
   }
   if (event.dst < num_ranks_) recv_bytes_[event.dst] += event.bytes;
   if (msg_counter_ != nullptr) {
@@ -78,14 +89,35 @@ void TelemetryObserver::on_message(const MsgEvent& event) {
 }
 
 void TelemetryObserver::on_drop(const MsgEvent& event) {
-  (void)event;
   ++drops_;
   if (drop_counter_ != nullptr) drop_counter_->add(1);
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = FlightEventKind::kDrop;
+    e.phase = event.phase;
+    e.layer = event.layer;
+    e.rank = event.src;
+    e.src = event.src;
+    e.dst = event.dst;
+    e.bytes = event.bytes;
+    opts_.recorder->record(e);
+  }
 }
 
 void TelemetryObserver::on_fault(const MsgEvent& event, FaultAction action) {
-  (void)event;
   ++faults_;
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = FlightEventKind::kFault;
+    e.phase = event.phase;
+    e.layer = event.layer;
+    e.rank = event.src;
+    e.src = event.src;
+    e.dst = event.dst;
+    e.code = static_cast<std::uint32_t>(action);
+    e.bytes = event.bytes;
+    opts_.recorder->record(e);
+  }
   if (msg_counter_ == nullptr) return;  // metrics off
   switch (action) {
     case FaultAction::kDrop:
@@ -104,6 +136,18 @@ void TelemetryObserver::on_fault(const MsgEvent& event, FaultAction action) {
 
 void TelemetryObserver::on_recovery(const RecoveryEvent& event) {
   ++recoveries_;
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = FlightEventKind::kRecovery;
+    e.phase = event.phase;
+    e.layer = event.layer;
+    e.rank = event.dst;  // the requester drives recovery
+    e.src = event.src;
+    e.dst = event.dst;
+    e.code = static_cast<std::uint32_t>(event.action);
+    e.value = event.attempt;
+    opts_.recorder->record(e);
+  }
   if (msg_counter_ == nullptr) return;  // metrics off
   switch (event.action) {
     case RecoveryAction::kDetect:
@@ -124,14 +168,52 @@ void TelemetryObserver::on_recovery(const RecoveryEvent& event) {
   }
 }
 
+void TelemetryObserver::on_redelivery(const MsgEvent& event, bool stale) {
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = stale ? FlightEventKind::kStaleDrop
+                   : FlightEventKind::kRedelivered;
+    e.phase = event.phase;
+    e.layer = event.layer;
+    e.rank = event.dst;  // surfaced in the destination's inbox
+    e.src = event.src;
+    e.dst = event.dst;
+    e.bytes = event.bytes;
+    opts_.recorder->record(e);
+  }
+  if (msg_counter_ == nullptr) return;  // metrics off
+  if (stale) {
+    redeliv_stale_->add(1);
+  } else {
+    redeliv_merged_->add(1);
+  }
+}
+
 void TelemetryObserver::on_round_end(Phase phase, std::uint16_t layer) {
   if (round_counter_ != nullptr) round_counter_->add(1);
+  const double end_us = now_us();
+  const double dur_us = end_us - round_start_us_;
+  if (round_seconds_ != nullptr) round_seconds_->observe(dur_us * 1e-6);
+  if (opts_.recorder != nullptr) {
+    FlightEvent e;
+    e.kind = FlightEventKind::kRoundEnd;
+    e.phase = phase;
+    e.layer = layer;
+    e.value = dur_us * 1e-6;
+    e.bytes = round_bytes_;
+    opts_.recorder->record(e);
+  }
+  if (opts_.watchdog != nullptr) {
+    for (rank_t r = 0; r < num_ranks_; ++r) {
+      offsets_us_[r] =
+          last_send_us_[r] > 0 ? last_send_us_[r] - round_start_us_ : 0.0;
+    }
+    opts_.watchdog->observe_round(phase, layer, dur_us * 1e-6, offsets_us_,
+                                  send_bytes_);
+  }
   if (tracer_ == nullptr) {
     return;
   }
-  const double end_us = tracer_->now_us();
-  const double dur_us = end_us - round_start_us_;
-  if (round_seconds_ != nullptr) round_seconds_->observe(dur_us * 1e-6);
   const std::string name = round_name(phase, layer);
   for (rank_t r = 0; r < num_ranks_; ++r) {
     // Dead or silent ranks leave an empty track segment instead of a span.

@@ -23,11 +23,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "core/stream_stats.hpp"
 #include "core/topology.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/watchdog.hpp"
 
 namespace kylix::obs {
 
@@ -43,6 +46,12 @@ class TelemetryObserver : public EngineObserver {
     double bytes_per_element = 4;
     /// Optional metrics sink; counters/histograms register at construction.
     MetricsRegistry* metrics = nullptr;
+    /// Optional flight recorder: round boundaries, drops, faults, recovery
+    /// and redelivery land as structured events.
+    FlightRecorder* recorder = nullptr;
+    /// Optional watchdog fed per-round with wall time, per-rank last-send
+    /// offsets, and per-rank send volume.
+    AnomalyWatchdog* watchdog = nullptr;
   };
 
   /// `tracer` may be null (metrics-only observation). `num_ranks` sizes the
@@ -57,6 +66,7 @@ class TelemetryObserver : public EngineObserver {
   void on_drop(const MsgEvent& event) override;
   void on_fault(const MsgEvent& event, FaultAction action) override;
   void on_recovery(const RecoveryEvent& event) override;
+  void on_redelivery(const MsgEvent& event, bool stale) override;
   void on_round_end(Phase phase, std::uint16_t layer) override;
 
   [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
@@ -68,9 +78,17 @@ class TelemetryObserver : public EngineObserver {
   [[nodiscard]] std::uint64_t total_recoveries() const { return recoveries_; }
 
  private:
+  /// Microseconds on the tracer's clock when attached, else on an internal
+  /// stopwatch — so round durations and straggler offsets exist in
+  /// metrics-only mode too.
+  [[nodiscard]] double now_us() const {
+    return tracer_ != nullptr ? tracer_->now_us() : clock_.seconds() * 1e6;
+  }
+
   SpanTracer* tracer_;
   rank_t num_ranks_;
   Options opts_;
+  Timer clock_;
 
   double round_start_us_ = 0;
   std::uint64_t round_bytes_ = 0;
@@ -83,6 +101,8 @@ class TelemetryObserver : public EngineObserver {
   std::vector<std::uint64_t> send_bytes_;  ///< per rank, this round
   std::vector<std::uint32_t> send_msgs_;
   std::vector<std::uint64_t> recv_bytes_;
+  std::vector<double> last_send_us_;  ///< per rank; 0 = silent this round
+  std::vector<double> offsets_us_;    ///< watchdog scratch (last send - start)
 
   // Registered-once metrics instruments (null when metrics are off).
   Counter* msg_counter_ = nullptr;
@@ -101,6 +121,8 @@ class TelemetryObserver : public EngineObserver {
   Counter* rec_promotions_ = nullptr;
   Counter* rec_forced_ = nullptr;
   Counter* rec_group_deaths_ = nullptr;
+  Counter* redeliv_merged_ = nullptr;
+  Counter* redeliv_stale_ = nullptr;
 };
 
 /// Publish one reduce's StreamStats (core/stream_stats.hpp) into a registry:

@@ -1,0 +1,241 @@
+// Flight recorder — a lock-free, fixed-capacity black box of structured
+// engine events (DESIGN.md "Observability v2").
+//
+// One ring buffer per simulated rank plus a global ring for rank-less
+// events (round boundaries, plan-cache traffic, replay markers). record()
+// is allocation-free and wait-free: a global sequence fetch_add, a ring
+// head fetch_add, and a slot write — safe to call from engine worker
+// threads. When a ring wraps, the oldest events are overwritten (that is
+// the point: the recorder always holds the most recent history, and
+// dropped() says how much was lost). Concurrent writers to the *same* ring
+// can tear a slot only when they race a full capacity apart; the recorder
+// is a diagnostic black box, so a torn event under overwrite pressure is
+// acceptable — readers must only inspect it at quiescence anyway.
+//
+// Header-only on purpose: the executor and the plan cache (kylix_core,
+// which kylix_obs links against) record replay and cache events directly,
+// so the recorder cannot live behind a kylix_obs link symbol.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace kylix::obs {
+
+/// What happened. Kinds cover the engine observer seam (rounds, faults,
+/// recovery, redelivery), the executor (replay + streaming), the plan
+/// cache, the watchdog's verdicts, and terminal conditions.
+enum class FlightEventKind : std::uint8_t {
+  kRoundBegin = 0,
+  kRoundEnd = 1,
+  kDrop = 2,           ///< dead-destination drop (sender paid, nothing lands)
+  kFault = 3,          ///< injected fault; code = FaultAction
+  kRecovery = 4,       ///< recovery transition; code = RecoveryAction
+  kRedelivered = 5,    ///< a delayed copy surfaced and was merged
+  kStaleDrop = 6,      ///< a delayed copy surfaced but was superseded
+  kStreamFlush = 7,    ///< streamed blocks flushed this round (value = count)
+  kWatermark = 8,      ///< peak stream-buffer watermark moved (bytes = peak)
+  kPlanCacheHit = 9,   ///< bytes = plan fingerprint
+  kPlanCacheMiss = 10,  ///< bytes = fingerprint of the missing plan
+  kReplayBegin = 11,   ///< executor reduce started (bytes = fingerprint)
+  kReplayEnd = 12,     ///< executor reduce finished (value = seconds)
+  kSlowRound = 13,     ///< watchdog: round slower than baseline (value = s)
+  kStraggler = 14,     ///< watchdog: rank finished late (value = offset us)
+  kByteImbalance = 15,  ///< watchdog: rank's send volume off-median (value)
+  kDegraded = 16,      ///< degraded completion was declared
+  kCheckFail = 17,     ///< a KYLIX_CHECK fired (postmortem path)
+};
+
+[[nodiscard]] constexpr const char* flight_event_kind_name(
+    FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kRoundBegin:
+      return "round-begin";
+    case FlightEventKind::kRoundEnd:
+      return "round-end";
+    case FlightEventKind::kDrop:
+      return "drop";
+    case FlightEventKind::kFault:
+      return "fault";
+    case FlightEventKind::kRecovery:
+      return "recovery";
+    case FlightEventKind::kRedelivered:
+      return "redelivered";
+    case FlightEventKind::kStaleDrop:
+      return "stale-drop";
+    case FlightEventKind::kStreamFlush:
+      return "stream-flush";
+    case FlightEventKind::kWatermark:
+      return "watermark";
+    case FlightEventKind::kPlanCacheHit:
+      return "plan-cache-hit";
+    case FlightEventKind::kPlanCacheMiss:
+      return "plan-cache-miss";
+    case FlightEventKind::kReplayBegin:
+      return "replay-begin";
+    case FlightEventKind::kReplayEnd:
+      return "replay-end";
+    case FlightEventKind::kSlowRound:
+      return "slow-round";
+    case FlightEventKind::kStraggler:
+      return "straggler";
+    case FlightEventKind::kByteImbalance:
+      return "byte-imbalance";
+    case FlightEventKind::kDegraded:
+      return "degraded";
+    case FlightEventKind::kCheckFail:
+      return "check-fail";
+  }
+  return "?";
+}
+
+/// Sentinel rank for events that belong to the run, not to a machine.
+inline constexpr rank_t kGlobalRank = std::numeric_limits<rank_t>::max();
+
+/// One slot of the black box. Plain data, fixed size, no owned storage —
+/// record() copies it into a pre-allocated ring.
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< global order, assigned by record()
+  double t_us = 0;        ///< microseconds since recorder construction
+  FlightEventKind kind = FlightEventKind::kRoundBegin;
+  Phase phase = Phase::kConfig;
+  std::uint16_t layer = 0;
+  rank_t rank = kGlobalRank;  ///< owning ring; kGlobalRank -> global ring
+  rank_t src = kGlobalRank;
+  rank_t dst = kGlobalRank;
+  std::uint32_t code = 0;  ///< FaultAction / RecoveryAction / retry attempt
+  double value = 0;        ///< kind-specific magnitude (seconds, offsets, …)
+  std::uint64_t bytes = 0;  ///< wire bytes, watermark, or plan fingerprint
+};
+
+class FlightRecorder {
+ public:
+  /// `num_ranks` per-rank rings of `per_rank_capacity` slots plus one
+  /// global ring of `global_capacity`. Recording starts enabled unless
+  /// KYLIX_METRICS disables telemetry ("0"/"off"/"false"), mirroring the
+  /// metrics registry.
+  explicit FlightRecorder(rank_t num_ranks,
+                          std::size_t per_rank_capacity = 128,
+                          std::size_t global_capacity = 512)
+      : num_ranks_(num_ranks), enabled_(!env_disables()) {
+    KYLIX_CHECK(num_ranks >= 1);
+    KYLIX_CHECK(per_rank_capacity >= 1 && global_capacity >= 1);
+    rings_.reserve(static_cast<std::size_t>(num_ranks) + 1);
+    for (rank_t r = 0; r < num_ranks; ++r) {
+      rings_.emplace_back(std::make_unique<Ring>(per_rank_capacity));
+    }
+    rings_.emplace_back(std::make_unique<Ring>(global_capacity));
+  }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] rank_t num_ranks() const { return num_ranks_; }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Stamp and store one event. Wait-free, allocation-free; a no-op while
+  /// disabled. The event's seq and t_us fields are overwritten here.
+  void record(FlightEvent event) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    event.t_us = timer_.seconds() * 1e6;
+    Ring& ring = *rings_[ring_index(event.rank)];
+    const std::uint64_t head =
+        ring.head.fetch_add(1, std::memory_order_relaxed);
+    ring.slots[head % ring.capacity] = event;
+  }
+
+  /// Events accepted so far (including any later overwritten).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to ring wraparound, summed over all rings.
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::uint64_t lost = 0;
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+      if (head > ring->capacity) lost += head - ring->capacity;
+    }
+    return lost;
+  }
+
+  /// Microseconds since construction, on the recorder's own clock — lets
+  /// callers stamp external context in the same time base.
+  [[nodiscard]] double now_us() const { return timer_.seconds() * 1e6; }
+
+  /// Surviving events from every ring, merged into one global-seq-ordered
+  /// timeline. Call only at quiescence (no concurrent record()); a slot
+  /// being overwritten mid-copy can otherwise tear.
+  [[nodiscard]] std::vector<FlightEvent> merged_events() const {
+    std::vector<FlightEvent> merged;
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+      total += static_cast<std::size_t>(
+          std::min<std::uint64_t>(ring->head.load(std::memory_order_relaxed),
+                                  ring->capacity));
+    }
+    merged.reserve(total);
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+      const std::uint64_t live = std::min<std::uint64_t>(head, ring->capacity);
+      for (std::uint64_t i = head - live; i < head; ++i) {
+        merged.push_back(ring->slots[i % ring->capacity]);
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const FlightEvent& a, const FlightEvent& b) {
+                return a.seq < b.seq;
+              });
+    return merged;
+  }
+
+  /// Drop all recorded history (heads reset; sequence numbering continues).
+  void clear() {
+    for (auto& ring : rings_) ring->head.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), slots(std::make_unique<FlightEvent[]>(cap)) {}
+    const std::uint64_t capacity;
+    std::unique_ptr<FlightEvent[]> slots;
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  [[nodiscard]] std::size_t ring_index(rank_t rank) const {
+    return rank < num_ranks_ ? static_cast<std::size_t>(rank)
+                             : static_cast<std::size_t>(num_ranks_);
+  }
+
+  static bool env_disables() {
+    const char* env = std::getenv("KYLIX_METRICS");
+    if (env == nullptr) return false;
+    return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0;
+  }
+
+  rank_t num_ranks_;
+  Timer timer_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace kylix::obs

@@ -112,8 +112,25 @@ class JsonWriter {
         case '\t':
           out_ << "\\t";
           break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        case '\b':
+          out_ << "\\b";
+          break;
+        case '\f':
+          out_ << "\\f";
+          break;
         default:
-          out_ << c;
+          // RFC 8259: all other control characters must be \u-escaped.
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
       }
     }
     out_ << '"';

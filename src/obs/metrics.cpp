@@ -51,6 +51,55 @@ std::vector<std::uint64_t> Histogram::counts() const {
   return snapshot;
 }
 
+Histogram::Snapshot Histogram::snapshot() const {
+  // observe() bumps bucket, then sum, then count — so a stable read is one
+  // where count did not move across the bucket scan and the buckets sum to
+  // it. Retry a few times under contention; fall back to the bucket sum as
+  // the authoritative total (every bucket increment is a real observation).
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::uint64_t before = count_.load(std::memory_order_acquire);
+    snap.counts = counts();
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    const std::uint64_t after = count_.load(std::memory_order_acquire);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : snap.counts) total += c;
+    if (before == after && total == after) {
+      snap.count = total;
+      return snap;
+    }
+    snap.count = total;
+  }
+  return snap;  // contended: counts are self-consistent by construction
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double cum_after = static_cast<double>(cum + in_bucket);
+    if (cum_after >= target) {
+      if (i >= upper_bounds.size()) {
+        // Overflow bucket has no finite upper edge; clamp to the last
+        // finite bound rather than invent an extrapolation.
+        return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double upper = upper_bounds[i];
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+    cum += in_bucket;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
 std::vector<double> exponential_bounds(double start, double factor,
                                        std::size_t count) {
   KYLIX_CHECK(start > 0 && factor > 1);
@@ -128,6 +177,14 @@ void MetricsRegistry::write_json(JsonWriter& json) const {
     json.key_value("count", h->count());
     json.key_value("sum", h->sum());
     json.key_value("mean", h->mean());
+    const Histogram::Snapshot snap = h->snapshot();
+    json.key("quantiles");
+    json.begin_object();
+    json.key_value("p50", snap.quantile(0.50));
+    json.key_value("p90", snap.quantile(0.90));
+    json.key_value("p99", snap.quantile(0.99));
+    json.key_value("p999", snap.quantile(0.999));
+    json.end_object();
     json.end_object();
   }
   json.end_object();

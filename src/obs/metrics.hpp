@@ -74,6 +74,19 @@ class Gauge {
 
 class Histogram {
  public:
+  /// A self-consistent point-in-time view: counts sum to count, taken with
+  /// a bounded retry loop so concurrent observe() calls cannot leave the
+  /// totals and the buckets disagreeing.
+  struct Snapshot {
+    std::vector<double> upper_bounds;  ///< finite bounds; +inf is implicit
+    std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0;
+
+    /// Interpolated quantile over this snapshot; see Histogram::quantile.
+    [[nodiscard]] double quantile(double q) const;
+  };
+
   /// `upper_bounds` must be strictly increasing; an implicit +inf bucket is
   /// appended, so counts() has upper_bounds.size() + 1 entries.
   Histogram(const std::atomic<bool>* enabled, std::vector<double> upper_bounds);
@@ -85,6 +98,14 @@ class Histogram {
   }
   /// Snapshot of the per-bucket counts (last entry is the overflow bucket).
   [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  /// Consistent snapshot safe to take while observe() races (Σcounts is
+  /// guaranteed to equal count).
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Quantile q ∈ [0,1] with linear interpolation inside the landing
+  /// bucket. The first bucket interpolates from 0 (observations are
+  /// assumed nonnegative — bytes, seconds); the overflow bucket clamps to
+  /// the last finite bound (the Prometheus convention). Empty -> 0.
+  [[nodiscard]] double quantile(double q) const { return snapshot().quantile(q); }
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }

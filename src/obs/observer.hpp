@@ -9,7 +9,7 @@
 // exactly like the trace/timing slots (asserted by tests/core/alloc_test).
 //
 // Hook order within one engine round:
-//   on_round_begin -> {on_message | on_drop}* -> on_round_end
+//   on_round_begin -> {on_message | on_drop | on_redelivery}* -> on_round_end
 // ThreadedBsp calls on_message/on_drop from worker threads (serialized by
 // its observer mutex); all other engines call every hook from the driving
 // thread. ReplicatedBsp reports one on_message per transmitted *copy*, in
@@ -87,6 +87,15 @@ class EngineObserver {
   /// The replication layer detected / retried / recovered a missing letter,
   /// or noticed a dead replica group (see RecoveryAction).
   virtual void on_recovery(const RecoveryEvent& event) { (void)event; }
+
+  /// A copy delayed in an earlier round surfaced in this round's inbox:
+  /// merged as fresh input (`stale == false`) or superseded by a newer
+  /// letter from the same sender and discarded (`stale == true`). Fired
+  /// from drain_due alongside the channel's redelivered/stale accounting.
+  virtual void on_redelivery(const MsgEvent& event, bool stale) {
+    (void)event;
+    (void)stale;
+  }
 
   /// The round completed; every inbox has been consumed.
   virtual void on_round_end(Phase phase, std::uint16_t layer) {

@@ -1,0 +1,436 @@
+#include "obs/postmortem.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "common/check.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/observer.hpp"
+
+namespace kylix::obs {
+
+namespace {
+
+/// Signed view of a rank field: the sentinel serializes as -1 so the JSON
+/// stays honest about "no rank" without leaning on 4294967295.
+std::int64_t signed_rank(rank_t r) {
+  return r == kGlobalRank ? -1 : static_cast<std::int64_t>(r);
+}
+
+const char* code_name_for(const FlightEvent& e) {
+  switch (e.kind) {
+    case FlightEventKind::kFault:
+      return fault_action_name(static_cast<FaultAction>(e.code));
+    case FlightEventKind::kRecovery:
+      return recovery_action_name(static_cast<RecoveryAction>(e.code));
+    default:
+      return "";
+  }
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+void write_postmortem(std::ostream& out, const PostmortemInputs& inputs) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("kylix_postmortem", 1);
+  json.key_value("reason", inputs.reason);
+  json.key_value("detail", inputs.detail);
+  json.key_value("plan_fingerprint", hex_fingerprint(inputs.plan_fingerprint));
+  if (inputs.recorder != nullptr) {
+    const FlightRecorder& rec = *inputs.recorder;
+    json.key_value("num_ranks", static_cast<std::uint64_t>(rec.num_ranks()));
+    json.key_value("recorded", rec.recorded());
+    json.key_value("dropped_events", rec.dropped());
+    json.key("events");
+    json.begin_array();
+    for (const FlightEvent& e : rec.merged_events()) {
+      json.begin_object();
+      json.key_value("seq", e.seq);
+      json.key_value("t_us", e.t_us);
+      json.key_value("kind", flight_event_kind_name(e.kind));
+      json.key_value("phase", phase_name(e.phase));
+      json.key_value("layer", static_cast<std::uint64_t>(e.layer));
+      json.key_value("rank", static_cast<double>(signed_rank(e.rank)));
+      json.key_value("src", static_cast<double>(signed_rank(e.src)));
+      json.key_value("dst", static_cast<double>(signed_rank(e.dst)));
+      json.key_value("code", static_cast<std::uint64_t>(e.code));
+      json.key_value("code_name", std::string(code_name_for(e)));
+      json.key_value("value", e.value);
+      // Replay and plan-cache events carry the 64-bit plan fingerprint in
+      // `bytes`; a JSON double would silently round it, so those go out as
+      // hex strings instead.
+      const bool carries_fp = e.kind == FlightEventKind::kReplayBegin ||
+                              e.kind == FlightEventKind::kReplayEnd ||
+                              e.kind == FlightEventKind::kPlanCacheHit ||
+                              e.kind == FlightEventKind::kPlanCacheMiss;
+      if (carries_fp) {
+        json.key_value("fp", hex_fingerprint(e.bytes));
+      } else {
+        json.key_value("bytes", e.bytes);
+      }
+      json.end_object();
+    }
+    json.end_array();
+  } else {
+    json.key_value("num_ranks", std::uint64_t{0});
+    json.key_value("recorded", std::uint64_t{0});
+    json.key_value("dropped_events", std::uint64_t{0});
+    json.key("events");
+    json.begin_array();
+    json.end_array();
+  }
+  if (inputs.metrics != nullptr) {
+    json.key("metrics");
+    inputs.metrics->write_json(json);
+  }
+  json.end_object();
+  out << '\n';
+}
+
+bool dump_postmortem(const std::string& path,
+                     const PostmortemInputs& inputs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_postmortem(out, inputs);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: a dependency-free JSON subset parser (objects, arrays,
+// strings with escapes, numbers, literals) feeding a timeline printer.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    KYLIX_CHECK_MSG(pos_ == text_.size(),
+                    "postmortem JSON: trailing garbage after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    KYLIX_CHECK_MSG(pos_ < text_.size(),
+                    "postmortem JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    KYLIX_CHECK_MSG(peek() == c, "postmortem JSON: malformed document");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = c == 't';
+        literal(c == 't' ? "true" : "false");
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      KYLIX_CHECK_MSG(pos_ < text_.size() && text_[pos_] == *p,
+                      "postmortem JSON: bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      KYLIX_CHECK_MSG(peek() == '"', "postmortem JSON: object key expected");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      KYLIX_CHECK_MSG(c == ',', "postmortem JSON: ',' or '}' expected");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      KYLIX_CHECK_MSG(c == ',', "postmortem JSON: ',' or ']' expected");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      KYLIX_CHECK_MSG(pos_ < text_.size(),
+                      "postmortem JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      KYLIX_CHECK_MSG(pos_ < text_.size(),
+                      "postmortem JSON: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          KYLIX_CHECK_MSG(pos_ + 4 <= text_.size(),
+                          "postmortem JSON: truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              KYLIX_CHECK_MSG(false, "postmortem JSON: bad \\u escape");
+            }
+          }
+          // The emitter only \u-escapes control characters; decode the
+          // ASCII range and pass anything else through as UTF-8 2-byte.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          KYLIX_CHECK_MSG(false, "postmortem JSON: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    KYLIX_CHECK_MSG(pos_ > start, "postmortem JSON: value expected");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      KYLIX_CHECK_MSG(false, "postmortem JSON: unparsable number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double num_or(const JsonValue& obj, const std::string& key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
+                                                             : fallback;
+}
+
+std::string str_or(const JsonValue& obj, const std::string& key,
+                   const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->string
+                                                             : fallback;
+}
+
+std::string rank_label(double r) {
+  if (r < 0) return "  *  ";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%5d", static_cast<int>(r));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_postmortem(const std::string& json_text) {
+  JsonParser parser(json_text);
+  const JsonValue doc = parser.parse();
+  KYLIX_CHECK_MSG(doc.type == JsonValue::Type::kObject,
+                  "postmortem: top-level JSON object expected");
+  const JsonValue* version = doc.find("kylix_postmortem");
+  KYLIX_CHECK_MSG(version != nullptr &&
+                      version->type == JsonValue::Type::kNumber,
+                  "postmortem: not a kylix_postmortem document");
+  KYLIX_CHECK_MSG(version->number == 1,
+                  "postmortem: unsupported schema version");
+
+  std::ostringstream out;
+  out << "postmortem: " << str_or(doc, "reason", "?");
+  const std::string detail = str_or(doc, "detail", "");
+  if (!detail.empty()) out << " — " << detail;
+  out << '\n';
+  out << "plan fingerprint: " << str_or(doc, "plan_fingerprint", "?") << '\n';
+  const auto recorded = static_cast<std::uint64_t>(num_or(doc, "recorded", 0));
+  const auto dropped =
+      static_cast<std::uint64_t>(num_or(doc, "dropped_events", 0));
+  out << "ranks: " << static_cast<std::uint64_t>(num_or(doc, "num_ranks", 0))
+      << ", events: " << recorded << " recorded, " << dropped
+      << " overwritten\n";
+
+  const JsonValue* events = doc.find("events");
+  KYLIX_CHECK_MSG(events != nullptr &&
+                      events->type == JsonValue::Type::kArray,
+                  "postmortem: events array missing");
+  out << "timeline (" << events->array.size() << " surviving events):\n";
+  for (const JsonValue& e : events->array) {
+    KYLIX_CHECK_MSG(e.type == JsonValue::Type::kObject,
+                    "postmortem: event must be an object");
+    char head[96];
+    std::snprintf(head, sizeof(head), "  [%5llu] t+%11.1fus  rank %s  %-15s",
+                  static_cast<unsigned long long>(num_or(e, "seq", 0)),
+                  num_or(e, "t_us", 0), rank_label(num_or(e, "rank", -1)).c_str(),
+                  str_or(e, "kind", "?").c_str());
+    out << head << ' ' << str_or(e, "phase", "?") << "/L"
+        << static_cast<std::uint64_t>(num_or(e, "layer", 0));
+    const double src = num_or(e, "src", -1);
+    const double dst = num_or(e, "dst", -1);
+    if (src >= 0 || dst >= 0) {
+      out << "  " << static_cast<std::int64_t>(src) << "->"
+          << static_cast<std::int64_t>(dst);
+    }
+    const std::string code_name = str_or(e, "code_name", "");
+    if (!code_name.empty()) out << "  " << code_name;
+    const auto code = static_cast<std::uint64_t>(num_or(e, "code", 0));
+    if (code != 0 && code_name.empty()) out << "  code=" << code;
+    const double value = num_or(e, "value", 0);
+    if (value != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "  value=%.6g", value);
+      out << buf;
+    }
+    const auto bytes = static_cast<std::uint64_t>(num_or(e, "bytes", 0));
+    if (bytes != 0) out << "  bytes=" << bytes;
+    const std::string fp = str_or(e, "fp", "");
+    if (!fp.empty()) out << "  fp=" << fp;
+    out << '\n';
+  }
+
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics != nullptr && metrics->type == JsonValue::Type::kObject) {
+    const JsonValue* counters = metrics->find("counters");
+    if (counters != nullptr && counters->type == JsonValue::Type::kObject) {
+      out << "counters (nonzero):\n";
+      for (const auto& [name, v] : counters->object) {
+        if (v.type != JsonValue::Type::kNumber || v.number == 0) continue;
+        out << "  " << name << " = "
+            << static_cast<std::uint64_t>(v.number) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace kylix::obs

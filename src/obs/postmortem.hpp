@@ -1,0 +1,46 @@
+// Postmortem black-box dumps (DESIGN.md "Observability v2").
+//
+// When a run goes wrong — injected faults, degraded completion, a CHECK
+// failure — the flight-recorder tail, a metrics snapshot, and the plan
+// fingerprint are serialized to one JSON document (`kylix_postmortem`
+// schema, versioned). `kylix_cli postmortem <file>` parses it back with a
+// dependency-free recursive-descent parser and pretty-prints the merged
+// multi-rank timeline, so "what happened just before it died" is one
+// command away from any saved black box.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace kylix::obs {
+
+struct PostmortemInputs {
+  /// Why the box was dumped: "fault-injection", "degraded-completion",
+  /// "check-failure", ... — free-form, surfaced verbatim by the renderer.
+  std::string reason;
+  /// One-line human detail (the CHECK message, the dead group, ...).
+  std::string detail;
+  const FlightRecorder* recorder = nullptr;  ///< may be null (no events)
+  const MetricsRegistry* metrics = nullptr;  ///< may be null (no snapshot)
+  std::uint64_t plan_fingerprint = 0;        ///< 0 when no plan was active
+};
+
+/// Serialize the black box as one JSON object (schema documented in
+/// DESIGN.md). Events come out already merged in global sequence order.
+void write_postmortem(std::ostream& out, const PostmortemInputs& inputs);
+
+/// write_postmortem to `path`. Returns false (never throws) when the file
+/// cannot be written — the postmortem path must not turn one failure into
+/// two.
+bool dump_postmortem(const std::string& path, const PostmortemInputs& inputs);
+
+/// Parse a postmortem JSON document and render the merged timeline as
+/// human-readable text. Throws check_error on malformed input or a schema
+/// the renderer does not understand.
+[[nodiscard]] std::string render_postmortem(const std::string& json_text);
+
+}  // namespace kylix::obs

@@ -243,5 +243,43 @@ TEST(TimingAccumulator, ClearResets) {
   EXPECT_DOUBLE_EQ(timing.times().total(), 0.0);
 }
 
+TEST(TimingAccumulator, RoundTimeQuantileInterpolatesOrderStatistics) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(0.5), 0.0);  // no rounds yet
+  // Three rounds of 1.5 s, 2.5 s, 3.5 s (1/2/3 MB + 0.5 s overhead),
+  // deliberately fed out of order: quantiles sort.
+  timing.on_message({Phase::kReduceUp, 1, 0, 1, 3000000});
+  timing.on_message({Phase::kConfig, 1, 0, 1, 1000000});
+  timing.on_message({Phase::kReduceDown, 1, 0, 1, 2000000});
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(1.0), 3.5);
+  // Between order statistics the estimate interpolates linearly.
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(0.25), 2.0);
+  // Out-of-range q clamps to the extremes.
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(-1.0), 1.5);
+  EXPECT_DOUBLE_EQ(timing.round_time_quantile(9.0), 3.5);
+}
+
+TEST(TimingAccumulator, ReduceLatencyMarksDiffTheModeledClock) {
+  TimingAccumulator timing(2, simple_net(), ComputeModel{}, 1);
+  // First reduce: one 1 MB round (1.5 s of modeled reduce time).
+  timing.on_message({Phase::kReduceDown, 1, 0, 1, 1000000});
+  timing.mark_reduce_complete();
+  // Second reduce: one 2 MB round (2.5 s more).
+  timing.on_message({Phase::kReduceDown, 1, 0, 1, 2000000});
+  timing.mark_reduce_complete();
+  // Each mark captures only its own reduce's delta, not the running total.
+  ASSERT_EQ(timing.reduce_latencies().size(), 2u);
+  EXPECT_DOUBLE_EQ(timing.reduce_latencies()[0], 1.5);
+  EXPECT_DOUBLE_EQ(timing.reduce_latencies()[1], 2.5);
+  EXPECT_DOUBLE_EQ(timing.reduce_latency_quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(timing.reduce_latency_quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(timing.reduce_latency_quantile(1.0), 2.5);
+  timing.clear();
+  EXPECT_TRUE(timing.reduce_latencies().empty());
+  EXPECT_DOUBLE_EQ(timing.reduce_latency_quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace kylix

@@ -19,7 +19,10 @@
 #include "core/node.hpp"
 #include "core/plan_cache.hpp"
 #include "obs/engine_obs.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/watchdog.hpp"
 #include "sparse/merge.hpp"
 #include "test_util.hpp"
 
@@ -296,6 +299,99 @@ TEST(AllocHotPath, ObserverDetachRestoresSteadyStateBudget) {
   (void)measure();
   EXPECT_EQ(tracer.num_events(), events_after_detach)
       << "detached observer still received events";
+}
+
+// The other direction: with the FULL observability v2 stack attached —
+// metrics, flight recorder, and anomaly watchdog — the steady-state reduce
+// obeys the same API-boundary budget. Flight-recorder slots are fixed at
+// construction, the watchdog's median scratch is pre-sized, and histogram
+// observes are bucket increments, so instrumentation adds zero allocations
+// per iteration (the <3% wall-clock gate in tools/bench_check.sh rests on
+// this).
+TEST(AllocHotPath, FullyInstrumentedSteadyStateReduceStaysWithinBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 99);
+
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(m, 128, 512);
+  obs::AnomalyWatchdog::Options wopt;
+  wopt.metrics = &metrics;
+  wopt.recorder = &recorder;
+  obs::AnomalyWatchdog watchdog(m, wopt);
+
+  obs::TelemetryObserver::Options topt;
+  topt.metrics = &metrics;
+  topt.recorder = &recorder;
+  topt.watchdog = &watchdog;
+  obs::TelemetryObserver observer(/*tracer=*/nullptr, m, topt);
+
+  BspEngine<float> engine(m);
+  engine.set_observer(&observer);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  for (int iter = 0; iter < 8; ++iter) {
+    (void)allreduce.reduce(w.out_values);  // warm
+  }
+  EXPECT_GT(observer.total_messages(), 0u);
+  EXPECT_GT(recorder.recorded(), 0u);
+  EXPECT_GT(watchdog.rounds_seen(), 0u);
+
+  const auto measure = [&] {
+    auto values = w.out_values;  // copied outside the gauge
+    AllocGauge gauge;
+    const auto results = allreduce.reduce(std::move(values));
+    const std::uint64_t count = gauge.count();
+    EXPECT_EQ(results.size(), m);
+    return count;
+  };
+  const std::uint64_t first = measure();
+  const std::uint64_t second = measure();
+#ifdef NDEBUG
+  // Identical budget to the uninstrumented engine: only the result buffers
+  // that leave with the caller.
+  EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
+#endif
+  EXPECT_EQ(first, second) << "instrumented steady state is not steady";
+}
+
+// KYLIX_METRICS=off must make the whole observability stack a no-op at
+// construction: instruments stop counting and the flight recorder stops
+// writing, while the reduce itself is unaffected.
+TEST(AllocHotPath, MetricsEnvOffSilencesTheWholeStack) {
+  ::setenv("KYLIX_METRICS", "off", 1);
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(8);
+  ::unsetenv("KYLIX_METRICS");
+  EXPECT_FALSE(metrics.enabled());
+  EXPECT_FALSE(recorder.enabled());
+
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 1000, 0.1, 0.2, 31);
+
+  obs::TelemetryObserver::Options topt;
+  topt.metrics = &metrics;
+  topt.recorder = &recorder;
+  obs::TelemetryObserver observer(/*tracer=*/nullptr, m, topt);
+
+  BspEngine<float> engine(m);
+  engine.set_observer(&observer);
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  const auto results = allreduce.reduce(w.out_values);
+  testing::expect_matches_oracle<float>(w, results);
+
+  // The observer's own totals still count (they are plain members), but
+  // nothing reached the disabled sinks.
+  EXPECT_GT(observer.total_messages(), 0u);
+  EXPECT_EQ(metrics.counter("engine.messages").value(), 0u);
+  EXPECT_EQ(metrics.histogram("engine.round_seconds",
+                              obs::exponential_bounds(1e-6, 10, 8))
+                .count(),
+            0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.merged_events().empty());
 }
 
 // The replication layer's alive-replica lookups used to build a fresh

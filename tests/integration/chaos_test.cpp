@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "cluster/fault_plan.hpp"
@@ -27,6 +29,10 @@
 #include "comm/threaded.hpp"
 #include "core/allreduce.hpp"
 #include "core/degraded.hpp"
+#include "obs/engine_obs.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "test_util.hpp"
 
 namespace kylix {
@@ -365,6 +371,88 @@ TEST(ChaosReplicated, UnrecoverableEdgeIsForceDelivered) {
   const RecoveryStats& rec = engine.recovery_stats();
   EXPECT_GT(rec.forced, 0u);
   EXPECT_EQ(rec.promotions, rec.detections);
+}
+
+// ---- Postmortem coverage: the black box sees the chaos timeline ----
+
+// A scripted FaultPlan with deterministic edge rules, observed end to end:
+// the flight recorder must hold every injected fault strictly before the
+// recovery that answered it, and the postmortem dump must serialize that
+// timeline in sequence order with the fault/recovery codes named.
+TEST(ChaosReplicated, PostmortemDumpOrdersFaultsBeforeRecovery) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 64, 0.25, 0.4, 77);
+
+  // Drop all four physical copies of logical letter 0 -> 1, exactly as
+  // TotalCopyLossIsRecoveredBitIdentically does, so one recovery cycle is
+  // guaranteed and fully deterministic.
+  FaultPlan plan(m * 2);
+  for (const rank_t src : {rank_t{0}, rank_t{0 + m}}) {
+    for (const rank_t dst : {rank_t{1}, rank_t{1 + m}}) {
+      FaultPlan::EdgeRule rule;
+      rule.src = src;
+      rule.dst = dst;
+      rule.action = FaultAction::kDrop;
+      rule.count = 1;
+      plan.add_edge_rule(rule);
+    }
+  }
+  FaultChannel<float> channel(&plan);
+  Engine engine(m, 2);
+  engine.set_fault_channel(&channel);
+
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(m * 2, 256, 1024);
+  obs::TelemetryObserver::Options topt;
+  topt.metrics = &metrics;
+  topt.recorder = &recorder;
+  obs::TelemetryObserver observer(/*tracer=*/nullptr, m * 2, topt);
+  engine.set_observer(&observer);
+
+  Allreduce allreduce(&engine, topo);
+  allreduce.configure(w.in_sets, w.out_sets);
+  (void)allreduce.reduce(w.out_values);
+  EXPECT_EQ(plan.stats().dropped, 4u);
+
+  // In the recorder: all four faults precede the first recovery event.
+  std::uint64_t fault_events = 0;
+  std::uint64_t max_fault_seq = 0;
+  std::uint64_t min_recovery_seq = ~std::uint64_t{0};
+  for (const obs::FlightEvent& e : recorder.merged_events()) {
+    if (e.kind == obs::FlightEventKind::kFault) {
+      ++fault_events;
+      max_fault_seq = std::max(max_fault_seq, e.seq);
+    }
+    if (e.kind == obs::FlightEventKind::kRecovery) {
+      min_recovery_seq = std::min(min_recovery_seq, e.seq);
+    }
+  }
+  EXPECT_EQ(fault_events, 4u);
+  ASSERT_NE(min_recovery_seq, ~std::uint64_t{0}) << "no recovery recorded";
+  EXPECT_LT(max_fault_seq, min_recovery_seq);
+
+  // In the dump: the serialized events array preserves that order, and the
+  // fault/recovery codes come out by name.
+  obs::PostmortemInputs inputs;
+  inputs.reason = "fault-injection";
+  inputs.detail = "scripted total copy loss on edge 0->1";
+  inputs.recorder = &recorder;
+  inputs.metrics = &metrics;
+  std::ostringstream out;
+  obs::write_postmortem(out, inputs);
+  const std::string json = out.str();
+  const std::size_t first_fault = json.find("\"kind\":\"fault\"");
+  const std::size_t first_recovery = json.find("\"kind\":\"recovery\"");
+  ASSERT_NE(first_fault, std::string::npos);
+  ASSERT_NE(first_recovery, std::string::npos);
+  EXPECT_LT(first_fault, first_recovery);
+  EXPECT_NE(json.find("\"code_name\":\"drop\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.faults.dropped\":4"), std::string::npos);
+
+  // And the renderer reads it back as a timeline.
+  const std::string text = obs::render_postmortem(json);
+  EXPECT_LT(text.find("drop"), text.find("retry"));
 }
 
 // ---- The shared hook on the flat engines ----

@@ -1,0 +1,136 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace kylix::obs {
+namespace {
+
+FlightEvent make_event(FlightEventKind kind, rank_t rank) {
+  FlightEvent e;
+  e.kind = kind;
+  e.rank = rank;
+  return e;
+}
+
+TEST(FlightRecorder, RecordsAndMergesInSequenceOrder) {
+  FlightRecorder recorder(4);
+  recorder.record(make_event(FlightEventKind::kRoundBegin, kGlobalRank));
+  recorder.record(make_event(FlightEventKind::kFault, 2));
+  recorder.record(make_event(FlightEventKind::kDrop, 0));
+  recorder.record(make_event(FlightEventKind::kRoundEnd, kGlobalRank));
+  EXPECT_EQ(recorder.recorded(), 4u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const auto events = recorder.merged_events();
+  ASSERT_EQ(events.size(), 4u);
+  // Per-rank rings merge back into one global-sequence timeline.
+  EXPECT_EQ(events[0].kind, FlightEventKind::kRoundBegin);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kFault);
+  EXPECT_EQ(events[1].rank, 2u);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kDrop);
+  EXPECT_EQ(events[3].kind, FlightEventKind::kRoundEnd);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+    EXPECT_LE(events[i - 1].t_us, events[i].t_us);
+  }
+}
+
+TEST(FlightRecorder, WrapKeepsMostRecentHistory) {
+  FlightRecorder recorder(1, /*per_rank_capacity=*/4, /*global_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    FlightEvent e = make_event(FlightEventKind::kDrop, 0);
+    e.bytes = static_cast<std::uint64_t>(i);
+    recorder.record(e);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto events = recorder.merged_events();
+  ASSERT_EQ(events.size(), 4u);
+  // The black box holds the tail, not the head: events 6..9 survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].bytes, 6u + i);
+  }
+}
+
+TEST(FlightRecorder, OutOfRangeRankLandsInGlobalRing) {
+  FlightRecorder recorder(2, /*per_rank_capacity=*/2, /*global_capacity=*/8);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record(make_event(FlightEventKind::kRecovery, 99));
+  }
+  // Six events through a capacity-2 rank ring would have dropped four; the
+  // global ring (capacity 8) held them all.
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.merged_events().size(), 6u);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  FlightRecorder recorder(2);
+  recorder.set_enabled(false);
+  recorder.record(make_event(FlightEventKind::kFault, 0));
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.merged_events().empty());
+  recorder.set_enabled(true);
+  recorder.record(make_event(FlightEventKind::kFault, 0));
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST(FlightRecorder, EnvVarDisablesAtConstruction) {
+  ::setenv("KYLIX_METRICS", "off", 1);
+  FlightRecorder off(2);
+  EXPECT_FALSE(off.enabled());
+  off.record(make_event(FlightEventKind::kFault, 0));
+  EXPECT_EQ(off.recorded(), 0u);
+  ::unsetenv("KYLIX_METRICS");
+  FlightRecorder on(2);
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(FlightRecorder, ClearDropsHistoryButKeepsNumbering) {
+  FlightRecorder recorder(2);
+  recorder.record(make_event(FlightEventKind::kDrop, 0));
+  recorder.record(make_event(FlightEventKind::kDrop, 1));
+  recorder.clear();
+  EXPECT_TRUE(recorder.merged_events().empty());
+  recorder.record(make_event(FlightEventKind::kDrop, 0));
+  const auto events = recorder.merged_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 2u);  // sequence numbering continues across clear
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingBelowCapacity) {
+  constexpr rank_t kRanks = 4;
+  constexpr int kPerThread = 200;
+  FlightRecorder recorder(kRanks, /*per_rank_capacity=*/kPerThread,
+                          /*global_capacity=*/kPerThread);
+  std::vector<std::thread> threads;
+  for (rank_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&recorder, r] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FlightEvent e = make_event(FlightEventKind::kStreamFlush, r);
+        e.value = static_cast<double>(i);
+        recorder.record(e);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.recorded(), static_cast<std::uint64_t>(kRanks) *
+                                     kPerThread);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const auto events = recorder.merged_events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kRanks) * kPerThread);
+  // Every writer targets its own ring, so all sequence numbers are distinct
+  // and every per-rank subsequence arrives intact and in order.
+  std::vector<int> per_rank_next(kRanks, 0);
+  for (const FlightEvent& e : events) {
+    ASSERT_LT(e.rank, kRanks);
+    EXPECT_EQ(e.value, per_rank_next[e.rank]);
+    ++per_rank_next[e.rank];
+  }
+}
+
+}  // namespace
+}  // namespace kylix::obs

@@ -1,0 +1,123 @@
+#include "obs/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace kylix::obs {
+namespace {
+
+// Postmortem details carry user-controlled strings (fault summaries, file
+// paths, CHECK messages); the writer must keep any of them from corrupting
+// the JSON document.
+
+std::string emit_string(const std::string& s) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("s", s);
+  json.end_object();
+  return out.str();
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(emit_string("say \"hi\""), "{\"s\":\"say \\\"hi\\\"\"}");
+  EXPECT_EQ(emit_string("C:\\path\\file"), "{\"s\":\"C:\\\\path\\\\file\"}");
+}
+
+TEST(JsonWriter, EscapesNamedControlCharacters) {
+  EXPECT_EQ(emit_string("a\nb"), "{\"s\":\"a\\nb\"}");
+  EXPECT_EQ(emit_string("a\tb"), "{\"s\":\"a\\tb\"}");
+  EXPECT_EQ(emit_string("a\rb"), "{\"s\":\"a\\rb\"}");
+  EXPECT_EQ(emit_string("a\bb"), "{\"s\":\"a\\bb\"}");
+  EXPECT_EQ(emit_string("a\fb"), "{\"s\":\"a\\fb\"}");
+}
+
+TEST(JsonWriter, UnicodeEscapesRemainingControlCharacters) {
+  // RFC 8259 requires \u-escapes for every control character without a
+  // shorthand; ESC shows up in practice when terminal color codes leak into
+  // a CHECK message.
+  EXPECT_EQ(emit_string(std::string(1, '\x1b')), "{\"s\":\"\\u001b\"}");
+  EXPECT_EQ(emit_string(std::string(1, '\x00')), "{\"s\":\"\\u0000\"}");
+  EXPECT_EQ(emit_string(std::string(1, '\x1f')), "{\"s\":\"\\u001f\"}");
+  // 0x20 (space) and above pass through untouched.
+  EXPECT_EQ(emit_string(" ~"), "{\"s\":\" ~\"}");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("weird\nkey", 1);
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"weird\\nkey\":1}");
+}
+
+TEST(JsonWriter, NonAsciiBytesPassThroughVerbatim) {
+  // UTF-8 multibyte sequences have all bytes >= 0x80: they must not be
+  // mangled by the control-character path.
+  EXPECT_EQ(emit_string("caf\xc3\xa9"), "{\"s\":\"caf\xc3\xa9\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("inf", std::numeric_limits<double>::infinity());
+  json.key_value("ninf", -std::numeric_limits<double>::infinity());
+  json.key_value("nan", std::nan(""));
+  json.key_value("ok", 0.5);
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"inf\":null,\"ninf\":null,\"nan\":null,\"ok\":0.5}");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("v", 0.1);
+  json.end_object();
+  double parsed = 0.0;
+  std::sscanf(out.str().c_str(), "{\"v\":%lf}", &parsed);
+  EXPECT_EQ(parsed, 0.1);  // %.17g preserves every bit of the double
+}
+
+TEST(JsonWriter, CommasPlacedAcrossNestedStructures) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key_value("a", 1);
+  json.key("list");
+  json.begin_array();
+  json.value(1);
+  json.value("two");
+  json.begin_object();
+  json.key_value("x", true);
+  json.end_object();
+  json.end_array();
+  json.key("empty");
+  json.begin_array();
+  json.end_array();
+  json.key_value("z", false);
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"a\":1,\"list\":[1,\"two\",{\"x\":true}],"
+            "\"empty\":[],\"z\":false}");
+}
+
+TEST(JsonWriter, Uint64EmitsFullPrecision) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  // A value a double cannot represent exactly; uint64 must print verbatim.
+  json.key_value("big", std::uint64_t{18446744073709551615ull});
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"big\":18446744073709551615}");
+}
+
+}  // namespace
+}  // namespace kylix::obs

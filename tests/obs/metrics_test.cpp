@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <thread>
 #include <vector>
@@ -150,6 +152,85 @@ TEST(MetricsRegistry, ConcurrentRegistrationAndUpdatesAreSafe) {
 
 TEST(MetricsRegistry, GlobalIsOneSharedInstance) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10.0, 20.0, 40.0});
+  // 10 observations uniform in the (10, 20] bucket.
+  for (int i = 0; i < 10; ++i) h.observe(15);
+  // Median target sits halfway through the only populated bucket, so the
+  // interpolated estimate is the bucket midpoint, not an edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // First-bucket interpolation anchors the lower edge at 0.
+  Histogram& lo = registry.histogram("lo", {10.0, 20.0});
+  for (int i = 0; i < 4; ++i) lo.observe(5);
+  EXPECT_DOUBLE_EQ(lo.quantile(0.5), 5.0);
+}
+
+TEST(HistogramQuantile, EmptyAndClampedEdges) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, OverflowBucketReportsLastBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0});
+  for (int i = 0; i < 100; ++i) h.observe(50.0);  // all overflow
+  // The overflow bucket has no upper edge; the quantile saturates at the
+  // largest finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(HistogramSnapshot, SelfConsistentUnderConcurrentObserve) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", exponential_bounds(1, 2, 10));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      std::uint64_t x = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        h.observe(static_cast<double>(x % 700));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Histogram::Snapshot snap = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : snap.counts) bucket_total += c;
+    // The contract: bucket counts always sum to the snapshot's count, even
+    // while writers race — quantiles derived from it are never off-by-a-race.
+    EXPECT_EQ(bucket_total, snap.count);
+    const double q = snap.quantile(0.99);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1024.0);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  const Histogram::Snapshot final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count, h.count());
+}
+
+TEST(MetricsRegistry, JsonExportsQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10.0, 100.0});
+  for (int i = 0; i < 8; ++i) h.observe(50);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  // upper_bounds + counts stay exported so external tools can re-derive any
+  // quantile, not just the four we precompute.
+  EXPECT_NE(json.find("\"upper_bounds\":[10,100]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[0,8,0]"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#include "obs/postmortem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace kylix::obs {
+namespace {
+
+std::string dump_to_string(const PostmortemInputs& inputs) {
+  std::ostringstream out;
+  write_postmortem(out, inputs);
+  return out.str();
+}
+
+PostmortemInputs sample_inputs(FlightRecorder& recorder,
+                               MetricsRegistry& metrics) {
+  FlightEvent fault;
+  fault.kind = FlightEventKind::kFault;
+  fault.phase = Phase::kReduceDown;
+  fault.layer = 2;
+  fault.rank = 1;
+  fault.src = 1;
+  fault.dst = 3;
+  fault.code = 1;  // FaultAction::kDrop
+  fault.bytes = 4096;
+  recorder.record(fault);
+
+  FlightEvent recovery;
+  recovery.kind = FlightEventKind::kRecovery;
+  recovery.rank = 3;
+  recovery.src = 1;
+  recovery.dst = 3;
+  recovery.code = 1;  // RecoveryAction::kRetry
+  recovery.value = 2;
+  recorder.record(recovery);
+
+  metrics.counter("engine.faults.dropped").add(1);
+
+  PostmortemInputs inputs;
+  inputs.reason = "fault-injection";
+  inputs.detail = "unit test \"with quotes\"";
+  inputs.recorder = &recorder;
+  inputs.metrics = &metrics;
+  inputs.plan_fingerprint = 0xdeadbeefcafef00dull;
+  return inputs;
+}
+
+TEST(Postmortem, WritesVersionedSchemaWithEvents) {
+  FlightRecorder recorder(4);
+  MetricsRegistry metrics;
+  const std::string json =
+      dump_to_string(sample_inputs(recorder, metrics));
+  EXPECT_NE(json.find("\"kylix_postmortem\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"fault-injection\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_fingerprint\":\"deadbeefcafef00d\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"code_name\":\"drop\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"code_name\":\"retry\""), std::string::npos);
+  // The detail's embedded quotes must come out escaped, not truncating the
+  // document.
+  EXPECT_NE(json.find("unit test \\\"with quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.faults.dropped\":1"), std::string::npos);
+}
+
+TEST(Postmortem, NullRecorderAndMetricsStillValid) {
+  PostmortemInputs inputs;
+  inputs.reason = "check-failure";
+  const std::string json = dump_to_string(inputs);
+  EXPECT_NE(json.find("\"events\":[]"), std::string::npos);
+  // The empty document still round-trips through the renderer.
+  const std::string text = render_postmortem(json);
+  EXPECT_NE(text.find("check-failure"), std::string::npos);
+}
+
+TEST(Postmortem, RendererRoundTripsTheTimeline) {
+  FlightRecorder recorder(4);
+  MetricsRegistry metrics;
+  const std::string json =
+      dump_to_string(sample_inputs(recorder, metrics));
+  const std::string text = render_postmortem(json);
+  EXPECT_NE(text.find("postmortem: fault-injection"), std::string::npos);
+  EXPECT_NE(text.find("plan fingerprint: deadbeefcafef00d"),
+            std::string::npos);
+  EXPECT_NE(text.find("fault"), std::string::npos);
+  EXPECT_NE(text.find("1->3"), std::string::npos);
+  EXPECT_NE(text.find("drop"), std::string::npos);
+  EXPECT_NE(text.find("retry"), std::string::npos);
+  EXPECT_NE(text.find("engine.faults.dropped = 1"), std::string::npos);
+}
+
+TEST(Postmortem, GlobalRankSerializesAsMinusOne) {
+  FlightRecorder recorder(4);
+  FlightEvent e;
+  e.kind = FlightEventKind::kRoundBegin;  // rank defaults to kGlobalRank
+  recorder.record(e);
+  PostmortemInputs inputs;
+  inputs.reason = "r";
+  inputs.recorder = &recorder;
+  const std::string json = dump_to_string(inputs);
+  EXPECT_NE(json.find("\"rank\":-1"), std::string::npos);
+  // The renderer shows run-level events as rank "*".
+  EXPECT_NE(render_postmortem(json).find("rank   *"), std::string::npos);
+}
+
+TEST(Postmortem, FingerprintEventsRoundTripExactly) {
+  FlightRecorder recorder(2);
+  FlightEvent e;
+  e.kind = FlightEventKind::kPlanCacheHit;
+  // A fingerprint with low bits set: a double round-trip would destroy it.
+  e.bytes = 0xd273fbd5797fe6bfull;
+  recorder.record(e);
+  PostmortemInputs inputs;
+  inputs.reason = "r";
+  inputs.recorder = &recorder;
+  const std::string json = dump_to_string(inputs);
+  EXPECT_NE(json.find("\"fp\":\"d273fbd5797fe6bf\""), std::string::npos);
+  EXPECT_NE(render_postmortem(json).find("fp=d273fbd5797fe6bf"),
+            std::string::npos);
+}
+
+TEST(Postmortem, RendererRejectsMalformedInput) {
+  EXPECT_THROW(render_postmortem("not json"), check_error);
+  EXPECT_THROW(render_postmortem("[1,2,3]"), check_error);
+  EXPECT_THROW(render_postmortem("{\"some\":\"object\"}"), check_error);
+  EXPECT_THROW(render_postmortem("{\"kylix_postmortem\":99,\"events\":[]}"),
+               check_error);
+  EXPECT_THROW(render_postmortem("{\"kylix_postmortem\":1}"), check_error);
+  EXPECT_THROW(render_postmortem("{\"kylix_postmortem\":1,\"events\":["),
+               check_error);
+}
+
+TEST(Postmortem, DumpToUnwritablePathReturnsFalse) {
+  PostmortemInputs inputs;
+  inputs.reason = "r";
+  EXPECT_FALSE(dump_postmortem("/nonexistent-dir/pm.json", inputs));
+}
+
+TEST(Postmortem, DumpAndReloadFromDisk) {
+  FlightRecorder recorder(2);
+  MetricsRegistry metrics;
+  const PostmortemInputs inputs = sample_inputs(recorder, metrics);
+  const std::string path =
+      ::testing::TempDir() + "kylix_postmortem_test.json";
+  ASSERT_TRUE(dump_postmortem(path, inputs));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(render_postmortem(text.str()).find("fault-injection"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kylix::obs

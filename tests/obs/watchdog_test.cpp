@@ -1,0 +1,145 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace kylix::obs {
+namespace {
+
+constexpr rank_t kRanks = 8;
+
+struct Fixture {
+  MetricsRegistry metrics;
+  FlightRecorder recorder{kRanks};
+  AnomalyWatchdog watchdog;
+  std::vector<double> offsets;
+  std::vector<std::uint64_t> bytes;
+
+  explicit Fixture(AnomalyWatchdog::Options opts = {})
+      : watchdog(kRanks,
+                 [&] {
+                   opts.metrics = &metrics;
+                   opts.recorder = &recorder;
+                   return opts;
+                 }()),
+        offsets(kRanks, 100.0),
+        bytes(kRanks, 1 << 20) {}
+
+  void feed(double round_s) {
+    watchdog.observe_round(Phase::kReduceDown, 1, round_s, offsets, bytes);
+  }
+
+  std::uint64_t count_events(FlightEventKind kind) const {
+    std::uint64_t n = 0;
+    for (const FlightEvent& e : recorder.merged_events()) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+TEST(AnomalyWatchdog, QuietBaselineFlagsNothing) {
+  Fixture fx;
+  for (int i = 0; i < 50; ++i) fx.feed(0.001);
+  EXPECT_EQ(fx.watchdog.slow_rounds(), 0u);
+  EXPECT_EQ(fx.watchdog.stragglers(), 0u);
+  EXPECT_EQ(fx.watchdog.byte_imbalances(), 0u);
+  EXPECT_EQ(fx.watchdog.rounds_seen(), 50u);
+  EXPECT_EQ(fx.watchdog.last_straggler(), kGlobalRank);
+}
+
+TEST(AnomalyWatchdog, WarmupSuppressesVerdicts) {
+  Fixture fx;
+  // A wild outlier inside the warmup window must not fire: the baseline has
+  // no statistical standing yet.
+  for (std::uint32_t i = 0; i < 8; ++i) fx.feed(i == 4 ? 10.0 : 0.001);
+  EXPECT_EQ(fx.watchdog.slow_rounds(), 0u);
+}
+
+TEST(AnomalyWatchdog, FlagsSlowRoundAfterBaseline) {
+  Fixture fx;
+  for (int i = 0; i < 20; ++i) fx.feed(0.001);
+  fx.feed(0.5);  // 500x the baseline
+  EXPECT_EQ(fx.watchdog.slow_rounds(), 1u);
+  EXPECT_EQ(fx.count_events(FlightEventKind::kSlowRound), 1u);
+  EXPECT_EQ(fx.metrics.counter("engine.anomaly.slow_rounds").value(), 1u);
+}
+
+TEST(AnomalyWatchdog, FlagsStragglerRankWithMetricsAndEvent) {
+  Fixture fx;
+  for (int i = 0; i < 10; ++i) fx.feed(0.001);
+  // Rank 5 finishes 50 ms after the pack's 100 us median.
+  fx.offsets[5] = 50'000.0;
+  fx.feed(0.001);
+  EXPECT_EQ(fx.watchdog.stragglers(), 1u);
+  EXPECT_EQ(fx.watchdog.last_straggler(), 5u);
+  EXPECT_EQ(fx.metrics.counter("engine.anomaly.stragglers").value(), 1u);
+  EXPECT_DOUBLE_EQ(
+      fx.metrics.gauge("engine.anomaly.last_straggler").value(), 5.0);
+  const auto events = fx.recorder.merged_events();
+  const FlightEvent* straggle = nullptr;
+  for (const FlightEvent& e : events) {
+    if (e.kind == FlightEventKind::kStraggler) straggle = &e;
+  }
+  ASSERT_NE(straggle, nullptr);
+  EXPECT_EQ(straggle->rank, 5u);
+  EXPECT_GT(straggle->value, 40'000.0);  // microseconds behind the median
+}
+
+TEST(AnomalyWatchdog, MicrosecondJitterIsNotAStraggler) {
+  Fixture fx;
+  for (int i = 0; i < 10; ++i) fx.feed(0.001);
+  // 400 us behind a 100 us median clears the MAD gate but not the absolute
+  // floor (min_straggler_us = 5 ms): sequential-engine jitter stays quiet.
+  fx.offsets[3] = 500.0;
+  fx.feed(0.001);
+  EXPECT_EQ(fx.watchdog.stragglers(), 0u);
+}
+
+TEST(AnomalyWatchdog, SilentRanksAreExcludedNotFlagged) {
+  Fixture fx;
+  fx.offsets[0] = 0.0;  // never sends: not participating, not a straggler
+  for (int i = 0; i < 20; ++i) fx.feed(0.001);
+  EXPECT_EQ(fx.watchdog.stragglers(), 0u);
+}
+
+TEST(AnomalyWatchdog, FlagsByteImbalance) {
+  Fixture fx;
+  for (int i = 0; i < 10; ++i) fx.feed(0.001);
+  fx.bytes[2] = (1 << 20) + (64 << 20);  // 64 MB over the 1 MB median
+  fx.feed(0.001);
+  EXPECT_EQ(fx.watchdog.byte_imbalances(), 1u);
+  EXPECT_EQ(fx.metrics.counter("engine.anomaly.byte_imbalance").value(), 1u);
+  EXPECT_EQ(fx.count_events(FlightEventKind::kByteImbalance), 1u);
+}
+
+TEST(AnomalyWatchdog, RejectsWrongVectorSizes) {
+  MetricsRegistry metrics;
+  AnomalyWatchdog::Options opts;
+  opts.metrics = &metrics;
+  AnomalyWatchdog watchdog(kRanks, opts);
+  const std::vector<double> short_offsets(kRanks - 1, 0.0);
+  const std::vector<std::uint64_t> bytes(kRanks, 0);
+  EXPECT_THROW(watchdog.observe_round(Phase::kConfig, 1, 0.001, short_offsets,
+                                      bytes),
+               check_error);
+}
+
+TEST(AnomalyWatchdog, NullSinksStillCount) {
+  AnomalyWatchdog watchdog(kRanks, AnomalyWatchdog::Options{});
+  const std::vector<double> offsets(kRanks, 100.0);
+  const std::vector<std::uint64_t> bytes(kRanks, 1 << 20);
+  for (int i = 0; i < 20; ++i) {
+    watchdog.observe_round(Phase::kReduceDown, 1, 0.001, offsets, bytes);
+  }
+  watchdog.observe_round(Phase::kReduceDown, 1, 1.0, offsets, bytes);
+  EXPECT_EQ(watchdog.slow_rounds(), 1u);
+}
+
+}  // namespace
+}  // namespace kylix::obs

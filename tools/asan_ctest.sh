@@ -40,3 +40,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L plan
 # the off-by-one-span and use-after-recycle bugs ASan exists to catch, plus
 # the threaded engine's multi-letter-per-edge receive loop.
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L stream
+
+# Focused obs pass: the observability layer rides every hot path — the
+# lock-free flight-recorder ring racing concurrent writers, histogram
+# snapshots under concurrent observe(), watchdog scratch reuse, and the
+# postmortem JSON round-trip — so it gets its own labeled lane.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L obs

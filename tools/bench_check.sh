@@ -228,3 +228,41 @@ if failed:
 print(f"\nstreaming gate passed: streamed reduce >= {min_speedup}x letter-"
       "at-once on every preset, results bit-identical")
 EOF
+
+# ---- Observability-overhead gate -------------------------------------------
+# The flight recorder, percentile histograms, and anomaly watchdog ride the
+# warm replay path; the same fresh wall_engines run replays each preset
+# bare, fully instrumented, and with every sink disabled. Instrumented must
+# stay within 3% of bare (the recorder is a relaxed fetch_add plus a slot
+# write; the watchdog is O(ranks) per round) and the disabled pass must too
+# (a dark observer is virtual-call dispatch and nothing else). The minima
+# are min-of-7 warm replays, so 3% is headroom, not a coin flip.
+python3 - "${engines_fresh}" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+max_overhead = 0.03
+
+print(f"\n{'preset':<14}{'bare s':>10}{'instr s':>10}{'dark s':>10}"
+      f"{'instr ovh':>11}{'dark ovh':>10}  status")
+failed = 0
+for preset in doc["presets"]:
+    o = preset["observability"]
+    ok_instr = o["overhead_instrumented"] <= max_overhead
+    ok_dark = o["overhead_disabled"] <= max_overhead
+    failed += (not ok_instr) + (not ok_dark)
+    status = "ok" if (ok_instr and ok_dark) else "REGRESS"
+    print(f"{preset['name']:<14}{o['bare_warm_min_s']:>10.4f}"
+          f"{o['instrumented_warm_min_s']:>10.4f}"
+          f"{o['disabled_warm_min_s']:>10.4f}"
+          f"{o['overhead_instrumented']:>10.1%}"
+          f"{o['overhead_disabled']:>9.1%}  {status}")
+
+if failed:
+    print(f"\nobservability gate FAILED: recorder+watchdog overhead must "
+          f"stay within {max_overhead:.0%} of the bare warm replay")
+    sys.exit(1)
+print(f"\nobservability gate passed: instrumented and disabled replays "
+      f"within {max_overhead:.0%} of bare on every preset")
+EOF

@@ -40,8 +40,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "kylix.hpp"
@@ -54,6 +57,9 @@ struct Cli {
   bool report = false;
   bool chaos = false;
   bool plan = false;
+  bool postmortem = false;
+  std::string postmortem_file;  // postmortem mode: the JSON black box to read
+  std::string postmortem_out;   // report/chaos: dump the black box here
   rank_t machines = 64;
   std::uint64_t features = 1u << 18;
   double density = 0.21;
@@ -82,7 +88,7 @@ struct Cli {
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
-      "usage: kylix_cli [report|chaos|plan] [options]\n"
+      "usage: kylix_cli [report|chaos|plan|postmortem <file>] [options]\n"
       "  --machines M      logical machine count (default 64)\n"
       "  --features N      index-space size (default 262144)\n"
       "  --density D       target partition density (default 0.21)\n"
@@ -98,6 +104,10 @@ struct Cli {
       "  --stream          stream MTU-sized chunks through the reduce\n"
       "  --chunk-bytes B   streaming chunk payload bytes (default: compiled\n"
       "                    from the network model's min efficient packet)\n"
+      "report and chaos modes:\n"
+      "  --postmortem-out F  write the flight-recorder black box (merged\n"
+      "                    event timeline + metrics snapshot) as JSON to F;\n"
+      "                    in chaos mode, dumps the first degraded/bad run\n"
       "chaos mode only (seeded fault sweep, survival table):\n"
       "  --seeds S         schedules per failure count (default 16)\n"
       "  --max-failures K  sweep 0..K scripted crashes (default 8)\n"
@@ -107,7 +117,8 @@ struct Cli {
       "plan mode only (compiled-plan workflow demo):\n"
       "  --iters N         replay iterations to wall-clock (default 20)\n"
       "  --payloads K      interleaved payloads per strided reduce "
-      "(default 4)\n");
+      "(default 4)\n"
+      "postmortem mode: render a saved black box as a readable timeline\n");
   std::exit(2);
 }
 
@@ -135,6 +146,12 @@ Cli parse(int argc, char** argv) {
     ++i;
   } else if (i < argc && std::strcmp(argv[i], "plan") == 0) {
     cli.plan = true;
+    ++i;
+  } else if (i < argc && std::strcmp(argv[i], "postmortem") == 0) {
+    cli.postmortem = true;
+    ++i;
+    if (i >= argc) usage_and_exit();
+    cli.postmortem_file = argv[i];
     ++i;
   }
   for (; i < argc; ++i) {
@@ -179,6 +196,8 @@ Cli parse(int argc, char** argv) {
       cli.dup_rate = std::stod(value());
     } else if (flag == "--delay-rate" && cli.chaos) {
       cli.delay_rate = std::stod(value());
+    } else if (flag == "--postmortem-out" && (cli.report || cli.chaos)) {
+      cli.postmortem_out = value();
     } else if (flag == "--iters" && cli.plan) {
       cli.plan_iters = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--payloads" && cli.plan) {
@@ -349,6 +368,54 @@ SoundCheck verify_degraded(const Cli& cli, const Workload& w,
   return check;
 }
 
+/// Arms a crash dump for the lifetime of a run: if the scope unwinds with
+/// an exception in flight (a CHECK failure mid-run), the destructor writes
+/// the black box before the recorder dies with the stack frame — the one
+/// moment the flight recorder earns its name.
+class BlackBoxGuard {
+ public:
+  BlackBoxGuard(std::string path, obs::FlightRecorder* recorder,
+                const obs::MetricsRegistry* metrics, std::uint64_t fingerprint)
+      : path_(std::move(path)),
+        recorder_(recorder),
+        metrics_(metrics),
+        fingerprint_(fingerprint) {}
+  BlackBoxGuard(const BlackBoxGuard&) = delete;
+  BlackBoxGuard& operator=(const BlackBoxGuard&) = delete;
+  ~BlackBoxGuard() {
+    if (path_.empty() || std::uncaught_exceptions() == 0) return;
+    obs::FlightEvent e;
+    e.kind = obs::FlightEventKind::kCheckFail;
+    recorder_->record(e);
+    obs::PostmortemInputs pm;
+    pm.reason = "check-failure";
+    pm.detail = "CHECK failed mid-run; see stderr";
+    pm.recorder = recorder_;
+    pm.metrics = metrics_;
+    pm.plan_fingerprint = fingerprint_;
+    if (obs::dump_postmortem(path_, pm)) {
+      std::fprintf(stderr, "postmortem: %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  obs::FlightRecorder* recorder_;
+  const obs::MetricsRegistry* metrics_;
+  std::uint64_t fingerprint_;
+};
+
+/// Render a saved black box (`--postmortem-out` JSON) as a readable merged
+/// timeline.
+int run_postmortem(const Cli& cli) {
+  std::ifstream in(cli.postmortem_file);
+  KYLIX_CHECK_MSG(in.good(), "cannot open postmortem file");
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::fputs(obs::render_postmortem(text.str()).c_str(), stdout);
+  return 0;
+}
+
 int run_default(const Cli& cli) {
   const NetworkModel net = scaled_network();
   const ComputeModel compute;
@@ -449,13 +516,26 @@ int run_report(const Cli& cli) {
   TimingAccumulator timing(physical, net, compute, cli.threads);
   obs::SpanTracer tracer;
   obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(physical, /*per_rank_capacity=*/256,
+                               /*global_capacity=*/2048);
+  obs::AnomalyWatchdog::Options wopt;
+  wopt.metrics = &metrics;
+  wopt.recorder = &recorder;
+  obs::AnomalyWatchdog watchdog(physical, wopt);
 
   obs::TelemetryObserver::Options opt;
   opt.topology = &topo;
   opt.features = cli.features;
   opt.bytes_per_element = sizeof(real_t);
   opt.metrics = &metrics;
+  opt.recorder = &recorder;
+  opt.watchdog = &watchdog;
   obs::TelemetryObserver observer(&tracer, physical, opt);
+
+  const std::uint64_t fingerprint =
+      PlanCache::fingerprint(w.in_sets, w.out_sets);
+  const BlackBoxGuard black_box(cli.postmortem_out, &recorder, &metrics,
+                                fingerprint);
 
   obs::RunReportInputs inputs;
   inputs.trace = &trace;
@@ -479,6 +559,7 @@ int run_report(const Cli& cli) {
     SparseAllreduce<real_t, OpSum, ParallelBspEngine<real_t>> allreduce(
         &engine, topo, &compute);
     allreduce.set_network(&net);
+    allreduce.set_flight_recorder(&recorder);
     allreduce.set_streaming(cli.stream);
     if (cli.chunk_bytes != 0) allreduce.set_chunk_bytes(cli.chunk_bytes);
     allreduce.configure(w.in_sets, w.out_sets);
@@ -500,6 +581,7 @@ int run_report(const Cli& cli) {
     SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
         &engine, topo, &compute);
     allreduce.set_network(&net);
+    allreduce.set_flight_recorder(&recorder);
     allreduce.set_streaming(cli.stream);
     if (cli.chunk_bytes != 0) allreduce.set_chunk_bytes(cli.chunk_bytes);
     allreduce.configure(w.in_sets, w.out_sets);
@@ -515,6 +597,7 @@ int run_report(const Cli& cli) {
                 cli.replication, cli.failures);
   }
   obs::publish_stream_stats(metrics, sstats);
+  timing.mark_reduce_complete();
 
   std::size_t errors;
   std::size_t checked;
@@ -551,6 +634,31 @@ int run_report(const Cli& cli) {
   std::printf("\nmodeled config time: %s\nmodeled reduce time: %s\n",
               format_seconds(report.time_config_s).c_str(),
               format_seconds(report.time_reduce_s).c_str());
+  // Latency percentiles: measured from the engine.round_seconds histogram
+  // (the observer's wall clock), modeled from the timing accumulator's
+  // per-round order statistics.
+  {
+    const obs::Histogram::Snapshot rounds =
+        metrics
+            .histogram("engine.round_seconds",
+                       obs::exponential_bounds(1e-6, 10, 8))
+            .snapshot();
+    std::printf("round latency (measured, %llu rounds): p50 %s  p99 %s  "
+                "p999 %s\n",
+                static_cast<unsigned long long>(rounds.count),
+                format_seconds(rounds.quantile(0.5)).c_str(),
+                format_seconds(rounds.quantile(0.99)).c_str(),
+                format_seconds(rounds.quantile(0.999)).c_str());
+    std::printf("round latency (modeled):  p50 %s  p99 %s\n",
+                format_seconds(timing.round_time_quantile(0.5)).c_str(),
+                format_seconds(timing.round_time_quantile(0.99)).c_str());
+    std::printf("anomaly watchdog: %llu slow rounds, %llu stragglers, "
+                "%llu byte-imbalance flags over %llu rounds\n",
+                static_cast<unsigned long long>(watchdog.slow_rounds()),
+                static_cast<unsigned long long>(watchdog.stragglers()),
+                static_cast<unsigned long long>(watchdog.byte_imbalances()),
+                static_cast<unsigned long long>(watchdog.rounds_seen()));
+  }
   if (sstats.streamed) {
     const double streamed_s =
         timing.pipelined_reduce_time(sstats.max_chunks_per_letter);
@@ -587,6 +695,28 @@ int run_report(const Cli& cli) {
     metrics.write_json(out);
     out << "}\n";
     std::printf("report: %s\n", cli.report_out.c_str());
+  }
+  if (!cli.postmortem_out.empty()) {
+    const bool went_degraded = degraded.degraded || !dead_ranks.empty();
+    if (went_degraded) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kDegraded;
+      e.value = degraded.mass_lost_fraction;
+      e.bytes = degraded.lost_keys.size();
+      recorder.record(e);
+    }
+    obs::PostmortemInputs pm;
+    pm.reason = went_degraded          ? "degraded-completion"
+                : cli.failures > 0     ? "fault-injection"
+                                       : "requested";
+    pm.detail = went_degraded ? degraded.summary() : "run completed exactly";
+    pm.recorder = &recorder;
+    pm.metrics = &metrics;
+    pm.plan_fingerprint = fingerprint;
+    KYLIX_CHECK_MSG(obs::dump_postmortem(cli.postmortem_out, pm),
+                    "cannot write --postmortem-out file");
+    std::printf("postmortem: %s (%llu events)\n", cli.postmortem_out.c_str(),
+                static_cast<unsigned long long>(recorder.recorded()));
   }
   std::printf("verification: %zu mismatches over %zu reliable positions "
               "(%s)\n",
@@ -625,6 +755,7 @@ int run_chaos(const Cli& cli) {
               "degraded", "bad", "recovered", "mean-mass", "mean-lostkeys");
 
   std::uint64_t total_bad = 0;
+  bool box_dumped = false;
   for (rank_t k = 0; k <= cli.max_failures; ++k) {
     std::uint64_t exact = 0, sound = 0, bad = 0, recoveries = 0;
     double mass_lost = 0.0, lost_keys = 0.0;
@@ -641,6 +772,24 @@ int run_chaos(const Cli& cli) {
       FaultChannel<real_t> channel(&plan);
       ReplicatedBsp<real_t> engine(cli.machines, cli.replication);
       engine.set_fault_channel(&channel);
+      // Fly a black box on every run until one dump lands: the first run
+      // that degrades (or goes unsound) leaves its fault/retry/recovery
+      // timeline behind at --postmortem-out.
+      const bool arm_box = !cli.postmortem_out.empty() && !box_dumped;
+      std::unique_ptr<obs::MetricsRegistry> run_metrics;
+      std::unique_ptr<obs::FlightRecorder> run_recorder;
+      std::unique_ptr<obs::TelemetryObserver> run_observer;
+      if (arm_box) {
+        run_metrics = std::make_unique<obs::MetricsRegistry>();
+        run_recorder = std::make_unique<obs::FlightRecorder>(
+            physical, /*per_rank_capacity=*/256, /*global_capacity=*/4096);
+        obs::TelemetryObserver::Options topt;
+        topt.metrics = run_metrics.get();
+        topt.recorder = run_recorder.get();
+        run_observer = std::make_unique<obs::TelemetryObserver>(
+            /*tracer=*/nullptr, physical, topt);
+        engine.set_observer(run_observer.get());
+      }
       SparseAllreduce<real_t, OpSum, ReplicatedBsp<real_t>> allreduce(
           &engine, topo);
       allreduce.configure(w.in_sets, w.out_sets);
@@ -665,6 +814,30 @@ int run_chaos(const Cli& cli) {
       } else {
         ++exact;
       }
+      if (arm_box &&
+          (check.errors > 0 || report.degraded || !dead.empty())) {
+        obs::FlightEvent e;
+        e.kind = obs::FlightEventKind::kDegraded;
+        e.value = report.mass_lost_fraction;
+        e.bytes = report.lost_keys.size();
+        run_recorder->record(e);
+        obs::PostmortemInputs pm;
+        pm.reason = check.errors > 0 ? "unsound-run" : "fault-injection";
+        pm.detail = "failures=" + std::to_string(k) +
+                    " seed=" + std::to_string(s) + " — " + report.summary();
+        pm.recorder = run_recorder.get();
+        pm.metrics = run_metrics.get();
+        pm.plan_fingerprint = PlanCache::fingerprint(w.in_sets, w.out_sets);
+        if (obs::dump_postmortem(cli.postmortem_out, pm)) {
+          box_dumped = true;
+          std::printf("  postmortem: %s (failures=%u seed=%llu, %llu "
+                      "events)\n",
+                      cli.postmortem_out.c_str(), k,
+                      static_cast<unsigned long long>(s),
+                      static_cast<unsigned long long>(
+                          run_recorder->recorded()));
+        }
+      }
     }
     total_bad += bad;
     std::printf("%8u %6llu %9llu %4llu %10llu %10.4f %13.1f\n", k,
@@ -674,6 +847,9 @@ int run_chaos(const Cli& cli) {
                 static_cast<unsigned long long>(recoveries),
                 sound > 0 ? mass_lost / static_cast<double>(sound) : 0.0,
                 sound > 0 ? lost_keys / static_cast<double>(sound) : 0.0);
+  }
+  if (!cli.postmortem_out.empty() && !box_dumped) {
+    std::printf("postmortem: every run completed exactly — nothing to dump\n");
   }
   std::printf("\n%s\n", total_bad == 0
                             ? "chaos sweep PASS: every run was exact or "
@@ -813,7 +989,15 @@ int run_plan(const Cli& cli) {
 
 int main(int argc, char** argv) {
   const Cli cli = parse(argc, argv);
-  if (cli.chaos) return run_chaos(cli);
-  if (cli.plan) return run_plan(cli);
-  return cli.report ? run_report(cli) : run_default(cli);
+  try {
+    if (cli.postmortem) return run_postmortem(cli);
+    if (cli.chaos) return run_chaos(cli);
+    if (cli.plan) return run_plan(cli);
+    return cli.report ? run_report(cli) : run_default(cli);
+  } catch (const kylix::check_error& e) {
+    // BlackBoxGuard has already dumped the flight recorder (if one was
+    // armed) during unwinding; all that is left is a clean exit.
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
 }
