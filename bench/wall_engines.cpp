@@ -13,7 +13,12 @@
 //      vs a warm cached-plan replay (configure_cached + reduce), plus the
 //      strided multi-payload amortization (k interleaved payloads through
 //      one plan vs k single replays). Gated by tools/bench_check.sh:
-//      cached replay must beat per-iteration configuration.
+//      cached replay must beat per-iteration configuration;
+//   5. async overlap — kInflight concurrent streams through the
+//      AsyncExecutor (window=k) vs the same streams strictly serialized
+//      (window=1), on the modeled network clock: aggregate reduces/sec and
+//      per-stream p50/p99 completion latency. Gated >= 1.3x by
+//      tools/bench_check.sh, with per-stream bit-identity required.
 //
 // Timing loops run without observers (measured engines are bare); a separate
 // instrumented pass per preset then routes the run through the telemetry
@@ -26,6 +31,9 @@
 // engine_threads so a 1-core CI container's ~1x is interpretable.
 // Threads: argv[1] or KYLIX_BENCH_THREADS, default
 // hardware concurrency. Output: argv[2] or BENCH_engines.json.
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -214,6 +222,113 @@ StreamingStats run_streaming(const bench::Dataset& data,
   return out;
 }
 
+struct AsyncStats {
+  std::uint32_t inflight = 0;  ///< in-flight window of the overlapped run
+  std::uint32_t streams = 0;   ///< total reduces pushed through the window
+  double serialized_modeled_s = 0;  ///< window=1: one stream at a time
+  double async_modeled_s = 0;       ///< window=kInflight: overlapped makespan
+  double aggregate_speedup = 0;     ///< serialized / async makespan
+  double serialized_reduces_per_s = 0;
+  double async_reduces_per_s = 0;
+  double latency_p50_s = 0;  ///< per-stream completion latency percentiles
+  double latency_p99_s = 0;
+  double tx_busy_s = 0;         ///< bottleneck NIC occupancy (lower bound)
+  double tx_utilization = 0;    ///< tx_busy / async makespan
+  bool bit_identical = false;   ///< every overlapped stream == its w=1 replay
+};
+
+constexpr std::uint32_t kInflight = 8;      ///< overlapped window
+constexpr std::uint32_t kAsyncStreams = 16; ///< reduces pushed through it
+
+/// The async-overlap ablation (DESIGN §11), on the modeled network clock:
+/// push kAsyncStreams independent reduces through one AsyncExecutor with a
+/// kInflight-stream window, against the serialized baseline — the *same*
+/// executor, same modeled clocks, window=1, so the only variable is
+/// overlap. A serialized replay pays NIC, compute, and handshake/
+/// propagation latency sequentially on every stream's critical path; the
+/// overlapped window keeps the per-rank NIC timelines busy with other
+/// streams' letters during those gaps, and the paced admissions plus
+/// gap-filling NIC model (DESIGN §11) let it run the bottleneck NIC at
+/// ~95%+ occupancy. Aggregate reduces/sec is gated >= 1.3x by
+/// tools/bench_check.sh; the window=1 results double as the per-stream
+/// bit-identity oracle (the async fuzz suite separately proves both equal
+/// the barriered ReduceExecutor replay), and per-stream completion
+/// latencies feed the histogram quantile machinery for the p50/p99
+/// columns.
+AsyncStats run_async(const bench::Dataset& data, const Topology& topology) {
+  const NetworkModel net = bench::scaled_network();
+  const ComputeModel compute{};
+  const rank_t m = topology.num_machines();
+  BspEngine<real_t> compile_engine(m);
+  SparseAllreduce<real_t, OpSum, BspEngine<real_t>> compiler(&compile_engine,
+                                                             topology);
+  const auto plan = compiler.compile(data.in_sets, data.out_sets);
+
+  // Stream i shifts every value by i so streams are distinguishable.
+  std::vector<std::vector<std::vector<real_t>>> inputs(kAsyncStreams);
+  for (std::uint32_t i = 0; i < kAsyncStreams; ++i) {
+    inputs[i] = data.out_values;
+    for (auto& values : inputs[i]) {
+      for (auto& v : values) v += static_cast<real_t>(i);
+    }
+  }
+
+  AsyncStats out;
+  out.inflight = kInflight;
+  out.streams = kAsyncStreams;
+
+  const auto run = [&](std::uint32_t window, double& makespan,
+                       std::vector<double>& latencies) {
+    AsyncExecutor<real_t> ax;
+    AsyncExecutor<real_t>::Options opts;
+    opts.window = window;
+    opts.network = &net;
+    opts.compute = &compute;
+    ax.bind(plan, opts);
+    std::vector<std::uint32_t> tags;
+    tags.reserve(kAsyncStreams);
+    for (std::uint32_t i = 0; i < kAsyncStreams; ++i) {
+      tags.push_back(ax.submit(inputs[i]));
+    }
+    ax.drain();
+    makespan = ax.makespan_seconds();
+    latencies = ax.completion_latencies();
+    out.tx_busy_s = ax.max_tx_busy_seconds();
+    std::vector<std::vector<std::vector<real_t>>> results;
+    results.reserve(kAsyncStreams);
+    for (const std::uint32_t tag : tags) {
+      results.push_back(ax.take_result(tag));
+    }
+    return results;
+  };
+
+  double serial_makespan = 0;
+  std::vector<double> serial_latencies;
+  const auto serial_results = run(1, serial_makespan, serial_latencies);
+  out.serialized_modeled_s = serial_makespan;
+
+  std::vector<double> latencies;
+  const auto async_results = run(kInflight, out.async_modeled_s, latencies);
+  out.bit_identical = async_results == serial_results;
+  out.tx_utilization =
+      out.async_modeled_s > 0 ? out.tx_busy_s / out.async_modeled_s : 0;
+
+  std::atomic<bool> on{true};
+  obs::Histogram latency_hist(&on, obs::exponential_bounds(1e-5, 1.2, 80));
+  for (const double s : latencies) latency_hist.observe(s);
+  out.latency_p50_s = latency_hist.quantile(0.5);
+  out.latency_p99_s = latency_hist.quantile(0.99);
+  out.aggregate_speedup = out.async_modeled_s > 0
+                              ? out.serialized_modeled_s / out.async_modeled_s
+                              : 0;
+  out.serialized_reduces_per_s = out.serialized_modeled_s > 0
+                                     ? kAsyncStreams / out.serialized_modeled_s
+                                     : 0;
+  out.async_reduces_per_s =
+      out.async_modeled_s > 0 ? kAsyncStreams / out.async_modeled_s : 0;
+  return out;
+}
+
 struct ObservabilityStats {
   double bare_min_s = 0;          ///< warm replay, no observer attached
   double instrumented_min_s = 0;  ///< metrics + recorder + watchdog, no tracer
@@ -231,12 +346,21 @@ struct ObservabilityStats {
 /// More samples than the throughput loops: the overhead gate compares two
 /// warm minima, so each side gets enough draws to shake scheduler noise.
 constexpr int kObsTimed = 7;
+/// The overhead estimate is the MEDIAN of kObsRepeats *paired* ratios.
+/// Measuring all bare repeats and then all instrumented repeats lets host
+/// load drift between the two blocks masquerade as (even negative)
+/// overhead; instead each repeat times bare, instrumented, and dark
+/// back-to-back and contributes one ratio, so drift cancels within the
+/// pair and the median shakes off the one-sided scheduler outliers. This
+/// keeps the column inside the tight absolute band bench_check.sh gates on.
+constexpr int kObsRepeats = 5;
 
-/// The observability-overhead ablation (gated <3% by tools/bench_check.sh):
-/// the same warm reduce replayed bare, fully instrumented (flight recorder +
-/// percentile histograms + anomaly watchdog; no span tracer), and with the
-/// observer attached but every sink disabled. The instrumented pass also
-/// yields the round-latency percentiles via the histogram quantile API.
+/// The observability-overhead ablation (gated by tools/bench_check.sh on
+/// the *absolute* deviation): the same warm reduce replayed bare, fully
+/// instrumented (flight recorder + percentile histograms + anomaly
+/// watchdog; no span tracer), and with the observer attached but every sink
+/// disabled. The instrumented pass also yields the round-latency
+/// percentiles via the histogram quantile API.
 ObservabilityStats run_observability(const bench::Dataset& data,
                                      const Topology& topology,
                                      unsigned threads) {
@@ -255,7 +379,6 @@ ObservabilityStats run_observability(const bench::Dataset& data,
     }
     return best;
   };
-  out.bare_min_s = warm_min();
 
   obs::MetricsRegistry registry;
   obs::FlightRecorder recorder(bench::kMachines, /*per_rank_capacity=*/256,
@@ -269,8 +392,41 @@ ObservabilityStats run_observability(const bench::Dataset& data,
   opt.recorder = &recorder;
   opt.watchdog = &watchdog;
   obs::TelemetryObserver observer(/*tracer=*/nullptr, bench::kMachines, opt);
-  engine.set_observer(&observer);
-  out.instrumented_min_s = warm_min();
+  // Sinks dark: the observer still rides along, but the recorder is
+  // switched off and no metrics/watchdog are attached — the cost of having
+  // the seam at all.
+  obs::TelemetryObserver::Options dark_opt;
+  dark_opt.recorder = &recorder;
+  obs::TelemetryObserver dark(/*tracer=*/nullptr, bench::kMachines, dark_opt);
+
+  std::array<double, kObsRepeats> bare;
+  std::array<double, kObsRepeats> instrumented;
+  std::array<double, kObsRepeats> disabled;
+  std::array<double, kObsRepeats> ratio_instrumented;
+  std::array<double, kObsRepeats> ratio_disabled;
+  for (int r = 0; r < kObsRepeats; ++r) {
+    engine.set_observer(nullptr);
+    bare[r] = warm_min();
+    engine.set_observer(&observer);
+    recorder.set_enabled(true);
+    instrumented[r] = warm_min();
+    engine.set_observer(&dark);
+    recorder.set_enabled(false);
+    disabled[r] = warm_min();
+    engine.set_observer(nullptr);
+    ratio_instrumented[r] = instrumented[r] / bare[r];
+    ratio_disabled[r] = disabled[r] / bare[r];
+  }
+  const auto median = [](std::array<double, kObsRepeats>& v) {
+    std::sort(v.begin(), v.end());
+    return v[kObsRepeats / 2];
+  };
+  out.bare_min_s = median(bare);
+  out.instrumented_min_s = median(instrumented);
+  out.disabled_min_s = median(disabled);
+  out.overhead_instrumented = median(ratio_instrumented) - 1.0;
+  out.overhead_disabled = median(ratio_disabled) - 1.0;
+
   const obs::Histogram::Snapshot rounds =
       registry
           .histogram("engine.round_seconds",
@@ -282,22 +438,6 @@ ObservabilityStats run_observability(const bench::Dataset& data,
   out.events_recorded = recorder.recorded();
   out.slow_rounds = watchdog.slow_rounds();
   out.stragglers = watchdog.stragglers();
-
-  // Sinks dark: the observer still rides along, but the recorder is
-  // switched off and no metrics/watchdog are attached — the cost of having
-  // the seam at all.
-  recorder.set_enabled(false);
-  obs::TelemetryObserver::Options dark_opt;
-  dark_opt.recorder = &recorder;
-  obs::TelemetryObserver dark(/*tracer=*/nullptr, bench::kMachines, dark_opt);
-  engine.set_observer(&dark);
-  out.disabled_min_s = warm_min();
-  engine.set_observer(nullptr);
-
-  out.overhead_instrumented =
-      out.bare_min_s > 0 ? out.instrumented_min_s / out.bare_min_s - 1.0 : 0;
-  out.overhead_disabled =
-      out.bare_min_s > 0 ? out.disabled_min_s / out.bare_min_s - 1.0 : 0;
   return out;
 }
 
@@ -468,6 +608,18 @@ int main(int argc, char** argv) {
                 stream.letter_modeled_s, stream_speedup,
                 stream.overlap_ratio, stream.identical ? "yes" : "NO");
 
+    const AsyncStats async_stats = run_async(data, topology);
+    std::printf("%-14s async %u-inflight (%u streams): modeled %.4fs vs "
+                "%.4fs serialized (%.2fx, %.1f vs %.1f reduces/s), latency "
+                "p50 %.4gs p99 %.4gs, NIC util %.0f%%, identical %s\n",
+                data.name.c_str(), async_stats.inflight, async_stats.streams,
+                async_stats.async_modeled_s, async_stats.serialized_modeled_s,
+                async_stats.aggregate_speedup, async_stats.async_reduces_per_s,
+                async_stats.serialized_reduces_per_s,
+                async_stats.latency_p50_s, async_stats.latency_p99_s,
+                100.0 * async_stats.tx_utilization,
+                async_stats.bit_identical ? "yes" : "NO");
+
     const ObservabilityStats obs_stats =
         run_observability(data, topology, threads);
     std::printf("%-14s obs overhead: instrumented %+.2f%%  disabled %+.2f%%  "
@@ -537,6 +689,22 @@ int main(int argc, char** argv) {
     json.key_value("peak_stream_buffer_bytes", stream.peak_stream_bytes);
     json.key_value("peak_letter_buffer_bytes", stream.peak_letter_bytes);
     json.key_value("stream_bit_identical", stream.identical);
+    json.end_object();
+    json.key("async");
+    json.begin_object();
+    json.key_value("inflight", static_cast<int>(async_stats.inflight));
+    json.key_value("streams", static_cast<int>(async_stats.streams));
+    json.key_value("serialized_modeled_s", async_stats.serialized_modeled_s);
+    json.key_value("async_modeled_s", async_stats.async_modeled_s);
+    json.key_value("aggregate_speedup", async_stats.aggregate_speedup);
+    json.key_value("serialized_reduces_per_s",
+                   async_stats.serialized_reduces_per_s);
+    json.key_value("async_reduces_per_s", async_stats.async_reduces_per_s);
+    json.key_value("latency_p50_s", async_stats.latency_p50_s);
+    json.key_value("latency_p99_s", async_stats.latency_p99_s);
+    json.key_value("tx_busy_s", async_stats.tx_busy_s);
+    json.key_value("tx_utilization", async_stats.tx_utilization);
+    json.key_value("bit_identical", async_stats.bit_identical);
     json.end_object();
     json.key("observability");
     json.begin_object();

@@ -1,0 +1,680 @@
+// AsyncExecutor — many in-flight plan replays over shared channels
+// (DESIGN §11).
+//
+// Where ReduceExecutor walks one reduce through round barriers, this
+// executor keeps a window of `window` concurrent streams in flight: each
+// admitted stream occupies one *lane* (per-rank ReplayScratch + AsyncNode
+// state machines + a frozen fault script) and all lanes share one
+// AsyncChannel — the mailboxes, the modeled NIC clocks, and, in the real
+// cluster this models, the wires. Streams are sequence-tagged at submit();
+// completion, per-stream latency, StreamStats, FaultStats, and results are
+// tracked per tag, and finished lanes immediately admit the next pending
+// stream, so the channel never idles between reduces the way the
+// serialized path does.
+//
+// Scheduling. Single-worker mode (the default, and the deterministic one)
+// runs an event loop over a min-heap of (modeled time, lane, rank): pop the
+// earliest runnable node, step() it until it parks on an incomplete inbox,
+// and wake parked nodes when a routed batch completes their box. With a
+// NetworkModel bound, the heap order IS the modeled cluster timeline: each
+// rank's tx NIC is a gap-filling busy-interval timeline shared across
+// lanes (work-conserving regardless of claim order — see NicTimeline),
+// arrivals are sender-serialized plus handshake/propagation latency, and
+// compute runs per-lane (one core per in-flight stream; within a stream
+// the node clock serializes it). k overlapped streams thus fill the wire
+// gaps a serialized run leaves idle — that gap recovery is the aggregate
+// reduces/sec headline in bench/wall_engines. Admission is paced at the
+// per-slot pipeline initiation interval, which bounds per-stream latency
+// without costing throughput.
+// Multi-worker mode (workers > 1) drives the same nodes from a thread pool
+// behind one scheduler lock — kernels run outside the lock — and exists to
+// let tsan/asan hunt races in the multiplexing; modeled time is disabled
+// there (latencies read 0), and because every stream's values depend only
+// on its sorted inboxes, results are bit-identical to single-worker runs
+// regardless of interleaving.
+//
+// Buffer economy. Lanes pool everything (scratch, letter shells, mailbox
+// shells, value pools); a consumed buffer returns to its sender's pool
+// immediately in single-worker mode and at stream completion in threaded
+// mode (the quiescent points that need no cross-rank synchronization).
+// After the first batch warms the pools, submit()/drain() cycles are
+// allocation-free, same as the serial executor (tests/core/alloc_test).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "cluster/netmodel.hpp"
+#include "comm/async_engine.hpp"
+#include "comm/packet.hpp"
+#include "core/async_node.hpp"
+#include "core/degraded.hpp"
+#include "core/plan.hpp"
+#include "core/replay_node.hpp"
+#include "obs/flight_recorder.hpp"  // header-only; no kylix_obs link needed
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+template <typename V, typename Op = OpSum>
+class AsyncExecutor {
+ public:
+  struct Options {
+    std::uint32_t window = 4;   ///< max concurrent in-flight streams (lanes)
+    std::uint32_t workers = 1;  ///< >1: thread pool (sanitizer lane; no clock)
+    std::uint32_t stride = 1;   ///< payloads per key, interleaved key-major
+    bool streaming = false;     ///< chunked letters (plan's chunk_bytes)
+    std::uint64_t chunk_bytes_override = 0;
+    const NetworkModel* network = nullptr;  ///< modeled clock (workers == 1)
+    const ComputeModel* compute = nullptr;  ///< per-consume compute charge
+    EngineObserver* observer = nullptr;     ///< per-letter message/fault hooks
+    obs::FlightRecorder* recorder = nullptr;  ///< stream admit/complete marks
+  };
+
+  static constexpr std::uint32_t kNoStream =
+      std::numeric_limits<std::uint32_t>::max();
+
+  AsyncExecutor() = default;
+
+  /// Bind a compiled plan (shared with the plan cache) and freeze the run
+  /// options. Rebinding keeps warmed lane buffers when the plan shape
+  /// allows it; in-flight streams must be drained first.
+  void bind(std::shared_ptr<const CollectivePlan> plan, const Options& opts) {
+    KYLIX_CHECK(plan != nullptr);
+    KYLIX_CHECK_MSG(plan->any_configured(),
+                    "plan holds no configured rank to replay");
+    KYLIX_CHECK(opts.window >= 1 && opts.workers >= 1 && opts.stride >= 1);
+    KYLIX_CHECK_MSG(active_streams_ == 0, "bind while streams in flight");
+    plan_ = std::move(plan);
+    opts_ = opts;
+    layers_ = plan_->topology().num_layers();
+    slots_ = AsyncSlots::count(layers_);
+    const rank_t m = plan_->num_ranks();
+    const std::uint64_t chunk_bytes = opts_.chunk_bytes_override != 0
+                                          ? opts_.chunk_bytes_override
+                                          : plan_->chunk_bytes();
+    ctx_.plan = plan_.get();
+    ctx_.stride = opts_.stride;
+    ctx_.chunk_positions =
+        opts_.streaming && chunk_bytes != 0
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         chunk_bytes /
+                         (sizeof(V) * std::uint64_t{opts_.stride})))
+            : 0;
+    channel_.configure(m, layers_, opts_.window);
+    channel_.set_network(opts_.workers == 1 ? opts_.network : nullptr);
+    channel_.set_observer(opts_.observer);
+    // The clean script is shared by every fault-free stream: built once,
+    // per-lane fault scripts are only populated on the faulted cold path.
+    build_async_fault_script(*plan_, ctx_.chunk_positions, nullptr,
+                             clean_script_);
+    lanes_.resize(opts_.window);
+    for (Lane& lane : lanes_) {
+      if (lane.scratch.size() < m) lane.scratch.resize(m);
+      for (ReplayScratch<V>& s : lane.scratch) {
+        if (s.letters.size() < layers_) s.letters.resize(layers_);
+      }
+      lane.nodes.resize(m);
+      lane.node_clock.assign(m, 0.0);
+      lane.parked_slot.assign(m, kNotParked);
+      lane.stream = kNoStream;
+    }
+    cpu_busy_.assign(m, 0.0);
+    pace_ = modeled() ? admission_pace() : 0.0;
+    heap_.reserve(std::size_t{opts_.window} * m * (slots_ + 1));
+    reset();
+  }
+
+  [[nodiscard]] bool bound() const { return plan_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<const CollectivePlan>& plan() const {
+    return plan_;
+  }
+
+  /// Submit one reduce as a new stream; returns its sequence tag. Admitted
+  /// to a free lane immediately, else queued until one frees up during
+  /// drain(). `faults` (optional, not owned, must outlive drain()) is this
+  /// stream's private fault schedule — it is consumed by the admission
+  /// precompute, so hand each stream its own identically-seeded plan when
+  /// comparing against a serial oracle.
+  std::uint32_t submit(std::vector<std::vector<V>> out_values,
+                       FaultPlan* faults = nullptr) {
+    KYLIX_CHECK(bound());
+    KYLIX_CHECK(out_values.size() == plan_->num_ranks());
+    for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+      const RankPlan& rp = plan_->rank_plan(r);
+      if (!rp.configured) {
+        // Same contract as the serial executor: a rank the plan does not
+        // cover may only replay while dead.
+        KYLIX_CHECK_MSG(faults != nullptr && faults->failures().is_dead(r),
+                        "alive rank not covered by the bound plan");
+        continue;
+      }
+      KYLIX_CHECK_MSG(out_values[r].size() == rp.out0_size * ctx_.stride,
+                      "contribution length does not match plan out set");
+    }
+    const std::uint32_t tag = next_stream_++;
+    Stream& st = stream_at(tag);
+    st.done = false;
+    st.taken = false;
+    st.admit_time = 0;
+    st.finish_time = 0;
+    st.stats = StreamStats{};
+    st.faults = FaultStats{};
+    if (st.results.size() != plan_->num_ranks()) {
+      st.results.resize(plan_->num_ranks());
+    }
+    ++active_streams_;
+    const std::size_t lane_id = free_lane();
+    if (lane_id != kNoLane) {
+      admit(lane_id, tag, std::move(out_values), faults, /*now=*/0.0);
+    } else {
+      Pending& p = pending_at(pending_tail_++);
+      p.values = std::move(out_values);
+      p.faults = faults;
+      p.stream = tag;
+    }
+    return tag;
+  }
+
+  /// Run until every submitted stream has completed.
+  void drain() {
+    if (active_streams_ == 0) return;
+    if (opts_.workers == 1) {
+      run_single();
+    } else {
+      run_threaded();
+    }
+    KYLIX_CHECK(active_streams_ == 0);
+  }
+
+  /// Move stream `tag`'s per-rank results out (empty vectors for ranks dead
+  /// or unconfigured at completion). Valid once after drain().
+  [[nodiscard]] std::vector<std::vector<V>> take_result(std::uint32_t tag) {
+    Stream& st = stream_at(tag);
+    KYLIX_CHECK_MSG(st.done && !st.taken, "stream not completed or taken");
+    st.taken = true;
+    return std::move(st.results);
+  }
+
+  /// Modeled completion latency of stream `tag` in seconds (admission to
+  /// last node retiring); 0 without a NetworkModel or with workers > 1.
+  [[nodiscard]] double completion_seconds(std::uint32_t tag) const {
+    const Stream& st = streams_[tag - stream_base_];
+    return st.finish_time - st.admit_time;
+  }
+  /// Modeled end of the whole batch (max stream finish time).
+  [[nodiscard]] double makespan_seconds() const { return makespan_; }
+  /// Completion latencies of the batch in completion order — feed these to
+  /// an obs::Histogram for the p50/p99 machinery.
+  [[nodiscard]] const std::vector<double>& completion_latencies() const {
+    return latencies_;
+  }
+  /// Peak modeled per-rank resource occupancy this batch: how busy the
+  /// busiest NIC direction and compute clock were. busy / makespan is the
+  /// utilization the async-overlap bench reports; the max over the three
+  /// is the lower bound no schedule can beat.
+  [[nodiscard]] double max_tx_busy_seconds() const {
+    return *std::max_element(channel_.tx_busy_seconds().begin(),
+                             channel_.tx_busy_seconds().end());
+  }
+  [[nodiscard]] double max_rx_busy_seconds() const {
+    return *std::max_element(channel_.rx_busy_seconds().begin(),
+                             channel_.rx_busy_seconds().end());
+  }
+  [[nodiscard]] double max_cpu_busy_seconds() const {
+    return *std::max_element(cpu_busy_.begin(), cpu_busy_.end());
+  }
+  /// The admission initiation interval bind() derived from the plan (0
+  /// without a modeled clock).
+  [[nodiscard]] double admission_pace_seconds() const { return pace_; }
+
+  [[nodiscard]] const StreamStats& stream_stats(std::uint32_t tag) const {
+    return streams_[tag - stream_base_].stats;
+  }
+  /// The stream's frozen fault-schedule counters (what its FaultPlan
+  /// classified during the admission precompute).
+  [[nodiscard]] const FaultStats& fault_stats(std::uint32_t tag) const {
+    return streams_[tag - stream_base_].faults;
+  }
+
+  /// Per-stream completion report. Plain-channel semantics, exactly like
+  /// the serial executor on the non-chaos engines: faults degrade
+  /// individual ranks (empty results), never whole replica groups, so the
+  /// run is exact for every surviving rank.
+  [[nodiscard]] DegradedReport degraded_report(std::uint32_t tag) const {
+    (void)tag;
+    return DegradedReport{};
+  }
+
+  /// Forget completed streams and restart the modeled clock at zero. Keeps
+  /// every warmed buffer (lanes, pools, mailboxes, stream slots), so the
+  /// next batch replays allocation-free.
+  void reset() {
+    KYLIX_CHECK_MSG(active_streams_ == 0, "reset while streams in flight");
+    stream_base_ = next_stream_;
+    stream_count_ = 0;
+    pending_head_ = 0;
+    pending_tail_ = 0;
+    latencies_.clear();
+    makespan_ = 0;
+    next_admit_ = 0;
+    for (Lane& lane : lanes_) {
+      lane.stream = kNoStream;
+      std::fill(lane.node_clock.begin(), lane.node_clock.end(), 0.0);
+      std::fill(lane.parked_slot.begin(), lane.parked_slot.end(), kNotParked);
+    }
+    std::fill(cpu_busy_.begin(), cpu_busy_.end(), 0.0);
+    channel_.configure(plan_->num_ranks(), layers_, opts_.window);
+    channel_.set_network(opts_.workers == 1 ? opts_.network : nullptr);
+    channel_.set_observer(opts_.observer);
+  }
+
+ private:
+  using Ops = ReplayOps<V, Op>;
+  static constexpr std::size_t kNoLane =
+      std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kNotParked =
+      std::numeric_limits<std::size_t>::max();
+
+  struct Stream {
+    std::vector<std::vector<V>> results;
+    StreamStats stats;
+    FaultStats faults;
+    double admit_time = 0;
+    double finish_time = 0;
+    bool done = false;
+    bool taken = false;
+  };
+
+  struct Lane {
+    std::vector<ReplayScratch<V>> scratch;  ///< per rank
+    std::vector<AsyncNode<V, Op>> nodes;    ///< per rank
+    std::vector<double> node_clock;         ///< per rank modeled "now"
+    std::vector<std::size_t> parked_slot;   ///< per rank; kNotParked if not
+    AsyncFaultScript fault_script;          ///< populated on faulted streams
+    const AsyncFaultScript* script = nullptr;
+    std::uint32_t stream = kNoStream;
+    rank_t done_nodes = 0;
+    double admit_time = 0;
+    double finish_time = 0;
+  };
+
+  struct Pending {
+    std::vector<std::vector<V>> values;
+    FaultPlan* faults = nullptr;
+    std::uint32_t stream = kNoStream;
+  };
+
+  /// Heap entry: earliest modeled time wins; (lane, rank) tie-break keeps
+  /// the unmodeled (all-zero times) schedule deterministic too.
+  struct Ready {
+    double t = 0;
+    std::uint32_t lane = 0;
+    rank_t rank = 0;
+    [[nodiscard]] bool operator>(const Ready& o) const {
+      if (t != o.t) return t > o.t;
+      if (lane != o.lane) return lane > o.lane;
+      return rank > o.rank;
+    }
+  };
+
+  /// The AsyncNode Port: binds one (lane, rank) step() to the shared
+  /// channel and carries the node-local modeled clock through the step.
+  struct Port {
+    AsyncExecutor* ex;
+    std::uint32_t lane_id;
+    Lane* lane;
+    rank_t rank;
+    double now;  ///< node-local modeled time, advanced by consumed()
+
+    [[nodiscard]] bool alive(std::size_t slot) const {
+      return lane->script->alive(slot, rank);
+    }
+    void send(std::size_t slot, std::vector<Letter<V>>& letters) {
+      std::unique_lock<std::mutex> lock = ex->maybe_lock();
+      ex->channel_.route(
+          lane_id, slot, *lane->script, ex->layers_, letters, now,
+          [&](rank_t dst, double ready) {
+            ex->wake(*lane, lane_id, dst, slot, ready);
+          });
+    }
+    [[nodiscard]] bool inbox_complete(std::size_t slot) {
+      std::unique_lock<std::mutex> lock = ex->maybe_lock();
+      return ex->channel_.complete(lane_id, rank, slot);
+    }
+    /// Box is complete: no more writers, safe to sort and consume without
+    /// the scheduler lock (the completing push happened-before our pop).
+    [[nodiscard]] std::vector<Letter<V>>& take_inbox(std::size_t slot) {
+      return ex->channel_.take_inbox(lane_id, rank, slot);
+    }
+    void consumed(std::size_t slot) {
+      ReplayScratch<V>& s = lane->scratch[rank];
+      const NodeWork work = std::exchange(s.work, NodeWork{});
+      if (ex->modeled()) {
+        const double arrived =
+            ex->channel_.box_at(lane_id, rank, slot).ready_time;
+        // Compute serializes within a stream (the node clock carries it)
+        // but not across lanes: each in-flight stream replays on its own
+        // core, the way a window of concurrent reduces lands on a
+        // multicore machine. Only the NIC clocks are shared resources.
+        const double start = std::max(now, arrived);
+        const double cost =
+            ex->opts_.compute == nullptr
+                ? 0.0
+                : ex->opts_.compute->merge_time(work.merge_elements,
+                                                work.merge_ways) +
+                      ex->opts_.compute->combine_time(work.combine_elements) +
+                      ex->opts_.compute->gather_time(work.gather_elements);
+        now = start + cost;
+        ex->cpu_busy_[rank] += cost;
+      }
+      if (ex->opts_.workers == 1) {
+        // Immediate sender-pool return; threaded mode defers to stream
+        // completion (the quiescent point needing no cross-rank locking).
+        ex->return_spent(*lane, s);
+      }
+    }
+  };
+
+  [[nodiscard]] bool modeled() const {
+    return opts_.network != nullptr && opts_.workers == 1;
+  }
+  [[nodiscard]] std::unique_lock<std::mutex> maybe_lock() {
+    return opts_.workers == 1 ? std::unique_lock<std::mutex>()
+                              : std::unique_lock<std::mutex>(mu_);
+  }
+
+  [[nodiscard]] Stream& stream_at(std::uint32_t tag) {
+    const std::size_t index = tag - stream_base_;
+    KYLIX_CHECK(index < stream_count_ || index == stream_count_);
+    if (index == stream_count_) {
+      ++stream_count_;
+      if (streams_.size() < stream_count_) streams_.resize(stream_count_);
+    }
+    return streams_[index];
+  }
+  [[nodiscard]] Pending& pending_at(std::size_t index) {
+    if (pending_.size() <= index) pending_.resize(index + 1);
+    return pending_[index];
+  }
+  [[nodiscard]] std::size_t free_lane() const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].stream == kNoStream) return i;
+    }
+    return kNoLane;
+  }
+
+  /// The pipeline initiation interval: the modeled tx occupancy one clean
+  /// stream puts on its busiest NIC. Admitting streams any faster than this
+  /// cannot raise throughput (the bottleneck NIC is already saturated) but
+  /// does synchronize the lanes into slot-convoys — every lane's slot-s
+  /// burst queues ahead of every lane's slot-s+1, so all lanes think (and
+  /// leave the NICs idle) at the same time. Pacing admissions by this
+  /// interval staggers the lanes into a software pipeline instead.
+  [[nodiscard]] double admission_pace() const {
+    const rank_t m = plan_->num_ranks();
+    double pace = 0;
+    std::vector<double> tx(m, 0.0);
+    for (std::size_t t = 0; t < slots_; ++t) {
+      std::fill(tx.begin(), tx.end(), 0.0);
+      const Phase phase = AsyncSlots::phase(t, layers_);
+      const std::uint16_t layer = AsyncSlots::layer(t, layers_);
+      for (rank_t q = 0; q < m; ++q) {
+        if (!plan_->rank_plan(q).configured) continue;
+        const PlanLayer& cfg = plan_->rank_plan(q).layers[layer - 1];
+        for (std::uint32_t d = 0; d < cfg.group.size(); ++d) {
+          if (cfg.group[d] == q) continue;  // loopback never hits the NIC
+          const std::size_t piece =
+              phase == Phase::kReduceDown
+                  ? cfg.out_split[d + 1] - cfg.out_split[d]
+                  : cfg.in_maps[d].size();
+          const std::uint32_t chunks =
+              detail::async_chunks_for(ctx_.chunk_positions, piece);
+          for (std::uint32_t c = 0; c < chunks; ++c) {
+            const std::size_t positions =
+                chunks == 1 ? piece
+                            : std::min(ctx_.chunk_positions,
+                                       piece - c * ctx_.chunk_positions);
+            const std::uint64_t payload =
+                sizeof(V) * std::uint64_t{positions} * opts_.stride;
+            const std::uint64_t bytes =
+                wire_frames(payload) * kPacketHeaderBytes + payload;
+            tx[q] += opts_.network->stack_overhead_s +
+                     static_cast<double>(bytes) /
+                         opts_.network->bandwidth_bytes_per_s;
+          }
+        }
+      }
+      pace = std::max(pace, *std::max_element(tx.begin(), tx.end()));
+    }
+    return pace;
+  }
+
+  /// Admit a stream to a free lane at modeled time `now`: freeze its fault
+  /// script, reset mailboxes and nodes, load inputs, and schedule every
+  /// participating node. Caller holds the lock in threaded mode.
+  void admit(std::size_t lane_id, std::uint32_t tag,
+             std::vector<std::vector<V>> values, FaultPlan* faults,
+             double now) {
+    now = std::max(now, next_admit_);
+    next_admit_ = now + pace_;
+    Lane& lane = lanes_[lane_id];
+    KYLIX_CHECK(lane.stream == kNoStream);
+    lane.stream = tag;
+    lane.done_nodes = 0;
+    lane.admit_time = now;
+    lane.finish_time = now;
+    if (faults != nullptr) {
+      build_async_fault_script(*plan_, ctx_.chunk_positions, faults,
+                               lane.fault_script);
+      lane.script = &lane.fault_script;
+    } else {
+      lane.script = &clean_script_;
+    }
+    Stream& st = streams_[tag - stream_base_];
+    st.admit_time = now;
+    st.faults = lane.script->stats;
+    channel_.open_lane(lane_id, *lane.script);
+    const rank_t m = plan_->num_ranks();
+    for (rank_t r = 0; r < m; ++r) {
+      ReplayScratch<V>& s = lane.scratch[r];
+      s.stream = StreamStats{};
+      lane.node_clock[r] = now;
+      lane.parked_slot[r] = kNotParked;
+      if (!plan_->rank_plan(r).configured) {
+        // Checked dead at submit(); retires on its first step.
+        lane.nodes[r].reset(&ctx_, r, &s);
+        continue;
+      }
+      Ops::load_input(s, values[r]);
+      lane.nodes[r].reset(&ctx_, r, &s);
+    }
+    for (rank_t r = 0; r < m; ++r) {
+      push_ready({now, static_cast<std::uint32_t>(lane_id), r});
+    }
+    if (opts_.recorder != nullptr) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kStreamAdmit;
+      e.code = tag;
+      e.bytes = plan_->fingerprint();
+      opts_.recorder->record(e);
+    }
+  }
+
+  /// A routed batch completed (lane, dst, slot)'s box: if that node is
+  /// parked exactly there, reschedule it. Nodes not yet at the slot will
+  /// see the complete box when they arrive. Caller holds the lock in
+  /// threaded mode (route runs under it).
+  void wake(Lane& lane, std::uint32_t lane_id, rank_t dst, std::size_t slot,
+            double ready) {
+    if (lane.parked_slot[dst] != slot) return;
+    lane.parked_slot[dst] = kNotParked;
+    push_ready({std::max(ready, lane.node_clock[dst]), lane_id, dst});
+  }
+
+  void push_ready(Ready item) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    if (opts_.workers > 1) cv_.notify_one();
+  }
+
+  /// Return one rank's consumed buffers to their senders' pools.
+  void return_spent(Lane& lane, ReplayScratch<V>& s) {
+    for (auto& [src, buf] : s.spent) {
+      Ops::recycle(lane.scratch[src].value_pool, buf);
+    }
+    s.spent.clear();
+  }
+
+  /// Step one node; park or retire it. Returns under the lock in threaded
+  /// mode only for the bookkeeping edges (park/retire/admit).
+  void step_node(std::uint32_t lane_id, rank_t rank) {
+    Lane& lane = lanes_[lane_id];
+    AsyncNode<V, Op>& node = lane.nodes[rank];
+    if (node.done()) return;  // stale wakeup after retirement
+    Port port{this, lane_id, &lane, rank, lane.node_clock[rank]};
+    const bool finished = node.step(port);
+    lane.node_clock[rank] = port.now;
+    if (finished) {
+      retire_node(lane, lane_id, rank);
+      return;
+    }
+    // Parked. Re-check completion under the lock: a concurrent route may
+    // have completed the box between the node's check and this park (the
+    // classic lost wakeup); single-worker mode cannot race but shares the
+    // code path.
+    const std::size_t slot = node.slot();
+    std::unique_lock<std::mutex> lock = maybe_lock();
+    if (channel_.complete(lane_id, rank, slot)) {
+      const double ready = channel_.box_at(lane_id, rank, slot).ready_time;
+      push_ready({std::max(ready, lane.node_clock[rank]), lane_id, rank});
+    } else {
+      lane.parked_slot[rank] = slot;
+    }
+  }
+
+  /// Node finished (or died). When it is the lane's last, finalize the
+  /// stream and hand the lane to the next pending submission.
+  void retire_node(Lane& lane, std::uint32_t lane_id, rank_t rank) {
+    std::unique_lock<std::mutex> lock = maybe_lock();
+    lane.finish_time = std::max(lane.finish_time, lane.node_clock[rank]);
+    if (++lane.done_nodes < plan_->num_ranks()) return;
+    const std::uint32_t tag = lane.stream;
+    Stream& st = streams_[tag - stream_base_];
+    st.finish_time = lane.finish_time;
+    st.done = true;
+    makespan_ = std::max(makespan_, lane.finish_time);
+    latencies_.push_back(lane.finish_time - lane.admit_time);
+    for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
+      ReplayScratch<V>& s = lane.scratch[r];
+      if (opts_.workers > 1) return_spent(lane, s);
+      const AsyncNode<V, Op>& node = lane.nodes[r];
+      if (!node.dead() && plan_->rank_plan(r).configured) {
+        st.results[r] = std::move(s.vin);
+      } else {
+        st.results[r].clear();
+      }
+      st.stats.merge(s.stream);
+    }
+    st.stats.streamed = ctx_.chunk_positions != 0;
+    st.stats.chunk_bytes =
+        ctx_.chunk_positions == 0
+            ? 0
+            : std::uint64_t{ctx_.chunk_positions} * sizeof(V) * ctx_.stride;
+    if (opts_.recorder != nullptr) {
+      obs::FlightEvent e;
+      e.kind = obs::FlightEventKind::kStreamComplete;
+      e.code = tag;
+      e.value = st.finish_time - st.admit_time;
+      e.bytes = plan_->fingerprint();
+      opts_.recorder->record(e);
+    }
+    lane.stream = kNoStream;
+    --active_streams_;
+    if (pending_head_ < pending_tail_) {
+      Pending& p = pending_[pending_head_++];
+      admit(lane_id, p.stream, std::move(p.values), p.faults,
+            lane.finish_time);
+      p.values.clear();
+    }
+    if (opts_.workers > 1 && active_streams_ == 0) cv_.notify_all();
+  }
+
+  void run_single() {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      const Ready item = heap_.back();
+      heap_.pop_back();
+      step_node(item.lane, item.rank);
+    }
+  }
+
+  void run_threaded() {
+    std::vector<std::thread> pool;
+    pool.reserve(opts_.workers);
+    for (std::uint32_t w = 0; w < opts_.workers; ++w) {
+      pool.emplace_back([this] { worker_loop(); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Ready item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock,
+                 [this] { return !heap_.empty() || active_streams_ == 0; });
+        if (heap_.empty()) {
+          if (active_streams_ == 0) return;
+          continue;
+        }
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        item = heap_.back();
+        heap_.pop_back();
+      }
+      step_node(item.lane, item.rank);
+    }
+  }
+
+  std::shared_ptr<const CollectivePlan> plan_;
+  Options opts_;
+  ReplayContext ctx_;
+  std::uint16_t layers_ = 0;
+  std::size_t slots_ = 0;
+  AsyncChannel<V> channel_;
+  AsyncFaultScript clean_script_;  ///< shared by every fault-free stream
+  std::vector<Lane> lanes_;
+  std::vector<double> cpu_busy_;  ///< per-rank accumulated compute occupancy
+  std::vector<Ready> heap_;       ///< min-heap via push_heap/pop_heap
+
+  /// Stream table: slot i holds tag stream_base_ + i; reset() rebases and
+  /// reuses the slots (and their vectors' capacity) for the next batch.
+  std::vector<Stream> streams_;
+  std::uint32_t stream_base_ = 0;
+  std::size_t stream_count_ = 0;
+  std::uint32_t next_stream_ = 0;
+  std::size_t active_streams_ = 0;
+  std::vector<Pending> pending_;
+  std::size_t pending_head_ = 0;
+  std::size_t pending_tail_ = 0;
+  std::vector<double> latencies_;
+  double makespan_ = 0;
+  double pace_ = 0;        ///< admission initiation interval (modeled s)
+  double next_admit_ = 0;  ///< earliest modeled time the next admit may use
+
+  std::mutex mu_;  ///< scheduler lock (threaded mode only)
+  std::condition_variable cv_;
+};
+
+}  // namespace kylix

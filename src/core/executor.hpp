@@ -10,6 +10,13 @@
 // in_split), so results, traces, and modeled timing are bit-identical to
 // configure()+reduce() on every engine.
 //
+// The per-rank kernels live in core/replay_node.hpp (ReplayOps), shared
+// with the async resumable path (core/async_executor.hpp): this class is
+// only the round-barriered *driver* — it owns the per-rank ReplayScratch
+// slots, walks {down 1..l, up l..1} through the engine's round(), and keeps
+// the telemetry/recycling that needs a barrier (stream-stats merge,
+// spent-buffer return, flight events).
+//
 // Multi-payload: reduce_strided() pushes `stride` value vectors, interleaved
 // key-major, through one replay. Every piece carries stride x the configured
 // elements; keys are never resent. The strided kernels apply the reduction
@@ -28,7 +35,7 @@
 // letter/stream buffer envelopes are accumulated into StreamStats; the
 // pipelining payoff is priced by TimingAccumulator::pipelined_reduce_time.
 //
-// Allocation discipline: per-rank ExecState mirrors NodeScratch's buffer
+// Allocation discipline: per-rank ReplayScratch mirrors NodeScratch's buffer
 // economy (letter shells per layer, recycled value pools, ping-pong
 // merge/below buffers, pooled block-watermark scratch), so warm replays —
 // streamed or not — allocate nothing in the rounds and stay within the same
@@ -45,8 +52,8 @@
 
 #include "cluster/netmodel.hpp"
 #include "comm/packet.hpp"
-#include "core/node.hpp"  // NodeWork + the kernels the replay must mirror
 #include "core/plan.hpp"
+#include "core/replay_node.hpp"
 #include "core/stream_stats.hpp"
 #include "obs/flight_recorder.hpp"  // header-only; no kylix_obs link needed
 #include "sparse/ops.hpp"
@@ -74,7 +81,7 @@ class ReduceExecutor {
     plan_ = std::move(plan);
     const std::uint16_t l = plan_->topology().num_layers();
     if (state_.size() < plan_->num_ranks()) state_.resize(plan_->num_ranks());
-    for (ExecState& s : state_) {
+    for (ReplayScratch<V>& s : state_) {
       if (s.letters.size() < l) s.letters.resize(l);
     }
   }
@@ -127,25 +134,26 @@ class ReduceExecutor {
     KYLIX_CHECK(bound());
     KYLIX_CHECK(stride >= 1);
     KYLIX_CHECK(out_values.size() == plan_->num_ranks());
-    stride_ = stride;
     // Freeze this reduce's chunk schedule: payload bytes -> key positions.
     // One plan serves every value type and stride because the conversion
     // happens here, not at compile time.
     const std::uint64_t chunk_bytes = chunk_bytes_override_ != 0
                                           ? chunk_bytes_override_
                                           : plan_->chunk_bytes();
-    chunk_positions_ =
+    ctx_.plan = plan_.get();
+    ctx_.stride = stride;
+    ctx_.chunk_positions =
         streaming_ && chunk_bytes != 0
             ? std::max<std::size_t>(
                   1, static_cast<std::size_t>(
-                         chunk_bytes / (sizeof(V) * std::uint64_t{stride_})))
+                         chunk_bytes / (sizeof(V) * std::uint64_t{stride})))
             : 0;
     stream_stats_ = StreamStats{};
-    stream_stats_.streamed = chunk_positions_ != 0;
+    stream_stats_.streamed = ctx_.chunk_positions != 0;
     stream_stats_.chunk_bytes =
-        chunk_positions_ == 0
+        ctx_.chunk_positions == 0
             ? 0
-            : std::uint64_t{chunk_positions_} * sizeof(V) * stride_;
+            : std::uint64_t{ctx_.chunk_positions} * sizeof(V) * stride;
     double replay_start_us = 0;
     round_blocks_flushed_ = 0;
     round_peak_stream_bytes_ = 0;
@@ -153,13 +161,13 @@ class ReduceExecutor {
       replay_start_us = recorder_->now_us();
       obs::FlightEvent e;
       e.kind = obs::FlightEventKind::kReplayBegin;
-      e.value = stride_;
+      e.value = ctx_.stride;
       e.bytes = plan_->fingerprint();
       recorder_->record(e);
     }
     const Topology& topo = plan_->topology();
     const std::uint16_t l = topo.num_layers();
-    for (ExecState& s : state_) s.stream = StreamStats{};
+    for (ReplayScratch<V>& s : state_) s.stream = StreamStats{};
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       // Recovery-capable engines price group deaths by input mass; noted
       // for dead and unconfigured ranks too, exactly as the node path's
@@ -181,27 +189,22 @@ class ReduceExecutor {
                         "alive rank not covered by the bound plan");
         continue;
       }
-      KYLIX_CHECK_MSG(out_values[r].size() == rp.out0_size * stride_,
+      KYLIX_CHECK_MSG(out_values[r].size() == rp.out0_size * ctx_.stride,
                       "contribution length does not match plan out set");
-      ExecState& s = state_[r];
-      refill(s.value_pool, s.v);
-      s.v.assign(out_values[r].begin(), out_values[r].end());
-      recycle(s.value_pool, out_values[r]);
+      Ops::load_input(state_[r], out_values[r]);
     }
     for (std::uint16_t layer = 1; layer <= l; ++layer) {
-      run_round(Phase::kReduceDown, layer,
-                &ReduceExecutor::down_produce, &ReduceExecutor::down_consume);
+      run_round(Phase::kReduceDown, layer, /*down=*/true);
       collect_spent();
       record_stream_round(Phase::kReduceDown, layer);
     }
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       if (engine_->is_dead(r) || !plan_->rank_plan(r).configured) continue;
-      begin_up(r);
+      Ops::begin_up(ctx_, state_[r], r);
       charge(Phase::kReduceDown, l, r);
     }
     for (std::uint16_t layer = l; layer >= 1; --layer) {
-      run_round(Phase::kReduceUp, layer,
-                &ReduceExecutor::up_produce, &ReduceExecutor::up_consume);
+      run_round(Phase::kReduceUp, layer, /*down=*/false);
       collect_spent();
       record_stream_round(Phase::kReduceUp, layer);
     }
@@ -214,7 +217,7 @@ class ReduceExecutor {
     // Per-rank round stats were written by whichever thread consumed that
     // rank; merging here, after every round barrier, in ascending rank
     // order keeps the aggregate deterministic across engines.
-    for (const ExecState& s : state_) stream_stats_.merge(s.stream);
+    for (const ReplayScratch<V>& s : state_) stream_stats_.merge(s.stream);
     if (recorder_ != nullptr) {
       obs::FlightEvent e;
       e.kind = obs::FlightEventKind::kReplayEnd;
@@ -226,316 +229,17 @@ class ReduceExecutor {
   }
 
  private:
-  /// Mutable per-rank replay state; same buffer economy as NodeScratch.
-  struct ExecState {
-    std::vector<std::vector<Letter<V>>> letters;  ///< per comm layer shells
-    std::vector<std::vector<V>> value_pool;       ///< recycled packet buffers
-    std::vector<V> v;       ///< downward (scatter-reduce) buffer
-    std::vector<V> vin;     ///< upward (allgather) buffer
-    std::vector<V> merged;  ///< ping-pong partner
-    std::vector<std::uint32_t> last_touch;  ///< block-watermark scratch
-    /// Consumed value buffers awaiting return to their sender's pool. Only
-    /// the buffers move here — the inbox vector and its letter shells stay
-    /// with the engine, which pools them round to round.
-    std::vector<std::pair<rank_t, std::vector<V>>> spent;
-    NodeWork work;
-    StreamStats stream;  ///< this rank's round-local telemetry
-  };
-
-  /// Chunks a piece of `positions` key positions splits into (>= 1: empty
-  /// pieces still send one letter so blocking receives stay balanced).
-  [[nodiscard]] std::uint32_t chunks_for(std::size_t positions) const {
-    if (chunk_positions_ == 0 || positions <= chunk_positions_) return 1;
-    return static_cast<std::uint32_t>(
-        (positions + chunk_positions_ - 1) / chunk_positions_);
-  }
-
-  /// Resize a letter-shell vector, recycling the value buffers of shells
-  /// about to be destroyed (mode switches shrink the chunk count; their
-  /// capacity must flow back to the pool, not to the heap).
-  void resize_letters(ExecState& s, std::vector<Letter<V>>& letters,
-                      std::size_t count) {
-    for (std::size_t i = count; i < letters.size(); ++i) {
-      recycle(s.value_pool, letters[i].packet.values);
-    }
-    letters.resize(count);
-  }
-
-  std::vector<Letter<V>>& down_produce(rank_t r, std::uint16_t layer) {
-    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
-    ExecState& s = state_[r];
-    std::vector<Letter<V>>& letters = s.letters[layer - 1];
-    std::size_t total = 0;
-    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      total += chunks_for(cfg.out_split[q + 1] - cfg.out_split[q]);
-    }
-    resize_letters(s, letters, total);
-    std::size_t slot = 0;
-    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      const std::size_t piece = cfg.out_split[q + 1] - cfg.out_split[q];
-      const std::uint32_t k = chunks_for(piece);
-      for (std::uint32_t c = 0; c < k; ++c) {
-        Letter<V>& letter = letters[slot++];
-        letter.src = r;
-        letter.dst = cfg.group[q];
-        letter.packet.in_keys.clear();
-        letter.packet.out_keys.clear();
-        letter.packet.stride = stride_;
-        letter.packet.chunk_index = c;
-        letter.packet.chunk_count = k;
-        const std::size_t lo =
-            cfg.out_split[q] + std::size_t{c} * chunk_positions_;
-        const std::size_t hi =
-            k == 1 ? cfg.out_split[q + 1]
-                   : std::min(cfg.out_split[q + 1], lo + chunk_positions_);
-        refill(s.value_pool, letter.packet.values);
-        letter.packet.values.assign(
-            s.v.begin() + static_cast<std::ptrdiff_t>(lo * stride_),
-            s.v.begin() + static_cast<std::ptrdiff_t>(hi * stride_));
-        s.work.gather_elements +=
-            static_cast<double>(letter.packet.values.size());
-      }
-      ++s.stream.letters;
-      s.stream.chunks += k;
-      s.stream.max_chunks_per_letter =
-          std::max(s.stream.max_chunks_per_letter, k);
-    }
-    return letters;
-  }
-
-  void down_consume(rank_t r, std::uint16_t layer,
-                    std::vector<Letter<V>>&& inbox) {
-    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
-    ExecState& s = state_[r];
-    note_buffer_envelopes(s, inbox);
-    note_block_flushes(s, inbox, cfg.out_union_size,
-                       [&](const Letter<V>& letter, std::size_t offset,
-                           std::size_t positions) {
-                         const std::uint32_t q =
-                             plan_->topology().digit(layer, letter.src);
-                         const std::span<const pos_t> map(cfg.out_maps[q]);
-                         // Maps are strictly increasing within one piece,
-                         // so the chunk's union footprint is [front, back].
-                         return std::pair<std::size_t, std::size_t>(
-                             map[offset], map[offset + positions - 1]);
-                       });
-    std::vector<V>& merged = s.merged;
-    merged.assign(cfg.out_union_size * stride_, Op::template identity<V>());
-    // Inbox is sorted by (src, chunk): ascending sender digit, ascending
-    // chunk within a sender — the letter-at-once per-position combine order
-    // exactly, so eager chunk scatters are bit-identical.
-    for (Letter<V>& letter : inbox) {
-      const std::uint32_t q =
-          plan_->topology().digit(layer, letter.src);
-      const std::size_t piece = cfg.recv_out_sizes[q];
-      const auto [offset, positions] =
-          chunk_slice(letter.packet, piece,
-                      "reduce payload does not match planned piece size");
-      scatter_combine_strided<V, Op>(
-          std::span<V>(merged), std::span<const V>(letter.packet.values),
-          std::span<const pos_t>(cfg.out_maps[q]).subspan(offset, positions),
-          stride_);
-      s.work.combine_elements +=
-          static_cast<double>(letter.packet.values.size());
-      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
-    }
-    std::swap(s.v, merged);
-  }
-
-  void begin_up(rank_t r) {
-    const RankPlan& rp = plan_->rank_plan(r);
-    ExecState& s = state_[r];
-    KYLIX_DCHECK(s.v.size() ==
-                 rp.out_sizes[plan_->topology().num_layers()] * stride_);
-    refill(s.value_pool, s.vin);
-    s.vin.reserve(std::max(rp.up_capacity, rp.bottom_map.size()) * stride_);
-    if (rp.missing_bottom.empty()) {
-      gather_strided_into(std::span<const V>(s.v), rp.bottom_map, stride_,
-                          s.vin);
-    } else {
-      // Degraded cold path: kMissingPos entries resolve to identity.
-      s.vin.clear();
-      for (const pos_t pos : rp.bottom_map) {
-        for (std::uint32_t c = 0; c < stride_; ++c) {
-          s.vin.push_back(pos == kMissingPos
-                              ? Op::template identity<V>()
-                              : s.v[pos * stride_ + c]);
-        }
-      }
-    }
-    s.work.gather_elements += static_cast<double>(rp.bottom_map.size());
-  }
-
-  std::vector<Letter<V>>& up_produce(rank_t r, std::uint16_t layer) {
-    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
-    ExecState& s = state_[r];
-    std::vector<Letter<V>>& letters = s.letters[layer - 1];
-    std::size_t total = 0;
-    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      total += chunks_for(cfg.in_maps[q].size());
-    }
-    resize_letters(s, letters, total);
-    std::size_t slot = 0;
-    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
-      const std::size_t piece = cfg.in_maps[q].size();
-      const std::uint32_t k = chunks_for(piece);
-      for (std::uint32_t c = 0; c < k; ++c) {
-        Letter<V>& letter = letters[slot++];
-        letter.src = r;
-        letter.dst = cfg.group[q];
-        letter.packet.in_keys.clear();
-        letter.packet.out_keys.clear();
-        letter.packet.stride = stride_;
-        letter.packet.chunk_index = c;
-        letter.packet.chunk_count = k;
-        const std::size_t lo = std::size_t{c} * chunk_positions_;
-        const std::size_t hi =
-            k == 1 ? piece : std::min(piece, lo + chunk_positions_);
-        refill(s.value_pool, letter.packet.values);
-        gather_strided_into(
-            std::span<const V>(s.vin),
-            std::span<const pos_t>(cfg.in_maps[q]).subspan(lo, hi - lo),
-            stride_, letter.packet.values);
-        s.work.gather_elements +=
-            static_cast<double>(letter.packet.values.size());
-      }
-      ++s.stream.letters;
-      s.stream.chunks += k;
-      s.stream.max_chunks_per_letter =
-          std::max(s.stream.max_chunks_per_letter, k);
-    }
-    return letters;
-  }
-
-  void up_consume(rank_t r, std::uint16_t layer,
-                  std::vector<Letter<V>>&& inbox) {
-    const PlanLayer& cfg = plan_->rank_plan(r).layers[layer - 1];
-    ExecState& s = state_[r];
-    note_buffer_envelopes(s, inbox);
-    note_block_flushes(s, inbox, cfg.in_prev_size,
-                       [&](const Letter<V>& letter, std::size_t offset,
-                           std::size_t positions) {
-                         const std::uint32_t q =
-                             plan_->topology().digit(layer, letter.src);
-                         // Allgather chunks land contiguously at the piece's
-                         // split boundary.
-                         const std::size_t lo = cfg.in_split[q] + offset;
-                         return std::pair<std::size_t, std::size_t>(
-                             lo, lo + positions - 1);
-                       });
-    std::vector<V>& below = s.merged;
-    below.assign(cfg.in_prev_size * stride_, Op::template identity<V>());
-    for (Letter<V>& letter : inbox) {
-      const std::uint32_t q =
-          plan_->topology().digit(layer, letter.src);
-      const std::size_t piece = cfg.in_split[q + 1] - cfg.in_split[q];
-      const auto [offset, positions] =
-          chunk_slice(letter.packet, piece,
-                      "allgather payload does not match planned piece size");
-      const std::size_t first = (cfg.in_split[q] + offset) * stride_;
-      std::copy(letter.packet.values.begin(), letter.packet.values.end(),
-                below.begin() + static_cast<std::ptrdiff_t>(first));
-      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
-    }
-    std::swap(s.vin, below);
-  }
-
-  /// Validate one letter's chunk framing against the planned piece length
-  /// and return its {position offset, position count} within the piece.
-  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_slice(
-      const Packet<V>& packet, std::size_t piece, const char* what) const {
-    std::size_t offset = 0;
-    std::size_t positions = piece;
-    if (packet.chunk_count > 1) {
-      KYLIX_CHECK_MSG(chunk_positions_ != 0 &&
-                          packet.chunk_count == chunks_for(piece) &&
-                          packet.chunk_index < packet.chunk_count,
-                      "chunk framing does not match the plan's schedule");
-      offset = std::size_t{packet.chunk_index} * chunk_positions_;
-      positions = std::min(chunk_positions_, piece - offset);
-    }
-    KYLIX_CHECK_MSG(packet.values.size() == positions * stride_, what);
-    return {offset, positions};
-  }
-
-  /// Record what this consume had to buffer: the whole inbox (letter-at-once
-  /// envelope) vs. one in-flight chunk per sender (streamed envelope, the
-  /// O(chunk x in-degree) cap eager combining buys). Requires the inbox to
-  /// be (src, chunk)-sorted, which every engine guarantees.
-  void note_buffer_envelopes(ExecState& s,
-                             const std::vector<Letter<V>>& inbox) const {
-    std::uint64_t letter_bytes = 0;
-    std::uint64_t stream_bytes = 0;
-    std::uint64_t src_max = 0;
-    rank_t src = 0;
-    bool first = true;
-    for (const Letter<V>& letter : inbox) {
-      const std::uint64_t bytes =
-          sizeof(V) * std::uint64_t{letter.packet.values.size()};
-      letter_bytes += bytes;
-      if (first || letter.src != src) {
-        stream_bytes += src_max;
-        src_max = 0;
-        src = letter.src;
-        first = false;
-      }
-      src_max = std::max(src_max, bytes);
-    }
-    stream_bytes += src_max;
-    s.stream.peak_letter_buffer_bytes =
-        std::max(s.stream.peak_letter_buffer_bytes, letter_bytes);
-    s.stream.peak_stream_buffer_bytes =
-        std::max(s.stream.peak_stream_buffer_bytes,
-                 chunk_positions_ == 0 ? letter_bytes : stream_bytes);
-  }
-
-  /// Block watermarks: the round's target buffer is partitioned into blocks
-  /// of chunk_positions_ key positions; block b flushes downstream after the
-  /// last chunk touching it (index t_b in the deterministic processing
-  /// order) combines. `range` maps (letter, piece offset, positions) to the
-  /// inclusive target-position range the chunk writes. The flush timeline is
-  /// what pipelined_reduce_time prices; here it feeds blocks_flushed and the
-  /// overlap ratio. Scratch is pooled (last_touch keeps capacity), so warm
-  /// streamed rounds allocate nothing.
-  template <typename RangeFn>
-  void note_block_flushes(ExecState& s, const std::vector<Letter<V>>& inbox,
-                          std::size_t target_positions,
-                          RangeFn&& range) const {
-    const std::size_t span = chunk_positions_;
-    if (span == 0 || target_positions == 0 || inbox.empty()) return;
-    const std::size_t blocks = (target_positions + span - 1) / span;
-    s.last_touch.assign(blocks, 0);
-    for (std::uint32_t i = 0; i < inbox.size(); ++i) {
-      const Letter<V>& letter = inbox[i];
-      if (letter.packet.values.empty()) continue;
-      const std::size_t positions = letter.packet.values.size() / stride_;
-      const std::size_t offset =
-          std::size_t{letter.packet.chunk_index} * span;
-      const auto [lo, hi] = range(letter, offset, positions);
-      for (std::size_t b = lo / span; b <= hi / span; ++b) {
-        s.last_touch[b] = i;
-      }
-    }
-    const double last = static_cast<double>(inbox.size()) - 1.0;
-    for (std::size_t b = 0; b < blocks; ++b) {
-      ++s.stream.blocks_flushed;
-      ++s.stream.overlap_blocks;
-      if (last > 0.0) {
-        s.stream.overlap_weight +=
-            (last - static_cast<double>(s.last_touch[b])) / last;
-      }
-    }
-  }
+  using Ops = ReplayOps<V, Op>;
 
   /// After each round barrier, diff the summed per-rank stream telemetry
   /// against the reduce-so-far totals and turn the deltas into flight
   /// events: one kStreamFlush per round that flushed blocks, one kWatermark
   /// whenever the peak stream-buffer envelope grew. Driving thread only.
   void record_stream_round(Phase phase, std::uint16_t layer) {
-    if (recorder_ == nullptr || chunk_positions_ == 0) return;
+    if (recorder_ == nullptr || ctx_.chunk_positions == 0) return;
     std::uint64_t blocks = 0;
     std::uint64_t peak = 0;
-    for (const ExecState& s : state_) {
+    for (const ReplayScratch<V>& s : state_) {
       blocks += s.stream.blocks_flushed;
       peak = std::max(peak, s.stream.peak_stream_buffer_bytes);
     }
@@ -559,19 +263,22 @@ class ReduceExecutor {
     }
   }
 
-  template <typename ProduceFn, typename ConsumeFn>
-  void run_round(Phase phase, std::uint16_t layer, ProduceFn produce,
-                 ConsumeFn consume) {
+  void run_round(Phase phase, std::uint16_t layer, bool down) {
     engine_->round(
         phase, layer,
         [&](rank_t r) -> std::vector<Letter<V>>& {
-          return (this->*produce)(r, layer);
+          return down ? Ops::down_produce(ctx_, state_[r], r, layer)
+                      : Ops::up_produce(ctx_, state_[r], r, layer);
         },
         [&](rank_t r) -> const std::vector<rank_t>& {
           return plan_->rank_plan(r).layers[layer - 1].group;
         },
         [&](rank_t r, std::vector<Letter<V>>&& inbox) {
-          (this->*consume)(r, layer, std::move(inbox));
+          if (down) {
+            Ops::down_consume(ctx_, state_[r], r, layer, std::move(inbox));
+          } else {
+            Ops::up_consume(ctx_, state_[r], r, layer, std::move(inbox));
+          }
           charge(phase, layer, r);
         });
   }
@@ -595,42 +302,28 @@ class ReduceExecutor {
   /// the next round holding exactly the buffers (and capacities) it used
   /// last time.
   void collect_spent() {
-    for (ExecState& s : state_) {
+    for (ReplayScratch<V>& s : state_) {
       for (auto& [src, buf] : s.spent) {
         KYLIX_DCHECK(src < state_.size());
-        recycle(state_[src].value_pool, buf);
+        Ops::recycle(state_[src].value_pool, buf);
       }
       s.spent.clear();
     }
   }
 
-  template <typename T>
-  static void refill(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
-    if (buf.capacity() == 0 && !pool.empty()) {
-      buf = std::move(pool.back());
-      pool.pop_back();
-      buf.clear();
-    }
-  }
-  template <typename T>
-  static void recycle(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
-    if (buf.capacity() > 0) pool.push_back(std::move(buf));
-  }
-
   Engine* engine_ = nullptr;
   const ComputeModel* compute_ = nullptr;
   std::shared_ptr<const CollectivePlan> plan_;
-  std::uint32_t stride_ = 1;
   bool streaming_ = false;
   std::uint64_t chunk_bytes_override_ = 0;
-  /// Chunk length in key positions for the reduce in flight (0 means
-  /// letter-at-once); frozen at the top of reduce_strided.
-  std::size_t chunk_positions_ = 0;
+  /// The replay context handed to every kernel call; frozen at the top of
+  /// reduce_strided (plan pointer, stride, chunk schedule).
+  ReplayContext ctx_;
   StreamStats stream_stats_;
   obs::FlightRecorder* recorder_ = nullptr;
   std::uint64_t round_blocks_flushed_ = 0;   ///< reduce-so-far flush total
   std::uint64_t round_peak_stream_bytes_ = 0;  ///< reduce-so-far watermark
-  std::vector<ExecState> state_;
+  std::vector<ReplayScratch<V>> state_;
 };
 
 }  // namespace kylix

@@ -1,0 +1,381 @@
+// Shared per-rank replay kernels for compiled CollectivePlans.
+//
+// ReduceExecutor (core/executor.hpp) and the async resumable path
+// (core/async_node.hpp + core/async_executor.hpp) replay the same frozen
+// schedule; this header is the single definition of what one rank does at
+// one layer — slice by out_split, scatter_combine by out_maps in ascending
+// sender digit, bottom gather, gather by in_maps — plus the chunk framing
+// (DESIGN §9) and the buffer economy both drivers share. Because every
+// driver funnels through these kernels with the same (src, chunk)-sorted
+// inboxes, async multi-stream replay is bit-identical to serial replay by
+// construction, not by test alone (the fuzz suite then asserts it anyway).
+//
+// ReplayScratch mirrors NodeScratch's buffer discipline: letter shells per
+// layer, recycled value pools, ping-pong merge/below buffers, pooled
+// block-watermark scratch, and the spent list that returns consumed buffers
+// to their sender's pool at a quiescent point. Warm replays allocate
+// nothing inside the rounds (tests/core/alloc_test).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "comm/packet.hpp"
+#include "core/node.hpp"  // NodeWork + the kernels the replay must mirror
+#include "core/plan.hpp"
+#include "core/stream_stats.hpp"
+#include "sparse/ops.hpp"
+
+namespace kylix {
+
+/// Everything a replay kernel needs to know about the reduce in flight.
+/// Frozen at the top of a reduce (serial) or at stream admission (async);
+/// one plan serves every value type and stride because the payload-bytes ->
+/// key-positions conversion happens in the driver, not at compile time.
+struct ReplayContext {
+  const CollectivePlan* plan = nullptr;
+  std::uint32_t stride = 1;
+  /// Chunk length in key positions (0 means letter-at-once).
+  std::size_t chunk_positions = 0;
+};
+
+/// Mutable per-rank replay state; same buffer economy as NodeScratch.
+template <typename V>
+struct ReplayScratch {
+  std::vector<std::vector<Letter<V>>> letters;  ///< per comm layer shells
+  std::vector<std::vector<V>> value_pool;       ///< recycled packet buffers
+  std::vector<V> v;       ///< downward (scatter-reduce) buffer
+  std::vector<V> vin;     ///< upward (allgather) buffer
+  std::vector<V> merged;  ///< ping-pong partner
+  std::vector<std::uint32_t> last_touch;  ///< block-watermark scratch
+  /// Consumed value buffers awaiting return to their sender's pool. Only
+  /// the buffers move here — the inbox vector and its letter shells stay
+  /// with the engine, which pools them round to round.
+  std::vector<std::pair<rank_t, std::vector<V>>> spent;
+  NodeWork work;
+  StreamStats stream;  ///< this rank's round-local telemetry
+};
+
+/// The per-rank replay kernels, shared verbatim by every driver. All
+/// methods are static and take the context + scratch explicitly so one
+/// rank's state can belong to a serial executor slot or to an async
+/// stream lane interchangeably.
+template <typename V, typename Op = OpSum>
+struct ReplayOps {
+  /// Chunks a piece of `positions` key positions splits into (>= 1: empty
+  /// pieces still send one letter so blocking receives stay balanced).
+  [[nodiscard]] static std::uint32_t chunks_for(const ReplayContext& ctx,
+                                                std::size_t positions) {
+    if (ctx.chunk_positions == 0 || positions <= ctx.chunk_positions) {
+      return 1;
+    }
+    return static_cast<std::uint32_t>(
+        (positions + ctx.chunk_positions - 1) / ctx.chunk_positions);
+  }
+
+  template <typename T>
+  static void refill(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() == 0 && !pool.empty()) {
+      buf = std::move(pool.back());
+      pool.pop_back();
+      buf.clear();
+    }
+  }
+  template <typename T>
+  static void recycle(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+    if (buf.capacity() > 0) pool.push_back(std::move(buf));
+  }
+
+  /// Load one rank's contribution into the downward buffer, recycling the
+  /// caller's vector into the pool (the API-boundary buffer exchange that
+  /// keeps warm replays allocation-free).
+  static void load_input(ReplayScratch<V>& s, std::vector<V>& out_values) {
+    refill(s.value_pool, s.v);
+    s.v.assign(out_values.begin(), out_values.end());
+    recycle(s.value_pool, out_values);
+  }
+
+  /// Resize a letter-shell vector, recycling the value buffers of shells
+  /// about to be destroyed (mode switches shrink the chunk count; their
+  /// capacity must flow back to the pool, not to the heap).
+  static void resize_letters(ReplayScratch<V>& s,
+                             std::vector<Letter<V>>& letters,
+                             std::size_t count) {
+    for (std::size_t i = count; i < letters.size(); ++i) {
+      recycle(s.value_pool, letters[i].packet.values);
+    }
+    letters.resize(count);
+  }
+
+  static std::vector<Letter<V>>& down_produce(const ReplayContext& ctx,
+                                              ReplayScratch<V>& s, rank_t r,
+                                              std::uint16_t layer) {
+    const PlanLayer& cfg = ctx.plan->rank_plan(r).layers[layer - 1];
+    std::vector<Letter<V>>& letters = s.letters[layer - 1];
+    std::size_t total = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      total += chunks_for(ctx, cfg.out_split[q + 1] - cfg.out_split[q]);
+    }
+    resize_letters(s, letters, total);
+    std::size_t slot = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      const std::size_t piece = cfg.out_split[q + 1] - cfg.out_split[q];
+      const std::uint32_t k = chunks_for(ctx, piece);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        Letter<V>& letter = letters[slot++];
+        letter.src = r;
+        letter.dst = cfg.group[q];
+        letter.packet.in_keys.clear();
+        letter.packet.out_keys.clear();
+        letter.packet.stride = ctx.stride;
+        letter.packet.chunk_index = c;
+        letter.packet.chunk_count = k;
+        const std::size_t lo =
+            cfg.out_split[q] + std::size_t{c} * ctx.chunk_positions;
+        const std::size_t hi =
+            k == 1 ? cfg.out_split[q + 1]
+                   : std::min(cfg.out_split[q + 1], lo + ctx.chunk_positions);
+        refill(s.value_pool, letter.packet.values);
+        letter.packet.values.assign(
+            s.v.begin() + static_cast<std::ptrdiff_t>(lo * ctx.stride),
+            s.v.begin() + static_cast<std::ptrdiff_t>(hi * ctx.stride));
+        s.work.gather_elements +=
+            static_cast<double>(letter.packet.values.size());
+      }
+      ++s.stream.letters;
+      s.stream.chunks += k;
+      s.stream.max_chunks_per_letter =
+          std::max(s.stream.max_chunks_per_letter, k);
+    }
+    return letters;
+  }
+
+  static void down_consume(const ReplayContext& ctx, ReplayScratch<V>& s,
+                           rank_t r, std::uint16_t layer,
+                           std::vector<Letter<V>>&& inbox) {
+    const PlanLayer& cfg = ctx.plan->rank_plan(r).layers[layer - 1];
+    note_buffer_envelopes(ctx, s, inbox);
+    note_block_flushes(ctx, s, inbox, cfg.out_union_size,
+                       [&](const Letter<V>& letter, std::size_t offset,
+                           std::size_t positions) {
+                         const std::uint32_t q =
+                             ctx.plan->topology().digit(layer, letter.src);
+                         const std::span<const pos_t> map(cfg.out_maps[q]);
+                         // Maps are strictly increasing within one piece,
+                         // so the chunk's union footprint is [front, back].
+                         return std::pair<std::size_t, std::size_t>(
+                             map[offset], map[offset + positions - 1]);
+                       });
+    std::vector<V>& merged = s.merged;
+    merged.assign(cfg.out_union_size * ctx.stride, Op::template identity<V>());
+    // Inbox is sorted by (src, chunk): ascending sender digit, ascending
+    // chunk within a sender — the letter-at-once per-position combine order
+    // exactly, so eager chunk scatters are bit-identical.
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q = ctx.plan->topology().digit(layer, letter.src);
+      const std::size_t piece = cfg.recv_out_sizes[q];
+      const auto [offset, positions] =
+          chunk_slice(ctx, letter.packet, piece,
+                      "reduce payload does not match planned piece size");
+      scatter_combine_strided<V, Op>(
+          std::span<V>(merged), std::span<const V>(letter.packet.values),
+          std::span<const pos_t>(cfg.out_maps[q]).subspan(offset, positions),
+          ctx.stride);
+      s.work.combine_elements +=
+          static_cast<double>(letter.packet.values.size());
+      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
+    }
+    std::swap(s.v, merged);
+  }
+
+  static void begin_up(const ReplayContext& ctx, ReplayScratch<V>& s,
+                       rank_t r) {
+    const RankPlan& rp = ctx.plan->rank_plan(r);
+    KYLIX_DCHECK(s.v.size() ==
+                 rp.out_sizes[ctx.plan->topology().num_layers()] * ctx.stride);
+    refill(s.value_pool, s.vin);
+    s.vin.reserve(std::max(rp.up_capacity, rp.bottom_map.size()) * ctx.stride);
+    if (rp.missing_bottom.empty()) {
+      gather_strided_into(std::span<const V>(s.v), rp.bottom_map, ctx.stride,
+                          s.vin);
+    } else {
+      // Degraded cold path: kMissingPos entries resolve to identity.
+      s.vin.clear();
+      for (const pos_t pos : rp.bottom_map) {
+        for (std::uint32_t c = 0; c < ctx.stride; ++c) {
+          s.vin.push_back(pos == kMissingPos
+                              ? Op::template identity<V>()
+                              : s.v[pos * ctx.stride + c]);
+        }
+      }
+    }
+    s.work.gather_elements += static_cast<double>(rp.bottom_map.size());
+  }
+
+  static std::vector<Letter<V>>& up_produce(const ReplayContext& ctx,
+                                            ReplayScratch<V>& s, rank_t r,
+                                            std::uint16_t layer) {
+    const PlanLayer& cfg = ctx.plan->rank_plan(r).layers[layer - 1];
+    std::vector<Letter<V>>& letters = s.letters[layer - 1];
+    std::size_t total = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      total += chunks_for(ctx, cfg.in_maps[q].size());
+    }
+    resize_letters(s, letters, total);
+    std::size_t slot = 0;
+    for (std::uint32_t q = 0; q < cfg.group.size(); ++q) {
+      const std::size_t piece = cfg.in_maps[q].size();
+      const std::uint32_t k = chunks_for(ctx, piece);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        Letter<V>& letter = letters[slot++];
+        letter.src = r;
+        letter.dst = cfg.group[q];
+        letter.packet.in_keys.clear();
+        letter.packet.out_keys.clear();
+        letter.packet.stride = ctx.stride;
+        letter.packet.chunk_index = c;
+        letter.packet.chunk_count = k;
+        const std::size_t lo = std::size_t{c} * ctx.chunk_positions;
+        const std::size_t hi =
+            k == 1 ? piece : std::min(piece, lo + ctx.chunk_positions);
+        refill(s.value_pool, letter.packet.values);
+        gather_strided_into(
+            std::span<const V>(s.vin),
+            std::span<const pos_t>(cfg.in_maps[q]).subspan(lo, hi - lo),
+            ctx.stride, letter.packet.values);
+        s.work.gather_elements +=
+            static_cast<double>(letter.packet.values.size());
+      }
+      ++s.stream.letters;
+      s.stream.chunks += k;
+      s.stream.max_chunks_per_letter =
+          std::max(s.stream.max_chunks_per_letter, k);
+    }
+    return letters;
+  }
+
+  static void up_consume(const ReplayContext& ctx, ReplayScratch<V>& s,
+                         rank_t r, std::uint16_t layer,
+                         std::vector<Letter<V>>&& inbox) {
+    const PlanLayer& cfg = ctx.plan->rank_plan(r).layers[layer - 1];
+    note_buffer_envelopes(ctx, s, inbox);
+    note_block_flushes(ctx, s, inbox, cfg.in_prev_size,
+                       [&](const Letter<V>& letter, std::size_t offset,
+                           std::size_t positions) {
+                         const std::uint32_t q =
+                             ctx.plan->topology().digit(layer, letter.src);
+                         // Allgather chunks land contiguously at the piece's
+                         // split boundary.
+                         const std::size_t lo = cfg.in_split[q] + offset;
+                         return std::pair<std::size_t, std::size_t>(
+                             lo, lo + positions - 1);
+                       });
+    std::vector<V>& below = s.merged;
+    below.assign(cfg.in_prev_size * ctx.stride, Op::template identity<V>());
+    for (Letter<V>& letter : inbox) {
+      const std::uint32_t q = ctx.plan->topology().digit(layer, letter.src);
+      const std::size_t piece = cfg.in_split[q + 1] - cfg.in_split[q];
+      const auto [offset, positions] =
+          chunk_slice(ctx, letter.packet, piece,
+                      "allgather payload does not match planned piece size");
+      const std::size_t first = (cfg.in_split[q] + offset) * ctx.stride;
+      std::copy(letter.packet.values.begin(), letter.packet.values.end(),
+                below.begin() + static_cast<std::ptrdiff_t>(first));
+      s.spent.emplace_back(letter.src, std::move(letter.packet.values));
+    }
+    std::swap(s.vin, below);
+  }
+
+  /// Validate one letter's chunk framing against the planned piece length
+  /// and return its {position offset, position count} within the piece.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk_slice(
+      const ReplayContext& ctx, const Packet<V>& packet, std::size_t piece,
+      const char* what) {
+    std::size_t offset = 0;
+    std::size_t positions = piece;
+    if (packet.chunk_count > 1) {
+      KYLIX_CHECK_MSG(ctx.chunk_positions != 0 &&
+                          packet.chunk_count == chunks_for(ctx, piece) &&
+                          packet.chunk_index < packet.chunk_count,
+                      "chunk framing does not match the plan's schedule");
+      offset = std::size_t{packet.chunk_index} * ctx.chunk_positions;
+      positions = std::min(ctx.chunk_positions, piece - offset);
+    }
+    KYLIX_CHECK_MSG(packet.values.size() == positions * ctx.stride, what);
+    return {offset, positions};
+  }
+
+  /// Record what this consume had to buffer: the whole inbox (letter-at-once
+  /// envelope) vs. one in-flight chunk per sender (streamed envelope, the
+  /// O(chunk x in-degree) cap eager combining buys). Requires the inbox to
+  /// be (src, chunk)-sorted, which every driver guarantees.
+  static void note_buffer_envelopes(const ReplayContext& ctx,
+                                    ReplayScratch<V>& s,
+                                    const std::vector<Letter<V>>& inbox) {
+    std::uint64_t letter_bytes = 0;
+    std::uint64_t stream_bytes = 0;
+    std::uint64_t src_max = 0;
+    rank_t src = 0;
+    bool first = true;
+    for (const Letter<V>& letter : inbox) {
+      const std::uint64_t bytes =
+          sizeof(V) * std::uint64_t{letter.packet.values.size()};
+      letter_bytes += bytes;
+      if (first || letter.src != src) {
+        stream_bytes += src_max;
+        src_max = 0;
+        src = letter.src;
+        first = false;
+      }
+      src_max = std::max(src_max, bytes);
+    }
+    stream_bytes += src_max;
+    s.stream.peak_letter_buffer_bytes =
+        std::max(s.stream.peak_letter_buffer_bytes, letter_bytes);
+    s.stream.peak_stream_buffer_bytes =
+        std::max(s.stream.peak_stream_buffer_bytes,
+                 ctx.chunk_positions == 0 ? letter_bytes : stream_bytes);
+  }
+
+  /// Block watermarks: the round's target buffer is partitioned into blocks
+  /// of chunk_positions key positions; block b flushes downstream after the
+  /// last chunk touching it (index t_b in the deterministic processing
+  /// order) combines. `range` maps (letter, piece offset, positions) to the
+  /// inclusive target-position range the chunk writes. The flush timeline is
+  /// what pipelined_reduce_time prices; here it feeds blocks_flushed and the
+  /// overlap ratio. Scratch is pooled (last_touch keeps capacity), so warm
+  /// streamed rounds allocate nothing.
+  template <typename RangeFn>
+  static void note_block_flushes(const ReplayContext& ctx, ReplayScratch<V>& s,
+                                 const std::vector<Letter<V>>& inbox,
+                                 std::size_t target_positions,
+                                 RangeFn&& range) {
+    const std::size_t span = ctx.chunk_positions;
+    if (span == 0 || target_positions == 0 || inbox.empty()) return;
+    const std::size_t blocks = (target_positions + span - 1) / span;
+    s.last_touch.assign(blocks, 0);
+    for (std::uint32_t i = 0; i < inbox.size(); ++i) {
+      const Letter<V>& letter = inbox[i];
+      if (letter.packet.values.empty()) continue;
+      const std::size_t positions = letter.packet.values.size() / ctx.stride;
+      const std::size_t offset = std::size_t{letter.packet.chunk_index} * span;
+      const auto [lo, hi] = range(letter, offset, positions);
+      for (std::size_t b = lo / span; b <= hi / span; ++b) {
+        s.last_touch[b] = i;
+      }
+    }
+    const double last = static_cast<double>(inbox.size()) - 1.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      ++s.stream.blocks_flushed;
+      ++s.stream.overlap_blocks;
+      if (last > 0.0) {
+        s.stream.overlap_weight +=
+            (last - static_cast<double>(s.last_touch[b])) / last;
+      }
+    }
+  }
+};
+
+}  // namespace kylix

@@ -32,7 +32,10 @@
 #include "comm/parallel.hpp"        // IWYU pragma: export
 #include "comm/replicated.hpp"      // IWYU pragma: export
 #include "comm/threaded.hpp"        // IWYU pragma: export
+#include "comm/async_engine.hpp"    // IWYU pragma: export
 #include "core/allreduce.hpp"       // IWYU pragma: export
+#include "core/async_executor.hpp"  // IWYU pragma: export
+#include "core/async_node.hpp"      // IWYU pragma: export
 #include "core/autotune.hpp"        // IWYU pragma: export
 #include "core/degraded.hpp"        // IWYU pragma: export
 #include "core/executor.hpp"        // IWYU pragma: export

@@ -54,6 +54,8 @@ enum class FlightEventKind : std::uint8_t {
   kByteImbalance = 15,  ///< watchdog: rank's send volume off-median (value)
   kDegraded = 16,      ///< degraded completion was declared
   kCheckFail = 17,     ///< a KYLIX_CHECK fired (postmortem path)
+  kStreamAdmit = 18,   ///< async stream admitted (code = stream id)
+  kStreamComplete = 19,  ///< async stream finished (value = modeled seconds)
 };
 
 [[nodiscard]] constexpr const char* flight_event_kind_name(
@@ -95,6 +97,10 @@ enum class FlightEventKind : std::uint8_t {
       return "degraded";
     case FlightEventKind::kCheckFail:
       return "check-fail";
+    case FlightEventKind::kStreamAdmit:
+      return "stream-admit";
+    case FlightEventKind::kStreamComplete:
+      return "stream-complete";
   }
   return "?";
 }

@@ -16,6 +16,7 @@
 #include "comm/bsp.hpp"
 #include "comm/replicated.hpp"
 #include "core/allreduce.hpp"
+#include "core/async_executor.hpp"
 #include "core/node.hpp"
 #include "core/plan_cache.hpp"
 #include "obs/engine_obs.hpp"
@@ -586,6 +587,73 @@ TEST(AllocHotPath, StreamedStridedReplayStaysWithinBudget) {
   EXPECT_LE(first, static_cast<std::uint64_t>(m) + 1);
 #endif
   EXPECT_EQ(first, second) << "streamed strided replay is not steady";
+}
+
+// Async steady state: k in-flight streams multiplexed over the shared
+// channel obey the per-stream API-boundary budget. Every lane pools its
+// scratch and recycles spent value buffers to their senders (the async
+// analogue of the executor's collect_spent), mailbox shells are reserved to
+// the frozen expected counts, and reset() keeps every warmed buffer — so a
+// warm submit/drain/take_result/reset batch allocates only what leaves with
+// the caller: per stream, the m result buffers grown in begin_up plus the
+// outer results vector (re-grown because take_result moved it out).
+TEST(AllocHotPath, AsyncSteadyStateStreamsStayWithinBudget) {
+  const Topology topo({2, 2, 2});
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 3000, 0.06, 0.12, 61);
+
+  BspEngine<float> engine(m);
+  SparseAllreduce<float, OpSum, BspEngine<float>> compiler(&engine, topo);
+  const auto plan = compiler.compile(w.in_sets, w.out_sets);
+  ASSERT_NE(plan, nullptr);
+
+  AsyncExecutor<float> ax;
+  AsyncExecutor<float>::Options opts;
+  opts.window = 2;  // < streams: the pending queue is part of the hot path
+  ax.bind(plan, opts);
+  const int streams = 5;
+
+  std::vector<std::uint32_t> tags;
+  tags.reserve(streams);
+  std::vector<std::vector<std::vector<float>>> results;
+  results.reserve(streams);
+
+  const auto batch = [&] {
+    // Input copies made outside the gauge: submit takes values by value.
+    std::vector<std::vector<std::vector<float>>> inputs;
+    inputs.reserve(streams);
+    for (int i = 0; i < streams; ++i) inputs.push_back(w.out_values);
+    tags.clear();
+    results.clear();
+    AllocGauge gauge;
+    for (int i = 0; i < streams; ++i) {
+      tags.push_back(ax.submit(std::move(inputs[i])));
+    }
+    ax.drain();
+    for (const std::uint32_t tag : tags) {
+      results.push_back(ax.take_result(tag));
+    }
+    ax.reset();
+    return gauge.count();
+  };
+
+  // Warm until pools, mailboxes, the scheduler heap, and the stream table
+  // reach their steady-state capacities (buffer rotation, as above).
+  for (int iter = 0; iter < 10; ++iter) {
+    (void)batch();
+  }
+  const std::uint64_t first = batch();
+  for (int i = 0; i < streams; ++i) {
+    testing::expect_matches_oracle<float>(w, results[i]);
+  }
+  const std::uint64_t second = batch();
+#ifdef NDEBUG
+  // Per stream: the m result buffers that leave with the caller plus the
+  // outer results vector. Everything else — letters, mailboxes, pools,
+  // fault scripts, heap entries — must recycle across batches.
+  EXPECT_LE(first, static_cast<std::uint64_t>(streams) * (m + 1));
+#endif
+  EXPECT_EQ(first, second) << "async steady state is not steady";
 }
 
 // Serving a plan from the cache is pointer traffic only: the LRU refresh is

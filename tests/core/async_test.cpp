@@ -1,0 +1,306 @@
+// AsyncExecutor functional suite: resumable-node multiplexing of many
+// in-flight plan replays. Covers clean multi-stream bit-identity against
+// the serial executor, the pending-admission path (more streams than
+// lanes), strided and chunked-streaming replays, modeled-clock latency
+// accounting (overlap must beat the serialized schedule), fault-script
+// replays against the BspEngine+FaultChannel oracle, flight-recorder
+// stream events, reset()/resubmit reuse, and the multi-worker scheduler
+// (the tsan lane: values must not depend on thread interleaving).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "cluster/netmodel.hpp"
+#include "comm/bsp.hpp"
+#include "comm/fault_channel.hpp"
+#include "core/allreduce.hpp"
+#include "core/async_executor.hpp"
+#include "obs/flight_recorder.hpp"
+#include "test_util.hpp"
+
+namespace kylix {
+namespace {
+
+using testing::Workload;
+using testing::random_workload;
+
+/// Compile one plan for the workload through a throwaway allreduce.
+template <typename V>
+std::shared_ptr<const CollectivePlan> compile_plan(const Topology& topo,
+                                                   const Workload<V>& w) {
+  BspEngine<V> engine(topo.num_machines());
+  SparseAllreduce<V, OpSum, BspEngine<V>> compiler(&engine, topo);
+  auto plan = compiler.compile(w.in_sets, w.out_sets);
+  EXPECT_NE(plan, nullptr);
+  return plan;
+}
+
+/// Serial reference: replay the plan once on a fresh BspEngine (optionally
+/// fault-wrapped), mirroring one async stream.
+template <typename V>
+std::vector<std::vector<V>> serial_replay(
+    const std::shared_ptr<const CollectivePlan>& plan,
+    std::vector<std::vector<V>> values, std::uint32_t stride = 1,
+    bool streaming = false, std::uint64_t chunk_override = 0,
+    FaultPlan* faults = nullptr) {
+  const rank_t m = plan->num_ranks();
+  BspEngine<V> engine(m);
+  std::optional<FaultChannel<V>> channel;
+  if (faults != nullptr) {
+    channel.emplace(faults);
+    engine.set_fault_channel(&*channel);
+  }
+  SparseAllreduce<V, OpSum, BspEngine<V>> ar(&engine, plan->topology());
+  ar.configure(plan);
+  ar.set_streaming(streaming);
+  ar.set_chunk_bytes(chunk_override);
+  return ar.reduce_strided(std::move(values), stride);
+}
+
+TEST(AsyncExecutor, ManyStreamsBitIdenticalToSerialReplay) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 180, 0.2, 0.4, 901);
+  const auto plan = compile_plan(topo, w);
+
+  AsyncExecutor<float> ax;
+  typename AsyncExecutor<float>::Options opts;
+  opts.window = 3;  // fewer lanes than streams: exercises pending admission
+  ax.bind(plan, opts);
+
+  constexpr int kStreams = 8;
+  std::vector<Workload<float>> inputs;
+  std::vector<std::uint32_t> tags;
+  for (int i = 0; i < kStreams; ++i) {
+    auto wi = w;
+    for (auto& values : wi.out_values) {
+      for (auto& v : values) v += static_cast<float>(i);
+    }
+    tags.push_back(ax.submit(wi.out_values));
+    inputs.push_back(std::move(wi));
+  }
+  ax.drain();
+  for (int i = 0; i < kStreams; ++i) {
+    SCOPED_TRACE("stream " + std::to_string(i));
+    const auto serial = serial_replay(plan, inputs[i].out_values);
+    testing::expect_matches_oracle<float>(inputs[i], serial);
+    EXPECT_EQ(ax.take_result(tags[i]), serial);
+    EXPECT_FALSE(ax.degraded_report(tags[i]).degraded);
+    // Per-stream telemetry matches the serial executor's.
+    BspEngine<float> engine(m);
+    SparseAllreduce<float, OpSum, BspEngine<float>> ar(&engine, topo);
+    ar.configure(plan);
+    (void)ar.reduce(inputs[i].out_values);
+    EXPECT_EQ(ax.stream_stats(tags[i]).letters, ar.stream_stats().letters);
+    EXPECT_EQ(ax.stream_stats(tags[i]).chunks, ar.stream_stats().chunks);
+  }
+}
+
+TEST(AsyncExecutor, StridedAndStreamedReplaysMatchSerial) {
+  const Topology topo({3, 3});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<double>(m, 150, 0.25, 0.4, 902);
+  const auto plan = compile_plan(topo, w);
+
+  // Interleave 2 payloads key-major, as reduce_strided expects.
+  std::vector<std::vector<double>> strided(m);
+  for (rank_t r = 0; r < m; ++r) {
+    for (std::size_t p = 0; p < w.out_values[r].size(); ++p) {
+      strided[r].push_back(w.out_values[r][p]);
+      strided[r].push_back(w.out_values[r][p] * 3 + 1);
+    }
+  }
+
+  AsyncExecutor<double> ax;
+  typename AsyncExecutor<double>::Options opts;
+  opts.window = 4;
+  opts.stride = 2;
+  opts.streaming = true;
+  opts.chunk_bytes_override = 128;  // tiny chunks: force real chunking
+  ax.bind(plan, opts);
+  std::vector<std::uint32_t> tags;
+  for (int i = 0; i < 4; ++i) tags.push_back(ax.submit(strided));
+  ax.drain();
+  const auto serial = serial_replay(plan, strided, 2, true, 128);
+  for (const std::uint32_t tag : tags) {
+    EXPECT_EQ(ax.take_result(tag), serial);
+    EXPECT_TRUE(ax.stream_stats(tag).streamed);
+    EXPECT_GT(ax.stream_stats(tag).max_chunks_per_letter, 1u);
+  }
+}
+
+TEST(AsyncExecutor, OverlappedStreamsBeatSerializedModeledMakespan) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 400, 0.3, 0.5, 903);
+  const auto plan = compile_plan(topo, w);
+  const NetworkModel net;
+  const ComputeModel compute;
+
+  constexpr int kStreams = 8;
+  auto run = [&](std::uint32_t window) {
+    AsyncExecutor<float> ax;
+    typename AsyncExecutor<float>::Options opts;
+    opts.window = window;
+    opts.network = &net;
+    opts.compute = &compute;
+    ax.bind(plan, opts);
+    for (int i = 0; i < kStreams; ++i) (void)ax.submit(w.out_values);
+    ax.drain();
+    EXPECT_EQ(ax.completion_latencies().size(), kStreams);
+    for (const double lat : ax.completion_latencies()) EXPECT_GT(lat, 0.0);
+    return ax.makespan_seconds();
+  };
+  const double serialized = run(1);
+  const double overlapped = run(kStreams);
+  EXPECT_GT(serialized, 0.0);
+  // Overlap must recover real idle time, not round to the same schedule.
+  EXPECT_LT(overlapped, serialized);
+  EXPECT_GT(serialized / overlapped, 1.1);
+}
+
+TEST(AsyncExecutor, FaultedStreamsMatchSerialFaultChannelReplay) {
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 160, 0.25, 0.45, 904);
+  const auto plan = compile_plan(topo, w);
+
+  auto make_faults = [&](std::uint64_t seed) {
+    FaultPlan faults(m, seed);
+    FaultPlan::TransientRates rates;
+    rates.drop = 0.1;
+    rates.duplicate = 0.08;
+    rates.delay = 0.08;
+    faults.set_transient_rates(rates);
+    faults.crash_at_round(2, 1);  // rank 2 dies at the second down round
+    return faults;
+  };
+
+  // Async: each stream gets its own identically-seeded FaultPlan.
+  constexpr int kStreams = 3;
+  std::vector<FaultPlan> async_faults;
+  for (int i = 0; i < kStreams; ++i) {
+    async_faults.push_back(make_faults(55));
+  }
+  AsyncExecutor<float> ax;
+  typename AsyncExecutor<float>::Options opts;
+  opts.window = kStreams;
+  ax.bind(plan, opts);
+  std::vector<std::uint32_t> tags;
+  for (int i = 0; i < kStreams; ++i) {
+    tags.push_back(ax.submit(w.out_values, &async_faults[i]));
+  }
+  ax.drain();
+
+  FaultPlan serial_faults = make_faults(55);
+  const auto serial = serial_replay(plan, w.out_values, 1, false, 0,
+                                    &serial_faults);
+  EXPECT_TRUE(serial[2].empty()) << "crashed rank yields no result";
+  const FaultStats& oracle = serial_faults.stats();
+  EXPECT_GT(oracle.dropped + oracle.duplicated + oracle.delayed, 0u);
+  for (const std::uint32_t tag : tags) {
+    EXPECT_EQ(ax.take_result(tag), serial);
+    const FaultStats& got = ax.fault_stats(tag);
+    EXPECT_EQ(got.crashes, oracle.crashes);
+    EXPECT_EQ(got.dropped, oracle.dropped);
+    EXPECT_EQ(got.duplicated, oracle.duplicated);
+    EXPECT_EQ(got.delayed, oracle.delayed);
+    EXPECT_FALSE(ax.degraded_report(tag).degraded)
+        << "plain-channel faults degrade ranks, not groups";
+  }
+}
+
+TEST(AsyncExecutor, RecorderSeesAdmitAndCompletePerStream) {
+  const Topology topo({4});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 80, 0.3, 0.5, 905);
+  const auto plan = compile_plan(topo, w);
+  obs::FlightRecorder recorder(m);
+
+  AsyncExecutor<float> ax;
+  typename AsyncExecutor<float>::Options opts;
+  opts.window = 2;
+  opts.recorder = &recorder;
+  ax.bind(plan, opts);
+  constexpr int kStreams = 5;
+  for (int i = 0; i < kStreams; ++i) (void)ax.submit(w.out_values);
+  ax.drain();
+
+  int admits = 0;
+  int completes = 0;
+  for (const obs::FlightEvent& e : recorder.merged_events()) {
+    if (e.kind == obs::FlightEventKind::kStreamAdmit) ++admits;
+    if (e.kind == obs::FlightEventKind::kStreamComplete) ++completes;
+  }
+  EXPECT_EQ(admits, kStreams);
+  EXPECT_EQ(completes, kStreams);
+  EXPECT_STREQ(obs::flight_event_kind_name(
+                   obs::FlightEventKind::kStreamComplete),
+               "stream-complete");
+}
+
+TEST(AsyncExecutor, ResetReplaysNextBatchIdentically) {
+  const Topology topo({3, 2});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 120, 0.25, 0.4, 906);
+  const auto plan = compile_plan(topo, w);
+  const auto serial = serial_replay(plan, w.out_values);
+
+  AsyncExecutor<float> ax;
+  typename AsyncExecutor<float>::Options opts;
+  opts.window = 2;
+  ax.bind(plan, opts);
+  for (int batch = 0; batch < 3; ++batch) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    std::vector<std::uint32_t> tags;
+    for (int i = 0; i < 4; ++i) tags.push_back(ax.submit(w.out_values));
+    ax.drain();
+    for (const std::uint32_t tag : tags) {
+      EXPECT_EQ(ax.take_result(tag), serial);
+    }
+    ax.reset();
+  }
+}
+
+TEST(AsyncExecutor, MultiWorkerSchedulerIsBitIdenticalToSingleWorker) {
+  // The tsan lane: real threads drive the same nodes behind the scheduler
+  // lock. Stream values depend only on sorted complete inboxes, so any
+  // interleaving must reproduce the single-worker results exactly.
+  const Topology topo({4, 2});
+  const rank_t m = topo.num_machines();
+  auto w = random_workload<float>(m, 250, 0.25, 0.45, 907);
+  const auto plan = compile_plan(topo, w);
+
+  constexpr int kStreams = 6;
+  auto run = [&](std::uint32_t workers) {
+    AsyncExecutor<float> ax;
+    typename AsyncExecutor<float>::Options opts;
+    opts.window = 4;
+    opts.workers = workers;
+    ax.bind(plan, opts);
+    std::vector<std::uint32_t> tags;
+    for (int i = 0; i < kStreams; ++i) {
+      auto values = w.out_values;
+      for (auto& v : values[0]) v += static_cast<float>(i);
+      tags.push_back(ax.submit(std::move(values)));
+    }
+    ax.drain();
+    std::vector<std::vector<std::vector<float>>> results;
+    for (const std::uint32_t tag : tags) {
+      results.push_back(ax.take_result(tag));
+    }
+    return results;
+  };
+  const auto single = run(1);
+  const auto threaded = run(4);
+  ASSERT_EQ(single.size(), threaded.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i], threaded[i]) << "stream " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kylix

@@ -46,3 +46,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L stream
 # snapshots under concurrent observe(), watchdog scratch reuse, and the
 # postmortem JSON round-trip — so it gets its own labeled lane.
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L obs
+
+# Focused async pass: the overlapped executor multiplexes many in-flight
+# streams over one shared channel — pooled letter shells migrating between
+# lanes, value buffers recycled to their senders mid-drain, the threaded
+# scheduler's park/wake edges — exactly where use-after-recycle and lost
+# wakeups hide (the tsan tree runs the same label for the race half).
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L async

@@ -25,6 +25,18 @@
 # the pipelined chunked reduce beating barriered letter-at-once by 1.15x on
 # the modeled clock, with streamed results bit-identical.
 #
+# A fifth gate covers the async overlapped executor (DESIGN §11): each
+# preset's async block must show >= 1.3x aggregate reduces/sec vs the
+# serialized (window=1) replay of the same streams at a window of >= 4,
+# with per-stream p50/p99 completion latency reported and every overlapped
+# stream bit-identical to its serialized replay.
+#
+# A sixth gate holds the observability overhead to a tight *absolute* band:
+# the paired-ratio median in wall_engines kills measurement drift, so both
+# the instrumented and dark columns must sit within +/-4% of bare — a
+# negative reading outside the band is just as much a measurement bug as a
+# positive one is a perf bug.
+#
 # Usage: tools/bench_check.sh [build-dir] [tolerance] [engine-tolerance]
 #   build-dir defaults to build-bench (separate tree pinned to Release so a
 #   Debug working tree never produces bogus regressions).
@@ -232,25 +244,26 @@ EOF
 # ---- Observability-overhead gate -------------------------------------------
 # The flight recorder, percentile histograms, and anomaly watchdog ride the
 # warm replay path; the same fresh wall_engines run replays each preset
-# bare, fully instrumented, and with every sink disabled. Instrumented must
-# stay within 3% of bare (the recorder is a relaxed fetch_add plus a slot
-# write; the watchdog is O(ranks) per round) and the disabled pass must too
-# (a dark observer is virtual-call dispatch and nothing else). The minima
-# are min-of-7 warm replays, so 3% is headroom, not a coin flip.
+# bare, fully instrumented, and with every sink disabled, interleaved
+# pairwise so host-load drift cancels inside each repeat. The gate is on
+# the ABSOLUTE deviation: instrumented and dark must both sit within +/-4%
+# of bare. An impossible negative reading (instrumented "faster" than
+# bare) outside the band means the measurement drifted, and that is a
+# failure too — it used to hide real overhead behind -5% noise.
 python3 - "${engines_fresh}" <<'EOF'
 import json
 import sys
 
 doc = json.load(open(sys.argv[1]))
-max_overhead = 0.03
+max_overhead = 0.04
 
 print(f"\n{'preset':<14}{'bare s':>10}{'instr s':>10}{'dark s':>10}"
       f"{'instr ovh':>11}{'dark ovh':>10}  status")
 failed = 0
 for preset in doc["presets"]:
     o = preset["observability"]
-    ok_instr = o["overhead_instrumented"] <= max_overhead
-    ok_dark = o["overhead_disabled"] <= max_overhead
+    ok_instr = abs(o["overhead_instrumented"]) <= max_overhead
+    ok_dark = abs(o["overhead_disabled"]) <= max_overhead
     failed += (not ok_instr) + (not ok_dark)
     status = "ok" if (ok_instr and ok_dark) else "REGRESS"
     print(f"{preset['name']:<14}{o['bare_warm_min_s']:>10.4f}"
@@ -261,8 +274,58 @@ for preset in doc["presets"]:
 
 if failed:
     print(f"\nobservability gate FAILED: recorder+watchdog overhead must "
-          f"stay within {max_overhead:.0%} of the bare warm replay")
+          f"stay within +/-{max_overhead:.0%} of the bare warm replay "
+          f"(absolute band: negative drift is a measurement bug)")
     sys.exit(1)
 print(f"\nobservability gate passed: instrumented and disabled replays "
-      f"within {max_overhead:.0%} of bare on every preset")
+      f"within +/-{max_overhead:.0%} of bare on every preset")
 EOF
+
+# ---- Async-overlap gate ----------------------------------------------------
+# The async executor (DESIGN §11) exists to keep the modeled NICs busy with
+# other streams' letters while any one stream waits out handshake gaps and
+# compute: the overlapped window must push aggregate reduces/sec to at
+# least 1.3x the serialized (window=1) replay of the exact same streams, at
+# a window of at least 4, with per-stream p50/p99 completion latency
+# reported and every overlapped stream bit-identical to its serialized
+# replay (measured 1.5-1.7x at a window of 8 over 16 streams, ~95%+
+# bottleneck-NIC occupancy).
+python3 - "${engines_fresh}" <<'PYGATE'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+min_speedup = 1.3
+min_inflight = 4
+
+print(f"\n{'preset':<14}{'serial s':>10}{'async s':>10}{'speedup':>9}"
+      f"{'k':>4}{'p50 s':>9}{'p99 s':>9}{'NIC':>6}  status")
+failed = 0
+for preset in doc["presets"]:
+    a = preset["async"]
+    ok = a["aggregate_speedup"] >= min_speedup
+    ok_window = a["inflight"] >= min_inflight
+    ok_latency = a["latency_p50_s"] > 0 and a["latency_p99_s"] > 0
+    identical = a["bit_identical"]
+    failed += (not ok) + (not ok_window) + (not ok_latency) + (not identical)
+    status = "ok" if ok else "REGRESS"
+    if not ok_window:
+        status += " WINDOW<4"
+    if not ok_latency:
+        status += " NO-LATENCY"
+    if not identical:
+        status += " STREAM-MISMATCH"
+    print(f"{preset['name']:<14}{a['serialized_modeled_s']:>10.4f}"
+          f"{a['async_modeled_s']:>10.4f}{a['aggregate_speedup']:>8.2f}x"
+          f"{a['inflight']:>4}{a['latency_p50_s']:>9.4f}"
+          f"{a['latency_p99_s']:>9.4f}{a['tx_utilization']:>6.0%}  {status}")
+
+if failed:
+    print(f"\nasync-overlap gate FAILED: overlapped window must deliver "
+          f">= {min_speedup}x aggregate reduces/sec vs serialized replay "
+          f"at >= {min_inflight} in flight, bit-identical, with latency "
+          f"percentiles reported")
+    sys.exit(1)
+print(f"\nasync-overlap gate passed: >= {min_speedup}x serialized at "
+      f">= {min_inflight} in flight on every preset, streams bit-identical")
+PYGATE
