@@ -1,0 +1,282 @@
+// Elastic membership: an epoch-numbered alive view over the FailureModel.
+//
+// The chaos machinery (FailureModel / FaultPlan) is ground truth about who
+// is actually down; MembershipView is what the *control plane* believes. A
+// rank that stops acking heartbeats is first marked kSuspect and probed on a
+// bounded exponential-backoff schedule (BackoffSchedule, shared with the
+// replica-recovery retry loop); only when every probe goes unanswered is it
+// declared kDead and the membership epoch advanced. A suspect that answers a
+// probe (revived before the schedule ran out) returns to kAlive with no
+// epoch change — transient flaps don't trigger re-planning. A confirmed-dead
+// rank coming back is a *join*: it re-enters the alive set at a new epoch.
+//
+// Epochs are what the planning layer keys on: every epoch bump means "the
+// alive set changed, the current CollectivePlan may be stale" and the
+// EpochedPlanManager (core/epoch_manager.hpp) re-plans at the next round
+// barrier. With replication > 1 a member is a *logical* rank and it is down
+// only when its whole replica group is dead, matching ReplicatedBsp's
+// is_dead; with replication == 1 members are physical ranks.
+//
+// Deliberately header-only (like the flight recorder): the obs library links
+// kylix_cluster, so membership reaching back into obs for metrics/events
+// must not create a link-order cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "comm/recovery.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace kylix {
+
+struct MembershipOptions {
+  /// Replica-group size: member j is down iff physical ranks j, j+n, …,
+  /// j+(s-1)n are all dead (n = number of members). 1 = physical ranks.
+  std::uint32_t replication = 1;
+  /// Unanswered probes before a suspect is declared dead.
+  std::uint32_t max_probes = 4;
+  /// Delay before probe k of a suspect: probe_backoff.delay(k) seconds of
+  /// view time. Total suspicion window = probe_backoff.total(max_probes).
+  BackoffSchedule probe_backoff{};
+  /// Optional telemetry (not owned): kEpochChange / kRankSuspect /
+  /// kRankDead / kRankJoined flight events and membership.* metrics.
+  obs::FlightRecorder* recorder = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class MembershipView {
+ public:
+  enum class State : std::uint8_t { kAlive, kSuspect, kDead };
+
+  struct Stats {
+    std::uint64_t suspects = 0;  ///< alive -> suspect transitions
+    std::uint64_t flaps = 0;     ///< suspect -> alive (probe answered)
+    std::uint64_t deaths = 0;    ///< suspect -> dead declarations
+    std::uint64_t joins = 0;     ///< dead -> alive re-admissions
+    std::uint64_t probes = 0;    ///< heartbeat probes issued
+  };
+
+  /// One row of the epoch timeline, appended at every epoch bump.
+  struct EpochRecord {
+    std::uint64_t epoch = 0;
+    double at_s = 0;                ///< poll() time the epoch opened
+    std::vector<rank_t> dead;       ///< confirmed-dead members at this epoch
+  };
+
+  /// `failures` (not owned, may be null = nobody ever dies) must cover
+  /// num_members * replication physical ranks.
+  MembershipView(rank_t num_members, const FailureModel* failures,
+                 MembershipOptions options = {})
+      : num_members_(num_members), failures_(failures), opts_(options) {
+    KYLIX_CHECK(num_members >= 1);
+    KYLIX_CHECK(opts_.replication >= 1);
+    KYLIX_CHECK(opts_.max_probes >= 1);
+    KYLIX_CHECK_MSG(
+        failures == nullptr ||
+            failures->num_nodes() >=
+                num_members * static_cast<rank_t>(opts_.replication),
+        "FailureModel covers fewer ranks than the membership");
+    members_.resize(num_members);
+    timeline_.push_back(EpochRecord{0, 0.0, {}});
+    if (opts_.metrics != nullptr) opts_.metrics->gauge("membership.epoch").set(0);
+  }
+
+  [[nodiscard]] rank_t num_members() const { return num_members_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] State state(rank_t member) const {
+    return members_[member].state;
+  }
+
+  /// Confirmed dead at the current epoch (suspects still count as alive —
+  /// the plan only changes once the detector has made up its mind).
+  [[nodiscard]] bool is_dead(rank_t member) const {
+    return members_[member].state == State::kDead;
+  }
+
+  [[nodiscard]] std::vector<rank_t> alive_members() const {
+    std::vector<rank_t> alive;
+    for (rank_t j = 0; j < num_members_; ++j) {
+      if (members_[j].state != State::kDead) alive.push_back(j);
+    }
+    return alive;
+  }
+
+  [[nodiscard]] std::vector<rank_t> dead_members() const {
+    std::vector<rank_t> dead;
+    for (rank_t j = 0; j < num_members_; ++j) {
+      if (members_[j].state == State::kDead) dead.push_back(j);
+    }
+    return dead;
+  }
+
+  /// Order-independent digest of the confirmed-dead set; 0 when everyone is
+  /// alive. The plan compiler folds the same shape of digest into plan
+  /// fingerprints so per-epoch plans never collide in the PlanCache.
+  [[nodiscard]] std::uint64_t alive_fingerprint() const {
+    std::uint64_t fp = 0;
+    for (rank_t j = 0; j < num_members_; ++j) {
+      if (members_[j].state == State::kDead) {
+        fp ^= mix64(0x6d656d62ULL ^ static_cast<std::uint64_t>(j));
+      }
+    }
+    return fp;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Epoch history, one record per epoch since construction (index 0 is the
+  /// initial full-membership epoch). Powers `kylix_cli heal`'s timeline.
+  [[nodiscard]] const std::vector<EpochRecord>& history() const {
+    return timeline_;
+  }
+
+  /// Advance the detector to view-time `now_s` and reconcile against the
+  /// FailureModel. Returns true iff the membership epoch advanced (a rank
+  /// was confirmed dead or a dead rank rejoined) — the caller's cue to
+  /// re-plan at the next round barrier. Cheap when nothing changed: a
+  /// FailureModel::version() check short-circuits unless probes are pending.
+  bool poll(double now_s) {
+    const std::uint64_t version =
+        failures_ == nullptr ? 0 : failures_->version();
+    if (version == last_version_ && pending_suspects_ == 0) return false;
+    last_version_ = version;
+
+    bool epoch_dirty = false;
+    for (rank_t j = 0; j < num_members_; ++j) {
+      Member& m = members_[j];
+      const bool down = member_down(j);
+      switch (m.state) {
+        case State::kAlive:
+          if (down) {
+            m.state = State::kSuspect;
+            m.probes_sent = 1;
+            m.next_probe_s = now_s + opts_.probe_backoff.delay(1);
+            ++pending_suspects_;
+            ++stats_.suspects;
+            ++stats_.probes;
+            count("membership.suspects");
+            event(obs::FlightEventKind::kRankSuspect, j, now_s, 0);
+          }
+          break;
+        case State::kSuspect:
+          if (!down) {
+            // Probe answered: a flap, not a failure. No epoch change.
+            m.state = State::kAlive;
+            --pending_suspects_;
+            ++stats_.flaps;
+            count("membership.flaps");
+            break;
+          }
+          // Still silent: issue every probe whose backoff deadline passed;
+          // when the schedule is exhausted, declare the member dead.
+          while (m.state == State::kSuspect && now_s >= m.next_probe_s) {
+            if (m.probes_sent >= opts_.max_probes) {
+              m.state = State::kDead;
+              --pending_suspects_;
+              ++stats_.deaths;
+              epoch_dirty = true;
+              count("membership.deaths");
+              event(obs::FlightEventKind::kRankDead, j, now_s,
+                    m.probes_sent);
+            } else {
+              ++m.probes_sent;
+              ++stats_.probes;
+              // Deadlines accumulate from the previous one, not from now_s:
+              // one poll() far enough in the future drains the whole
+              // schedule instead of advancing a single probe per call.
+              m.next_probe_s += opts_.probe_backoff.delay(m.probes_sent);
+            }
+          }
+          break;
+        case State::kDead:
+          if (!down) {
+            m.state = State::kAlive;
+            m.probes_sent = 0;
+            ++stats_.joins;
+            epoch_dirty = true;
+            count("membership.joins");
+            event(obs::FlightEventKind::kRankJoined, j, now_s, 0);
+          }
+          break;
+      }
+    }
+    if (epoch_dirty) {
+      ++epoch_;
+      timeline_.push_back(EpochRecord{epoch_, now_s, dead_members()});
+      count("membership.epoch_changes");
+      if (opts_.metrics != nullptr) {
+        opts_.metrics->gauge("membership.epoch").set(
+            static_cast<double>(epoch_));
+      }
+      event(obs::FlightEventKind::kEpochChange, obs::kGlobalRank, now_s,
+            static_cast<std::uint32_t>(epoch_));
+    }
+    if (opts_.metrics != nullptr && stats_.probes != probes_reported_) {
+      opts_.metrics->counter("membership.probes")
+          .add(stats_.probes - probes_reported_);
+      probes_reported_ = stats_.probes;
+    }
+    return epoch_dirty;
+  }
+
+  /// Convenience for drivers with no heartbeat clock of their own: poll at
+  /// `now_s` (so fresh failures enter suspicion), then again past every
+  /// probe deadline so the new suspects resolve to dead within this call.
+  bool poll_settled(double now_s) {
+    bool changed = poll(now_s);
+    changed |= poll(now_s + opts_.probe_backoff.total(opts_.max_probes + 1));
+    return changed;
+  }
+
+ private:
+  struct Member {
+    State state = State::kAlive;
+    std::uint32_t probes_sent = 0;
+    double next_probe_s = 0;
+  };
+
+  /// Ground truth: all replicas of member j dead (group death), matching
+  /// ReplicatedBsp::is_dead when replication > 1.
+  [[nodiscard]] bool member_down(rank_t j) const {
+    if (failures_ == nullptr) return false;
+    for (std::uint32_t r = 0; r < opts_.replication; ++r) {
+      const rank_t p = j + static_cast<rank_t>(r) * num_members_;
+      if (!failures_->is_dead(p)) return false;
+    }
+    return true;
+  }
+
+  void count(const char* name) {
+    if (opts_.metrics != nullptr) opts_.metrics->counter(name).add(1);
+  }
+
+  void event(obs::FlightEventKind kind, rank_t rank, double now_s,
+             std::uint32_t code) {
+    if (opts_.recorder == nullptr) return;
+    obs::FlightEvent e;
+    e.kind = kind;
+    e.rank = rank;
+    e.code = code;
+    e.value = now_s;
+    opts_.recorder->record(e);
+  }
+
+  rank_t num_members_;
+  const FailureModel* failures_;
+  MembershipOptions opts_;
+  std::vector<Member> members_;
+  std::vector<EpochRecord> timeline_;
+  Stats stats_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_version_ = 0;
+  std::uint64_t probes_reported_ = 0;
+  std::uint32_t pending_suspects_ = 0;
+};
+
+}  // namespace kylix

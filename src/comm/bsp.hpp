@@ -52,6 +52,16 @@ class BspEngine {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Elastic membership: an unreplicated engine with any dead rank can only
+  /// complete in degraded mode — there is no replica to recover the dead
+  /// rank's exclusive keys from, so surviving nodes resolve them to the
+  /// reduction identity (core/degraded.hpp) instead of aborting
+  /// finish_configure(). Lets survivors re-plan around confirmed deaths.
+  [[nodiscard]] bool has_failed() const {
+    return failures_ != nullptr && failures_->num_dead() > 0;
+  }
+  [[nodiscard]] bool degraded_allowed() const { return true; }
+
   /// Telemetry hook (src/obs); optional and not owned, like trace/timing.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 

@@ -69,6 +69,12 @@ class ParallelBspEngine {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Degraded completion around dead ranks; see BspEngine::has_failed().
+  [[nodiscard]] bool has_failed() const {
+    return failures_ != nullptr && failures_->num_dead() > 0;
+  }
+  [[nodiscard]] bool degraded_allowed() const { return true; }
+
   /// Telemetry hook (src/obs); optional and not owned, like trace/timing.
   /// Hooks fire from the sequential half of the round, so observers see the
   /// same event order as with BspEngine.

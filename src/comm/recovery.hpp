@@ -12,6 +12,7 @@
 // (core/degraded.hpp) instead of aborting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,11 +21,40 @@
 
 namespace kylix {
 
+/// Configurable bounded-retry backoff: attempt k (1-based) stalls for
+/// base_s * multiplier^(k-1) modeled seconds, capped at cap_s. Shared by the
+/// replica-recovery loop below and the membership heartbeat suspect timer
+/// (cluster/membership.hpp), so both escalate on the same schedule family.
+struct BackoffSchedule {
+  double base_s = 1e-4;     ///< delay of the first attempt
+  double multiplier = 2.0;  ///< geometric escalation per further attempt
+  double cap_s = 1e-2;      ///< upper bound on any single attempt's delay
+
+  /// Delay charged before attempt `attempt` (1-based; 0 maps to attempt 1).
+  [[nodiscard]] double delay(std::uint32_t attempt) const {
+    double d = base_s;
+    for (std::uint32_t k = 1; k < std::max<std::uint32_t>(attempt, 1); ++k) {
+      d *= multiplier;
+      if (d >= cap_s) break;
+    }
+    return std::min(d, cap_s);
+  }
+
+  /// Total stall across attempts 1..n — the worst-case time a bounded-retry
+  /// loop (or a heartbeat detector) spends before giving up on a peer.
+  [[nodiscard]] double total(std::uint32_t attempts) const {
+    double sum = 0;
+    for (std::uint32_t k = 1; k <= attempts; ++k) sum += delay(k);
+    return sum;
+  }
+};
+
 struct RecoveryPolicy {
   /// Re-request attempts per missing letter before the reliable fallback.
   std::uint32_t max_attempts = 4;
-  /// Attempt k stalls the receiver for k * backoff_base_s modeled seconds.
-  double backoff_base_s = 1e-4;
+  /// Per-attempt stall charged to the requesting receiver; attempt k waits
+  /// backoff.delay(k) modeled seconds (exponential, capped).
+  BackoffSchedule backoff{};
   /// Modeled bytes of the re-request control message (each direction pays
   /// one header; the successful retransmit then pays full wire cost).
   std::uint64_t request_bytes = 32;

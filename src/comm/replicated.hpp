@@ -174,6 +174,18 @@ class ReplicatedBsp {
     return policy_.degraded_completion;
   }
 
+  /// Epoch barrier (elastic membership, cluster/membership.hpp): forget the
+  /// previous epoch's degraded bookkeeping so post-heal DegradedReports
+  /// describe only rounds run on the new plan. Groups still dead when the
+  /// next round runs are re-snapshotted as dead-at-start — exactly what a
+  /// fresh configure on the survivor set would see. Race/recovery wire
+  /// counters keep accumulating across epochs; only loss attribution resets.
+  void begin_epoch() {
+    deaths_.clear();
+    recovery_.group_deaths = 0;
+    snapshot_taken_ = false;
+  }
+
   /// The allreduce reports each logical rank's input mass Σ|v| here before
   /// the run, so lost_mass_fraction() can price a group death.
   void note_input_mass(rank_t logical, double mass) {
@@ -184,7 +196,10 @@ class ReplicatedBsp {
   }
 
   /// Fraction of total input mass contributed by currently-dead groups
-  /// (0 when masses were never reported).
+  /// (0 when masses were never reported). When the reported total is zero —
+  /// every input key range lost, or all-identity inputs — a dead group still
+  /// means the whole reduction is unrecoverable, so report 1.0 rather than
+  /// dividing by zero.
   [[nodiscard]] double lost_mass_fraction() const {
     if (input_masses_.empty()) return 0.0;
     refresh_alive();
@@ -194,7 +209,8 @@ class ReplicatedBsp {
       total += input_masses_[j];
       if (alive_count_[j] == 0) lost += input_masses_[j];
     }
-    return total > 0.0 ? lost / total : 0.0;
+    if (total > 0.0) return lost / total;
+    return dead_groups_ > 0 ? 1.0 : 0.0;
   }
 
   /// Modeled compute runs on every alive replica of the logical rank.
@@ -371,7 +387,7 @@ class ReplicatedBsp {
           timing_->on_send(phase, layer, dst_phys, policy_.request_bytes);
           timing_->on_recv(phase, layer, src_phys, policy_.request_bytes);
           timing_->on_compute(phase, layer, dst_phys,
-                              policy_.backoff_base_s * attempt);
+                              policy_.backoff.delay(attempt));
         }
         if (observer_ != nullptr) {
           observer_->on_recovery(RecoveryEvent{phase, layer, letter.src,

@@ -70,6 +70,12 @@ class ThreadedBsp {
     return failures_ != nullptr && failures_->is_dead(rank);
   }
 
+  /// Degraded completion around dead ranks; see BspEngine::has_failed().
+  [[nodiscard]] bool has_failed() const {
+    return failures_ != nullptr && failures_->num_dead() > 0;
+  }
+  [[nodiscard]] bool degraded_allowed() const { return true; }
+
   /// Telemetry hook (src/obs); optional, not owned. on_message/on_drop fire
   /// from worker threads under the observer mutex; round begin/end fire on
   /// the calling thread.

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cluster/netmodel.hpp"
+#include "common/hash.hpp"
 #include "core/autotune.hpp"
 #include "core/degraded.hpp"
 #include "core/executor.hpp"
@@ -104,7 +105,8 @@ class SparseAllreduce {
   /// the input sets, so PlanCache can serve it to later iterations.
   [[nodiscard]] std::shared_ptr<const CollectivePlan> compile(
       std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
-    const std::uint64_t fp = fingerprint_key_sets(in_sets, out_sets);
+    const std::uint64_t fp =
+        salt_fingerprint(fingerprint_key_sets(in_sets, out_sets));
     mode_ = Mode::kNone;
     build_nodes(std::move(in_sets), std::move(out_sets));
     for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
@@ -155,7 +157,8 @@ class SparseAllreduce {
   /// and insert on a miss. Returns true iff the cache served the plan.
   bool configure_cached(PlanCache& cache, std::vector<KeySet> in_sets,
                         std::vector<KeySet> out_sets) {
-    const std::uint64_t fp = PlanCache::fingerprint(in_sets, out_sets);
+    const std::uint64_t fp =
+        salt_fingerprint(PlanCache::fingerprint(in_sets, out_sets));
     if (std::shared_ptr<const CollectivePlan> plan = cache.find(fp)) {
       configure(std::move(plan));
       return true;
@@ -271,6 +274,16 @@ class SparseAllreduce {
       for (double& v : mean) v /= static_cast<double>(alive);
     }
     return mean;
+  }
+
+  /// Feed the next compile() measured per-layer densities from a previous
+  /// epoch (same l+1 shape as measured_layer_elements()): the union-kernel
+  /// autotune then sizes itself from observed survivor volumes instead of
+  /// the fresh pass's own measurement. One-shot — consumed by the next
+  /// compile, cleared afterwards. The EpochedPlanManager uses this to carry
+  /// the old epoch's measurements into the healed plan.
+  void set_layer_density_hints(std::vector<double> mean_elements) {
+    layer_hints_ = std::move(mean_elements);
   }
 
   /// What the last completed run lost, if anything (core/degraded.hpp).
@@ -466,13 +479,36 @@ class SparseAllreduce {
     return std::max<std::uint16_t>(d.layer, 2) - 1;
   }
 
+  /// Dead ranks can't answer configuration, so two compiles of the *same*
+  /// key sets under different alive sets produce different plans. Fold the
+  /// dead set into the fingerprint (order-independent xor of per-rank
+  /// digests) so per-epoch plans never collide in the PlanCache; identity
+  /// when every rank is alive, so full-membership fingerprints — including
+  /// after a rejoin — are unchanged and still hit their original entries.
+  [[nodiscard]] std::uint64_t salt_fingerprint(std::uint64_t fp) const {
+    if (fp == 0) return 0;  // anonymous plans stay anonymous
+    for (rank_t r = 0; r < topo_.num_machines(); ++r) {
+      if (engine_->is_dead(r)) {
+        fp ^= mix64(0x6d656d62ULL ^ static_cast<std::uint64_t>(r));
+      }
+    }
+    return fp;
+  }
+
   /// Freeze the union-kernel choices the configuration pass dispatched
   /// with, sized by the measured per-layer union volume (autotune's
-  /// union_kernel_plan — the same heuristic union_into consults).
-  void freeze_union_kernels(CollectivePlan& plan) const {
+  /// union_kernel_plan — the same heuristic union_into consults). A pending
+  /// density hint (set_layer_density_hints) overrides the fresh measurement.
+  void freeze_union_kernels(CollectivePlan& plan) {
     const std::uint16_t l = topo_.num_layers();
     if (l == 0 || nodes_.empty()) return;
-    const std::vector<double> mean = measured_layer_elements();
+    std::vector<double> mean;
+    if (layer_hints_.size() == static_cast<std::size_t>(l) + 1) {
+      mean = std::move(layer_hints_);
+    } else {
+      mean = measured_layer_elements();
+    }
+    layer_hints_.clear();
     // Elements entering communication layer i — what one node unions there.
     std::vector<double> layer_elements(l, 0.0);
     for (std::uint16_t i = 1; i <= l; ++i) {
@@ -533,6 +569,7 @@ class SparseAllreduce {
   const ComputeModel* compute_;
   const NetworkModel* net_ = nullptr;  ///< chunk-size compiler input
   std::uint64_t chunk_bytes_ = 0;      ///< tuning override (0 = compiled)
+  std::vector<double> layer_hints_;    ///< one-shot measured-density carry
   Mode mode_ = Mode::kNone;
   std::vector<Node> nodes_;
   std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes

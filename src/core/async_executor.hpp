@@ -140,6 +140,20 @@ class AsyncExecutor {
     return plan_;
   }
 
+  /// Membership epoch stamped on subsequent submissions (elastic
+  /// membership, core/epoch_manager.hpp). The manager drains in-flight
+  /// streams at the round barrier, rebinds the healed plan, then advances
+  /// this — so every stream completes against the plan of the epoch it was
+  /// admitted under (the executor's shared_ptr keeps an old-epoch plan
+  /// alive even after the PlanCache evicts it).
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// The membership epoch stream `tag` was admitted under.
+  [[nodiscard]] std::uint64_t stream_epoch(std::uint32_t tag) const {
+    return streams_[tag - stream_base_].epoch;
+  }
+
   /// Submit one reduce as a new stream; returns its sequence tag. Admitted
   /// to a free lane immediately, else queued until one frees up during
   /// drain(). `faults` (optional, not owned, must outlive drain()) is this
@@ -170,6 +184,7 @@ class AsyncExecutor {
     st.finish_time = 0;
     st.stats = StreamStats{};
     st.faults = FaultStats{};
+    st.epoch = epoch_;
     if (st.results.size() != plan_->num_ranks()) {
       st.results.resize(plan_->num_ranks());
     }
@@ -292,6 +307,7 @@ class AsyncExecutor {
     FaultStats faults;
     double admit_time = 0;
     double finish_time = 0;
+    std::uint64_t epoch = 0;  ///< membership epoch at submit()
     bool done = false;
     bool taken = false;
   };
@@ -506,6 +522,7 @@ class AsyncExecutor {
       obs::FlightEvent e;
       e.kind = obs::FlightEventKind::kStreamAdmit;
       e.code = tag;
+      e.value = static_cast<double>(st.epoch);  ///< admission epoch tag
       e.bytes = plan_->fingerprint();
       opts_.recorder->record(e);
     }
@@ -672,6 +689,7 @@ class AsyncExecutor {
   double makespan_ = 0;
   double pace_ = 0;        ///< admission initiation interval (modeled s)
   double next_admit_ = 0;  ///< earliest modeled time the next admit may use
+  std::uint64_t epoch_ = 0;  ///< membership epoch for new submissions
 
   std::mutex mu_;  ///< scheduler lock (threaded mode only)
   std::condition_variable cv_;

@@ -19,6 +19,7 @@
 #include "baselines/tree.hpp"       // IWYU pragma: export
 #include "cluster/failure.hpp"      // IWYU pragma: export
 #include "cluster/fault_plan.hpp"   // IWYU pragma: export
+#include "cluster/membership.hpp"   // IWYU pragma: export
 #include "cluster/netmodel.hpp"     // IWYU pragma: export
 #include "cluster/timing.hpp"       // IWYU pragma: export
 #include "cluster/trace.hpp"        // IWYU pragma: export
@@ -38,6 +39,7 @@
 #include "core/async_node.hpp"      // IWYU pragma: export
 #include "core/autotune.hpp"        // IWYU pragma: export
 #include "core/degraded.hpp"        // IWYU pragma: export
+#include "core/epoch_manager.hpp"   // IWYU pragma: export
 #include "core/executor.hpp"        // IWYU pragma: export
 #include "core/node.hpp"            // IWYU pragma: export
 #include "core/plan.hpp"            // IWYU pragma: export

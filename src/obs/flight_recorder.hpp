@@ -56,6 +56,10 @@ enum class FlightEventKind : std::uint8_t {
   kCheckFail = 17,     ///< a KYLIX_CHECK fired (postmortem path)
   kStreamAdmit = 18,   ///< async stream admitted (code = stream id)
   kStreamComplete = 19,  ///< async stream finished (value = modeled seconds)
+  kEpochChange = 20,   ///< membership epoch advanced (code = new epoch)
+  kRankSuspect = 21,   ///< heartbeat missed; rank on probation (rank = who)
+  kRankDead = 22,      ///< probes exhausted; rank declared dead (rank = who)
+  kRankJoined = 23,    ///< dead rank back alive at a later epoch (rank = who)
 };
 
 [[nodiscard]] constexpr const char* flight_event_kind_name(
@@ -101,6 +105,14 @@ enum class FlightEventKind : std::uint8_t {
       return "stream-admit";
     case FlightEventKind::kStreamComplete:
       return "stream-complete";
+    case FlightEventKind::kEpochChange:
+      return "epoch-change";
+    case FlightEventKind::kRankSuspect:
+      return "rank-suspect";
+    case FlightEventKind::kRankDead:
+      return "rank-dead";
+    case FlightEventKind::kRankJoined:
+      return "rank-joined";
   }
   return "?";
 }

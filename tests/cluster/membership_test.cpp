@@ -1,0 +1,183 @@
+// MembershipView state machine + BackoffSchedule + lost-mass guard.
+
+#include <gtest/gtest.h>
+
+#include "cluster/failure.hpp"
+#include "cluster/membership.hpp"
+#include "comm/recovery.hpp"
+#include "comm/replicated.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace kylix {
+namespace {
+
+TEST(BackoffScheduleTest, ExponentialWithCap) {
+  const BackoffSchedule sched{1.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(sched.delay(1), 1.0);
+  EXPECT_DOUBLE_EQ(sched.delay(2), 2.0);
+  EXPECT_DOUBLE_EQ(sched.delay(3), 4.0);
+  EXPECT_DOUBLE_EQ(sched.delay(4), 5.0);  // 8 capped to 5
+  EXPECT_DOUBLE_EQ(sched.delay(9), 5.0);
+  EXPECT_DOUBLE_EQ(sched.delay(0), 1.0);  // 0 maps to attempt 1
+  EXPECT_DOUBLE_EQ(sched.total(4), 1.0 + 2.0 + 4.0 + 5.0);
+}
+
+TEST(BackoffScheduleTest, DefaultsEscalate) {
+  const BackoffSchedule sched{};
+  EXPECT_GT(sched.delay(2), sched.delay(1));
+  EXPECT_LE(sched.delay(64), sched.cap_s);
+}
+
+TEST(MembershipViewTest, SuspectThenDeadAdvancesEpoch) {
+  FailureModel fm(4);
+  MembershipOptions opts;
+  opts.max_probes = 3;
+  opts.probe_backoff = BackoffSchedule{1.0, 2.0, 4.0};  // delays 1, 2, 4
+  MembershipView view(4, &fm, opts);
+  EXPECT_EQ(view.epoch(), 0u);
+  EXPECT_FALSE(view.poll(0.0));
+
+  fm.kill(2);
+  // First poll after the kill: suspect, not dead — no epoch change yet.
+  EXPECT_FALSE(view.poll(10.0));
+  EXPECT_EQ(view.state(2), MembershipView::State::kSuspect);
+  EXPECT_FALSE(view.is_dead(2));
+  EXPECT_EQ(view.epoch(), 0u);
+
+  // Probes accumulate from the suspicion time: death only after the whole
+  // schedule (10 + 1 + 2 + 4 = 17) ran dry.
+  EXPECT_FALSE(view.poll(16.9));
+  EXPECT_EQ(view.state(2), MembershipView::State::kSuspect);
+  EXPECT_TRUE(view.poll(17.0));
+  EXPECT_TRUE(view.is_dead(2));
+  EXPECT_EQ(view.epoch(), 1u);
+  EXPECT_EQ(view.alive_members().size(), 3u);
+  EXPECT_EQ(view.dead_members(), std::vector<rank_t>{2});
+  EXPECT_EQ(view.stats().deaths, 1u);
+  EXPECT_EQ(view.stats().probes, 3u);
+}
+
+TEST(MembershipViewTest, FlapRecoversWithoutEpochChange) {
+  FailureModel fm(4);
+  MembershipOptions opts;
+  opts.probe_backoff = BackoffSchedule{1.0, 2.0, 4.0};
+  MembershipView view(4, &fm, opts);
+  fm.kill(1);
+  EXPECT_FALSE(view.poll(0.0));
+  EXPECT_EQ(view.state(1), MembershipView::State::kSuspect);
+  fm.revive(1);  // answered a probe before the schedule ran out
+  EXPECT_FALSE(view.poll(0.5));
+  EXPECT_EQ(view.state(1), MembershipView::State::kAlive);
+  EXPECT_EQ(view.epoch(), 0u);
+  EXPECT_EQ(view.stats().flaps, 1u);
+  EXPECT_EQ(view.stats().deaths, 0u);
+}
+
+TEST(MembershipViewTest, RejoinBumpsEpoch) {
+  FailureModel fm(4);
+  MembershipView view(4, &fm);
+  fm.kill(3);
+  EXPECT_FALSE(view.poll(0.0));
+  EXPECT_TRUE(view.poll_settled(0.0));
+  EXPECT_EQ(view.epoch(), 1u);
+  fm.revive(3);
+  EXPECT_TRUE(view.poll(1.0));
+  EXPECT_EQ(view.epoch(), 2u);
+  EXPECT_EQ(view.state(3), MembershipView::State::kAlive);
+  EXPECT_EQ(view.stats().joins, 1u);
+  ASSERT_EQ(view.history().size(), 3u);
+  EXPECT_EQ(view.history()[1].dead, std::vector<rank_t>{3});
+  EXPECT_TRUE(view.history()[2].dead.empty());
+}
+
+TEST(MembershipViewTest, ReplicaGroupSemantics) {
+  // 3 logical members, replication 2: member j down iff both j and j+3 die.
+  FailureModel fm(6);
+  MembershipOptions opts;
+  opts.replication = 2;
+  MembershipView view(3, &fm, opts);
+  fm.kill(1);
+  EXPECT_FALSE(view.poll_settled(0.0));
+  EXPECT_EQ(view.state(1), MembershipView::State::kAlive);
+  fm.kill(4);  // second replica of member 1 — group now dead
+  EXPECT_TRUE(view.poll_settled(1.0));
+  EXPECT_TRUE(view.is_dead(1));
+  EXPECT_EQ(view.epoch(), 1u);
+}
+
+TEST(MembershipViewTest, AliveFingerprintTracksDeadSet) {
+  FailureModel fm(4);
+  MembershipView view(4, &fm);
+  EXPECT_EQ(view.alive_fingerprint(), 0u);
+  fm.kill(0);
+  (void)view.poll_settled(0.0);
+  const std::uint64_t fp_dead0 = view.alive_fingerprint();
+  EXPECT_NE(fp_dead0, 0u);
+  fm.kill(2);
+  (void)view.poll_settled(1.0);
+  EXPECT_NE(view.alive_fingerprint(), fp_dead0);
+  fm.revive(0);
+  fm.revive(2);
+  (void)view.poll(2.0);
+  EXPECT_EQ(view.alive_fingerprint(), 0u);
+}
+
+TEST(MembershipViewTest, EmitsMetricsAndFlightEvents) {
+  FailureModel fm(4);
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(4);
+  MembershipOptions opts;
+  opts.metrics = &metrics;
+  opts.recorder = &recorder;
+  MembershipView view(4, &fm, opts);
+  fm.kill(2);
+  (void)view.poll_settled(0.0);
+  fm.revive(2);
+  (void)view.poll(1.0);
+  EXPECT_EQ(metrics.counter("membership.suspects").value(), 1u);
+  EXPECT_EQ(metrics.counter("membership.deaths").value(), 1u);
+  EXPECT_EQ(metrics.counter("membership.joins").value(), 1u);
+  EXPECT_EQ(metrics.counter("membership.epoch_changes").value(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("membership.epoch").value(), 2.0);
+  EXPECT_GE(metrics.counter("membership.probes").value(), 1u);
+
+  int suspects = 0, deaths = 0, joins = 0, epochs = 0;
+  for (const obs::FlightEvent& e : recorder.merged_events()) {
+    switch (e.kind) {
+      case obs::FlightEventKind::kRankSuspect: ++suspects; break;
+      case obs::FlightEventKind::kRankDead: ++deaths; break;
+      case obs::FlightEventKind::kRankJoined: ++joins; break;
+      case obs::FlightEventKind::kEpochChange: ++epochs; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(suspects, 1);
+  EXPECT_EQ(deaths, 1);
+  EXPECT_EQ(joins, 1);
+  EXPECT_EQ(epochs, 2);
+}
+
+// Satellite: mass_lost_fraction divide-by-zero guard. All-zero reported
+// masses with a dead group must price the loss as total (1.0), not 0/0.
+TEST(LostMassFractionTest, ZeroTotalMassWithDeadGroupReportsOne) {
+  FailureModel fm(4);
+  ReplicatedBsp<float> engine(2, 2, &fm);
+  engine.note_input_mass(0, 0.0);
+  engine.note_input_mass(1, 0.0);
+  EXPECT_DOUBLE_EQ(engine.lost_mass_fraction(), 0.0);  // nobody dead
+  fm.kill(1);
+  fm.kill(3);  // whole group of logical 1
+  EXPECT_DOUBLE_EQ(engine.lost_mass_fraction(), 1.0);
+}
+
+TEST(LostMassFractionTest, UnreportedMassesStayZero) {
+  FailureModel fm(4);
+  ReplicatedBsp<float> engine(2, 2, &fm);
+  fm.kill(1);
+  fm.kill(3);
+  EXPECT_DOUBLE_EQ(engine.lost_mass_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace kylix

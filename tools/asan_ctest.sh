@@ -53,3 +53,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L obs
 # scheduler's park/wake edges — exactly where use-after-recycle and lost
 # wakeups hide (the tsan tree runs the same label for the race half).
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L async
+
+# Focused membership pass: the elastic-membership loop swaps whole plans at
+# epoch boundaries — old-epoch plans kept alive only by the async executor's
+# shared_ptr after cache eviction, per-epoch degraded state reset, and the
+# heal/rejoin recompile path — the exact place a stale plan pointer or a
+# dropped last reference would surface as a use-after-free.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L membership

@@ -329,3 +329,56 @@ if failed:
 print(f"\nasync-overlap gate passed: >= {min_speedup}x serialized at "
       f">= {min_inflight} in flight on every preset, streams bit-identical")
 PYGATE
+
+# ---- Healing gate ----------------------------------------------------------
+# Elastic membership (DESIGN §12) must keep re-planning cheap: after a
+# kill-group is confirmed dead, the EpochedPlanManager's re-plan on the
+# survivor set may cost at most 1.5x a cold configure on that same survivor
+# set (it runs the same config rounds plus the epoch bookkeeping — salted
+# fingerprints, density-hint capture, cache insert). The loop itself is the
+# correctness gate: `kylix_cli heal` exits nonzero unless every healed
+# reduce is bit-identical to a fresh survivor configure and every rejoin
+# restores the cached epoch-0 plan.
+cmake --build "${build_dir}" -j "$(nproc)" --target kylix_cli
+heal_json="${build_dir}/BENCH_heal_fresh.json"
+"${build_dir}/tools/kylix_cli" heal --machines 32 --features 65536 \
+  --density 0.15 --replication 2 --cycles 3 --group-size 2 \
+  --heal-out "${heal_json}" > /dev/null
+
+python3 - "${heal_json}" <<'PYHEAL'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+max_ratio = 1.5
+
+ratio = doc["replan_over_cold_ratio"]
+ok_ratio = 0 < ratio <= max_ratio
+ok_sound = doc["all_sound"]
+ok_degraded = doc["mean_degraded_rounds"] > 0
+ok_epochs = doc["epochs"] == 2 * doc["cycles"]  # one death + one rejoin each
+
+print(f"\n{'machines':>9}{'repl':>6}{'group':>7}{'cycles':>8}"
+      f"{'replan s':>10}{'cold s':>9}{'ratio':>7}{'degraded':>10}  status")
+status = "ok"
+if not ok_ratio:
+    status = "REGRESS"
+if not ok_sound:
+    status += " UNSOUND"
+if not ok_degraded:
+    status += " NO-DEGRADED-ROUNDS"
+if not ok_epochs:
+    status += " EPOCH-MISCOUNT"
+print(f"{doc['machines']:>9}{doc['replication']:>6}{doc['group_size']:>7}"
+      f"{doc['cycles']:>8}{doc['mean_replan_s']:>10.4f}"
+      f"{doc['mean_survivor_cold_s']:>9.4f}{ratio:>7.2f}"
+      f"{doc['mean_degraded_rounds']:>10.1f}  {status}")
+
+if not (ok_ratio and ok_sound and ok_degraded and ok_epochs):
+    print(f"\nhealing gate FAILED: re-plan must cost <= {max_ratio}x a cold "
+          f"survivor configure, with sound heals, degraded rounds observed, "
+          f"and a death+rejoin epoch pair per cycle")
+    sys.exit(1)
+print(f"\nhealing gate passed: re-plan {ratio:.2f}x cold survivor configure "
+      f"(<= {max_ratio}x), all heals and rejoins bit-identical")
+PYHEAL

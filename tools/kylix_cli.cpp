@@ -57,6 +57,7 @@ struct Cli {
   bool report = false;
   bool chaos = false;
   bool plan = false;
+  bool heal = false;
   bool postmortem = false;
   std::string postmortem_file;  // postmortem mode: the JSON black box to read
   std::string postmortem_out;   // report/chaos: dump the black box here
@@ -85,12 +86,18 @@ struct Cli {
   // plan mode: replay iterations and interleaved payload count.
   std::uint32_t plan_iters = 20;
   std::uint32_t payloads = 4;
+  // heal mode: kill→heal→rejoin cycles over the epoched plan manager.
+  std::uint32_t heal_cycles = 3;
+  rank_t group_size = 1;      // logical ranks killed per cycle
+  double round_dt = 1e-3;     // view-time seconds per reduce round
+  std::string heal_out;       // healing summary JSON (bench gate input)
 };
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
-      "usage: kylix_cli [report|chaos|plan|postmortem <file>] [options]\n"
+      "usage: kylix_cli [report|chaos|plan|heal|postmortem <file>] "
+      "[options]\n"
       "  --machines M      logical machine count (default 64)\n"
       "  --features N      index-space size (default 262144)\n"
       "  --density D       target partition density (default 0.21)\n"
@@ -123,6 +130,14 @@ struct Cli {
       "  --iters N         replay iterations to wall-clock (default 20)\n"
       "  --payloads K      interleaved payloads per strided reduce "
       "(default 4)\n"
+      "heal mode only (elastic membership, kill→heal→rejoin loop):\n"
+      "  --cycles N        kill→heal→rejoin cycles to run (default 3)\n"
+      "  --group-size S    logical ranks killed per cycle (default 1)\n"
+      "  --round-dt S      view-time seconds per reduce round (default\n"
+      "                    1e-3; the heartbeat detector's clock advances\n"
+      "                    this much per degraded round)\n"
+      "  --heal-out F      write the healing summary JSON (epoch timeline,\n"
+      "                    re-plan vs cold-configure cost) to F\n"
       "postmortem mode: render a saved black box as a readable timeline\n");
   std::exit(2);
 }
@@ -151,6 +166,9 @@ Cli parse(int argc, char** argv) {
     ++i;
   } else if (i < argc && std::strcmp(argv[i], "plan") == 0) {
     cli.plan = true;
+    ++i;
+  } else if (i < argc && std::strcmp(argv[i], "heal") == 0) {
+    cli.heal = true;
     ++i;
   } else if (i < argc && std::strcmp(argv[i], "postmortem") == 0) {
     cli.postmortem = true;
@@ -210,6 +228,14 @@ Cli parse(int argc, char** argv) {
       cli.plan_iters = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--payloads" && cli.plan) {
       cli.payloads = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--cycles" && cli.heal) {
+      cli.heal_cycles = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--group-size" && cli.heal) {
+      cli.group_size = static_cast<rank_t>(std::stoul(value()));
+    } else if (flag == "--round-dt" && cli.heal) {
+      cli.round_dt = std::stod(value());
+    } else if (flag == "--heal-out" && cli.heal) {
+      cli.heal_out = value();
     } else {
       usage_and_exit();
     }
@@ -1061,6 +1087,235 @@ int run_plan(const Cli& cli) {
   return errors == 0 && strided_errors == 0 ? 0 : 1;
 }
 
+/// One kill→heal→rejoin cycle's worth of measurements for the healing table.
+struct HealCycle {
+  std::vector<rank_t> victims;         ///< logical ranks killed this cycle
+  std::uint64_t degraded_rounds = 0;   ///< reduces run while the detector probed
+  double detect_view_s = 0;            ///< view time from kill to epoch bump
+  double replan_s = 0;                 ///< wall cost of the manager's re-plan
+  double survivor_cold_s = 0;          ///< wall cost of a fresh survivor configure
+  bool heal_identical = false;         ///< healed reduce == fresh survivor reduce
+  bool rejoin_cache_hit = false;       ///< rejoin served the epoch-0 cached plan
+  bool rejoin_identical = false;       ///< post-rejoin reduce == original baseline
+};
+
+/// The healing loop, generic over the engine: kill a group of logical ranks,
+/// run degraded rounds on the old plan while the heartbeat detector probes,
+/// let the EpochedPlanManager re-plan on confirmation, check the healed
+/// reduce is bit-identical to a cold configure on the survivor set, then
+/// revive the group and check the rejoin epoch restores the original plan
+/// (cache hit) and baseline results.
+template <typename Engine, typename MakeEngine>
+int run_heal_engine(const Cli& cli, const Workload& w, const Topology& topo,
+                    MakeEngine make_engine) {
+  const rank_t m = cli.machines;
+  const rank_t physical = m * cli.replication;
+  KYLIX_CHECK_MSG(cli.group_size >= 1 && cli.group_size < m,
+                  "--group-size must be in [1, machines)");
+  KYLIX_CHECK_MSG(cli.heal_cycles >= 1, "--cycles must be >= 1");
+  KYLIX_CHECK_MSG(cli.round_dt > 0, "--round-dt must be > 0");
+
+  FailureModel fm(physical);
+  auto engine = make_engine(&fm);
+  SparseAllreduce<real_t, OpSum, Engine> allreduce(engine.get(), topo);
+
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(physical, /*per_rank_capacity=*/256,
+                               /*global_capacity=*/4096);
+  MembershipOptions vopts;
+  vopts.replication = cli.replication;
+  vopts.recorder = &recorder;
+  vopts.metrics = &metrics;
+  MembershipView view(m, &fm, vopts);
+  PlanCache cache(8);
+  typename EpochedPlanManager<real_t, OpSum, Engine>::Options mopts;
+  mopts.cache = &cache;
+  mopts.metrics = &metrics;
+  EpochedPlanManager<real_t, OpSum, Engine> mgr(&allreduce, &view, mopts);
+  mgr.set_engine(engine.get());
+
+  mgr.configure(w.in_sets, w.out_sets);
+  const double cold_s = mgr.cold_configure_seconds();
+  const auto baseline = allreduce.reduce(w.values);
+  const std::size_t baseline_errors = verify(cli, w, baseline);
+  std::printf("baseline: configured in %s, %zu mismatches vs reference "
+              "(%s)\n\n",
+              format_seconds(cold_s).c_str(), baseline_errors,
+              baseline_errors == 0 ? "PASS" : "FAIL");
+
+  double clock = 0.0;
+  std::vector<HealCycle> cycles;
+  for (std::uint32_t c = 0; c < cli.heal_cycles; ++c) {
+    HealCycle cyc;
+    // Deterministic victim schedule: a fresh group of logical ranks each
+    // cycle so every heal compiles a distinct survivor plan (no cache hit
+    // masking the re-plan cost), while every rejoin returns to epoch 0.
+    for (rank_t j = 0; j < cli.group_size; ++j) {
+      cyc.victims.push_back((c * cli.group_size + j) % m);
+    }
+    const double killed_at = clock;
+    for (const rank_t v : cyc.victims) {
+      for (std::uint32_t rep = 0; rep < cli.replication; ++rep) {
+        fm.kill(v + static_cast<rank_t>(rep) * m);
+      }
+    }
+    // Degraded rounds on the old epoch until the detector's probe schedule
+    // runs dry and the manager swaps plans at this round barrier.
+    while (!mgr.heal(clock)) {
+      (void)allreduce.reduce(w.values);
+      ++cyc.degraded_rounds;
+      clock += cli.round_dt;
+      KYLIX_CHECK_MSG(cyc.degraded_rounds < 10000,
+                      "heartbeat detector never confirmed the kill");
+    }
+    cyc.detect_view_s = clock - killed_at;
+    cyc.replan_s = mgr.timeline().back().replan_s;
+
+    // Healed epoch: bit-identical to a cold configure on the survivor set.
+    const auto healed = allreduce.reduce(w.values);
+    FailureModel fresh_fm(physical);
+    for (rank_t p = 0; p < physical; ++p) {
+      if (fm.is_dead(p)) fresh_fm.kill(p);
+    }
+    auto fresh_engine = make_engine(&fresh_fm);
+    SparseAllreduce<real_t, OpSum, Engine> fresh(fresh_engine.get(), topo);
+    Timer timer;
+    fresh.configure(w.in_sets, w.out_sets);
+    cyc.survivor_cold_s = timer.seconds();
+    cyc.heal_identical = healed == fresh.reduce(w.values);
+
+    // Rejoin: revive the group; the next heal bumps the epoch again and the
+    // full-membership fingerprint hits the epoch-0 cache entry.
+    clock += cli.round_dt;
+    for (const rank_t v : cyc.victims) {
+      for (std::uint32_t rep = 0; rep < cli.replication; ++rep) {
+        fm.revive(v + static_cast<rank_t>(rep) * m);
+      }
+    }
+    KYLIX_CHECK_MSG(mgr.heal(clock), "rejoin did not advance the epoch");
+    cyc.rejoin_cache_hit = mgr.timeline().back().cache_hit;
+    cyc.rejoin_identical = allreduce.reduce(w.values) == baseline;
+    clock += cli.round_dt;
+    cycles.push_back(std::move(cyc));
+  }
+
+  // Survival/healing table.
+  std::printf("%5s %-14s %9s %10s %12s %14s %6s %5s %7s\n", "cycle",
+              "victims", "degraded", "detect", "replan", "cold(surv)",
+              "ratio", "heal", "rejoin");
+  double sum_replan = 0, sum_cold = 0, sum_degraded = 0;
+  bool all_sound = baseline_errors == 0;
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    const HealCycle& cyc = cycles[c];
+    std::string victims;
+    for (const rank_t v : cyc.victims) {
+      if (!victims.empty()) victims += ",";
+      victims += std::to_string(v);
+    }
+    sum_replan += cyc.replan_s;
+    sum_cold += cyc.survivor_cold_s;
+    sum_degraded += static_cast<double>(cyc.degraded_rounds);
+    all_sound = all_sound && cyc.heal_identical && cyc.rejoin_cache_hit &&
+                cyc.rejoin_identical;
+    std::printf("%5zu %-14s %9llu %10s %12s %14s %6.2f %5s %7s\n", c,
+                victims.c_str(),
+                static_cast<unsigned long long>(cyc.degraded_rounds),
+                format_seconds(cyc.detect_view_s).c_str(),
+                format_seconds(cyc.replan_s).c_str(),
+                format_seconds(cyc.survivor_cold_s).c_str(),
+                cyc.survivor_cold_s > 0 ? cyc.replan_s / cyc.survivor_cold_s
+                                        : 0.0,
+                cyc.heal_identical ? "PASS" : "FAIL",
+                cyc.rejoin_cache_hit && cyc.rejoin_identical ? "PASS"
+                                                             : "FAIL");
+  }
+
+  // Epoch timeline: the membership view's history joined with the
+  // manager's per-epoch re-plan costs (row 0 is the initial configure).
+  const auto& history = view.history();
+  const auto& timeline = mgr.timeline();
+  std::printf("\nepoch timeline:\n");
+  std::printf("%6s %10s %6s %-14s %12s %6s %s\n", "epoch", "at(view)",
+              "alive", "dead", "replan", "cache", "fingerprint");
+  for (std::size_t i = 0; i < history.size() && i < timeline.size(); ++i) {
+    std::string dead;
+    for (const rank_t d : history[i].dead) {
+      if (!dead.empty()) dead += ",";
+      dead += std::to_string(d);
+    }
+    if (dead.empty()) dead = "-";
+    std::printf("%6llu %10s %6zu %-14s %12s %6s %016llx\n",
+                static_cast<unsigned long long>(history[i].epoch),
+                format_seconds(history[i].at_s).c_str(), timeline[i].alive,
+                dead.c_str(), format_seconds(timeline[i].replan_s).c_str(),
+                timeline[i].cache_hit ? "HIT" : "miss",
+                static_cast<unsigned long long>(timeline[i].fingerprint));
+  }
+
+  const auto n = static_cast<double>(cycles.size());
+  const double mean_replan = sum_replan / n;
+  const double mean_cold = sum_cold / n;
+  const double ratio = mean_cold > 0 ? mean_replan / mean_cold : 0.0;
+  std::printf("\nmembership: %llu suspects, %llu deaths, %llu joins, "
+              "%llu probes, %llu epoch changes\n",
+              static_cast<unsigned long long>(view.stats().suspects),
+              static_cast<unsigned long long>(view.stats().deaths),
+              static_cast<unsigned long long>(view.stats().joins),
+              static_cast<unsigned long long>(view.stats().probes),
+              static_cast<unsigned long long>(view.epoch()));
+  std::printf("re-plan cost: mean %s vs mean survivor cold configure %s "
+              "(%.2fx)\n",
+              format_seconds(mean_replan).c_str(),
+              format_seconds(mean_cold).c_str(), ratio);
+
+  if (!cli.heal_out.empty()) {
+    std::ofstream out(cli.heal_out);
+    KYLIX_CHECK_MSG(out.good(), "cannot open --heal-out file");
+    out << "{\"machines\":" << m << ",\"replication\":" << cli.replication
+        << ",\"group_size\":" << cli.group_size
+        << ",\"cycles\":" << cycles.size()
+        << ",\"cold_configure_s\":" << cold_s
+        << ",\"mean_replan_s\":" << mean_replan
+        << ",\"mean_survivor_cold_s\":" << mean_cold
+        << ",\"replan_over_cold_ratio\":" << ratio
+        << ",\"mean_degraded_rounds\":" << sum_degraded / n
+        << ",\"epochs\":" << view.epoch() << ",\"all_sound\":"
+        << (all_sound ? "true" : "false") << "}\n";
+    std::printf("healing summary: %s\n", cli.heal_out.c_str());
+  }
+  std::printf("healing loop: %s\n", all_sound ? "PASS" : "FAIL");
+  return all_sound ? 0 : 1;
+}
+
+/// The elastic-membership demo: seeded kill-group → degraded rounds →
+/// detector-confirmed re-plan → rejoin, printing the epoch timeline and the
+/// survival/healing table. Replication >= 2 drives the replicated engine
+/// (a group is dead only when every replica dies); replication 1 heals the
+/// plain BSP engine around individual dead ranks.
+int run_heal(const Cli& cli) {
+  const NetworkModel net = scaled_network();
+  const Workload w = synthesize(cli);
+  std::printf("workload: n = %llu, m = %u, measured density %.4f\n",
+              static_cast<unsigned long long>(cli.features), cli.machines,
+              w.measured_density);
+  const Topology topo = pick_topology(cli, w, net, /*verbose=*/false);
+  std::printf("healing loop: %u cycles, group size %u, replication %u, "
+              "round dt %s\n\n",
+              cli.heal_cycles, cli.group_size, cli.replication,
+              format_seconds(cli.round_dt).c_str());
+  if (cli.replication == 1) {
+    return run_heal_engine<BspEngine<real_t>>(
+        cli, w, topo, [&](const FailureModel* fm) {
+          return std::make_unique<BspEngine<real_t>>(cli.machines, fm);
+        });
+  }
+  return run_heal_engine<ReplicatedBsp<real_t>>(
+      cli, w, topo, [&](const FailureModel* fm) {
+        return std::make_unique<ReplicatedBsp<real_t>>(cli.machines,
+                                                       cli.replication, fm);
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1069,6 +1324,7 @@ int main(int argc, char** argv) {
     if (cli.postmortem) return run_postmortem(cli);
     if (cli.chaos) return run_chaos(cli);
     if (cli.plan) return run_plan(cli);
+    if (cli.heal) return run_heal(cli);
     return cli.report ? run_report(cli) : run_default(cli);
   } catch (const kylix::check_error& e) {
     // BlackBoxGuard has already dumped the flight recorder (if one was

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Thread-sanitized test run: configures a dedicated build tree with
+# -DKYLIX_SANITIZE=thread, builds everything, and runs the concurrency-
+# sensitive ctest lanes under TSan (the address-sanitized twin is
+# tools/asan_ctest.sh).
+#
+# Only the labeled lanes run — TSan's ~10x slowdown makes the full suite
+# wasteful when most tests are single-threaded by construction:
+#   chaos       fault injection over the real-thread engines
+#   membership  epoch swaps + heal/rejoin over threaded engines
+#   async       the overlapped executor's scheduler park/wake edges
+#   tsan        everything else that spawns real host threads
+#
+# Usage: tools/tsan_ctest.sh [build-dir] [ctest-args...]
+#   build-dir defaults to build-tsan (kept separate from the plain and asan
+#   trees so switching sanitizers never forces a full reconfigure).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-tsan"}"
+shift || true
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKYLIX_SANITIZE=thread
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error: the first report fails the test instead of scrolling past.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -L chaos "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -L membership "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -L async "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -L tsan "$@"
