@@ -479,6 +479,95 @@ void emit_engine(obs::JsonWriter& json, const char* name,
   json.end_object();
 }
 
+struct HierarchyStats {
+  std::uint32_t cores = 1;                 ///< cores per machine (c)
+  std::vector<std::uint32_t> inter_degrees;
+  double flat_modeled_reduce_s = 0;        ///< flat butterfly, modeled clock
+  double hier_modeled_reduce_s = 0;        ///< two-tier, incl. intra stage
+  double modeled_speedup = 0;
+  double intra_config_s = 0;
+  double intra_down_s = 0;
+  double intra_up_s = 0;
+  double inter_down_s = 0;
+  double inter_up_s = 0;
+  double seq_warm_mean_s = 0;              ///< BspEngine warm, hier topology
+  double par_warm_mean_s = 0;              ///< ParallelBspEngine warm, same
+  double warm_speedup = 0;
+  bool identical = false;                  ///< hier == flat, bit for bit
+};
+
+/// The two-tier ablation (DESIGN §13): fold the preset's first (largest)
+/// butterfly degree into cores-per-machine, so the flat expansion of the
+/// hierarchical topology is exactly the paper topology — the degree-d_1
+/// network round becomes the leader's single-copy pass over co-located
+/// member buffers. Modeled clocks come from a TimingAccumulator on the
+/// sequential engine (flat charges inter rounds only; hierarchical splits
+/// into intra memory-bus time plus the shortened inter schedule); the warm
+/// wall-clock pair reruns the sequential-vs-parallel comparison on the
+/// hierarchical plan, where per-host sharding gives the pool workers
+/// contention-free intra rounds.
+HierarchyStats run_hierarchy(const bench::Dataset& data,
+                             const Topology& flat, unsigned threads) {
+  HierarchyStats stats;
+  stats.cores = flat.degree(1);
+  std::vector<std::uint32_t> inter;
+  for (std::uint16_t i = 2; i <= flat.num_layers(); ++i) {
+    inter.push_back(flat.degree(i));
+  }
+  stats.inter_degrees = inter;
+  const Topology hier(inter, stats.cores);
+
+  const NetworkModel net = bench::scaled_network();
+  // Both schedules run on the same physical hosts: c co-located ranks share
+  // one NIC. The flat butterfly therefore gives each rank 1/c of the link
+  // (CPU-side per-message costs — stack, handshake — stay per-rank), while
+  // the hierarchical leaders own the full link and the member traffic rides
+  // the memory bus. That asymmetry is the two-tier plan's whole case.
+  NetworkModel flat_net = net;
+  flat_net.bandwidth_bytes_per_s /= stats.cores;
+  const ComputeModel compute;
+  const auto modeled = [&](const Topology& topo, const NetworkModel& model,
+                           TimingAccumulator& timing) {
+    BspEngine<real_t> engine(bench::kMachines, nullptr, nullptr, &timing);
+    SparseAllreduce<real_t, OpSum, BspEngine<real_t>> allreduce(
+        &engine, topo, &compute);
+    allreduce.set_network(&model);
+    allreduce.configure(data.in_sets, data.out_sets);
+    return allreduce.reduce(data.out_values);
+  };
+  TimingAccumulator flat_timing(bench::kMachines, flat_net, compute);
+  const auto flat_results = modeled(flat, flat_net, flat_timing);
+  TimingAccumulator hier_timing(bench::kMachines, net, compute);
+  const auto hier_results = modeled(hier, net, hier_timing);
+  stats.identical = hier_results == flat_results;
+
+  const auto ft = flat_timing.times();
+  const auto ht = hier_timing.times();
+  stats.flat_modeled_reduce_s = ft.reduce();
+  stats.hier_modeled_reduce_s = ht.reduce();
+  stats.modeled_speedup = stats.hier_modeled_reduce_s > 0
+                              ? stats.flat_modeled_reduce_s /
+                                    stats.hier_modeled_reduce_s
+                              : 0;
+  stats.intra_config_s = ht.intra_config;
+  stats.intra_down_s = ht.intra_down;
+  stats.intra_up_s = ht.intra_up;
+  stats.inter_down_s = ht.reduce_down;
+  stats.inter_up_s = ht.reduce_up;
+
+  BspEngine<real_t> seq_engine(bench::kMachines);
+  const ReduceStats seq = run_engine(seq_engine, data, hier);
+  ParallelBspEngine<real_t> par_engine(bench::kMachines, threads);
+  const ReduceStats par = run_engine(par_engine, data, hier);
+  stats.seq_warm_mean_s = seq.warm_mean_s;
+  stats.par_warm_mean_s = par.warm_mean_s;
+  stats.warm_speedup =
+      par.warm_mean_s > 0 ? seq.warm_mean_s / par.warm_mean_s : 0;
+  stats.identical = stats.identical && seq.results == par.results &&
+                    seq.results == hier_results;
+  return stats;
+}
+
 /// One instrumented configure+reduce on the parallel engine, populating
 /// `registry` with the engine.* instruments plus per-layer byte counters
 /// (layer<i>.<phase>_bytes / layer<i>.total_bytes) read off the trace.
@@ -629,6 +718,16 @@ int main(int argc, char** argv) {
                 obs_stats.p99_round_s, obs_stats.p999_round_s,
                 static_cast<unsigned long long>(obs_stats.events_recorded));
 
+    const HierarchyStats hier = run_hierarchy(data, topology, threads);
+    std::printf("%-14s hier c=%u: modeled reduce %.4fs vs %.4fs flat "
+                "(%.2fx), intra %.4fs, warm par %.4fs vs seq %.4fs (%.2fx), "
+                "identical %s\n",
+                data.name.c_str(), hier.cores, hier.hier_modeled_reduce_s,
+                hier.flat_modeled_reduce_s, hier.modeled_speedup,
+                hier.intra_down_s + hier.intra_up_s, hier.par_warm_mean_s,
+                hier.seq_warm_mean_s, hier.warm_speedup,
+                hier.identical ? "yes" : "NO");
+
     const PlanReuseStats reuse = run_plan_reuse(seq_engine, data, topology);
     const double replay_speedup =
         reuse.replay_per_iter_s > 0
@@ -705,6 +804,28 @@ int main(int argc, char** argv) {
     json.key_value("tx_busy_s", async_stats.tx_busy_s);
     json.key_value("tx_utilization", async_stats.tx_utilization);
     json.key_value("bit_identical", async_stats.bit_identical);
+    json.end_object();
+    json.key("hierarchy");
+    json.begin_object();
+    json.key_value("cores_per_machine", static_cast<int>(hier.cores));
+    json.key("inter_degrees");
+    json.begin_array();
+    for (const std::uint32_t d : hier.inter_degrees) {
+      json.value(static_cast<int>(d));
+    }
+    json.end_array();
+    json.key_value("flat_modeled_reduce_s", hier.flat_modeled_reduce_s);
+    json.key_value("hier_modeled_reduce_s", hier.hier_modeled_reduce_s);
+    json.key_value("modeled_reduce_speedup", hier.modeled_speedup);
+    json.key_value("intra_config_s", hier.intra_config_s);
+    json.key_value("intra_down_s", hier.intra_down_s);
+    json.key_value("intra_up_s", hier.intra_up_s);
+    json.key_value("inter_down_s", hier.inter_down_s);
+    json.key_value("inter_up_s", hier.inter_up_s);
+    json.key_value("seq_warm_mean_s", hier.seq_warm_mean_s);
+    json.key_value("par_warm_mean_s", hier.par_warm_mean_s);
+    json.key_value("warm_speedup", hier.warm_speedup);
+    json.key_value("results_bit_identical", hier.identical);
     json.end_object();
     json.key("observability");
     json.begin_object();

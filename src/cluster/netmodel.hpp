@@ -34,6 +34,22 @@ struct NetworkModel {
   double handshake_latency_s = 4e-4;      ///< per message, thread-hideable
   double base_latency_s = 2e-4;           ///< per-round propagation/sync
 
+  // ---- intra-node class (DESIGN §13) -----------------------------------
+  // Ranks sharing a host exchange through memory, not the NIC: the leader
+  // reads peer buffers directly (single copy), so the "wire" is the memory
+  // bus and the per-peer overhead is a cacheline handoff, orders of
+  // magnitude below the TCP stack. Separate constants let TimingAccumulator
+  // price the intra/inter split of a hierarchical topology.
+  double intra_bandwidth_bytes_per_s = 1.28e10;  ///< ~memory-bus class
+  double intra_overhead_s = 1e-6;                ///< per peer-buffer attach
+
+  /// Wall time for a leader to reduce `bytes` total from `peers` co-located
+  /// buffers over shared memory (single-copy path).
+  [[nodiscard]] double intra_copy_time(double bytes,
+                                       std::uint32_t peers) const {
+    return bytes / intra_bandwidth_bytes_per_s + peers * intra_overhead_s;
+  }
+
   /// Total fixed per-message cost `a` for a single stream.
   [[nodiscard]] double message_overhead_s() const {
     return stack_overhead_s + handshake_latency_s;

@@ -16,6 +16,7 @@ TimingAccumulator::TimingAccumulator(rank_t num_nodes, NetworkModel net,
       threads_(threads) {
   KYLIX_CHECK(num_nodes >= 1);
   KYLIX_CHECK(threads >= 1);
+  for (auto& phase : intra_) phase.assign(num_nodes_, 0.0);
 }
 
 void TimingAccumulator::set_threads(std::uint32_t threads) {
@@ -62,6 +63,18 @@ void TimingAccumulator::on_compute(Phase phase, std::uint16_t layer,
                                    rank_t rank, double seconds) {
   KYLIX_DCHECK(rank < num_nodes_);
   round(phase, layer).compute_s[rank] += seconds;
+}
+
+void TimingAccumulator::on_intra(Phase phase, rank_t rank, double seconds) {
+  KYLIX_DCHECK(rank < num_nodes_);
+  intra_[static_cast<std::uint8_t>(phase)][rank] += seconds;
+}
+
+double TimingAccumulator::intra_time(Phase phase) const {
+  const auto& per_rank = intra_[static_cast<std::uint8_t>(phase)];
+  double worst = 0.0;
+  for (const double s : per_rank) worst = std::max(worst, s);
+  return worst;
 }
 
 double TimingAccumulator::eval_round(const Round& r) const {
@@ -156,7 +169,10 @@ double TimingAccumulator::pipelined_reduce_time(
     ++stages;
   }
   if (stages == 0) return 0.0;
-  return sum / k + (k - 1.0) / k * bottleneck + net_.base_latency_s;
+  // The intra-node tiers bracket the pipeline and are not chunked (the
+  // leader reads peer buffers in place), so they add as constants.
+  return sum / k + (k - 1.0) / k * bottleneck + net_.base_latency_s +
+         intra_time(Phase::kReduceDown) + intra_time(Phase::kReduceUp);
 }
 
 TimingAccumulator::PhaseTimes TimingAccumulator::times() const {
@@ -175,6 +191,9 @@ TimingAccumulator::PhaseTimes TimingAccumulator::times() const {
         break;
     }
   }
+  result.intra_config = intra_time(Phase::kConfig);
+  result.intra_down = intra_time(Phase::kReduceDown);
+  result.intra_up = intra_time(Phase::kReduceUp);
   return result;
 }
 

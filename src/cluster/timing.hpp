@@ -15,6 +15,7 @@
 // compute parallelizes up to ComputeModel::cores.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -45,6 +46,18 @@ class TimingAccumulator {
   void on_compute(Phase phase, std::uint16_t layer, rank_t rank,
                   double seconds);
 
+  /// Record intra-node (shared-memory tier, DESIGN §13) time spent by
+  /// `rank` — typically a host leader reducing or scattering peer buffers.
+  /// Hosts run concurrently, so the tier's wall time is the max over ranks,
+  /// not a message-model round. Thread-safe across distinct ranks (the
+  /// parallel engine charges hosts concurrently): per-rank slots are
+  /// preallocated and never rehashed.
+  void on_intra(Phase phase, rank_t rank, double seconds);
+
+  /// Wall time of one phase's intra-node tier: max over ranks of the
+  /// accumulated intra seconds (0 when the tier never ran).
+  [[nodiscard]] double intra_time(Phase phase) const;
+
   /// Wall time of one round (0 if the round never happened).
   [[nodiscard]] double round_time(Phase phase, std::uint16_t layer) const;
 
@@ -52,8 +65,19 @@ class TimingAccumulator {
     double config = 0;
     double reduce_down = 0;
     double reduce_up = 0;
-    [[nodiscard]] double reduce() const { return reduce_down + reduce_up; }
-    [[nodiscard]] double total() const { return config + reduce(); }
+    double intra_config = 0;  ///< intra-node tier of the config pass
+    double intra_down = 0;    ///< leader scatter-reduce from peer buffers
+    double intra_up = 0;      ///< member gather from the leader's result
+    [[nodiscard]] double intra() const {
+      return intra_config + intra_down + intra_up;
+    }
+    [[nodiscard]] double reduce() const {
+      return reduce_down + reduce_up + intra_down + intra_up;
+    }
+    [[nodiscard]] double total() const {
+      return config + intra_config + reduce_down + reduce_up + intra_down +
+             intra_up;
+    }
   };
   [[nodiscard]] PhaseTimes times() const;
 
@@ -105,6 +129,7 @@ class TimingAccumulator {
 
   void clear() {
     rounds_.clear();
+    for (auto& phase : intra_) phase.assign(phase.size(), 0.0);
     reduce_latencies_.clear();
     last_reduce_mark_ = 0.0;
   }
@@ -126,6 +151,10 @@ class TimingAccumulator {
   ComputeModel compute_;
   std::uint32_t threads_;
   std::map<std::pair<std::uint8_t, std::uint16_t>, Round> rounds_;
+  /// Per-phase per-rank intra-node seconds; index = uint8(Phase). Sized at
+  /// construction so concurrent charges to distinct ranks never reallocate
+  /// (the parallel engine charges hosts from worker threads).
+  std::array<std::vector<double>, 3> intra_;
   std::vector<double> reduce_latencies_;
   double last_reduce_mark_ = 0.0;
 };

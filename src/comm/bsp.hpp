@@ -89,6 +89,22 @@ class BspEngine {
     if (timing_ != nullptr) timing_->on_compute(phase, layer, rank, seconds);
   }
 
+  /// Attribute modeled intra-node (shared-memory tier) time to a rank.
+  void charge_intra(Phase phase, rank_t rank, double seconds) {
+    if (timing_ != nullptr) timing_->on_intra(phase, rank, seconds);
+  }
+
+  /// Intra-node stage of a hierarchical topology (DESIGN §13): run
+  /// `fn(host)` for every host. No letters, no trace/observer events — the
+  /// leader reduces directly from co-located peer buffers (single copy), so
+  /// there is nothing on the wire to record. fn must skip dead ranks itself
+  /// (it sees the member list; the engine only sees hosts here).
+  template <typename Fn>
+  void intra_round(Phase phase, rank_t num_hosts, Fn&& fn) {
+    (void)phase;
+    for (rank_t h = 0; h < num_hosts; ++h) fn(h);
+  }
+
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {

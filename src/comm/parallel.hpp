@@ -22,6 +22,15 @@
 // Inboxes and outboxes persist across rounds, so the steady-state letter
 // recycling economy of the node layer is preserved: shells keep their
 // capacity, and rounds allocate nothing once warm.
+//
+// Scaling: the pool claims contiguous rank shards (one atomic per shard, not
+// per rank), debug sender checks reuse per-worker scratch indexed by
+// ThreadPool::worker_id(), and pin_workers() optionally binds workers to
+// CPUs so a rank's node state keeps its cache home across rounds. The
+// hierarchical intra-node stage (intra_round) runs hosts across the pool —
+// hosts are independent by construction (each leader touches only its own
+// members' buffers, and the timing accumulator preallocates distinct
+// per-rank slots), so no buffering or locking is needed there.
 #pragma once
 
 #include <algorithm>
@@ -56,7 +65,8 @@ class ParallelBspEngine {
         timing_(timing),
         outboxes_(num_nodes),
         inboxes_(num_nodes),
-        pending_compute_(num_nodes) {
+        pending_compute_(num_nodes),
+        debug_senders_(pool_.num_threads()) {
     KYLIX_CHECK(num_nodes >= 1);
     KYLIX_CHECK_MSG(failures == nullptr || failures->num_nodes() >= num_nodes,
                     "FailureModel covers fewer ranks than the engine");
@@ -64,6 +74,10 @@ class ParallelBspEngine {
 
   [[nodiscard]] rank_t num_ranks() const { return num_nodes_; }
   [[nodiscard]] unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// Affinity-aware placement: bind each pool worker to a CPU so rank
+  /// shards keep their cache home across rounds (Linux; no-op elsewhere).
+  void pin_workers() { pool_.pin_workers(); }
 
   [[nodiscard]] bool is_dead(rank_t rank) const {
     return failures_ != nullptr && failures_->is_dead(rank);
@@ -109,6 +123,24 @@ class ParallelBspEngine {
     } else {
       timing_->on_compute(phase, layer, rank, seconds);
     }
+  }
+
+  /// Intra-tier charges always forward directly: the accumulator holds
+  /// preallocated per-rank slots and each host's ranks are charged by
+  /// exactly one intra_round worker, so concurrent charges never alias.
+  void charge_intra(Phase phase, rank_t rank, double seconds) {
+    if (timing_ != nullptr) timing_->on_intra(phase, rank, seconds);
+  }
+
+  /// Intra-node stage of a hierarchical topology: hosts are mutually
+  /// independent (a leader reduces only from its own members' buffers), so
+  /// they run across the pool. No letters, trace, or observer events — the
+  /// shared-memory tier has nothing on the wire to record.
+  template <typename Fn>
+  void intra_round(Phase phase, rank_t num_hosts, Fn&& fn) {
+    (void)phase;
+    pool_.parallel_for(num_hosts,
+                       [&](std::size_t h) { fn(static_cast<rank_t>(h)); });
   }
 
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
@@ -182,9 +214,10 @@ class ParallelBspEngine {
       std::sort(inbox.begin(), inbox.end(), letter_before<V>);
 #ifndef NDEBUG
       if (!inbox.empty()) {
-        // Sanity: only expected senders may appear (sorted + binary search).
-        std::vector<rank_t> senders(expected(rank).begin(),
-                                    expected(rank).end());
+        // Sanity: only expected senders may appear (sorted + binary
+        // search). Per-worker scratch: no allocation once warm, no locks.
+        auto& senders = debug_senders_[ThreadPool::worker_id()];
+        senders.assign(expected(rank).begin(), expected(rank).end());
         std::sort(senders.begin(), senders.end());
         for (const Letter<V>& letter : inbox) {
           KYLIX_DCHECK(
@@ -259,6 +292,7 @@ class ParallelBspEngine {
   std::vector<std::vector<Letter<V>>> outboxes_;  ///< staged by produce
   std::vector<std::vector<Letter<V>>> inboxes_;   ///< reused across rounds
   std::vector<std::vector<ComputeEvent>> pending_compute_;
+  std::vector<std::vector<rank_t>> debug_senders_;  ///< per-worker scratch
   bool collecting_ = false;  ///< true only during the consume batch
 };
 

@@ -222,6 +222,25 @@ class ReplicatedBsp {
     }
   }
 
+  /// Intra-node (shared-memory tier) time runs on every alive replica of
+  /// the logical rank, like charge_compute: replicas execute the same
+  /// intra-host schedule against their own copies of the member buffers.
+  void charge_intra(Phase phase, rank_t logical, double seconds) {
+    if (timing_ == nullptr) return;
+    for (rank_t p : alive_replicas(logical)) {
+      timing_->on_intra(phase, p, seconds);
+    }
+  }
+
+  /// Intra-node stage of a hierarchical topology, over *logical* hosts:
+  /// runs sequentially on the calling thread (no wire traffic to race, so
+  /// replication adds nothing to observe here).
+  template <typename Fn>
+  void intra_round(Phase phase, rank_t num_hosts, Fn&& fn) {
+    (void)phase;
+    for (rank_t h = 0; h < num_hosts; ++h) fn(h);
+  }
+
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {

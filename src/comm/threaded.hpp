@@ -111,6 +111,23 @@ class ThreadedBsp {
     timing_->on_compute(phase, layer, rank, seconds);
   }
 
+  /// Attribute modeled intra-node (shared-memory tier) time to a rank.
+  /// Called from intra_round, which runs on the calling thread here, so no
+  /// lock is needed (the per-rank worker threads are parked between rounds).
+  void charge_intra(Phase phase, rank_t rank, double seconds) {
+    if (timing_ != nullptr) timing_->on_intra(phase, rank, seconds);
+  }
+
+  /// Intra-node stage of a hierarchical topology: runs sequentially on the
+  /// calling thread. The per-rank worker threads model the *wire*, and the
+  /// shared-memory tier has no wire traffic to interleave — a leader reads
+  /// its co-located members' buffers directly (single copy, no Letters).
+  template <typename Fn>
+  void intra_round(Phase phase, rank_t num_hosts, Fn&& fn) {
+    (void)phase;
+    for (rank_t h = 0; h < num_hosts; ++h) fn(h);
+  }
+
   template <typename ProduceFn, typename ExpectedFn, typename ConsumeFn>
   void round(Phase phase, std::uint16_t layer, ProduceFn&& produce,
              ExpectedFn&& expected, ConsumeFn&& consume) {

@@ -2,16 +2,24 @@
 //
 // Built for the parallel simulation engine (comm/parallel.hpp): one pool per
 // engine, woken once per produce/consume phase, so thread startup cost is
-// paid once per engine instead of once per round. Work is distributed by an
-// atomic index counter (dynamic self-scheduling), which balances the skewed
-// per-rank costs of a heterogeneous butterfly without any static partition.
+// paid once per engine instead of once per round. Work is claimed in
+// contiguous *shards* — one atomic fetch_add per shard instead of per index
+// — so a round over m ranks costs O(threads) synchronization, not O(m), and
+// consecutive indices (whose node state is adjacent in memory) run on the
+// same worker. Dynamic shard claiming still balances skewed per-rank costs:
+// a worker that finishes its shard early claims another.
 //
 // Batch protocol: the caller publishes the loop body under the mutex, bumps
 // a generation counter, and wakes every worker. Each worker checks in
-// (arrived), claims indices until the counter is exhausted, and checks out
+// (arrived), claims shards until the counter is exhausted, and checks out
 // (busy back to zero). The caller participates in the batch itself, then
 // waits until every worker has both arrived *and* finished — guaranteeing no
 // straggler from batch N can observe state being written for batch N+1.
+//
+// Workers carry a stable id (worker_id(): caller = 0, spawned workers
+// 1..threads-1) so engines can keep per-worker scratch without locks, and
+// pin_workers() optionally binds each worker to a CPU (Linux) for
+// affinity-stable placement across rounds.
 #pragma once
 
 #include <atomic>
@@ -23,6 +31,11 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/check.hpp"
 
@@ -40,7 +53,10 @@ class ThreadPool {
     threads_ = threads;
     workers_.reserve(threads_ - 1);
     for (unsigned i = 1; i < threads_; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        tls_worker_id_ = i;
+        worker_loop();
+      });
     }
   }
 
@@ -59,11 +75,33 @@ class ThreadPool {
 
   [[nodiscard]] unsigned num_threads() const { return threads_; }
 
-  /// Run fn(0), …, fn(n - 1) across the pool; indices are claimed
-  /// dynamically, the calling thread participates, and the call returns
-  /// only when every index has finished. The first exception thrown by any
-  /// call is rethrown here (remaining indices still run to completion).
-  /// Runs inline when the pool has one thread or n <= 1.
+  /// Stable id of the thread currently inside a parallel_for body: 0 for
+  /// the calling thread, 1..num_threads()-1 for pool workers. Valid only
+  /// inside a batch; lets callers index per-worker scratch without locks.
+  [[nodiscard]] static unsigned worker_id() { return tls_worker_id_; }
+
+  /// Pin each spawned worker to a CPU (worker i -> cpu i mod ncpu) so rank
+  /// shards keep their cache line ownership across rounds. Linux-only;
+  /// silently a no-op elsewhere or when the affinity call fails (e.g.
+  /// restricted cpusets). Call once, outside a batch.
+  void pin_workers() {
+#if defined(__linux__)
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET((i + 1) % ncpu, &set);
+      (void)pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set),
+                                   &set);
+    }
+#endif
+  }
+
+  /// Run fn(0), …, fn(n - 1) across the pool; contiguous shards of indices
+  /// are claimed dynamically, the calling thread participates, and the call
+  /// returns only when every index has finished. The first exception thrown
+  /// by any call is rethrown here (remaining indices still run to
+  /// completion). Runs inline when the pool has one thread or n <= 1.
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
@@ -78,12 +116,17 @@ class ThreadPool {
         (*static_cast<std::remove_reference_t<Fn>*>(ctx))(i);
       };
       count_ = n;
+      // One shard per worker wave, at least 1: claiming costs one atomic
+      // per shard, and equal contiguous shards give affinity-stable
+      // placement when n is a multiple of the thread count.
+      grain_ = (n + threads_ - 1) / threads_;
       next_.store(0, std::memory_order_relaxed);
       arrived_ = 0;
       busy_ = 0;
       ++generation_;
     }
     start_cv_.notify_all();
+    tls_worker_id_ = 0;  // the caller is worker 0 inside its own batch
     run_batch();
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock,
@@ -118,13 +161,17 @@ class ThreadPool {
 
   void run_batch() {
     for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count_) return;
-      try {
-        invoke_(ctx_, i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!error_) error_ = std::current_exception();
+      const std::size_t base = next_.fetch_add(grain_,
+                                               std::memory_order_relaxed);
+      if (base >= count_) return;
+      const std::size_t end = std::min(count_, base + grain_);
+      for (std::size_t i = base; i < end; ++i) {
+        try {
+          invoke_(ctx_, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
       }
     }
   }
@@ -141,10 +188,13 @@ class ThreadPool {
   bool stop_ = false;
 
   std::atomic<std::size_t> next_{0};  ///< next unclaimed index
-  std::size_t count_ = 0;             ///< batch size (read under happens-before)
+  std::size_t count_ = 0;   ///< batch size (read under happens-before)
+  std::size_t grain_ = 1;   ///< shard length per claim
   void* ctx_ = nullptr;
   void (*invoke_)(void*, std::size_t) = nullptr;
   std::exception_ptr error_;
+
+  inline static thread_local unsigned tls_worker_id_ = 0;
 };
 
 }  // namespace kylix

@@ -105,6 +105,9 @@ class SparseAllreduce {
   /// the input sets, so PlanCache can serve it to later iterations.
   [[nodiscard]] std::shared_ptr<const CollectivePlan> compile(
       std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    if (topo_.hierarchical()) {
+      return compile_hierarchical(std::move(in_sets), std::move(out_sets));
+    }
     const std::uint64_t fp =
         salt_fingerprint(fingerprint_key_sets(in_sets, out_sets));
     mode_ = Mode::kNone;
@@ -129,7 +132,7 @@ class SparseAllreduce {
                    : 0));
     plan_ = std::move(plan);
     if (plan_->any_configured()) {
-      executor_.bind(engine_, plan_, compute_);
+      executor_.bind(engine_, plan_, compute_, net_);
       mode_ = Mode::kPlan;
     }
     return plan_;
@@ -142,6 +145,8 @@ class SparseAllreduce {
     KYLIX_CHECK(plan != nullptr);
     KYLIX_CHECK_MSG(
         plan->topology().num_machines() == topo_.num_machines() &&
+            plan->topology().cores_per_machine() ==
+                topo_.cores_per_machine() &&
             std::equal(plan->topology().degrees().begin(),
                        plan->topology().degrees().end(),
                        topo_.degrees().begin(), topo_.degrees().end()),
@@ -149,7 +154,7 @@ class SparseAllreduce {
     mode_ = Mode::kNone;
     nodes_.clear();
     plan_ = std::move(plan);
-    executor_.bind(engine_, plan_, compute_);
+    executor_.bind(engine_, plan_, compute_, net_);
     mode_ = Mode::kPlan;
   }
 
@@ -215,6 +220,12 @@ class SparseAllreduce {
   [[nodiscard]] std::vector<std::vector<V>> reduce_with_config(
       std::vector<KeySet> in_sets, std::vector<KeySet> out_sets,
       std::vector<std::vector<V>> out_values) {
+    // Combined mode is node-driven and throws its routing away per step;
+    // the shared-memory tier only pays off on replayed plans, so the
+    // hierarchical path deliberately does not exist here.
+    KYLIX_CHECK_MSG(!topo_.hierarchical(),
+                    "reduce_with_config() supports flat topologies only "
+                    "(compile a hierarchical plan and replay it instead)");
     mode_ = Mode::kCombined;
     build_nodes(std::move(in_sets), std::move(out_sets));
     load_values(std::move(out_values));
@@ -250,7 +261,12 @@ class SparseAllreduce {
       rank_t alive = 0;
       for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
         const RankPlan& rp = plan_->rank_plan(r);
-        if (!rp.configured || engine_->is_dead(r)) continue;
+        // Hierarchical members carry no per-layer sizes; only union-holding
+        // ranks (flat ranks, host leaders) enter the Prop 4.1 averages.
+        if (!rp.configured || engine_->is_dead(r) ||
+            rp.out_sizes.size() != mean.size()) {
+          continue;
+        }
         ++alive;
         for (std::uint16_t i = 0; i <= topo_.num_layers(); ++i) {
           mean[i] += static_cast<double>(rp.out_sizes[i]);
@@ -264,7 +280,9 @@ class SparseAllreduce {
     std::vector<double> mean(topo_.num_layers() + 1, 0.0);
     rank_t alive = 0;
     for (const Node& node : nodes_) {
-      if (engine_->is_dead(node.rank())) continue;
+      // Unconfigured nodes (dead ranks, hierarchical non-leaders) hold no
+      // per-layer unions to measure.
+      if (engine_->is_dead(node.rank()) || !node.configured()) continue;
       ++alive;
       for (std::uint16_t i = 0; i <= topo_.num_layers(); ++i) {
         mean[i] += static_cast<double>(node.out_set(i).size());
@@ -375,6 +393,142 @@ class SparseAllreduce {
  private:
   using Node = KylixNode<V, Op>;
 
+  /// Hierarchical compile (DESIGN §13). The shared-memory tier is compiled
+  /// here: per-host unions of the alive members' {in, out} sets, whose
+  /// piece->union positional maps from union_into ARE the intra-stage
+  /// scatter/gather maps. The inter-node butterfly is then the ordinary
+  /// flat configuration pass over host leaders (canonical rank host*c)
+  /// holding those unions — config rounds are gated to leaders, so the wire
+  /// schedule is exactly the flat schedule over one rank per host. Members
+  /// get API-surface RankPlans (in0, out0_size, missing_bottom; no layers);
+  /// leaders keep host-level replay state but member-level in0/out0_size,
+  /// since contributions and results align with each rank's own sets.
+  [[nodiscard]] std::shared_ptr<const CollectivePlan> compile_hierarchical(
+      std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
+    const rank_t m = topo_.num_machines();
+    KYLIX_CHECK(in_sets.size() == m && out_sets.size() == m);
+    const std::uint64_t fp =
+        salt_fingerprint(fingerprint_key_sets(in_sets, out_sets));
+    mode_ = Mode::kNone;
+    const rank_t hosts = topo_.num_hosts();
+    const std::uint32_t c = topo_.cores_per_machine();
+
+    std::vector<IntraHost> intra(hosts);
+    std::vector<KeySet> node_in(m);
+    std::vector<KeySet> node_out(m);
+    UnionResult host_union;
+    MergeScratch merge_scratch;
+    std::vector<std::span<const key_t>> member_keys;
+    for (rank_t h = 0; h < hosts; ++h) {
+      IntraHost& ih = intra[h];
+      const rank_t canonical = topo_.leader_rank(h);
+      for (std::uint32_t k = 0; k < c; ++k) {
+        const rank_t r = canonical + k;
+        if (!engine_->is_dead(r)) ih.members.push_back(r);
+      }
+      // Canonical-leader policy: no election, no rank rewriting. A host
+      // whose canonical leader is dead at compile time contributes nothing
+      // to the inter-node exchange; its surviving members complete
+      // degraded (every requested key resolves to identity, filled below).
+      if (ih.members.empty() || engine_->is_dead(canonical)) continue;
+      ih.leader = canonical;
+      member_keys.clear();
+      for (const rank_t r : ih.members) {
+        member_keys.push_back(out_sets[r].keys());
+      }
+      union_into(member_keys, host_union, merge_scratch);
+      ih.out_maps = std::move(host_union.maps);
+      ih.out_union_size = host_union.keys.size();
+      node_out[canonical] =
+          KeySet::from_sorted_keys(std::vector<key_t>(host_union.keys));
+      member_keys.clear();
+      for (const rank_t r : ih.members) {
+        member_keys.push_back(in_sets[r].keys());
+      }
+      union_into(member_keys, host_union, merge_scratch);
+      ih.in_maps = std::move(host_union.maps);
+      node_in[canonical] =
+          KeySet::from_sorted_keys(std::vector<key_t>(host_union.keys));
+      // Price the leader-side set unions of the config stage: the leader
+      // walks every co-located member's key sets once over the memory bus.
+      if constexpr (requires(Engine& e) {
+                      e.charge_intra(Phase::kConfig, rank_t{0}, 0.0);
+                    }) {
+        double elements = 0.0;
+        for (const rank_t r : ih.members) {
+          elements +=
+              static_cast<double>(in_sets[r].size() + out_sets[r].size());
+        }
+        const auto peers = static_cast<std::uint32_t>(ih.members.size());
+        double seconds = 0.0;
+        if (net_ != nullptr) {
+          seconds += net_->intra_copy_time(elements * sizeof(key_t), peers);
+        }
+        if (compute_ != nullptr) {
+          seconds += compute_->merge_time(elements, peers);
+        }
+        if (seconds > 0.0) {
+          engine_->charge_intra(Phase::kConfig, ih.leader, seconds);
+        }
+      }
+    }
+
+    build_nodes(std::move(node_in), std::move(node_out));
+    for (std::uint16_t layer = 1; layer <= topo_.num_layers(); ++layer) {
+      run_round(Phase::kConfig, layer, &Node::config_produce,
+                &Node::config_consume);
+    }
+    finish_configure();
+    auto plan = std::make_shared<CollectivePlan>(topo_, fp);
+    for (const Node& node : nodes_) {
+      if (node.configured()) {
+        node.freeze_into(plan->mutable_rank_plan(node.rank()));
+      }
+    }
+    freeze_union_kernels(*plan);
+    plan->set_chunk_bytes(
+        chunk_bytes_ != 0
+            ? chunk_bytes_
+            : (net_ != nullptr
+                   ? static_cast<std::uint64_t>(net_->min_efficient_packet())
+                   : 0));
+    for (rank_t h = 0; h < hosts; ++h) {
+      const IntraHost& ih = intra[h];
+      const std::vector<key_t>* host_missing =
+          ih.leader != kNoLeader
+              ? &plan->rank_plan(ih.leader).missing_bottom
+              : nullptr;
+      for (const rank_t r : ih.members) {
+        RankPlan& rp = plan->mutable_rank_plan(r);
+        rp.configured = true;
+        rp.in0 = std::move(in_sets[r]);
+        rp.out0_size = out_sets[r].size();
+        // The leader keeps its host-level missing set (begin_up's degraded
+        // cold path keys off it); members intersect their own requested
+        // keys with it. A leaderless host lost every requested key.
+        if (r == ih.leader) continue;
+        rp.missing_bottom.clear();
+        if (host_missing == nullptr) {
+          rp.missing_bottom.assign(rp.in0.begin(), rp.in0.end());
+        } else if (!host_missing->empty()) {
+          for (const key_t key : rp.in0) {
+            if (std::binary_search(host_missing->begin(),
+                                   host_missing->end(), key)) {
+              rp.missing_bottom.push_back(key);
+            }
+          }
+        }
+      }
+    }
+    plan->set_intra_hosts(std::move(intra));
+    plan_ = std::move(plan);
+    if (plan_->any_configured()) {
+      executor_.bind(engine_, plan_, compute_, net_);
+      mode_ = Mode::kPlan;
+    }
+    return plan_;
+  }
+
   void build_nodes(std::vector<KeySet> in_sets, std::vector<KeySet> out_sets) {
     const rank_t m = topo_.num_machines();
     KYLIX_CHECK(in_sets.size() == m && out_sets.size() == m);
@@ -419,6 +573,9 @@ class SparseAllreduce {
     }
     for (Node& node : nodes_) {
       if (engine_->is_dead(node.rank())) continue;
+      // Hierarchical non-leaders never configure as nodes; their RankPlans
+      // are filled from the intra tier in compile_hierarchical.
+      if (topo_.hierarchical() && !topo_.is_leader(node.rank())) continue;
       node.set_degraded(degraded);
       node.finish_configure();
     }
@@ -445,17 +602,24 @@ class SparseAllreduce {
   template <typename ProduceFn, typename ConsumeFn>
   void run_round(Phase phase, std::uint16_t layer, ProduceFn produce,
                  ConsumeFn consume) {
+    // Hierarchical topologies exchange between host leaders only: the other
+    // cores of a host hold no per-layer routing state (their unions live at
+    // the leader), so they neither produce, expect, nor consume letters.
+    const bool gate = topo_.hierarchical();
     engine_->round(
         phase, layer,
         // Reference returns: produce hands out the node's reusable letter
         // shells; expected hands out the cached group (no copies per round).
         [&](rank_t r) -> std::vector<Letter<V>>& {
+          if (gate && !topo_.is_leader(r)) return empty_letters_;
           return (nodes_[r].*produce)(layer);
         },
         [&](rank_t r) -> const std::vector<rank_t>& {
+          if (gate && !topo_.is_leader(r)) return empty_ranks_;
           return nodes_[r].expected(layer);
         },
         [&](rank_t r, std::vector<Letter<V>>&& inbox) {
+          if (gate && !topo_.is_leader(r)) return;
           (nodes_[r].*consume)(layer, std::move(inbox));
           charge(phase, layer, nodes_[r]);
         });
@@ -491,6 +655,16 @@ class SparseAllreduce {
       if (engine_->is_dead(r)) {
         fp ^= mix64(0x6d656d62ULL ^ static_cast<std::uint64_t>(r));
       }
+    }
+    // The intra tier reshapes the whole schedule, so hierarchical and flat
+    // plans over the same key sets must coexist in a PlanCache. Salted only
+    // when cores > 1: a one-core "hierarchical" topology compiles the exact
+    // flat plan, and keeping the fingerprint unchanged lets it hit the flat
+    // entry (tested by the hierarchy lane).
+    if (topo_.hierarchical()) {
+      fp = mix64(fp ^ (0x686f7374ULL << 8) ^
+                 static_cast<std::uint64_t>(topo_.cores_per_machine()));
+      if (fp == 0) fp = 1;
     }
     return fp;
   }
@@ -572,6 +746,8 @@ class SparseAllreduce {
   std::vector<double> layer_hints_;    ///< one-shot measured-density carry
   Mode mode_ = Mode::kNone;
   std::vector<Node> nodes_;
+  std::vector<Letter<V>> empty_letters_;  ///< hierarchical non-leader rounds
+  std::vector<rank_t> empty_ranks_;
   std::vector<NodeScratch<V>> scratch_;  ///< per-rank, survives build_nodes
   std::shared_ptr<const CollectivePlan> plan_;
   ReduceExecutor<V, Op, Engine> executor_;

@@ -92,6 +92,9 @@ class AsyncExecutor {
     KYLIX_CHECK(plan != nullptr);
     KYLIX_CHECK_MSG(plan->any_configured(),
                     "plan holds no configured rank to replay");
+    KYLIX_CHECK_MSG(!plan->hierarchical(),
+                    "async replay supports flat plans only (the intra-node "
+                    "stage is a round barrier; see DESIGN §13)");
     KYLIX_CHECK(opts.window >= 1 && opts.workers >= 1 && opts.stride >= 1);
     KYLIX_CHECK_MSG(active_streams_ == 0, "bind while streams in flight");
     plan_ = std::move(plan);

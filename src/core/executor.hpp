@@ -67,16 +67,25 @@ class ReduceExecutor {
 
   /// Bind to `engine` (not owned, must outlive the executor) and `plan`.
   /// Rebinding to the same plan is a no-op; a different plan keeps the
-  /// warmed buffers (they only ever grow). `compute` is optional.
+  /// warmed buffers (they only ever grow). `compute` and `net` are optional
+  /// pricing models; `net` prices the shared-memory tier of hierarchical
+  /// plans (NetworkModel::intra_copy_time).
   void bind(Engine* engine, std::shared_ptr<const CollectivePlan> plan,
-            const ComputeModel* compute = nullptr) {
+            const ComputeModel* compute = nullptr,
+            const NetworkModel* net = nullptr) {
     KYLIX_CHECK(engine != nullptr && plan != nullptr);
     KYLIX_CHECK_MSG(engine->num_ranks() == plan->topology().num_machines(),
                     "engine/plan machine count mismatch");
     KYLIX_CHECK_MSG(plan->any_configured(),
                     "plan holds no configured rank to replay");
+    if constexpr (!kHasIntra) {
+      KYLIX_CHECK_MSG(!plan->hierarchical(),
+                      "engine has no intra_round; cannot replay a "
+                      "hierarchical plan");
+    }
     engine_ = engine;
     compute_ = compute;
+    net_ = net;
     if (plan_ == plan) return;
     plan_ = std::move(plan);
     const std::uint16_t l = plan_->topology().num_layers();
@@ -193,13 +202,25 @@ class ReduceExecutor {
                       "contribution length does not match plan out set");
       Ops::load_input(state_[r], out_values[r]);
     }
+    // Hierarchical plans (DESIGN §13) bracket the inter-node butterfly with
+    // the shared-memory tier: leaders fold their co-located members'
+    // contributions in before layer 1 and fan the results back out after
+    // the retrace. Members sit out the inter-node rounds (their RankPlans
+    // carry no layers), so the wire schedule between the intra stages is
+    // exactly the flat schedule over host leaders.
+    if (plan_->hierarchical()) intra_down();
     for (std::uint16_t layer = 1; layer <= l; ++layer) {
       run_round(Phase::kReduceDown, layer, /*down=*/true);
       collect_spent();
       record_stream_round(Phase::kReduceDown, layer);
     }
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
-      if (engine_->is_dead(r) || !plan_->rank_plan(r).configured) continue;
+      const RankPlan& rp = plan_->rank_plan(r);
+      // Hierarchical members hold no per-layer state: only union-holding
+      // ranks (flat ranks, host leaders) run the bottom gather.
+      if (engine_->is_dead(r) || !rp.configured || rp.layers.size() < l) {
+        continue;
+      }
       Ops::begin_up(ctx_, state_[r], r);
       charge(Phase::kReduceDown, l, r);
     }
@@ -208,6 +229,7 @@ class ReduceExecutor {
       collect_spent();
       record_stream_round(Phase::kReduceUp, layer);
     }
+    if (plan_->hierarchical()) intra_up();
     std::vector<std::vector<V>> results(plan_->num_ranks());
     for (rank_t r = 0; r < plan_->num_ranks(); ++r) {
       if (!engine_->is_dead(r) && plan_->rank_plan(r).configured) {
@@ -230,6 +252,14 @@ class ReduceExecutor {
 
  private:
   using Ops = ReplayOps<V, Op>;
+
+  /// Engines that can run the hierarchical shared-memory stage expose
+  /// intra_round/charge_intra (all engines in src/comm do); a foreign
+  /// engine without them can still replay flat plans.
+  static constexpr bool kHasIntra = requires(Engine& e) {
+    e.intra_round(Phase::kReduceDown, rank_t{0}, [](rank_t) {});
+    e.charge_intra(Phase::kReduceDown, rank_t{0}, 0.0);
+  };
 
   /// After each round barrier, diff the summed per-rank stream telemetry
   /// against the reduce-so-far totals and turn the deltas into flight
@@ -263,17 +293,27 @@ class ReduceExecutor {
     }
   }
 
+  /// A rank sits a round out when its RankPlan carries no state for this
+  /// layer: hierarchical non-leaders (empty layers — the host leader holds
+  /// the union) never produce, expect, or consume inter-node letters.
+  [[nodiscard]] bool sits_out(rank_t r, std::uint16_t layer) const {
+    return plan_->rank_plan(r).layers.size() < layer;
+  }
+
   void run_round(Phase phase, std::uint16_t layer, bool down) {
     engine_->round(
         phase, layer,
         [&](rank_t r) -> std::vector<Letter<V>>& {
+          if (sits_out(r, layer)) return empty_letters_;
           return down ? Ops::down_produce(ctx_, state_[r], r, layer)
                       : Ops::up_produce(ctx_, state_[r], r, layer);
         },
         [&](rank_t r) -> const std::vector<rank_t>& {
+          if (sits_out(r, layer)) return empty_ranks_;
           return plan_->rank_plan(r).layers[layer - 1].group;
         },
         [&](rank_t r, std::vector<Letter<V>>&& inbox) {
+          if (sits_out(r, layer)) return;
           if (down) {
             Ops::down_consume(ctx_, state_[r], r, layer, std::move(inbox));
           } else {
@@ -281,6 +321,114 @@ class ReduceExecutor {
           }
           charge(phase, layer, r);
         });
+  }
+
+  /// Shared-memory scatter-reduce (DESIGN §13): each host's leader folds
+  /// its alive members' contributions directly from their buffers into the
+  /// host out-union — single copy, no Packet serialization — in ascending
+  /// member rank, the same per-position op order a flat layer over the host
+  /// would produce (the c=1 / flat-expansion bit-identity argument). A host
+  /// whose leader is dead contributes nothing (its members complete
+  /// degraded in intra_up). Hosts are independent, so engines may fan this
+  /// across threads.
+  void intra_down() {
+    if constexpr (kHasIntra) {
+      const rank_t hosts = static_cast<rank_t>(plan_->intra_hosts().size());
+      engine_->intra_round(Phase::kReduceDown, hosts, [&](rank_t h) {
+        const IntraHost& ih = plan_->intra_host(h);
+        if (ih.leader == kNoLeader || engine_->is_dead(ih.leader)) return;
+        ReplayScratch<V>& leader = state_[ih.leader];
+        leader.merged.assign(ih.out_union_size * ctx_.stride,
+                             Op::template identity<V>());
+        double elements = 0.0;
+        std::uint32_t peers = 0;
+        for (std::size_t i = 0; i < ih.members.size(); ++i) {
+          const rank_t m = ih.members[i];
+          // A member dead at replay is skipped — its contribution is lost,
+          // exactly as a flat layer-1 crash of the same rank.
+          if (engine_->is_dead(m)) continue;
+          scatter_combine_strided<V, Op>(
+              std::span<V>(leader.merged), std::span<const V>(state_[m].v),
+              std::span<const pos_t>(ih.out_maps[i]), ctx_.stride);
+          elements += static_cast<double>(state_[m].v.size());
+          ++peers;
+        }
+        std::swap(leader.v, leader.merged);
+        charge_intra(Phase::kReduceDown, ih.leader, elements, peers);
+      });
+    }
+  }
+
+  /// Shared-memory allgather retrace: members gather their requested keys
+  /// straight out of their leader's host in-union result. When the host
+  /// lost its leader mid-run, its members resolve every requested key to
+  /// the reduction identity (the host never entered the inter-node
+  /// exchange), mirroring the degraded semantics of a dead flat rank's
+  /// group peers.
+  void intra_up() {
+    if constexpr (kHasIntra) {
+      const rank_t hosts = static_cast<rank_t>(plan_->intra_hosts().size());
+      engine_->intra_round(Phase::kReduceUp, hosts, [&](rank_t h) {
+        const IntraHost& ih = plan_->intra_host(h);
+        const bool leader_alive =
+            ih.leader != kNoLeader && !engine_->is_dead(ih.leader);
+        double elements = 0.0;
+        std::uint32_t peers = 0;
+        for (std::size_t i = 0; i < ih.members.size(); ++i) {
+          const rank_t m = ih.members[i];
+          if (engine_->is_dead(m)) continue;
+          ReplayScratch<V>& s = state_[m];
+          if (!leader_alive) {
+            Ops::refill(s.value_pool, s.vin);
+            s.vin.assign(plan_->rank_plan(m).in0.size() * ctx_.stride,
+                         Op::template identity<V>());
+            continue;
+          }
+          if (m == ih.leader) continue;  // last: everyone reads its vin
+          Ops::refill(s.value_pool, s.vin);
+          gather_strided_into(std::span<const V>(state_[ih.leader].vin),
+                              std::span<const pos_t>(ih.in_maps[i]),
+                              ctx_.stride, s.vin);
+          elements += static_cast<double>(s.vin.size());
+          ++peers;
+        }
+        if (leader_alive) {
+          // The canonical leader is the lowest rank of its host, so when
+          // alive at compile it is members[0]; its own member-aligned
+          // result ping-pongs through `merged` to avoid aliasing vin.
+          ReplayScratch<V>& leader = state_[ih.leader];
+          KYLIX_DCHECK(!ih.members.empty() &&
+                       ih.members.front() == ih.leader);
+          gather_strided_into(std::span<const V>(leader.vin),
+                              std::span<const pos_t>(ih.in_maps[0]),
+                              ctx_.stride, leader.merged);
+          std::swap(leader.vin, leader.merged);
+          elements += static_cast<double>(leader.vin.size());
+          ++peers;
+          charge_intra(Phase::kReduceUp, ih.leader, elements, peers);
+        }
+      });
+    }
+  }
+
+  /// Price one host's intra stage on its leader: peer-buffer attaches plus
+  /// memory-bus bytes (NetworkModel::intra_copy_time) plus the fold/gather
+  /// compute. Hosts proceed concurrently, so TimingAccumulator::intra_time
+  /// takes the max over ranks rather than summing.
+  void charge_intra(Phase phase, rank_t leader, double elements,
+                    std::uint32_t peers) {
+    if constexpr (kHasIntra) {
+      double seconds = 0.0;
+      if (net_ != nullptr) {
+        seconds += net_->intra_copy_time(elements * sizeof(V), peers);
+      }
+      if (compute_ != nullptr) {
+        seconds += phase == Phase::kReduceDown
+                       ? compute_->combine_time(elements)
+                       : compute_->gather_time(elements);
+      }
+      if (seconds > 0.0) engine_->charge_intra(phase, leader, seconds);
+    }
   }
 
   void charge(Phase phase, std::uint16_t layer, rank_t r) {
@@ -313,7 +461,10 @@ class ReduceExecutor {
 
   Engine* engine_ = nullptr;
   const ComputeModel* compute_ = nullptr;
+  const NetworkModel* net_ = nullptr;
   std::shared_ptr<const CollectivePlan> plan_;
+  std::vector<Letter<V>> empty_letters_;  ///< rounds a rank sits out
+  std::vector<rank_t> empty_ranks_;
   bool streaming_ = false;
   std::uint64_t chunk_bytes_override_ = 0;
   /// The replay context handed to every kernel call; frozen at the top of

@@ -9,7 +9,9 @@ std::vector<double> CollectivePlan::mean_layer_elements() const {
   std::vector<double> mean(topo_.num_layers() + 1, 0.0);
   rank_t alive = 0;
   for (const RankPlan& r : ranks_) {
-    if (!r.configured) continue;
+    // Hierarchical plans: non-leader members carry no per-layer state (the
+    // host union lives at the leader), so only union-holding ranks count.
+    if (!r.configured || r.out_sizes.size() != mean.size()) continue;
     ++alive;
     for (std::size_t i = 0; i < r.out_sizes.size() && i < mean.size(); ++i) {
       mean[i] += static_cast<double>(r.out_sizes[i]);
@@ -29,7 +31,7 @@ std::vector<ScheduledMessage> CollectivePlan::message_schedule() const {
   for (std::uint16_t layer = 1; layer <= l; ++layer) {
     for (rank_t r = 0; r < ranks_.size(); ++r) {
       const RankPlan& rp = ranks_[r];
-      if (!rp.configured) continue;
+      if (!rp.configured || rp.layers.size() < layer) continue;
       const PlanLayer& cfg = rp.layers[layer - 1];
       for (std::size_t q = 0; q < cfg.group.size(); ++q) {
         schedule.push_back(
@@ -42,7 +44,7 @@ std::vector<ScheduledMessage> CollectivePlan::message_schedule() const {
   for (std::uint16_t layer = 1; layer <= l; ++layer) {
     for (rank_t r = 0; r < ranks_.size(); ++r) {
       const RankPlan& rp = ranks_[r];
-      if (!rp.configured) continue;
+      if (!rp.configured || rp.layers.size() < layer) continue;
       const PlanLayer& cfg = rp.layers[layer - 1];
       for (std::size_t q = 0; q < cfg.group.size(); ++q) {
         schedule.push_back({Phase::kReduceDown, layer, r, cfg.group[q],
@@ -53,7 +55,7 @@ std::vector<ScheduledMessage> CollectivePlan::message_schedule() const {
   for (std::uint16_t layer = l; layer >= 1; --layer) {
     for (rank_t r = 0; r < ranks_.size(); ++r) {
       const RankPlan& rp = ranks_[r];
-      if (!rp.configured) continue;
+      if (!rp.configured || rp.layers.size() < layer) continue;
       const PlanLayer& cfg = rp.layers[layer - 1];
       for (std::size_t q = 0; q < cfg.group.size(); ++q) {
         schedule.push_back({Phase::kReduceUp, layer, r, cfg.group[q],
@@ -69,7 +71,7 @@ std::uint64_t CollectivePlan::reduce_wire_bytes(std::size_t value_bytes,
   std::uint64_t bytes = 0;
   const std::uint16_t l = topo_.num_layers();
   for (const RankPlan& rp : ranks_) {
-    if (!rp.configured) continue;
+    if (!rp.configured || rp.layers.size() < l) continue;
     for (std::uint16_t layer = 1; layer <= l; ++layer) {
       const PlanLayer& cfg = rp.layers[layer - 1];
       for (std::size_t q = 0; q < cfg.group.size(); ++q) {

@@ -60,6 +60,24 @@ struct RankPlan {
   std::size_t up_capacity = 0;           ///< max |in^i| buffer watermark
 };
 
+/// Sentinel: a host with no alive canonical leader at compile time (its
+/// members complete degraded — identity results, contributions lost).
+inline constexpr rank_t kNoLeader = static_cast<rank_t>(-1);
+
+/// Frozen intra-node tier of one host (DESIGN §13): the alive members at
+/// compile time, the canonical leader carrying the host union through the
+/// inter-node layers, and the member piece -> host union positional maps
+/// that drive the single-copy shared-memory stage. maps[i] belongs to
+/// members[i]; out_maps scatter member contributions into the host out
+/// union, in_maps gather member results from the host in union.
+struct IntraHost {
+  rank_t leader = kNoLeader;
+  std::vector<rank_t> members;  ///< alive at compile, ascending
+  std::vector<PosMap> out_maps;
+  std::vector<PosMap> in_maps;
+  std::size_t out_union_size = 0;  ///< |host out union| (scatter target)
+};
+
 /// One edge of the frozen message schedule (cold-path introspection).
 struct ScheduledMessage {
   Phase phase = Phase::kConfig;
@@ -133,8 +151,24 @@ class CollectivePlan {
     union_kernels_ = std::move(kernels);
   }
 
+  /// Intra-node tier of a hierarchical plan, one entry per host (empty for
+  /// flat plans). Set once by the compiler before the plan is shared.
+  [[nodiscard]] bool hierarchical() const { return !intra_.empty(); }
+  [[nodiscard]] const std::vector<IntraHost>& intra_hosts() const {
+    return intra_;
+  }
+  [[nodiscard]] const IntraHost& intra_host(rank_t host) const {
+    KYLIX_CHECK(host < intra_.size());
+    return intra_[host];
+  }
+  void set_intra_hosts(std::vector<IntraHost> intra) {
+    intra_ = std::move(intra);
+  }
+
   /// Mean out-set size over configured ranks at node layers 0..l — the
   /// measured P_i column of the run report, off the frozen plan.
+  /// Hierarchical plans average over host leaders (the ranks that hold the
+  /// per-layer unions), so Prop 4.1 shape checks stay per inter-node layer.
   [[nodiscard]] std::vector<double> mean_layer_elements() const;
 
   /// The full frozen per-round message schedule: who sends what to whom at
@@ -153,6 +187,7 @@ class CollectivePlan {
   std::uint64_t fingerprint_ = 0;
   std::uint64_t chunk_bytes_ = 0;
   std::vector<RankPlan> ranks_;
+  std::vector<IntraHost> intra_;  ///< per host; empty for flat plans
   std::vector<kernels::UnionKernel> union_kernels_;
 };
 

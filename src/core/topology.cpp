@@ -6,8 +6,10 @@
 
 namespace kylix {
 
-Topology::Topology(std::vector<std::uint32_t> degrees)
-    : degrees_(std::move(degrees)) {
+Topology::Topology(std::vector<std::uint32_t> degrees,
+                   std::uint32_t cores_per_machine)
+    : degrees_(std::move(degrees)), cores_(cores_per_machine) {
+  KYLIX_CHECK_MSG(cores_ >= 1, "cores per machine must be >= 1");
   strides_.reserve(degrees_.size() + 1);
   strides_.push_back(1);
   for (std::uint32_t d : degrees_) {
@@ -17,7 +19,10 @@ Topology::Topology(std::vector<std::uint32_t> degrees)
     KYLIX_CHECK_MSG(next <= 1u << 24, "topology too large");
     strides_.push_back(static_cast<rank_t>(next));
   }
-  num_machines_ = strides_.back();
+  num_hosts_ = strides_.back();
+  const std::uint64_t total = static_cast<std::uint64_t>(num_hosts_) * cores_;
+  KYLIX_CHECK_MSG(total <= 1u << 24, "topology too large");
+  num_machines_ = static_cast<rank_t>(total);
 }
 
 Topology Topology::direct(rank_t num_machines) {
@@ -44,17 +49,18 @@ std::uint32_t Topology::degree(std::uint16_t layer) const {
 std::uint32_t Topology::digit(std::uint16_t layer, rank_t rank) const {
   KYLIX_CHECK(layer >= 1 && layer <= num_layers());
   KYLIX_DCHECK(rank < num_machines_);
-  return (rank / strides_[layer - 1]) % degrees_[layer - 1];
+  return (host_of(rank) / strides_[layer - 1]) % degrees_[layer - 1];
 }
 
 std::vector<rank_t> Topology::group(std::uint16_t layer, rank_t rank) const {
   const std::uint32_t d = degree(layer);
   const rank_t stride = strides_[layer - 1];
-  const rank_t base = rank - digit(layer, rank) * stride;
+  const rank_t host = host_of(rank);
+  const rank_t base = host - digit(layer, rank) * stride;
   std::vector<rank_t> members;
   members.reserve(d);
   for (std::uint32_t q = 0; q < d; ++q) {
-    members.push_back(base + q * stride);
+    members.push_back(leader_rank(base + q * stride));
   }
   return members;
 }
@@ -70,12 +76,16 @@ KeyRange Topology::key_range(std::uint16_t node_layer, rank_t rank) const {
 }
 
 std::string Topology::to_string() const {
-  if (degrees_.empty()) return "1";
   std::ostringstream os;
-  for (std::size_t i = 0; i < degrees_.size(); ++i) {
-    if (i > 0) os << " x ";
-    os << degrees_[i];
+  if (degrees_.empty()) {
+    os << "1";
+  } else {
+    for (std::size_t i = 0; i < degrees_.size(); ++i) {
+      if (i > 0) os << " x ";
+      os << degrees_[i];
+    }
   }
+  if (cores_ > 1) os << " | " << cores_ << " cores";
   return os.str();
 }
 

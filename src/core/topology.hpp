@@ -11,6 +11,15 @@
 // Degrees need not be equal ("heterogeneous"): the degenerate schedules
 // {m} and {2,2,…,2} recover the paper's direct-allreduce and binary-
 // butterfly baselines, which is how src/baselines builds them.
+//
+// Two-tier host model (DESIGN §13): each butterfly position may be a
+// multi-core host of `cores_per_machine` ranks laid out host-major (rank =
+// host * c + core). The butterfly layers then run over *hosts*: digit(),
+// group(), and key_range() are computed from host coordinates, and group()
+// returns the canonical leader rank (core 0) of each member host — the rank
+// that carries the host's union through the inter-node exchange. With
+// cores_per_machine == 1 every accessor reduces exactly to the flat
+// single-tier behavior, bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +34,13 @@ namespace kylix {
 
 class Topology {
  public:
-  /// `degrees` are the per-layer butterfly degrees, top (layer 1) first;
-  /// every degree must be >= 1. A single machine is degrees == {}.
-  explicit Topology(std::vector<std::uint32_t> degrees);
+  /// `degrees` are the per-layer *inter-node* butterfly degrees, top
+  /// (layer 1) first; every degree must be >= 1. A single machine is
+  /// degrees == {}. `cores_per_machine` >= 1 turns every butterfly position
+  /// into a host of that many ranks (host-major layout); 1 is the flat
+  /// single-tier topology.
+  explicit Topology(std::vector<std::uint32_t> degrees,
+                    std::uint32_t cores_per_machine = 1);
 
   /// Convenience: the 1-layer degree-m direct topology.
   static Topology direct(rank_t num_machines);
@@ -35,7 +48,27 @@ class Topology {
   /// The all-binary butterfly over 2^k machines.
   static Topology binary(rank_t num_machines);
 
+  /// Total rank count: num_hosts() * cores_per_machine().
   [[nodiscard]] rank_t num_machines() const { return num_machines_; }
+
+  /// Butterfly positions (product of degrees); == num_machines() when flat.
+  [[nodiscard]] rank_t num_hosts() const { return num_hosts_; }
+  [[nodiscard]] std::uint32_t cores_per_machine() const { return cores_; }
+
+  /// True iff the topology has an intra-node tier (cores_per_machine > 1).
+  [[nodiscard]] bool hierarchical() const { return cores_ > 1; }
+
+  [[nodiscard]] rank_t host_of(rank_t rank) const { return rank / cores_; }
+  [[nodiscard]] std::uint32_t core_of(rank_t rank) const {
+    return rank % cores_;
+  }
+
+  /// Canonical leader of `host` (its core-0 rank): the rank that carries the
+  /// host union through the inter-node layers.
+  [[nodiscard]] rank_t leader_rank(rank_t host) const { return host * cores_; }
+  [[nodiscard]] bool is_leader(rank_t rank) const {
+    return rank % cores_ == 0;
+  }
   [[nodiscard]] std::uint16_t num_layers() const {
     return static_cast<std::uint16_t>(degrees_.size());
   }
@@ -44,26 +77,32 @@ class Topology {
   }
   [[nodiscard]] std::uint32_t degree(std::uint16_t layer) const;
 
-  /// Digit of `rank` at layer `layer` (its position within its group).
+  /// Digit of `rank`'s host at layer `layer` (its position within its
+  /// group). Every core of a host shares its host's digit.
   [[nodiscard]] std::uint32_t digit(std::uint16_t layer, rank_t rank) const;
 
-  /// The d_layer group members of `rank` at `layer`, in group-position
-  /// order (the member at position q owns subrange q). Includes rank.
+  /// The d_layer group members of `rank`'s host at `layer`, in
+  /// group-position order (the member at position q owns subrange q), as
+  /// canonical leader ranks. Flat: includes rank itself; hierarchical:
+  /// includes rank's host leader (rank itself iff rank is a leader).
   [[nodiscard]] std::vector<rank_t> group(std::uint16_t layer,
                                           rank_t rank) const;
 
-  /// The hashed-key range `rank` is responsible for at *node layer* i
-  /// (after i communication layers); node_layer 0 is the full space.
+  /// The hashed-key range `rank`'s host is responsible for at *node layer*
+  /// i (after i communication layers); node_layer 0 is the full space.
   [[nodiscard]] KeyRange key_range(std::uint16_t node_layer,
                                    rank_t rank) const;
 
-  /// "8 x 4 x 2" (or "1" for a single machine).
+  /// "8 x 4 x 2" (or "1" for a single machine); hierarchical topologies
+  /// append the host width, e.g. "8 x 4 | 4 cores".
   [[nodiscard]] std::string to_string() const;
 
  private:
   std::vector<std::uint32_t> degrees_;
   std::vector<rank_t> strides_;  ///< strides_[i] = d_1·…·d_i, strides_[0]=1
+  rank_t num_hosts_ = 1;
   rank_t num_machines_ = 1;
+  std::uint32_t cores_ = 1;
 };
 
 }  // namespace kylix

@@ -20,6 +20,8 @@ RunReport build_run_report(const RunReportInputs& inputs) {
   report.workload = inputs.workload;
   report.machines = topo.num_machines();
   report.degrees.assign(topo.degrees().begin(), topo.degrees().end());
+  report.cores_per_machine = topo.cores_per_machine();
+  report.hierarchical = topo.hierarchical();
   report.features = inputs.features;
   report.alpha = inputs.alpha;
   report.partition_density = inputs.partition_density;
@@ -34,12 +36,24 @@ RunReport build_run_report(const RunReportInputs& inputs) {
   report.race_wins = inputs.race_wins;
   report.race_losses = inputs.race_losses;
 
-  // Section IV predictions from the supplied workload parameters.
+  // Section IV predictions from the supplied workload parameters. For a
+  // hierarchical topology the shared-memory tier is Prop 4.1's first merge:
+  // the predictions are evaluated over the flat expansion {c, d_1..d_l} and
+  // the entry for the intra stage is skipped, so inter layer i lines up
+  // with fan-in c * K_{i-1} — exactly what the leaders' host unions hold.
+  // The expansion's per-node figure divides by the full K (including c),
+  // but a leader is never scattered over its own members: it holds c of
+  // those shares, so the per-node prediction is scaled back by c below.
   std::vector<PowerLawModel::LayerStats> model_stats;
+  const std::size_t off = report.hierarchical ? 1 : 0;
   if (inputs.features > 0 && inputs.partition_density > 0) {
     const PowerLawModel model(inputs.features, inputs.alpha);
     report.lambda0 = model.lambda_for_density(inputs.partition_density);
-    model_stats = model.layer_stats(report.lambda0, topo.degrees());
+    std::vector<std::uint32_t> shape(report.degrees);
+    if (report.hierarchical) {
+      shape.insert(shape.begin(), report.cores_per_machine);
+    }
+    model_stats = model.layer_stats(report.lambda0, shape);
     report.has_model = true;
   }
 
@@ -51,7 +65,12 @@ RunReport build_run_report(const RunReportInputs& inputs) {
     if (e.layer >= 1 && e.layer <= l) ++layer_messages[e.layer - 1];
   }
 
-  double fan_in = 1;
+  // Measured density multiplier: the set a rank holds entering layer i is
+  // one of K_{i-1} disjoint shards of the fan-in union. Hierarchical
+  // leaders split across the *inter* degrees only (the intra fold gathers,
+  // it never scatters), so the product starts at 1 in both modes.
+  const double cores = static_cast<double>(report.cores_per_machine);
+  double fan_in = 1.0;
   for (std::uint16_t layer = 1; layer <= l; ++layer) {
     LayerReport lr;
     lr.layer = layer;
@@ -69,8 +88,10 @@ RunReport build_run_report(const RunReportInputs& inputs) {
       }
     }
     if (report.has_model) {
-      lr.model_elements_per_node = model_stats[layer - 1].elements_per_node;
-      lr.model_density = model_stats[layer - 1].density;
+      lr.model_elements_per_node =
+          model_stats[layer - 1 + off].elements_per_node *
+          (report.hierarchical ? cores : 1.0);
+      lr.model_density = model_stats[layer - 1 + off].density;
     }
     if (report.has_timing) {
       lr.time_config_s = inputs.timing->round_time(Phase::kConfig, layer);
@@ -85,15 +106,19 @@ RunReport build_run_report(const RunReportInputs& inputs) {
     report.bottom_measured_elements = inputs.measured_elements[l];
   }
   if (report.has_model) {
-    report.bottom_model_elements = model_stats[l].elements_per_node;
+    report.bottom_model_elements = model_stats[l + off].elements_per_node *
+                                   (report.hierarchical ? cores : 1.0);
   }
 
   report.total_bytes = inputs.trace->total_bytes();
   report.total_messages = inputs.trace->num_messages();
   if (report.has_timing) {
     const auto times = inputs.timing->times();
-    report.time_config_s = times.config;
+    report.time_config_s = times.config + times.intra_config;
     report.time_reduce_s = times.reduce();
+    report.time_intra_config_s = times.intra_config;
+    report.time_intra_reduce_s = times.intra_down + times.intra_up;
+    report.time_inter_reduce_s = times.reduce_down + times.reduce_up;
   }
   return report;
 }
@@ -126,6 +151,9 @@ void RunReport::write_json(std::ostream& out) const {
   json.begin_array();
   for (std::uint32_t d : degrees) json.value(d);
   json.end_array();
+  json.key_value("cores_per_machine",
+                 static_cast<std::uint64_t>(cores_per_machine));
+  json.key_value("hierarchical", hierarchical);
   if (has_model) {
     json.key_value("features", features);
     json.key_value("alpha", alpha);
@@ -177,6 +205,11 @@ void RunReport::write_json(std::ostream& out) const {
   if (has_timing) {
     json.key_value("time_config_s", time_config_s);
     json.key_value("time_reduce_s", time_reduce_s);
+    if (hierarchical) {
+      json.key_value("time_intra_config_s", time_intra_config_s);
+      json.key_value("time_intra_reduce_s", time_intra_reduce_s);
+      json.key_value("time_inter_reduce_s", time_inter_reduce_s);
+    }
   }
   json.end_object();
   out << '\n';

@@ -73,7 +73,13 @@ struct LayerReport {
 struct RunReport {
   std::string workload;
   rank_t machines = 0;
-  std::vector<std::uint32_t> degrees;
+  std::vector<std::uint32_t> degrees;  ///< inter-node butterfly degrees
+  /// Two-tier host model (DESIGN §13): when the topology is hierarchical,
+  /// `degrees` spans the inter-node layers only and the shape model folds
+  /// cores_per_machine in as a zeroth shared-memory merge — Prop 4.1's
+  /// predictions for inter layer i are evaluated at fan-in c * K_{i-1}.
+  std::uint32_t cores_per_machine = 1;
+  bool hierarchical = false;
   std::uint64_t features = 0;
   double alpha = 0;
   double partition_density = 0;
@@ -93,7 +99,12 @@ struct RunReport {
   std::uint64_t race_wins = 0;
   std::uint64_t race_losses = 0;
   double time_config_s = 0;
-  double time_reduce_s = 0;
+  double time_reduce_s = 0;  ///< both tiers: inter rounds + intra stages
+  // The intra/inter split (valid when has_timing and hierarchical): the
+  // shared-memory tier's modeled seconds next to the wire schedule's.
+  double time_intra_config_s = 0;
+  double time_intra_reduce_s = 0;  ///< leader fold + member gather
+  double time_inter_reduce_s = 0;  ///< inter-node rounds only
 
   /// Centered per-layer volume bars — the Kylix silhouette.
   [[nodiscard]] std::string ascii_chart(std::size_t width = 56) const;

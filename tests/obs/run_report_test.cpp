@@ -155,6 +155,98 @@ TEST(RunReport, TimingColumnsComeFromTheAccumulator) {
   EXPECT_DOUBLE_EQ(config_sum, times.config);
 }
 
+TEST(RunReport, HierarchicalReportAlignsWithTheFlatExpansion) {
+  // {2, 2 | c=4} against its flat expansion {4, 2, 2}: the leaders' host
+  // unions are the expansion's layer-1 merge, so inter layer i must line
+  // up with flat layer i + 1 — same union densities, per-node counts c×
+  // bigger because a leader is never scattered over its own members.
+  const Topology hier({2, 2}, 4);
+  const Topology flat({4, 2, 2});
+  ObservedRun h;
+  ObservedRun f;
+  observed_run(hier, 4000, 27, h);
+  observed_run(flat, 4000, 27, f);
+
+  const double density = f.measured[0] / 4000.0;
+  RunReportInputs hi;
+  hi.trace = &h.trace;
+  hi.topology = &hier;
+  hi.features = 4000;
+  hi.alpha = 1.1;
+  hi.partition_density = density;
+  hi.measured_elements = h.measured;
+  const RunReport hr = build_run_report(hi);
+  RunReportInputs fi;
+  fi.trace = &f.trace;
+  fi.topology = &flat;
+  fi.features = 4000;
+  fi.alpha = 1.1;
+  fi.partition_density = density;
+  fi.measured_elements = f.measured;
+  const RunReport fr = build_run_report(fi);
+
+  EXPECT_TRUE(hr.hierarchical);
+  EXPECT_EQ(hr.cores_per_machine, 4u);
+  EXPECT_FALSE(fr.hierarchical);
+  ASSERT_EQ(hr.layers.size(), 2u);
+  ASSERT_EQ(fr.layers.size(), 3u);
+  for (std::size_t i = 0; i < hr.layers.size(); ++i) {
+    const LayerReport& hl = hr.layers[i];
+    const LayerReport& fl = fr.layers[i + 1];
+    EXPECT_EQ(hl.degree, fl.degree);
+    EXPECT_NEAR(hl.measured_elements_per_node,
+                4 * fl.measured_elements_per_node, 1e-6);
+    EXPECT_NEAR(hl.measured_density, fl.measured_density, 1e-9);
+    EXPECT_NEAR(hl.model_elements_per_node, 4 * fl.model_elements_per_node,
+                1e-6);
+    EXPECT_NEAR(hl.model_density, fl.model_density, 1e-12);
+    EXPECT_GT(hl.measured_density, 0.0);
+    EXPECT_LE(hl.measured_density, 1.0);
+  }
+  EXPECT_NEAR(hr.bottom_measured_elements, 4 * fr.bottom_measured_elements,
+              1e-6);
+  EXPECT_NEAR(hr.bottom_model_elements, 4 * fr.bottom_model_elements, 1e-6);
+}
+
+TEST(RunReport, HierarchicalTimingSplitsIntraFromInter) {
+  const Topology topo({2, 2}, 4);
+  const rank_t m = topo.num_machines();
+  const auto w = random_workload<float>(m, 2000, 0.08, 0.15, 5);
+  Trace trace;
+  const NetworkModel net = NetworkModel::ec2_like();
+  const ComputeModel compute;
+  TimingAccumulator timing(m, net, compute, 4);
+  BspEngine<float> engine(m, nullptr, &trace, &timing);
+  // The intra stage is priced by the allreduce itself (it owns the
+  // shared-memory schedule), so it needs the models too.
+  SparseAllreduce<float, OpSum, BspEngine<float>> allreduce(&engine, topo,
+                                                            &compute);
+  allreduce.set_network(&net);
+  allreduce.configure(w.in_sets, w.out_sets);
+  (void)allreduce.reduce(w.out_values);
+
+  RunReportInputs inputs;
+  inputs.trace = &trace;
+  inputs.topology = &topo;
+  inputs.timing = &timing;
+  const RunReport report = build_run_report(inputs);
+  ASSERT_TRUE(report.has_timing);
+  ASSERT_TRUE(report.hierarchical);
+  EXPECT_GT(report.time_intra_config_s, 0.0);
+  EXPECT_GT(report.time_intra_reduce_s, 0.0);
+  EXPECT_GT(report.time_inter_reduce_s, 0.0);
+  EXPECT_NEAR(report.time_reduce_s,
+              report.time_intra_reduce_s + report.time_inter_reduce_s,
+              1e-12);
+  const auto times = timing.times();
+  EXPECT_DOUBLE_EQ(report.time_config_s, times.config + times.intra_config);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"hierarchical\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cores_per_machine\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"time_intra_reduce_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_inter_reduce_s\""), std::string::npos);
+}
+
 TEST(RunReport, ObserverDoesNotChangeResults) {
   const Topology topo({4, 2});
   const rank_t m = topo.num_machines();

@@ -54,6 +54,12 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L obs
 # wakeups hide (the tsan tree runs the same label for the race half).
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L async
 
+# Focused hierarchy pass: the two-tier replay reads peer value buffers
+# directly from the leader (single-copy intra-node path) and slices
+# union-position maps per member — exactly where a stale span into a
+# swapped ping-pong buffer or an off-by-one member map would surface.
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L hierarchy
+
 # Focused membership pass: the elastic-membership loop swaps whole plans at
 # epoch boundaries — old-epoch plans kept alive only by the async executor's
 # shared_ptr after cache eviction, per-epoch degraded state reset, and the

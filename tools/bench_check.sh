@@ -330,6 +330,58 @@ print(f"\nasync-overlap gate passed: >= {min_speedup}x serialized at "
       f">= {min_inflight} in flight on every preset, streams bit-identical")
 PYGATE
 
+# ---- Hierarchy gate --------------------------------------------------------
+# The two-tier topology (DESIGN §13) folds the preset's first butterfly
+# degree into cores-per-machine: the degree-d_1 network round becomes the
+# leader's single-copy pass over co-located member buffers. On the modeled
+# clock the hierarchical reduce must beat the flat butterfly by at least
+# 1.2x on every (multi-core) preset, bit-identically. The wall-clock half —
+# ParallelBspEngine beating the sequential engine by > 1.5x on the
+# hierarchical plan — only means something with real cores to shard hosts
+# across, so it is enforced when >= 4 CPUs are visible and skipped with a
+# logged reason otherwise.
+python3 - "${engines_fresh}" <<'PYHIER'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+min_modeled = 1.2
+min_warm = 1.5
+cpus = doc["affinity_cpus"]
+
+print(f"\n{'preset':<14}{'cores':>6}{'flat s':>10}{'hier s':>10}"
+      f"{'modeled':>9}{'warm':>7}  status")
+failed = 0
+for preset in doc["presets"]:
+    h = preset["hierarchy"]
+    ok_modeled = h["modeled_reduce_speedup"] >= min_modeled
+    identical = h["results_bit_identical"]
+    ok_warm = h["warm_speedup"] > min_warm if cpus >= 4 else True
+    failed += (not ok_modeled) + (not identical) + (not ok_warm)
+    status = "ok" if ok_modeled else "REGRESS"
+    if not identical:
+        status += " HIER-MISMATCH"
+    if not ok_warm:
+        status += " WARM-SLOW"
+    print(f"{preset['name']:<14}{h['cores_per_machine']:>6}"
+          f"{h['flat_modeled_reduce_s']:>10.4f}"
+          f"{h['hier_modeled_reduce_s']:>10.4f}"
+          f"{h['modeled_reduce_speedup']:>8.2f}x"
+          f"{h['warm_speedup']:>6.2f}x  {status}")
+
+if cpus < 4:
+    print(f"warm-speedup half skipped: only {cpus} CPU(s) visible to this "
+          f"process (needs >= 4 to shard hosts across pool workers)")
+if failed:
+    print(f"\nhierarchy gate FAILED: the two-tier reduce must beat the flat "
+          f"butterfly by {min_modeled}x on the modeled clock (bit-identical)"
+          f"{f' and {min_warm}x warm on >= 4 CPUs' if cpus >= 4 else ''}")
+    sys.exit(1)
+print(f"\nhierarchy gate passed: intra tier >= {min_modeled}x modeled on "
+      "every preset" + (f", parallel warm > {min_warm}x" if cpus >= 4
+                        else " (warm half skipped: < 4 CPUs)"))
+PYHIER
+
 # ---- Healing gate ----------------------------------------------------------
 # Elastic membership (DESIGN §12) must keep re-planning cheap: after a
 # kill-group is confirmed dead, the EpochedPlanManager's re-plan on the

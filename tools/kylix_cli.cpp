@@ -19,8 +19,8 @@
 //   kylix_cli --machines 64 --features 262144 --density 0.21 --alpha 1.1
 //   kylix_cli --machines 64 --degrees 8x4x2 --threads 4
 //   kylix_cli --machines 32 --replication 2 --failures 3
-//   kylix_cli report --machines 64 --trace-out trace.json \
-//             --report-out report.json
+//   kylix_cli report --machines 64 --trace-out trace.json
+//   kylix_cli report --machines 64 --cores-per-machine 8 --report-out r.json
 //   kylix_cli chaos --machines 32 --replication 2 --max-failures 12
 //
 // The `chaos` subcommand sweeps seeded fault schedules (random mid-run
@@ -72,6 +72,8 @@ struct Cli {
   std::vector<std::uint32_t> degrees;  // empty -> autotune
   std::string trace_out;               // report mode: Chrome trace JSON
   std::string report_out;              // report mode: run-report JSON
+  // report mode: two-tier hierarchical topology (DESIGN §13).
+  std::uint32_t cores = 1;  // >1: fold C co-located ranks per host
   // report mode: streaming packetized reduction (DESIGN §9).
   bool stream = false;
   std::uint64_t chunk_bytes = 0;  // 0 -> compiled from min_efficient_packet
@@ -110,6 +112,10 @@ struct Cli {
       "report mode only:\n"
       "  --trace-out F     write Chrome trace-event JSON (Perfetto) to F\n"
       "  --report-out F    write the run-report JSON to F\n"
+      "  --cores-per-machine C  two-tier topology (DESIGN 13): C co-located\n"
+      "                    ranks per host reduce over shared memory behind\n"
+      "                    a leader; --degrees (or the autotuner) shapes the\n"
+      "                    inter-node butterfly over the M/C hosts\n"
       "  --stream          stream MTU-sized chunks through the reduce\n"
       "  --chunk-bytes B   streaming chunk payload bytes (default: compiled\n"
       "                    from the network model's min efficient packet)\n"
@@ -205,6 +211,9 @@ Cli parse(int argc, char** argv) {
       cli.trace_out = value();
     } else if (flag == "--report-out" && cli.report) {
       cli.report_out = value();
+    } else if (flag == "--cores-per-machine" && cli.report) {
+      cli.cores = static_cast<std::uint32_t>(std::stoul(value()));
+      if (cli.cores < 1) usage_and_exit();
     } else if (flag == "--stream" && cli.report) {
       cli.stream = true;
     } else if (flag == "--chunk-bytes" && cli.report) {
@@ -298,28 +307,45 @@ NetworkModel scaled_network() {
 
 Topology pick_topology(const Cli& cli, const Workload& w,
                        const NetworkModel& net, bool verbose) {
+  // With --cores-per-machine C the degrees (explicit or autotuned) shape
+  // the inter-node butterfly over the M/C hosts; C co-located ranks per
+  // host fold over shared memory behind their canonical leader.
+  KYLIX_CHECK_MSG(cli.cores >= 1 && cli.machines % cli.cores == 0,
+                  "--cores-per-machine must divide --machines");
+  const rank_t hosts = cli.machines / cli.cores;
   if (!cli.degrees.empty()) {
-    Topology topo(cli.degrees);
+    Topology topo(cli.degrees, cli.cores);
     KYLIX_CHECK_MSG(topo.num_machines() == cli.machines,
-                    "--degrees product must equal --machines");
+                    "--degrees product times --cores-per-machine must "
+                    "equal --machines");
     if (verbose) std::printf("degrees: %s\n", topo.to_string().c_str());
     return topo;
   }
   AutotuneInput input;
   input.num_features = cli.features;
-  input.num_machines = cli.machines;
+  input.num_machines = hosts;
   input.alpha = cli.alpha;
   input.partition_density = w.measured_density;
+  if (cli.cores > 1) {
+    // The inter-node butterfly exchanges host unions, so the autotuner
+    // must see the density after the c-way shared-memory merge (Prop 4.1
+    // at fan-in c), not the per-rank partition density.
+    const PowerLawModel model(cli.features, cli.alpha);
+    const double lambda0 = model.lambda_for_density(w.measured_density);
+    const std::vector<std::uint32_t> intra{cli.cores};
+    input.partition_density = model.layer_stats(lambda0, intra)[1].density;
+  }
   input.network = net;
   input.target_utilization = 0.5;
   const DesignResult design = autotune(input);
+  Topology topo(design.degrees, cli.cores);
   if (verbose) {
     std::printf("autotuned (SIV workflow):\n%s", design.to_string().c_str());
   } else {
-    std::printf("degrees: %s (autotuned)\n",
-                Topology(design.degrees).to_string().c_str());
+    std::printf("degrees: %s (autotuned%s)\n", topo.to_string().c_str(),
+                cli.cores > 1 ? " over hosts" : "");
   }
-  return Topology(design.degrees);
+  return topo;
 }
 
 std::size_t verify(const Cli& cli, const Workload& w,
@@ -668,6 +694,14 @@ int run_report(const Cli& cli) {
   std::printf("\nmodeled config time: %s\nmodeled reduce time: %s\n",
               format_seconds(report.time_config_s).c_str(),
               format_seconds(report.time_reduce_s).c_str());
+  if (report.hierarchical) {
+    std::printf("  intra tier (c=%u): %s config + %s reduce  |  inter "
+                "rounds: %s\n",
+                report.cores_per_machine,
+                format_seconds(report.time_intra_config_s).c_str(),
+                format_seconds(report.time_intra_reduce_s).c_str(),
+                format_seconds(report.time_inter_reduce_s).c_str());
+  }
   // Latency percentiles: measured from the engine.round_seconds histogram
   // (the observer's wall clock), modeled from the timing accumulator's
   // per-round order statistics.

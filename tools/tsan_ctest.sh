@@ -9,6 +9,7 @@
 #   chaos       fault injection over the real-thread engines
 #   membership  epoch swaps + heal/rejoin over threaded engines
 #   async       the overlapped executor's scheduler park/wake edges
+#   hierarchy   the intra-node single-copy stage over sharded pool workers
 #   tsan        everything else that spawns real host threads
 #
 # Usage: tools/tsan_ctest.sh [build-dir] [ctest-args...]
@@ -34,5 +35,7 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
   -L membership "$@"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
   -L async "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+  -L hierarchy "$@"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
   -L tsan "$@"
